@@ -1,0 +1,89 @@
+//! Criterion micro-benches of LEQA's components, matching the complexity
+//! budget of Eq. 17: QODG construction (`O(|V|+|E|)`), IIG construction,
+//! the coverage table (`O(A)`), `E[S_q]` (`O(terms·A)`), and the
+//! critical-path pass (`O(|V|+|E|)`). Also the ablation benches of
+//! DESIGN.md §5 that concern runtime: `E[S_q]` truncation and zone-side
+//! rounding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use leqa::coverage::{CoverageTable, ZoneRounding};
+use leqa_circuit::{decompose::lower_to_ft, Iig, Qodg};
+use leqa_fabric::{FabricDims, Micros};
+use leqa_workloads::Benchmark;
+
+fn prepared_qodg(name: &str) -> Qodg {
+    let bench = Benchmark::by_name(name).expect("known benchmark");
+    let ft = lower_to_ft(&bench.circuit()).expect("lowers cleanly");
+    Qodg::from_ft_circuit(&ft)
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let bench = Benchmark::by_name("gf2^64mult").expect("known");
+    let ft = lower_to_ft(&bench.circuit()).expect("lowers cleanly");
+
+    c.bench_function("qodg_from_ft_circuit/gf2^64mult", |b| {
+        b.iter(|| Qodg::from_ft_circuit(&ft));
+    });
+
+    let qodg = Qodg::from_ft_circuit(&ft);
+    c.bench_function("iig_from_qodg/gf2^64mult", |b| {
+        b.iter(|| Iig::from_qodg(&qodg));
+    });
+    c.bench_function("critical_path/gf2^64mult", |b| {
+        b.iter(|| qodg.critical_path(|_| Micros::new(1.0)));
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let dims = FabricDims::dac13();
+
+    c.bench_function("coverage_table/60x60", |b| {
+        b.iter(|| CoverageTable::new(dims, 6.0, ZoneRounding::Ceil));
+    });
+
+    let table = CoverageTable::new(dims, 6.0, ZoneRounding::Ceil);
+    let mut group = c.benchmark_group("ablation_esq_terms");
+    for terms in [5usize, 20, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(terms), &terms, |b, &terms| {
+            b.iter(|| table.expected_surfaces(768, terms));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_zone_side");
+    for (rounding, label) in [
+        (ZoneRounding::Floor, "floor"),
+        (ZoneRounding::Ceil, "ceil"),
+        (ZoneRounding::Round, "round"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &rounding, |b, &r| {
+            b.iter(|| CoverageTable::new(dims, 6.0, r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_scaling(c: &mut Criterion) {
+    use leqa::Estimator;
+    use leqa_fabric::PhysicalParams;
+    let estimator = Estimator::new(FabricDims::dac13(), PhysicalParams::dac13());
+
+    let mut group = c.benchmark_group("leqa_scaling");
+    group.sample_size(10);
+    for name in ["gf2^16mult", "gf2^50mult", "gf2^100mult"] {
+        let qodg = prepared_qodg(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &qodg, |b, qodg| {
+            b.iter(|| estimator.estimate(qodg).expect("fits"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_coverage,
+    bench_end_to_end_scaling
+);
+criterion_main!(benches);

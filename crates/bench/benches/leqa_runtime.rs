@@ -1,0 +1,38 @@
+//! Criterion benches: LEQA estimation runtime per Table 3 row (the
+//! "LEQA Runtime" column, measured properly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::Benchmark;
+
+fn bench_estimation(c: &mut Criterion) {
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+    let estimator = Estimator::new(dims, params);
+
+    let mut group = c.benchmark_group("leqa_estimate");
+    group.sample_size(10);
+    for name in [
+        "8bitadder",
+        "gf2^16mult",
+        "hwb15ps",
+        "ham15",
+        "hwb50ps",
+        "gf2^64mult",
+        "gf2^128mult",
+    ] {
+        let bench = Benchmark::by_name(name).expect("known benchmark");
+        let ft = lower_to_ft(&bench.circuit()).expect("lowers cleanly");
+        let qodg = Qodg::from_ft_circuit(&ft);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &qodg, |b, qodg| {
+            b.iter(|| estimator.estimate(qodg).expect("fits"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches: QSPR mapping runtime per Table 3 row (the
+//! "QSPR Runtime" column, measured properly). Restricted to small and
+//! mid-size benchmarks to keep the bench run short.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::Benchmark;
+use qspr::Mapper;
+
+fn bench_mapping(c: &mut Criterion) {
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+    let mapper = Mapper::new(dims, params);
+
+    let mut group = c.benchmark_group("qspr_map");
+    group.sample_size(10);
+    for name in [
+        "8bitadder",
+        "gf2^16mult",
+        "hwb15ps",
+        "ham15",
+        "hwb50ps",
+        "gf2^64mult",
+    ] {
+        let bench = Benchmark::by_name(name).expect("known benchmark");
+        let ft = lower_to_ft(&bench.circuit()).expect("lowers cleanly");
+        let qodg = Qodg::from_ft_circuit(&ft);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &qodg, |b, qodg| {
+            b.iter(|| mapper.map(qodg).expect("fits"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates Table 1: the physical parameters of the TQA.
+//!
+//! These are inputs, not measurements; the binary prints the parameter set
+//! the whole reproduction uses so reports are self-contained.
+
+use leqa_fabric::{FabricDims, OneQubitKind, PhysicalParams};
+
+fn main() {
+    let p = PhysicalParams::dac13();
+    let dims = FabricDims::dac13();
+    let d = p.gate_delays();
+
+    println!("Table 1. List of physical parameters of the TQA");
+    println!("------------------------------------------------");
+    println!("{:<14} {:>10}", "Parameter", "Value");
+    println!(
+        "{:<14} {:>10}",
+        "d_H",
+        format!("{}µs", d.one_qubit(OneQubitKind::H).as_f64())
+    );
+    println!(
+        "{:<14} {:>10}",
+        "d_T, d_T+",
+        format!("{}µs", d.one_qubit(OneQubitKind::T).as_f64())
+    );
+    println!(
+        "{:<14} {:>10}",
+        "d_X, d_Y, d_Z",
+        format!("{}µs", d.one_qubit(OneQubitKind::X).as_f64())
+    );
+    println!(
+        "{:<14} {:>10}",
+        "d_CNOT",
+        format!("{}µs", d.cnot().as_f64())
+    );
+    println!("{:<14} {:>10}", "N_c", p.channel_capacity());
+    println!("{:<14} {:>10}", "v", p.qubit_speed());
+    println!(
+        "{:<14} {:>10}",
+        "A = a x b",
+        format!("{} = {}x{}", dims.area(), dims.width(), dims.height())
+    );
+    println!(
+        "{:<14} {:>10}",
+        "T_move",
+        format!("{}µs", p.t_move().as_f64())
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table 2: actual latency (QSPR) vs estimated latency (LEQA)
+//! per benchmark, with absolute error — side by side with the paper's
+//! published numbers.
+
+use leqa_bench::{run_benchmark, sci};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::SUITE;
+
+fn main() {
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+
+    println!("Table 2. Actual (QSPR) vs estimated (LEQA) latency");
+    println!(
+        "{:<16} | {:>11} {:>11} {:>7} | {:>11} {:>11} {:>7}",
+        "", "—— this", "reproduction", "——", "—— paper", "(DAC'13)", "——"
+    );
+    println!(
+        "{:<16} | {:>11} {:>11} {:>7} | {:>11} {:>11} {:>7}",
+        "Benchmark", "Actual(s)", "Est.(s)", "Err(%)", "Actual(s)", "Est.(s)", "Err(%)"
+    );
+    println!("{}", "-".repeat(16 + 3 + 11 * 4 + 7 * 2 + 10));
+
+    let mut errors = Vec::new();
+    for bench in &SUITE {
+        let row = run_benchmark(bench, dims, &params);
+        errors.push(row.error_pct);
+        println!(
+            "{:<16} | {:>11} {:>11} {:>7.2} | {:>11} {:>11} {:>7.2}",
+            row.name,
+            sci(row.actual_s),
+            sci(row.estimated_s),
+            row.error_pct,
+            sci(bench.paper.actual_delay_s),
+            sci(bench.paper.estimated_delay_s),
+            bench.paper.error_pct,
+        );
+    }
+
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    let max = errors.iter().cloned().fold(0.0, f64::max);
+    println!("{}", "-".repeat(16 + 3 + 11 * 4 + 7 * 2 + 10));
+    println!("average error: {avg:.2}% (paper: 2.11%)   max error: {max:.2}% (paper: <9%)");
+}

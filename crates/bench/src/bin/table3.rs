@@ -1,0 +1,63 @@
+//! Regenerates Table 3: benchmark sizes, QSPR vs LEQA runtimes and the
+//! speedup, side by side with the paper's published numbers.
+//!
+//! Absolute runtimes are incomparable across machines and languages (the
+//! paper used Java on a 2010 Pentium dual-core); what must reproduce is
+//! the *shape*: the speedup grows with the operation count.
+
+use leqa_bench::run_benchmark;
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::SUITE;
+
+fn main() {
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+
+    println!("Table 3. Benchmark sizes and runtimes");
+    println!(
+        "{:<16} {:>7} {:>9} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+        "", "", "", "——", "this repro", "——", "——", "paper", "——"
+    );
+    println!(
+        "{:<16} {:>7} {:>9} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+        "Benchmark",
+        "Qubits",
+        "Ops",
+        "QSPR(s)",
+        "LEQA(s)",
+        "Speedup",
+        "QSPR(s)",
+        "LEQA(s)",
+        "Speedup"
+    );
+    println!("{}", "-".repeat(110));
+
+    let mut first_speedup = None;
+    let mut last_speedup = 0.0;
+    for bench in &SUITE {
+        let row = run_benchmark(bench, dims, &params);
+        if first_speedup.is_none() {
+            first_speedup = Some(row.speedup);
+        }
+        last_speedup = row.speedup;
+        println!(
+            "{:<16} {:>7} {:>9} | {:>9.4} {:>9.5} {:>8.1} | {:>9.1} {:>9.3} {:>8.1}",
+            row.name,
+            row.qubits,
+            row.ops,
+            row.qspr_runtime_s,
+            row.leqa_runtime_s,
+            row.speedup,
+            bench.paper.qspr_runtime_s,
+            bench.paper.leqa_runtime_s,
+            bench.paper.speedup,
+        );
+    }
+    println!("{}", "-".repeat(110));
+    println!(
+        "speedup trend: {:.1}x on the smallest benchmark -> {:.1}x on the largest \
+         (paper: 8.2x -> 114.7x)",
+        first_speedup.unwrap_or(0.0),
+        last_speedup
+    );
+}

@@ -1,0 +1,196 @@
+//! Classical (basis-state) simulation of reversible circuits.
+//!
+//! Reversible-logic gates — NOT, CNOT, Toffoli, Fredkin and their
+//! multi-controlled forms — permute computational basis states, so a
+//! circuit built from them can be executed on a plain bit vector. This
+//! is how the test suite proves the decomposition passes preserve
+//! semantics: [`to_toffoli_circuit`](crate::decompose::to_toffoli_circuit)
+//! must compute the same function as its input on every basis state, with
+//! ancillas returned to 0.
+//!
+//! Non-classical one-qubit gates (H, T, S and their inverses) have no
+//! basis-state action and are rejected.
+
+use leqa_fabric::OneQubitKind;
+
+use crate::{Circuit, Gate};
+
+/// Error returned when a circuit contains a gate with no classical
+/// (basis-state) semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotClassicalError {
+    /// The offending gate kind.
+    pub kind: OneQubitKind,
+}
+
+impl std::fmt::Display for NotClassicalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gate `{}` has no classical basis-state action",
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for NotClassicalError {}
+
+/// Applies a reversible circuit to a basis state given as a bit vector
+/// (indexed by wire), returning the output state.
+///
+/// Wires beyond `bits.len()` (e.g. ancillas added by decomposition) are
+/// treated as initialized to 0 and included in the returned vector.
+///
+/// # Errors
+///
+/// Returns [`NotClassicalError`] if the circuit contains H/T/T†/S/S†
+/// (Y and Z act as X-up-to-phase and identity on basis states: Y flips
+/// the bit, Z leaves it).
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::{classical, Circuit, Gate, QubitId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::toffoli(QubitId(0), QubitId(1), QubitId(2))?)?;
+/// // |110⟩ → |111⟩
+/// let out = classical::apply(&c, &[true, true, false])?;
+/// assert_eq!(out, vec![true, true, true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply(circuit: &Circuit, bits: &[bool]) -> Result<Vec<bool>, NotClassicalError> {
+    let mut state = vec![false; circuit.num_qubits() as usize];
+    let shared = bits.len().min(state.len());
+    state[..shared].copy_from_slice(&bits[..shared]);
+
+    for gate in circuit.gates() {
+        match gate {
+            Gate::OneQubit { kind, target } => match kind {
+                OneQubitKind::X | OneQubitKind::Y => {
+                    state[target.index()] = !state[target.index()];
+                }
+                OneQubitKind::Z => {}
+                other => return Err(NotClassicalError { kind: *other }),
+            },
+            Gate::Cnot { control, target } => {
+                if state[control.index()] {
+                    state[target.index()] = !state[target.index()];
+                }
+            }
+            Gate::Toffoli { c1, c2, target } => {
+                if state[c1.index()] && state[c2.index()] {
+                    state[target.index()] = !state[target.index()];
+                }
+            }
+            Gate::Fredkin { control, a, b } => {
+                if state[control.index()] {
+                    state.swap(a.index(), b.index());
+                }
+            }
+            Gate::Mct { controls, target } => {
+                if controls.iter().all(|c| state[c.index()]) {
+                    state[target.index()] = !state[target.index()];
+                }
+            }
+            Gate::Mcf { controls, a, b } => {
+                if controls.iter().all(|c| state[c.index()]) {
+                    state.swap(a.index(), b.index());
+                }
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Convenience: applies the circuit to the basis state encoded by the low
+/// bits of `input` (wire 0 = bit 0) and re-encodes the first
+/// `circuit.num_qubits()` output wires the same way.
+///
+/// # Errors
+///
+/// Same as [`apply`].
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 64 wires.
+pub fn apply_u64(circuit: &Circuit, input: u64) -> Result<u64, NotClassicalError> {
+    assert!(circuit.num_qubits() <= 64, "u64 encoding caps at 64 wires");
+    let bits: Vec<bool> = (0..circuit.num_qubits())
+        .map(|i| input >> i & 1 == 1)
+        .collect();
+    let out = apply(circuit, &bits)?;
+    Ok(out
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QubitId;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cnot(q(0), q(1)).unwrap()).unwrap();
+        for (input, expected) in [(0b00u64, 0b00u64), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+            assert_eq!(apply_u64(&c, input).unwrap(), expected, "input {input:02b}");
+        }
+    }
+
+    #[test]
+    fn fredkin_swaps_under_control() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::fredkin(q(0), q(1), q(2)).unwrap()).unwrap();
+        // control off: identity
+        assert_eq!(apply_u64(&c, 0b010).unwrap(), 0b010);
+        // control on: swap wires 1 and 2
+        assert_eq!(apply_u64(&c, 0b011).unwrap(), 0b101);
+    }
+
+    #[test]
+    fn mct_requires_all_controls() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::mct((0..3).map(q).collect(), q(3)).unwrap())
+            .unwrap();
+        assert_eq!(apply_u64(&c, 0b0111).unwrap(), 0b1111);
+        assert_eq!(apply_u64(&c, 0b0011).unwrap(), 0b0011);
+    }
+
+    #[test]
+    fn non_classical_gates_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::one_qubit(OneQubitKind::H, q(0))).unwrap();
+        assert_eq!(
+            apply(&c, &[false]),
+            Err(NotClassicalError {
+                kind: OneQubitKind::H
+            })
+        );
+    }
+
+    #[test]
+    fn y_flips_z_ignores() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::one_qubit(OneQubitKind::Y, q(0))).unwrap();
+        c.push(Gate::one_qubit(OneQubitKind::Z, q(0))).unwrap();
+        assert_eq!(apply_u64(&c, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn ancilla_wires_start_at_zero() {
+        // 3 declared wires, input only specifies 2.
+        let mut c = Circuit::new(3);
+        c.push(Gate::cnot(q(2), q(0)).unwrap()).unwrap();
+        let out = apply(&c, &[true, true]).unwrap();
+        assert_eq!(out, vec![true, true, false]); // wire 2 was 0 → no flip
+    }
+}

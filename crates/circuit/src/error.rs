@@ -1,0 +1,84 @@
+//! Error type for circuit construction, lowering and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::QubitId;
+
+/// Errors produced while building, lowering or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index at or beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// The circuit's qubit count.
+        num_qubits: u32,
+    },
+    /// A gate used the same qubit for two distinct operands
+    /// (forbidden by the no-cloning constraint on circuit wires).
+    DuplicateOperand {
+        /// The repeated qubit.
+        qubit: QubitId,
+    },
+    /// A multi-controlled gate had no controls.
+    EmptyControls,
+    /// The circuit would exceed the supported qubit count (`u32`).
+    TooManyQubits,
+    /// A parse error with line information.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
+            }
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "qubit {qubit} used for two operands of one gate")
+            }
+            CircuitError::EmptyControls => write!(f, "multi-controlled gate has no controls"),
+            CircuitError::TooManyQubits => write!(f, "circuit exceeds the supported qubit count"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: QubitId(9),
+            num_qubits: 4,
+        };
+        assert_eq!(e.to_string(), "qubit q9 out of range for 4-qubit circuit");
+        let e = CircuitError::Parse {
+            line: 3,
+            message: "unknown gate `foo`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: unknown gate `foo`");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CircuitError>();
+    }
+}

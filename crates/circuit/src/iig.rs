@@ -1,0 +1,199 @@
+//! The interaction intensity graph (IIG, §3.1).
+//!
+//! Nodes are logical qubits; an undirected edge `e_ij` with weight `w(e_ij)`
+//! counts the two-qubit operations between qubits `i` and `j`. No self-loops
+//! exist because one-qubit operations add no edges. The quantities LEQA
+//! reads off the IIG are `M_i = deg(n_i)` (the neighbour count) and
+//! `Σ_j w(e_ij)` (the interaction *strength*, the weight used in the
+//! weighted averages of Eqs. 7 and 12).
+
+use std::collections::HashMap;
+
+use crate::{FtCircuit, FtOp, Qodg, QubitId};
+
+/// The interaction intensity graph of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::{FtCircuit, Iig, QubitId};
+///
+/// # fn main() -> Result<(), leqa_circuit::CircuitError> {
+/// let mut ft = FtCircuit::new(3);
+/// ft.push_cnot(QubitId(0), QubitId(1))?;
+/// ft.push_cnot(QubitId(0), QubitId(1))?;
+/// ft.push_cnot(QubitId(1), QubitId(2))?;
+///
+/// let iig = Iig::from_ft_circuit(&ft);
+/// assert_eq!(iig.degree(QubitId(1)), 2);       // neighbours: q0, q2
+/// assert_eq!(iig.strength(QubitId(1)), 3);     // 2 + 1 interactions
+/// assert_eq!(iig.weight(QubitId(0), QubitId(1)), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Iig {
+    /// Per-qubit adjacency: neighbour → weight.
+    adj: Vec<HashMap<QubitId, u64>>,
+    total_weight: u64,
+}
+
+impl Iig {
+    /// Builds the IIG by a single traversal of the lowered circuit.
+    pub fn from_ft_circuit(circuit: &FtCircuit) -> Self {
+        let mut iig = Iig {
+            adj: vec![HashMap::new(); circuit.num_qubits() as usize],
+            total_weight: 0,
+        };
+        for op in circuit.ops() {
+            if let FtOp::Cnot { control, target } = *op {
+                iig.add_interaction(control, target);
+            }
+        }
+        iig
+    }
+
+    /// Builds the IIG by traversing a QODG (Algorithm 1, line 1:
+    /// `O(|V| + |E|)`).
+    pub fn from_qodg(qodg: &Qodg) -> Self {
+        let mut iig = Iig {
+            adj: vec![HashMap::new(); qodg.num_qubits() as usize],
+            total_weight: 0,
+        };
+        for (_, op) in qodg.op_nodes() {
+            if let FtOp::Cnot { control, target } = op {
+                iig.add_interaction(control, target);
+            }
+        }
+        iig
+    }
+
+    fn add_interaction(&mut self, a: QubitId, b: QubitId) {
+        debug_assert_ne!(a, b, "no self-loops in the IIG");
+        *self.adj[a.index()].entry(b).or_insert(0) += 1;
+        *self.adj[b.index()].entry(a).or_insert(0) += 1;
+        self.total_weight += 1;
+    }
+
+    /// Number of qubits (nodes), `Q`.
+    #[inline]
+    pub fn num_qubits(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// `M_i`: the number of distinct interaction partners of qubit `i`.
+    #[inline]
+    pub fn degree(&self, qubit: QubitId) -> u64 {
+        self.adj[qubit.index()].len() as u64
+    }
+
+    /// `Σ_j w(e_ij)`: total two-qubit ops involving qubit `i`.
+    #[inline]
+    pub fn strength(&self, qubit: QubitId) -> u64 {
+        self.adj[qubit.index()].values().sum()
+    }
+
+    /// `w(e_ij)`: two-qubit ops between `a` and `b` (0 if they never
+    /// interact; symmetric).
+    #[inline]
+    pub fn weight(&self, a: QubitId, b: QubitId) -> u64 {
+        self.adj[a.index()].get(&b).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the neighbours of `qubit` with edge weights.
+    pub fn neighbors(&self, qubit: QubitId) -> impl Iterator<Item = (QubitId, u64)> + '_ {
+        self.adj[qubit.index()].iter().map(|(&q, &w)| (q, w))
+    }
+
+    /// Total edge weight (= total two-qubit op count of the circuit).
+    #[inline]
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|m| m.len()).sum::<usize>() / 2
+    }
+
+    /// Qubit ids sorted by decreasing strength (used by the mapper's
+    /// interaction-aware placement).
+    pub fn qubits_by_strength(&self) -> Vec<QubitId> {
+        let mut ids: Vec<QubitId> = (0..self.num_qubits()).map(QubitId).collect();
+        ids.sort_by_key(|q| std::cmp::Reverse(self.strength(*q)));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_fabric::OneQubitKind;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn sample() -> FtCircuit {
+        let mut ft = FtCircuit::new(4);
+        ft.push_cnot(q(0), q(1)).unwrap();
+        ft.push_cnot(q(1), q(0)).unwrap(); // same pair, reversed roles
+        ft.push_cnot(q(1), q(2)).unwrap();
+        ft.push_one_qubit(OneQubitKind::H, q(3)).unwrap(); // no edge
+        ft
+    }
+
+    #[test]
+    fn edges_are_undirected_and_weighted() {
+        let iig = Iig::from_ft_circuit(&sample());
+        assert_eq!(iig.weight(q(0), q(1)), 2);
+        assert_eq!(iig.weight(q(1), q(0)), 2);
+        assert_eq!(iig.weight(q(1), q(2)), 1);
+        assert_eq!(iig.weight(q(0), q(2)), 0);
+    }
+
+    #[test]
+    fn degrees_and_strengths() {
+        let iig = Iig::from_ft_circuit(&sample());
+        assert_eq!(iig.degree(q(0)), 1);
+        assert_eq!(iig.degree(q(1)), 2);
+        assert_eq!(iig.degree(q(3)), 0); // one-qubit ops add no edges
+        assert_eq!(iig.strength(q(1)), 3);
+        assert_eq!(iig.strength(q(3)), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let iig = Iig::from_ft_circuit(&sample());
+        assert_eq!(iig.total_weight(), 3);
+        assert_eq!(iig.edge_count(), 2);
+        assert_eq!(iig.num_qubits(), 4);
+    }
+
+    #[test]
+    fn qodg_and_circuit_builders_agree() {
+        let ft = sample();
+        let from_circuit = Iig::from_ft_circuit(&ft);
+        let from_qodg = Iig::from_qodg(&Qodg::from_ft_circuit(&ft));
+        for i in 0..4 {
+            assert_eq!(from_circuit.degree(q(i)), from_qodg.degree(q(i)));
+            assert_eq!(from_circuit.strength(q(i)), from_qodg.strength(q(i)));
+        }
+    }
+
+    #[test]
+    fn strength_ordering() {
+        let iig = Iig::from_ft_circuit(&sample());
+        let order = iig.qubits_by_strength();
+        assert_eq!(order[0], q(1)); // strength 3
+        assert_eq!(*order.last().unwrap(), q(3)); // strength 0
+    }
+
+    #[test]
+    fn neighbors_iteration() {
+        let iig = Iig::from_ft_circuit(&sample());
+        let mut n: Vec<(QubitId, u64)> = iig.neighbors(q(1)).collect();
+        n.sort();
+        assert_eq!(n, vec![(q(0), 2), (q(2), 1)]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Semantic preservation of the first decomposition pass, verified
+//! exhaustively: `to_toffoli_circuit` must compute the same Boolean
+//! function as its input on every basis state, with every ancilla
+//! returned to 0 (the uncomputation guarantee of the Nielsen–Chuang
+//! ladder).
+
+use proptest::prelude::*;
+
+use leqa_circuit::decompose::to_toffoli_circuit;
+use leqa_circuit::{classical, Circuit, Gate, QubitId};
+
+fn q(i: u32) -> QubitId {
+    QubitId(i)
+}
+
+/// Checks input/output equivalence on every basis state of the original
+/// wires, and that ancillas end clean.
+fn assert_equivalent(original: &Circuit) {
+    let lowered = to_toffoli_circuit(original).expect("lowers cleanly");
+    let n = original.num_qubits();
+    assert!(n <= 10, "exhaustive check caps at 2^10 states");
+    for input in 0u64..(1 << n) {
+        let bits: Vec<bool> = (0..n).map(|i| input >> i & 1 == 1).collect();
+        let want = classical::apply(original, &bits).expect("classical");
+        let got = classical::apply(&lowered, &bits).expect("classical");
+        assert_eq!(&got[..n as usize], &want[..], "state {input:b} diverged");
+        for (i, &anc) in got[n as usize..].iter().enumerate() {
+            assert!(!anc, "ancilla {i} not restored on input {input:b}");
+        }
+    }
+}
+
+#[test]
+fn mct_ladders_are_exact() {
+    for controls in 3..=6u32 {
+        let mut c = Circuit::new(controls + 1);
+        c.push(Gate::mct((0..controls).map(q).collect(), q(controls)).unwrap())
+            .unwrap();
+        assert_equivalent(&c);
+    }
+}
+
+#[test]
+fn fredkin_triple_is_exact() {
+    let mut c = Circuit::new(3);
+    c.push(Gate::fredkin(q(0), q(1), q(2)).unwrap()).unwrap();
+    assert_equivalent(&c);
+}
+
+#[test]
+fn mcf_expansion_is_exact() {
+    for controls in 2..=4u32 {
+        let mut c = Circuit::new(controls + 2);
+        c.push(Gate::mcf((0..controls).map(q).collect(), q(controls), q(controls + 1)).unwrap())
+            .unwrap();
+        assert_equivalent(&c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_reversible_circuits_are_preserved(seed in 0u64..10_000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wires = rng.gen_range(5..9u32);
+        let mut c = Circuit::new(wires);
+        for _ in 0..rng.gen_range(1..12usize) {
+            let mut picks: Vec<u32> = (0..wires).collect();
+            // Partial shuffle for operand selection.
+            for i in 0..picks.len() {
+                let j = rng.gen_range(i..picks.len());
+                picks.swap(i, j);
+            }
+            let gate = match rng.gen_range(0..5u8) {
+                0 => Gate::not(q(picks[0])),
+                1 => Gate::cnot(q(picks[0]), q(picks[1])).unwrap(),
+                2 => Gate::toffoli(q(picks[0]), q(picks[1]), q(picks[2])).unwrap(),
+                3 => Gate::fredkin(q(picks[0]), q(picks[1]), q(picks[2])).unwrap(),
+                _ => {
+                    let k = rng.gen_range(3..=(wires - 1).min(4)) as usize;
+                    Gate::mct(
+                        picks[..k].iter().map(|&i| q(i)).collect(),
+                        q(picks[k]),
+                    )
+                    .unwrap()
+                }
+            };
+            c.push(gate).unwrap();
+        }
+        let lowered = to_toffoli_circuit(&c).expect("lowers");
+        // Spot-check 16 random basis states rather than all 2^wires.
+        for _ in 0..16 {
+            let input: u64 = rng.gen_range(0..(1u64 << wires));
+            let bits: Vec<bool> = (0..wires).map(|i| input >> i & 1 == 1).collect();
+            let want = classical::apply(&c, &bits).expect("classical");
+            let got = classical::apply(&lowered, &bits).expect("classical");
+            prop_assert_eq!(&got[..wires as usize], &want[..]);
+            for &anc in &got[wires as usize..] {
+                prop_assert!(!anc, "ancilla left dirty");
+            }
+        }
+    }
+}

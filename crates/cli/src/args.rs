@@ -1,0 +1,416 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::error::Error;
+use std::fmt;
+
+use leqa::ZoneRounding;
+use leqa_fabric::FabricDims;
+use qspr::{MovementModel, PlacementStrategy, RouterStrategy};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Argument-level problem (unknown flag, missing value, bad syntax).
+    Usage(String),
+    /// The circuit file could not be read.
+    Io(std::io::Error),
+    /// The circuit failed to parse or lower.
+    Circuit(leqa_circuit::CircuitError),
+    /// Estimation failed (e.g. fabric too small).
+    Estimate(leqa::EstimateError),
+    /// Mapping failed (e.g. fabric too small).
+    Map(qspr::MapError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CliError::Estimate(e) => write!(f, "estimation error: {e}"),
+            CliError::Map(e) => write!(f, "mapping error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<leqa_circuit::CircuitError> for CliError {
+    fn from(e: leqa_circuit::CircuitError) -> Self {
+        CliError::Circuit(e)
+    }
+}
+impl From<leqa::EstimateError> for CliError {
+    fn from(e: leqa::EstimateError) -> Self {
+        CliError::Estimate(e)
+    }
+}
+impl From<qspr::MapError> for CliError {
+    fn from(e: qspr::MapError) -> Self {
+        CliError::Map(e)
+    }
+}
+
+/// Shared options resolved from flags.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Circuit file path (None for `--bench`-driven commands).
+    pub input: Option<String>,
+    /// Named suite benchmark (`--bench`).
+    pub bench: Option<String>,
+    /// Fabric dimensions (`--fabric AxB`, default 60x60).
+    pub fabric: FabricDims,
+    /// `E[S_q]` terms (`--terms`, default 20).
+    pub terms: usize,
+    /// Zone rounding (`--rounding`).
+    pub rounding: ZoneRounding,
+    /// Mapper placement (`--placement`).
+    pub placement: PlacementStrategy,
+    /// Mapper routing discipline (`--router`).
+    pub router: RouterStrategy,
+    /// Mapper movement model (`--movement`).
+    pub movement: MovementModel,
+    /// Trace rows to print (`--trace N`, 0 = off).
+    pub trace: usize,
+    /// Suite name filter (`--filter`).
+    pub filter: Option<String>,
+    /// Fabric sides for `sweep` (`--sizes`).
+    pub sizes: Vec<u32>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            input: None,
+            bench: None,
+            fabric: FabricDims::dac13(),
+            terms: 20,
+            rounding: ZoneRounding::Ceil,
+            placement: PlacementStrategy::IigCluster,
+            router: RouterStrategy::Xy,
+            movement: MovementModel::HomeBased,
+            trace: 0,
+            filter: None,
+            sizes: Vec::new(),
+        }
+    }
+}
+
+/// A parsed command.
+#[derive(Debug)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// `leqa estimate`.
+    Estimate(Options),
+    /// `leqa map`.
+    Map(Options),
+    /// `leqa compare`.
+    Compare(Options),
+    /// `leqa suite`.
+    Suite(Options),
+    /// `leqa sweep`.
+    Sweep(Options),
+    /// `leqa gen`.
+    Gen(Options),
+    /// `leqa dot`.
+    Dot(Options, crate::commands::dot::DotGraph),
+    /// `leqa zones`.
+    Zones(Options),
+}
+
+/// Parses the argument vector (program name excluded).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands/flags, missing values
+/// or malformed values.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let mut it = argv.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command; try `leqa help`".into()))?;
+
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(Command::Help);
+    }
+
+    let mut opts = Options::default();
+    let mut graph = crate::commands::dot::DotGraph::Qodg;
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        match arg {
+            "--fabric" => {
+                opts.fabric = parse_fabric(value(&rest, &mut i, "--fabric")?)?;
+            }
+            "--terms" => {
+                opts.terms = value(&rest, &mut i, "--terms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--terms needs a positive integer".into()))?;
+            }
+            "--rounding" => {
+                opts.rounding = match value(&rest, &mut i, "--rounding")?.as_str() {
+                    "ceil" => ZoneRounding::Ceil,
+                    "floor" => ZoneRounding::Floor,
+                    "round" => ZoneRounding::Round,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown rounding `{other}` (ceil|floor|round)"
+                        )))
+                    }
+                };
+            }
+            "--placement" => {
+                opts.placement = match value(&rest, &mut i, "--placement")?.as_str() {
+                    "cluster" => PlacementStrategy::IigCluster,
+                    "rowmajor" => PlacementStrategy::RowMajor,
+                    "random" => PlacementStrategy::Random,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown placement `{other}` (cluster|rowmajor|random)"
+                        )))
+                    }
+                };
+            }
+            "--router" => {
+                opts.router = match value(&rest, &mut i, "--router")?.as_str() {
+                    "xy" => RouterStrategy::Xy,
+                    "yx" => RouterStrategy::Yx,
+                    "adaptive" => RouterStrategy::Adaptive,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown router `{other}` (xy|yx|adaptive)"
+                        )))
+                    }
+                };
+            }
+            "--movement" => {
+                opts.movement = match value(&rest, &mut i, "--movement")?.as_str() {
+                    "home" => MovementModel::HomeBased,
+                    "drift" => MovementModel::Drift,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown movement model `{other}` (home|drift)"
+                        )))
+                    }
+                };
+            }
+            "--trace" => {
+                opts.trace = value(&rest, &mut i, "--trace")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--trace needs a non-negative integer".into()))?;
+            }
+            "--bench" => {
+                opts.bench = Some(value(&rest, &mut i, "--bench")?.clone());
+            }
+            "--filter" => {
+                opts.filter = Some(value(&rest, &mut i, "--filter")?.clone());
+            }
+            "--graph" => {
+                graph = match value(&rest, &mut i, "--graph")?.as_str() {
+                    "qodg" => crate::commands::dot::DotGraph::Qodg,
+                    "iig" => crate::commands::dot::DotGraph::Iig,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown graph `{other}` (qodg|iig)"
+                        )))
+                    }
+                };
+            }
+            "--sizes" => {
+                let list = value(&rest, &mut i, "--sizes")?;
+                opts.sizes = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u32>()
+                            .map_err(|_| CliError::Usage(format!("bad size `{s}` in --sizes")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+            }
+            path => {
+                if opts.input.is_some() {
+                    return Err(CliError::Usage(format!("unexpected argument `{path}`")));
+                }
+                opts.input = Some(path.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let need_input = |opts: &Options, what: &str| -> Result<(), CliError> {
+        if opts.input.is_none() && opts.bench.is_none() {
+            Err(CliError::Usage(format!(
+                "`leqa {what}` needs a circuit file or --bench NAME"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+
+    match command.as_str() {
+        "estimate" => {
+            need_input(&opts, "estimate")?;
+            Ok(Command::Estimate(opts))
+        }
+        "map" => {
+            need_input(&opts, "map")?;
+            Ok(Command::Map(opts))
+        }
+        "compare" => {
+            need_input(&opts, "compare")?;
+            Ok(Command::Compare(opts))
+        }
+        "suite" => Ok(Command::Suite(opts)),
+        "sweep" => {
+            need_input(&opts, "sweep")?;
+            if opts.sizes.is_empty() {
+                return Err(CliError::Usage(
+                    "`leqa sweep` needs --sizes S1,S2,...".into(),
+                ));
+            }
+            Ok(Command::Sweep(opts))
+        }
+        "gen" => {
+            if opts.bench.is_none() {
+                return Err(CliError::Usage("`leqa gen` needs --bench NAME".into()));
+            }
+            Ok(Command::Gen(opts))
+        }
+        "dot" => {
+            need_input(&opts, "dot")?;
+            Ok(Command::Dot(opts, graph))
+        }
+        "zones" => {
+            need_input(&opts, "zones")?;
+            Ok(Command::Zones(opts))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `leqa help`"
+        ))),
+    }
+}
+
+fn value<'a>(rest: &[&'a String], i: &mut usize, flag: &str) -> Result<&'a String, CliError> {
+    *i += 1;
+    rest.get(*i)
+        .copied()
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+fn parse_fabric(spec: &str) -> Result<FabricDims, CliError> {
+    let (a, b) = spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| CliError::Usage(format!("bad fabric `{spec}`; use AxB")))?;
+    let a: u32 = a
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad fabric width `{a}`")))?;
+    let b: u32 = b
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad fabric height `{b}`")))?;
+    FabricDims::new(a, b).map_err(|e| CliError::Usage(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_estimate_with_flags() {
+        let cmd = parse(&argv(&[
+            "estimate",
+            "c.qc",
+            "--fabric",
+            "40x30",
+            "--terms",
+            "10",
+            "--rounding",
+            "floor",
+        ]))
+        .unwrap();
+        let Command::Estimate(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.input.as_deref(), Some("c.qc"));
+        assert_eq!((opts.fabric.width(), opts.fabric.height()), (40, 30));
+        assert_eq!(opts.terms, 10);
+        assert_eq!(opts.rounding, ZoneRounding::Floor);
+    }
+
+    #[test]
+    fn parses_map_placement_and_trace() {
+        let cmd = parse(&argv(&[
+            "map",
+            "c.qc",
+            "--placement",
+            "random",
+            "--trace",
+            "5",
+        ]))
+        .unwrap();
+        let Command::Map(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.placement, PlacementStrategy::Random);
+        assert_eq!(opts.trace, 5);
+    }
+
+    #[test]
+    fn compare_accepts_bench_instead_of_file() {
+        let cmd = parse(&argv(&["compare", "--bench", "ham15"])).unwrap();
+        let Command::Compare(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.bench.as_deref(), Some("ham15"));
+    }
+
+    #[test]
+    fn sweep_requires_sizes() {
+        assert!(parse(&argv(&["sweep", "c.qc"])).is_err());
+        let cmd = parse(&argv(&["sweep", "c.qc", "--sizes", "20, 30,40"])).unwrap();
+        let Command::Sweep(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.sizes, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn gen_requires_bench() {
+        assert!(parse(&argv(&["gen"])).is_err());
+        assert!(parse(&argv(&["gen", "--bench", "gf2^16mult"])).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_fabric() {
+        assert!(parse(&argv(&["estimate", "c.qc", "--fabric", "60"])).is_err());
+        assert!(parse(&argv(&["estimate", "c.qc", "--fabric", "0x9"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_extra_positional() {
+        assert!(parse(&argv(&["estimate", "c.qc", "--wat"])).is_err());
+        assert!(parse(&argv(&["estimate", "a.qc", "b.qc"])).is_err());
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        assert!(parse(&argv(&["estimate"])).is_err());
+        assert!(parse(&argv(&["map"])).is_err());
+    }
+}

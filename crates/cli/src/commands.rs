@@ -1,0 +1,79 @@
+//! Subcommand implementations.
+//!
+//! Each command takes resolved [`Options`](crate::Options) and a writer,
+//! so the whole surface is testable without a process boundary.
+
+pub mod compare;
+pub mod dot;
+pub mod estimate;
+pub mod gen;
+pub mod map;
+pub mod suite;
+pub mod sweep;
+pub mod zones;
+
+use std::io::Write;
+
+use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
+
+use crate::{CliError, Options};
+
+/// Loads the circuit named by the options: a text file if `input` is set,
+/// otherwise a suite benchmark via `--bench`.
+pub(crate) fn load_qodg(opts: &Options) -> Result<(String, Qodg), CliError> {
+    let (label, circuit) = if let Some(path) = &opts.input {
+        let text = std::fs::read_to_string(path)?;
+        let circuit = parser::parse(&text)?;
+        (circuit.name().unwrap_or(path.as_str()).to_string(), circuit)
+    } else {
+        let name = opts.bench.as_deref().expect("parser enforced input");
+        let bench = leqa_workloads::Benchmark::by_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown benchmark `{name}`; names follow Table 3 (e.g. gf2^16mult)"
+            ))
+        })?;
+        (name.to_string(), bench.circuit())
+    };
+    let ft = lower_to_ft(&circuit)?;
+    Ok((label, Qodg::from_ft_circuit(&ft)))
+}
+
+/// Writes the standard program header line.
+pub(crate) fn header(
+    out: &mut dyn Write,
+    label: &str,
+    qodg: &Qodg,
+    opts: &Options,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{label}: {} logical qubits, {} FT ops on a {}x{} fabric",
+        qodg.num_qubits(),
+        qodg.op_count(),
+        opts.fabric.width(),
+        opts.fabric.height()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::Options;
+
+    /// Options pointing at a suite benchmark.
+    pub fn bench_opts(name: &str) -> Options {
+        Options {
+            bench: Some(name.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Runs a command into a string.
+    pub fn capture(
+        f: impl FnOnce(&mut dyn std::io::Write) -> Result<(), crate::CliError>,
+    ) -> String {
+        let mut out = Vec::new();
+        f(&mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+}

@@ -1,0 +1,48 @@
+//! `leqa compare` — the Table 2 experiment for one circuit.
+
+use std::io::Write;
+
+use leqa::Estimator;
+use leqa_fabric::PhysicalParams;
+use qspr::Mapper;
+
+use super::{header, load_qodg};
+use crate::{CliError, Options};
+
+/// Runs both tools and prints actual vs estimated latency with the error.
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let (label, qodg) = load_qodg(opts)?;
+    header(out, &label, &qodg, opts)?;
+
+    let params = PhysicalParams::dac13();
+    let actual = Mapper::new(opts.fabric, params.clone()).map(&qodg)?;
+    let estimate = Estimator::new(opts.fabric, params).estimate(&qodg)?;
+
+    let a = actual.latency.as_secs();
+    let e = estimate.latency.as_secs();
+    writeln!(out, "actual (QSPR):      {a:.6} s")?;
+    writeln!(out, "estimated (LEQA):   {e:.6} s")?;
+    if a > 0.0 {
+        writeln!(
+            out,
+            "absolute error:     {:.2} %",
+            100.0 * (e - a).abs() / a
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn compares_both_tools() {
+        let opts = bench_opts("hwb15ps");
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("actual (QSPR)"));
+        assert!(text.contains("estimated (LEQA)"));
+        assert!(text.contains("absolute error"));
+    }
+}

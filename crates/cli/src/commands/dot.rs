@@ -1,0 +1,49 @@
+//! `leqa dot` — export a circuit's QODG or IIG as Graphviz.
+
+use std::io::Write;
+
+use leqa_circuit::{viz, Iig};
+
+use super::load_qodg;
+use crate::{CliError, Options};
+
+/// Which graph to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DotGraph {
+    /// The quantum operation dependency graph (Fig. 2b).
+    #[default]
+    Qodg,
+    /// The interaction intensity graph (§3.1).
+    Iig,
+}
+
+/// Writes the requested graph in DOT syntax (pipe into `dot -Tsvg`).
+pub fn run(opts: &Options, graph: DotGraph, out: &mut dyn Write) -> Result<(), CliError> {
+    let (_, qodg) = load_qodg(opts)?;
+    let dot = match graph {
+        DotGraph::Qodg => viz::qodg_to_dot(&qodg),
+        DotGraph::Iig => viz::iig_to_dot(&Iig::from_qodg(&qodg)),
+    };
+    out.write_all(dot.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn qodg_dot_renders() {
+        let opts = bench_opts("8bitadder");
+        let text = capture(|out| run(&opts, DotGraph::Qodg, out));
+        assert!(text.starts_with("digraph qodg {"));
+    }
+
+    #[test]
+    fn iig_dot_renders() {
+        let opts = bench_opts("8bitadder");
+        let text = capture(|out| run(&opts, DotGraph::Iig, out));
+        assert!(text.starts_with("graph iig {"));
+    }
+}

@@ -1,0 +1,92 @@
+//! `leqa estimate` — run Algorithm 1 and print the breakdown.
+
+use std::io::Write;
+
+use leqa::{Estimator, EstimatorOptions};
+use leqa_fabric::PhysicalParams;
+
+use super::{header, load_qodg};
+use crate::{CliError, Options};
+
+/// Runs the estimator and prints the latency with every intermediate.
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let (label, qodg) = load_qodg(opts)?;
+    header(out, &label, &qodg, opts)?;
+
+    let estimator = Estimator::with_options(
+        opts.fabric,
+        PhysicalParams::dac13(),
+        EstimatorOptions {
+            max_esq_terms: opts.terms,
+            zone_rounding: opts.rounding,
+            update_critical_path: true,
+        },
+    );
+    let estimate = estimator.estimate(&qodg)?;
+
+    writeln!(
+        out,
+        "estimated latency:  {:.6} s",
+        estimate.latency.as_secs()
+    )?;
+    writeln!(
+        out,
+        "  L_CNOT^avg:       {:.1} µs",
+        estimate.l_cnot_avg.as_f64()
+    )?;
+    writeln!(
+        out,
+        "  L_g^avg:          {:.1} µs",
+        estimate.l_one_qubit_avg.as_f64()
+    )?;
+    writeln!(
+        out,
+        "  d_uncong:         {:.1} µs",
+        estimate.d_uncong.as_f64()
+    )?;
+    writeln!(out, "  avg zone area B:  {:.2}", estimate.avg_zone_area)?;
+    writeln!(out, "  zone side:        {}", estimate.zone_side)?;
+    writeln!(
+        out,
+        "  critical path:    {} CNOT + {} one-qubit ops",
+        estimate.critical.cnot_count,
+        estimate.critical.one_qubit_counts.iter().sum::<u64>()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn estimates_a_suite_benchmark() {
+        let opts = bench_opts("gf2^16mult");
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("estimated latency"));
+        assert!(text.contains("L_CNOT^avg"));
+        assert!(text.contains("48 logical qubits, 3885 FT ops"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_usage_error() {
+        let opts = bench_opts("nope");
+        let mut out = Vec::new();
+        assert!(run(&opts, &mut out).is_err());
+    }
+
+    #[test]
+    fn reads_circuit_from_file() {
+        let dir = std::env::temp_dir().join("leqa-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("estimate.qc");
+        std::fs::write(&path, ".qubits 3\ntoffoli 0 1 2\ncnot 0 2\n").unwrap();
+        let opts = Options {
+            input: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("3 logical qubits, 16 FT ops"));
+    }
+}

@@ -1,0 +1,44 @@
+//! `leqa gen` — emit a suite benchmark in the shared text format.
+
+use std::io::Write;
+
+use leqa_circuit::parser;
+
+use crate::{CliError, Options};
+
+/// Writes the named benchmark's circuit text to the output (pipe it to a
+/// file to feed other commands or external tools).
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let name = opts.bench.as_deref().expect("parser enforced --bench");
+    let bench = leqa_workloads::Benchmark::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown benchmark `{name}`")))?;
+    out.write_all(parser::write(&bench.circuit()).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn generated_text_reparses_to_the_same_circuit() {
+        let opts = bench_opts("gf2^16mult");
+        let text = capture(|out| run(&opts, out));
+        let circuit = parser::parse(&text).expect("roundtrips");
+        assert_eq!(circuit.num_qubits(), 48);
+        assert_eq!(
+            circuit,
+            leqa_workloads::Benchmark::by_name("gf2^16mult")
+                .unwrap()
+                .circuit()
+        );
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let opts = bench_opts("nope");
+        let mut out = Vec::new();
+        assert!(run(&opts, &mut out).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! `leqa map` — run the detailed mapper and print schedule statistics.
+
+use std::io::Write;
+
+use leqa_fabric::PhysicalParams;
+use qspr::{Mapper, MapperConfig};
+
+use super::{header, load_qodg};
+use crate::{CliError, Options};
+
+/// Runs the mapper and prints latency, movement statistics and (with
+/// `--trace N`) the N longest-running operations.
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let (label, qodg) = load_qodg(opts)?;
+    header(out, &label, &qodg, opts)?;
+
+    let mapper = Mapper::with_config(MapperConfig {
+        dims: opts.fabric,
+        params: PhysicalParams::dac13(),
+        placement: opts.placement,
+        router: opts.router,
+        movement: opts.movement,
+        seed: 0,
+    });
+
+    let (result, trace) = if opts.trace > 0 {
+        let (r, t) = mapper.map_with_trace(&qodg)?;
+        (r, Some(t))
+    } else {
+        (mapper.map(&qodg)?, None)
+    };
+
+    writeln!(out, "actual latency:     {:.6} s", result.latency.as_secs())?;
+    writeln!(out, "  CNOTs routed:     {}", result.stats.cnot_ops)?;
+    writeln!(
+        out,
+        "  avg CNOT distance:{:.2} hops",
+        result.stats.avg_cnot_distance()
+    )?;
+    writeln!(
+        out,
+        "  congestion wait:  {:.6} s (summed over qubits)",
+        result.stats.congestion_wait.as_secs()
+    )?;
+    writeln!(
+        out,
+        "  busiest channel:  {} traversals",
+        result.stats.max_channel_load
+    )?;
+    if let Some(trace) = trace {
+        writeln!(out, "\nlongest-running operations:")?;
+        out.write_all(trace.summary(opts.trace).as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn maps_a_suite_benchmark() {
+        let opts = bench_opts("8bitadder");
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("actual latency"));
+        assert!(text.contains("CNOTs routed"));
+    }
+
+    #[test]
+    fn trace_flag_prints_schedule_rows() {
+        let mut opts = bench_opts("8bitadder");
+        opts.trace = 3;
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("longest-running operations"));
+        assert!(text.contains("dist"));
+    }
+}

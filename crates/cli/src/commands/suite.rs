@@ -1,0 +1,88 @@
+//! `leqa suite` — run the (optionally filtered) benchmark suite.
+
+use std::io::Write;
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::PhysicalParams;
+use leqa_workloads::SUITE;
+use qspr::Mapper;
+
+use crate::{CliError, Options};
+
+/// Runs every matching suite benchmark through both tools and prints one
+/// row each, followed by the error summary.
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let params = PhysicalParams::dac13();
+    let mapper = Mapper::new(opts.fabric, params.clone());
+    let estimator = Estimator::new(opts.fabric, params);
+
+    writeln!(
+        out,
+        "{:<16} {:>7} {:>9} {:>12} {:>12} {:>8}",
+        "benchmark", "qubits", "ops", "actual(s)", "est.(s)", "err(%)"
+    )?;
+
+    let mut errors = Vec::new();
+    for bench in SUITE
+        .iter()
+        .filter(|b| opts.filter.as_deref().is_none_or(|f| b.name.contains(f)))
+    {
+        let ft = lower_to_ft(&bench.circuit())?;
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let actual = mapper.map(&qodg)?.latency.as_secs();
+        let estimated = estimator.estimate(&qodg)?.latency.as_secs();
+        let err = 100.0 * (estimated - actual).abs() / actual;
+        errors.push(err);
+        writeln!(
+            out,
+            "{:<16} {:>7} {:>9} {:>12.4} {:>12.4} {:>8.2}",
+            bench.name,
+            qodg.num_qubits(),
+            qodg.op_count(),
+            actual,
+            estimated,
+            err
+        )?;
+    }
+
+    if errors.is_empty() {
+        writeln!(out, "(no benchmark matches the filter)")?;
+    } else {
+        writeln!(
+            out,
+            "average error: {:.2}%  max error: {:.2}%",
+            errors.iter().sum::<f64>() / errors.len() as f64,
+            errors.iter().cloned().fold(0.0, f64::max)
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::capture;
+
+    #[test]
+    fn filtered_suite_runs_matching_rows() {
+        let opts = Options {
+            filter: Some("ham15".to_string()),
+            ..Default::default()
+        };
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("ham15"));
+        assert!(!text.contains("gf2^256mult"));
+        assert!(text.contains("average error"));
+    }
+
+    #[test]
+    fn nonmatching_filter_reports_empty() {
+        let opts = Options {
+            filter: Some("zzz".to_string()),
+            ..Default::default()
+        };
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("no benchmark matches"));
+    }
+}

@@ -1,0 +1,78 @@
+//! `leqa sweep` — estimate one circuit across several fabric sizes.
+
+use std::io::Write;
+
+use leqa::Estimator;
+use leqa_fabric::{FabricDims, PhysicalParams};
+
+use super::load_qodg;
+use crate::{CliError, Options};
+
+/// Estimates the circuit on each `--sizes` square fabric and reports the
+/// latency-optimal size (Algorithm 1's stated use case).
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let (label, qodg) = load_qodg(opts)?;
+    writeln!(
+        out,
+        "{label}: fabric-size sweep ({} qubits, {} ops)",
+        qodg.num_qubits(),
+        qodg.op_count()
+    )?;
+    writeln!(
+        out,
+        "{:>9} {:>12} {:>14}",
+        "fabric", "L_CNOT(µs)", "latency(s)"
+    )?;
+
+    let params = PhysicalParams::dac13();
+    let mut best: Option<(u32, f64)> = None;
+    for &side in &opts.sizes {
+        let dims = match FabricDims::new(side, side) {
+            Ok(d) => d,
+            Err(e) => return Err(CliError::Usage(e.to_string())),
+        };
+        if (qodg.num_qubits() as u64) > dims.area() {
+            writeln!(out, "{side:>6}x{side:<2} (too small)")?;
+            continue;
+        }
+        let estimate = Estimator::new(dims, params.clone()).estimate(&qodg)?;
+        let latency = estimate.latency.as_secs();
+        writeln!(
+            out,
+            "{side:>6}x{side:<2} {:>12.1} {:>14.6}",
+            estimate.l_cnot_avg.as_f64(),
+            latency
+        )?;
+        if best.is_none_or(|(_, l)| latency < l) {
+            best = Some((side, latency));
+        }
+    }
+    if let Some((side, latency)) = best {
+        writeln!(out, "optimal: {side}x{side} at {latency:.6} s")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn sweep_reports_optimum() {
+        let mut opts = bench_opts("8bitadder");
+        opts.sizes = vec![10, 20, 60];
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("optimal:"));
+        assert!(text.contains("10x10"));
+    }
+
+    #[test]
+    fn undersized_fabrics_are_skipped() {
+        let mut opts = bench_opts("ham15"); // 146 qubits
+        opts.sizes = vec![10, 60];
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("too small"));
+        assert!(text.contains("optimal: 60x60"));
+    }
+}

@@ -1,0 +1,45 @@
+//! `leqa zones` — print the per-qubit presence-zone report.
+
+use std::io::Write;
+
+use leqa::report::{format_report, zone_report};
+use leqa_fabric::PhysicalParams;
+
+use super::{header, load_qodg};
+use crate::{CliError, Options};
+
+/// Prints the per-qubit model quantities (`M_i`, strength, `B_i`, `E[l_ham,i]`,
+/// `d_uncong,i`), strongest qubits first. `--trace N` bounds the row count
+/// (default 20).
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let (label, qodg) = load_qodg(opts)?;
+    header(out, &label, &qodg, opts)?;
+    let params = PhysicalParams::dac13();
+    let report = zone_report(&qodg, params.qubit_speed());
+    let limit = if opts.trace > 0 { opts.trace } else { 20 };
+    out.write_all(format_report(&report, limit).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::{bench_opts, capture};
+
+    #[test]
+    fn prints_zone_rows() {
+        let opts = bench_opts("gf2^16mult");
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains("B_i"));
+        assert!(text.contains("d_uncong"));
+    }
+
+    #[test]
+    fn trace_limits_rows() {
+        let mut opts = bench_opts("gf2^16mult");
+        opts.trace = 2;
+        let text = capture(|out| run(&opts, out));
+        // header line of the program + table header + 2 rows
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Library backing the `leqa` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; everything else lives here
+//! so the argument parser and each subcommand are unit-testable. Output is
+//! written to a caller-supplied [`Write`](std::io::Write), never directly
+//! to stdout.
+//!
+//! ```text
+//! leqa estimate <circuit.qc> [--fabric AxB] [--terms N] [--rounding ceil|floor|round]
+//! leqa map      <circuit.qc> [--fabric AxB] [--placement cluster|rowmajor|random] [--router xy|yx|adaptive] [--trace N]
+//! leqa compare  <circuit.qc> | --bench NAME  [--fabric AxB]
+//! leqa suite    [--filter SUBSTR] [--fabric AxB]
+//! leqa sweep    <circuit.qc> --sizes 20,40,60 [...]
+//! leqa gen      --bench NAME
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+pub use args::{CliError, Command, Options};
+
+/// Usage text printed by `leqa help` and on argument errors.
+pub const USAGE: &str = "\
+leqa — latency estimation for quantum algorithms (DAC'13 reproduction)
+
+USAGE:
+  leqa estimate <circuit.qc> [--fabric AxB] [--terms N] [--rounding ceil|floor|round]
+  leqa map      <circuit.qc> [--fabric AxB] [--placement cluster|rowmajor|random] [--router xy|yx|adaptive] [--trace N]
+  leqa compare  (<circuit.qc> | --bench NAME) [--fabric AxB]
+  leqa suite    [--filter SUBSTR] [--fabric AxB]
+  leqa sweep    <circuit.qc> --sizes 20,40,60 [--fabric ignored]
+  leqa gen      --bench NAME
+  leqa dot      (<circuit.qc> | --bench NAME) [--graph qodg|iig]
+  leqa zones    (<circuit.qc> | --bench NAME) [--trace N]
+  leqa help
+
+Circuits use the line-based text format shared by LEQA and QSPR
+(`.qubits N`, then one gate per line: h/t/tdg/s/sdg/x/y/z/cnot/toffoli/
+fredkin/mct/mcf). Fabric defaults to the paper's 60x60; physical
+parameters are Table 1's ion-trap/[[7,1,3]] values.
+";
+
+/// Parses `argv` (without the program name) and executes the command,
+/// writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments, unreadable files, parse
+/// failures, or programs that do not fit the fabric. The caller maps this
+/// to an exit code.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let command = args::parse(argv)?;
+    match command {
+        Command::Help => {
+            out.write_all(USAGE.as_bytes()).map_err(CliError::from)?;
+            Ok(())
+        }
+        Command::Estimate(opts) => commands::estimate::run(&opts, out),
+        Command::Map(opts) => commands::map::run(&opts, out),
+        Command::Compare(opts) => commands::compare::run(&opts, out),
+        Command::Suite(opts) => commands::suite::run(&opts, out),
+        Command::Sweep(opts) => commands::sweep::run(&opts, out),
+        Command::Gen(opts) => commands::gen::run(&opts, out),
+        Command::Dot(opts, graph) => commands::dot::run(&opts, graph, out),
+        Command::Zones(opts) => commands::zones::run(&opts, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = Vec::new();
+        run(&["help".to_string()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("estimate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut out = Vec::new();
+        let err = run(&["frobnicate".to_string()], &mut out).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn no_command_errors() {
+        let mut out = Vec::new();
+        assert!(run(&[], &mut out).is_err());
+    }
+}

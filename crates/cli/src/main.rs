@@ -1,0 +1,19 @@
+//! The `leqa` command-line tool. All logic lives in [`leqa_cli`]; this
+//! binary only collects arguments and maps errors to exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match leqa_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            if matches!(err, leqa_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", leqa_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Process-level integration tests of the `leqa` binary: real argv, real
+//! exit codes, real stdout/stderr.
+
+use std::process::Command;
+
+fn leqa(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_leqa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = leqa(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage_on_stderr() {
+    let out = leqa(&["bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn estimate_bench_end_to_end() {
+    let out = leqa(&["estimate", "--bench", "8bitadder"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("estimated latency"));
+}
+
+#[test]
+fn estimate_from_file_end_to_end() {
+    let dir = std::env::temp_dir().join("leqa-cli-proc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.qc");
+    std::fs::write(&path, ".qubits 2\ncnot 0 1\nh 0\n").unwrap();
+    let out = leqa(&["compare", path.to_str().unwrap(), "--fabric", "8x8"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("absolute error"));
+}
+
+#[test]
+fn missing_file_reports_io_error() {
+    let out = leqa(&["estimate", "/nonexistent/path.qc"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("io error"));
+}
+
+#[test]
+fn gen_pipes_reparseable_text() {
+    let out = leqa(&["gen", "--bench", "hwb15ps"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with(".name hwb15ps"));
+    assert!(leqa_circuit::parser::parse(&text).is_ok());
+}
+
+#[test]
+fn oversized_program_reports_mapping_error() {
+    let out = leqa(&["map", "--bench", "ham15", "--fabric", "5x5"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot be placed"));
+}

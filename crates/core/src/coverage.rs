@@ -1,0 +1,292 @@
+//! Coverage statistics of randomly placed presence zones (Eqs. 4–5,
+//! Fig. 4).
+//!
+//! With the placement unknown a priori, zones are assumed placed uniformly
+//! and independently on the fabric. [`CoverageTable`] holds `P_{x,y}` — the
+//! probability that a zone of side `⌈√B⌉` covers the ULB at `(x, y)` — and
+//! [`CoverageTable::expected_surfaces`] evaluates
+//! `E[S_q] = C(Q,q) · Σ_{x,y} P_{x,y}^q (1 − P_{x,y})^{Q−q}` (Eq. 4),
+//! truncated to the first [`DEFAULT_MAX_TERMS`] values of `q` as the paper
+//! does for speed.
+//!
+//! Numerics: the binomial coefficient uses the paper's constant-time
+//! recurrence (Eq. 18) carried in log space, and the powers are evaluated as
+//! `exp(q·ln P + (Q−q)·ln(1−P))` so that large `Q` neither under- nor
+//! overflows.
+
+use leqa_fabric::FabricDims;
+
+/// The paper evaluates only the first 20 terms of `E[S_q]` (§3.1).
+pub const DEFAULT_MAX_TERMS: usize = 20;
+
+/// How to turn the (generally irrational) zone side `√B` into the integer
+/// side length used by Eq. 5. The paper's typography is ambiguous between
+/// floor and ceiling; the estimator defaults to [`Ceil`](Self::Ceil) and the
+/// `ablation_zone_side` bench quantifies the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZoneRounding {
+    /// `⌈√B⌉` (default).
+    #[default]
+    Ceil,
+    /// `⌊√B⌋`.
+    Floor,
+    /// Nearest integer.
+    Round,
+}
+
+impl ZoneRounding {
+    /// Applies the rounding to a zone area, clamping to at least 1.
+    pub fn side_of(self, area: f64) -> u32 {
+        let side = area.max(0.0).sqrt();
+        let side = match self {
+            ZoneRounding::Ceil => side.ceil(),
+            ZoneRounding::Floor => side.floor(),
+            ZoneRounding::Round => side.round(),
+        };
+        (side as u32).max(1)
+    }
+}
+
+/// The `P_{x,y}` table for one fabric and zone size (Eq. 5).
+#[derive(Debug, Clone)]
+pub struct CoverageTable {
+    dims: FabricDims,
+    side: u32,
+    p: Vec<f64>,
+}
+
+impl CoverageTable {
+    /// Computes `P_{x,y}` for every ULB of `dims`, for zones of average area
+    /// `avg_zone_area` rounded to an integer side by `rounding`.
+    ///
+    /// The zone side is clamped to the fabric's smaller dimension so the
+    /// placement count in Eq. 5's denominator stays positive (a zone larger
+    /// than the fabric covers everything).
+    ///
+    /// Runs in `O(A)` (Algorithm 1, lines 9–13).
+    pub fn new(dims: FabricDims, avg_zone_area: f64, rounding: ZoneRounding) -> Self {
+        let side = rounding
+            .side_of(avg_zone_area)
+            .min(dims.width())
+            .min(dims.height());
+        let a = dims.width() as u64;
+        let b = dims.height() as u64;
+        let s = side as u64;
+        let placements = ((a - s + 1) * (b - s + 1)) as f64;
+
+        let mut p = Vec::with_capacity(dims.area() as usize);
+        // The paper's x, y are 1-based (Eq. 5); iterate that way.
+        for y in 1..=b {
+            for x in 1..=a {
+                let covers_x = x.min(a - x + 1).min(s).min(a - s + 1) as f64;
+                let covers_y = y.min(b - y + 1).min(s).min(b - s + 1) as f64;
+                p.push(covers_x * covers_y / placements);
+            }
+        }
+        CoverageTable { dims, side, p }
+    }
+
+    /// The integer zone side actually used.
+    #[inline]
+    pub fn zone_side(&self) -> u32 {
+        self.side
+    }
+
+    /// The fabric this table was computed for.
+    #[inline]
+    pub fn dims(&self) -> FabricDims {
+        self.dims
+    }
+
+    /// `P_{x,y}` with the paper's 1-based coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`/`y` are 0 or exceed the fabric.
+    pub fn p(&self, x: u32, y: u32) -> f64 {
+        assert!(x >= 1 && x <= self.dims.width(), "x out of range");
+        assert!(y >= 1 && y <= self.dims.height(), "y out of range");
+        self.p[((y - 1) as usize) * self.dims.width() as usize + (x - 1) as usize]
+    }
+
+    /// All probabilities, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// `E[S_q]` for `q = 1 ..= min(max_terms, qubits)` (Eq. 4); entry `k`
+    /// of the result is `E[S_{k+1}]`.
+    ///
+    /// `qubits` is the paper's `Q`, the number of presence zones dropped on
+    /// the fabric. Runs in `O(terms · A)` plus `O(log Q)` per binomial
+    /// update — the `O(Q·A·log Q)` of Eq. 17 when `max_terms = Q`.
+    pub fn expected_surfaces(&self, qubits: u64, max_terms: usize) -> Vec<f64> {
+        let terms = (max_terms as u64).min(qubits) as usize;
+        let mut out = Vec::with_capacity(terms);
+        let q_total = qubits as f64;
+        // ln C(Q, q) by the recurrence ln C(Q,q) = ln C(Q,q-1) + ln((Q-q+1)/q).
+        let mut ln_choose = 0.0f64;
+        for q in 1..=terms as u64 {
+            ln_choose += ((q_total - q as f64 + 1.0) / q as f64).ln();
+            let qf = q as f64;
+            let rest = q_total - qf;
+            let mut sum = 0.0;
+            for &p in &self.p {
+                if p >= 1.0 {
+                    // A zone as large as the fabric covers this ULB surely,
+                    // so the ULB is covered by exactly Q zones: probability
+                    // mass 1 at q == Q, zero elsewhere.
+                    if q == qubits {
+                        sum += 1.0;
+                    }
+                    continue;
+                }
+                let ln_term = qf * p.ln() + rest * (-p).ln_1p();
+                sum += (ln_choose + ln_term).exp();
+            }
+            out.push(sum);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dims(a: u32, b: u32) -> FabricDims {
+        FabricDims::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn rounding_modes() {
+        assert_eq!(ZoneRounding::Ceil.side_of(2.0), 2); // √2 ≈ 1.41 → 2
+        assert_eq!(ZoneRounding::Floor.side_of(2.0), 1);
+        assert_eq!(ZoneRounding::Round.side_of(2.0), 1);
+        assert_eq!(ZoneRounding::Ceil.side_of(9.0), 3);
+        assert_eq!(ZoneRounding::Floor.side_of(0.0), 1); // clamped
+    }
+
+    #[test]
+    fn unit_zone_covers_each_ulb_uniformly() {
+        // Side-1 zone: every ULB is covered iff the zone lands exactly on
+        // it → P = 1/A everywhere.
+        let d = dims(4, 5);
+        let t = CoverageTable::new(d, 1.0, ZoneRounding::Ceil);
+        assert_eq!(t.zone_side(), 1);
+        for &p in t.as_slice() {
+            assert!((p - 1.0 / 20.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fabric_sized_zone_covers_everything() {
+        let d = dims(3, 3);
+        let t = CoverageTable::new(d, 9.0, ZoneRounding::Ceil);
+        assert_eq!(t.zone_side(), 3);
+        for &p in t.as_slice() {
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn center_more_covered_than_corner() {
+        let d = dims(9, 9);
+        let t = CoverageTable::new(d, 9.0, ZoneRounding::Ceil); // side 3
+        assert!(t.p(5, 5) > t.p(1, 1));
+        // Corner: only 1 of the 7×7 placements covers it.
+        assert!((t.p(1, 1) - 1.0 / 49.0).abs() < 1e-12);
+        // Center: 3×3 placements cover it.
+        assert!((t.p(5, 5) - 9.0 / 49.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_is_symmetric() {
+        let d = dims(8, 6);
+        let t = CoverageTable::new(d, 4.0, ZoneRounding::Ceil);
+        for y in 1..=6u32 {
+            for x in 1..=8u32 {
+                let mirror_x = 8 - x + 1;
+                let mirror_y = 6 - y + 1;
+                assert!((t.p(x, y) - t.p(mirror_x, y)).abs() < 1e-12);
+                assert!((t.p(x, y) - t.p(x, mirror_y)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_coverage_equals_zone_area_over_placements() {
+        // Σ_{x,y} P_{x,y} = s² (each placement covers s² ULBs, every
+        // placement equally likely).
+        let d = dims(10, 7);
+        let t = CoverageTable::new(d, 9.0, ZoneRounding::Ceil);
+        let total: f64 = t.as_slice().iter().sum();
+        assert!((total - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn esq_sums_to_covered_area() {
+        // Σ_{q=0}^{Q} E[S_q] = A (Eq. 3); the q ≥ 1 part is A − E[S_0].
+        let d = dims(6, 6);
+        let t = CoverageTable::new(d, 4.0, ZoneRounding::Ceil);
+        let qubits = 8u64;
+        let esq = t.expected_surfaces(qubits, qubits as usize);
+        let e_s0: f64 = t
+            .as_slice()
+            .iter()
+            .map(|&p| (1.0 - p).powi(qubits as i32))
+            .sum();
+        let total: f64 = esq.iter().sum();
+        assert!(
+            (total + e_s0 - d.area() as f64).abs() < 1e-6,
+            "Σ E[S_q] = {total}, E[S_0] = {e_s0}, A = {}",
+            d.area()
+        );
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let d = dims(6, 6);
+        let t = CoverageTable::new(d, 4.0, ZoneRounding::Ceil);
+        let full = t.expected_surfaces(30, 30);
+        let truncated = t.expected_surfaces(30, 5);
+        assert_eq!(truncated.len(), 5);
+        for (a, b) in truncated.iter().zip(full.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn terms_clamped_to_qubit_count() {
+        let d = dims(4, 4);
+        let t = CoverageTable::new(d, 2.0, ZoneRounding::Ceil);
+        assert_eq!(t.expected_surfaces(3, 20).len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn probabilities_are_valid(
+            a in 2u32..24, b in 2u32..24, area in 1.0f64..100.0
+        ) {
+            let t = CoverageTable::new(dims(a, b), area, ZoneRounding::Ceil);
+            for &p in t.as_slice() {
+                prop_assert!(p > 0.0 && p <= 1.0 + 1e-12);
+            }
+        }
+
+        #[test]
+        fn esq_values_are_nonnegative_and_bounded_by_area(
+            a in 2u32..16, b in 2u32..16, area in 1.0f64..36.0, qubits in 1u64..40
+        ) {
+            let d = dims(a, b);
+            let t = CoverageTable::new(d, area, ZoneRounding::Ceil);
+            let esq = t.expected_surfaces(qubits, 20);
+            for &e in &esq {
+                prop_assert!(e >= 0.0);
+                prop_assert!(e <= d.area() as f64 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the estimator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Estimator::estimate`](crate::Estimator::estimate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// The circuit uses more logical qubits than the fabric has ULBs, so no
+    /// placement exists and neither does a meaningful estimate.
+    FabricTooSmall {
+        /// Logical qubits in the program.
+        qubits: u64,
+        /// ULBs on the fabric.
+        area: u64,
+    },
+    /// An estimator option was out of its valid range.
+    InvalidOption {
+        /// Name of the offending option.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::FabricTooSmall { qubits, area } => write!(
+                f,
+                "{qubits} logical qubits cannot be placed on a {area}-ulb fabric"
+            ),
+            EstimateError::InvalidOption { name } => {
+                write!(f, "estimator option `{name}` is invalid")
+            }
+        }
+    }
+}
+
+impl Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            EstimateError::FabricTooSmall {
+                qubits: 100,
+                area: 16
+            }
+            .to_string(),
+            "100 logical qubits cannot be placed on a 16-ulb fabric"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EstimateError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! Algorithm 1: the end-to-end LEQA estimator.
+
+use leqa_circuit::FtOp;
+use leqa_circuit::{CriticalPath, Iig, Qodg, QodgNode};
+use leqa_fabric::{FabricDims, Micros, OneQubitKind, PhysicalParams};
+
+pub use crate::coverage::ZoneRounding;
+use crate::coverage::{CoverageTable, DEFAULT_MAX_TERMS};
+use crate::{presence, queue, tsp, EstimateError};
+
+/// Tunables of the estimation procedure.
+///
+/// The defaults follow the paper: 20 `E[S_q]` terms, the routing-latency-
+/// aware critical path of Algorithm 1 line 19, and ceiling rounding for the
+/// zone side (where the paper's typography is ambiguous).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorOptions {
+    /// Number of `E[S_q]` terms to evaluate (the paper uses 20; §3.1).
+    pub max_esq_terms: usize,
+    /// Integer rounding of the zone side `√B` in Eq. 5.
+    pub zone_rounding: ZoneRounding,
+    /// Whether to add the routing latencies to the node delays before the
+    /// critical-path pass (Algorithm 1 line 19). Disabling this reproduces
+    /// the naive estimate the paper argues against; it exists for the
+    /// `ablation_critpath` bench.
+    pub update_critical_path: bool,
+}
+
+impl Default for EstimatorOptions {
+    fn default() -> Self {
+        EstimatorOptions {
+            max_esq_terms: DEFAULT_MAX_TERMS,
+            zone_rounding: ZoneRounding::default(),
+            update_critical_path: true,
+        }
+    }
+}
+
+/// The LEQA estimator for one fabric and parameter set.
+///
+/// See the [crate docs](crate) for a full example.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    dims: FabricDims,
+    params: PhysicalParams,
+    options: EstimatorOptions,
+}
+
+impl Estimator {
+    /// Creates an estimator with the paper's default options.
+    pub fn new(dims: FabricDims, params: PhysicalParams) -> Self {
+        Estimator {
+            dims,
+            params,
+            options: EstimatorOptions::default(),
+        }
+    }
+
+    /// Creates an estimator with explicit options.
+    pub fn with_options(
+        dims: FabricDims,
+        params: PhysicalParams,
+        options: EstimatorOptions,
+    ) -> Self {
+        Estimator {
+            dims,
+            params,
+            options,
+        }
+    }
+
+    /// The fabric dimensions in use.
+    pub fn dims(&self) -> FabricDims {
+        self.dims
+    }
+
+    /// The physical parameters in use.
+    pub fn params(&self) -> &PhysicalParams {
+        &self.params
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &EstimatorOptions {
+        &self.options
+    }
+
+    /// Runs Algorithm 1 on a QODG and returns the latency estimate with all
+    /// intermediate quantities (C-INTERMEDIATE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::FabricTooSmall`] if the program uses more
+    /// logical qubits than the fabric has ULBs, and
+    /// [`EstimateError::InvalidOption`] if `max_esq_terms` is zero.
+    pub fn estimate(&self, qodg: &Qodg) -> Result<Estimate, EstimateError> {
+        if self.options.max_esq_terms == 0 {
+            return Err(EstimateError::InvalidOption {
+                name: "max_esq_terms",
+            });
+        }
+        let qubit_count = qodg.num_qubits() as u64;
+        if qubit_count > self.dims.area() {
+            return Err(EstimateError::FabricTooSmall {
+                qubits: qubit_count,
+                area: self.dims.area(),
+            });
+        }
+
+        // Line 1: the IIG.
+        let iig = Iig::from_qodg(qodg);
+        // Lines 2–3: presence zones.
+        let avg_zone_area = presence::average_zone_area(&iig);
+
+        let (l_cnot_avg, d_uncong, esq, zone_side) = match avg_zone_area {
+            // No two-qubit ops at all: no CNOT routing exists.
+            None => (Micros::ZERO, Micros::ZERO, Vec::new(), 0),
+            Some(b) => {
+                // Lines 4–8: d_uncong.
+                let d_uncong = tsp::uncongested_delay(&iig, self.params.qubit_speed())
+                    .expect("interactions exist, so the average is defined");
+                // Lines 9–13: the P_{x,y} table.
+                let table = CoverageTable::new(self.dims, b, self.options.zone_rounding);
+                // Lines 14–17: E[S_q] and d_q.
+                let esq = table.expected_surfaces(qubit_count, self.options.max_esq_terms);
+                // Line 18: L_CNOT^avg (Eq. 2).
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (k, &e) in esq.iter().enumerate() {
+                    let q = (k + 1) as u64;
+                    let d_q = queue::routing_delay(q, self.params.channel_capacity(), d_uncong);
+                    num += e * d_q.as_f64();
+                    den += e;
+                }
+                let l = if den > 0.0 {
+                    Micros::new(num / den)
+                } else {
+                    Micros::ZERO
+                };
+                (l, d_uncong, esq, table.zone_side())
+            }
+        };
+
+        let l_one_qubit_avg = self.params.one_qubit_routing_latency();
+        let delays = *self.params.gate_delays();
+
+        // Line 19: critical path, with or without the routing update.
+        let include_routing = self.options.update_critical_path;
+        let critical = qodg.critical_path(|node| match node {
+            QodgNode::Op(FtOp::Cnot { .. }) => {
+                delays.cnot()
+                    + if include_routing {
+                        l_cnot_avg
+                    } else {
+                        Micros::ZERO
+                    }
+            }
+            QodgNode::Op(FtOp::OneQubit { kind, .. }) => {
+                delays.one_qubit(*kind)
+                    + if include_routing {
+                        l_one_qubit_avg
+                    } else {
+                        Micros::ZERO
+                    }
+            }
+            _ => Micros::ZERO,
+        });
+
+        // Line 20: Eq. 1 from the critical-path census. When the critical
+        // path already includes the routing latencies this equals its
+        // length; the explicit form also covers the ablation variant.
+        let mut latency = (delays.cnot() + l_cnot_avg) * critical.cnot_count as f64;
+        for kind in OneQubitKind::ALL {
+            let n = critical.one_qubit_counts[kind.index()] as f64;
+            latency += (delays.one_qubit(kind) + l_one_qubit_avg) * n;
+        }
+
+        Ok(Estimate {
+            latency,
+            l_cnot_avg,
+            l_one_qubit_avg,
+            d_uncong,
+            avg_zone_area: avg_zone_area.unwrap_or(0.0),
+            zone_side,
+            esq,
+            critical,
+            qubit_count,
+        })
+    }
+}
+
+/// The output of Algorithm 1, with every intermediate the paper names.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// `D` (Eq. 1): the estimated program latency.
+    pub latency: Micros,
+    /// `L_CNOT^avg` (Eq. 2): average CNOT routing latency.
+    pub l_cnot_avg: Micros,
+    /// `L_g^avg = 2·T_move`: average one-qubit-op routing latency.
+    pub l_one_qubit_avg: Micros,
+    /// `d_uncong` (Eq. 12): average uncongested routing latency.
+    pub d_uncong: Micros,
+    /// `B` (Eq. 7): average presence-zone area (0 when no CNOTs exist).
+    pub avg_zone_area: f64,
+    /// The integer zone side used in Eq. 5 (0 when no CNOTs exist).
+    pub zone_side: u32,
+    /// `E[S_q]` for `q = 1..` (Eq. 4), truncated per the options.
+    pub esq: Vec<f64>,
+    /// The routing-aware critical path (Algorithm 1 line 19) and its
+    /// op-type census (`N^critical` of Eq. 1).
+    pub critical: CriticalPath,
+    /// `Q`: logical qubits in the program.
+    pub qubit_count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::{decompose::lower_to_ft, Circuit, FtCircuit, Gate, QubitId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn small_qodg() -> Qodg {
+        let mut c = Circuit::new(3);
+        c.push(Gate::toffoli(q(0), q(1), q(2)).unwrap()).unwrap();
+        c.push(Gate::cnot(q(0), q(2)).unwrap()).unwrap();
+        let ft = lower_to_ft(&c).unwrap();
+        Qodg::from_ft_circuit(&ft)
+    }
+
+    fn dac13_estimator() -> Estimator {
+        Estimator::new(FabricDims::dac13(), PhysicalParams::dac13())
+    }
+
+    #[test]
+    fn estimate_is_positive_and_consistent() {
+        let est = dac13_estimator().estimate(&small_qodg()).unwrap();
+        assert!(est.latency.as_f64() > 0.0);
+        // With the routing update on, Eq. 1 equals the critical-path length.
+        assert!(
+            (est.latency.as_f64() - est.critical.length.as_f64()).abs() < 1e-6,
+            "Eq. 1 must equal the routing-aware critical path"
+        );
+    }
+
+    #[test]
+    fn one_qubit_only_circuit_has_no_cnot_latency() {
+        let mut ft = FtCircuit::new(2);
+        ft.push_one_qubit(OneQubitKind::H, q(0)).unwrap();
+        ft.push_one_qubit(OneQubitKind::T, q(1)).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let est = dac13_estimator().estimate(&qodg).unwrap();
+        assert_eq!(est.l_cnot_avg, Micros::ZERO);
+        assert_eq!(est.avg_zone_area, 0.0);
+        assert!(est.esq.is_empty());
+        // Critical path = the slower single op + its routing.
+        assert_eq!(est.latency.as_f64(), 10940.0 + 200.0);
+    }
+
+    #[test]
+    fn empty_program_estimates_zero() {
+        let ft = FtCircuit::new(1);
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let est = dac13_estimator().estimate(&qodg).unwrap();
+        assert_eq!(est.latency, Micros::ZERO);
+    }
+
+    #[test]
+    fn fabric_too_small_is_an_error() {
+        let dims = FabricDims::new(2, 2).unwrap();
+        let estimator = Estimator::new(dims, PhysicalParams::dac13());
+        let mut ft = FtCircuit::new(5);
+        ft.push_cnot(q(0), q(1)).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        assert!(matches!(
+            estimator.estimate(&qodg),
+            Err(EstimateError::FabricTooSmall { qubits: 5, area: 4 })
+        ));
+    }
+
+    #[test]
+    fn zero_terms_is_an_error() {
+        let options = EstimatorOptions {
+            max_esq_terms: 0,
+            ..Default::default()
+        };
+        let estimator =
+            Estimator::with_options(FabricDims::dac13(), PhysicalParams::dac13(), options);
+        assert!(matches!(
+            estimator.estimate(&small_qodg()),
+            Err(EstimateError::InvalidOption {
+                name: "max_esq_terms"
+            })
+        ));
+    }
+
+    #[test]
+    fn routing_update_never_shortens_the_estimate() {
+        let qodg = small_qodg();
+        let with = dac13_estimator().estimate(&qodg).unwrap();
+        let without = Estimator::with_options(
+            FabricDims::dac13(),
+            PhysicalParams::dac13(),
+            EstimatorOptions {
+                update_critical_path: false,
+                ..Default::default()
+            },
+        )
+        .estimate(&qodg)
+        .unwrap();
+        assert!(with.latency.as_f64() >= without.latency.as_f64() - 1e-9);
+    }
+
+    #[test]
+    fn smaller_fabric_means_more_congestion() {
+        // Build a circuit with heavy interaction so zones overlap more on a
+        // smaller fabric, raising L_CNOT^avg.
+        let mut ft = FtCircuit::new(24);
+        for i in 0..24u32 {
+            for j in (i + 1)..24 {
+                ft.push_cnot(q(i), q(j)).unwrap();
+            }
+        }
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let small = Estimator::new(FabricDims::new(6, 6).unwrap(), PhysicalParams::dac13())
+            .estimate(&qodg)
+            .unwrap();
+        let large = Estimator::new(FabricDims::new(60, 60).unwrap(), PhysicalParams::dac13())
+            .estimate(&qodg)
+            .unwrap();
+        assert!(
+            small.l_cnot_avg.as_f64() > large.l_cnot_avg.as_f64(),
+            "small fabric {} vs large {}",
+            small.l_cnot_avg,
+            large.l_cnot_avg
+        );
+    }
+
+    #[test]
+    fn esq_terms_truncate() {
+        let mut ft = FtCircuit::new(40);
+        for i in 0..39u32 {
+            ft.push_cnot(q(i), q(i + 1)).unwrap();
+        }
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let est = dac13_estimator().estimate(&qodg).unwrap();
+        assert_eq!(est.esq.len(), 20);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = dac13_estimator();
+        assert_eq!(e.dims().area(), 3600);
+        assert_eq!(e.params().channel_capacity(), 5);
+        assert_eq!(e.options().max_esq_terms, 20);
+    }
+}

@@ -1,0 +1,121 @@
+//! Presence zones (§3.1, Eqs. 6–7).
+//!
+//! Each logical qubit `n_i` is assumed to perform most of its interactions
+//! inside a hypothetical square *presence zone* holding itself and its
+//! `M_i = deg(n_i)` IIG neighbours: `B_i = √(M_i+1) × √(M_i+1) = M_i + 1`
+//! (Eq. 6). The fabric-wide average zone area `B` weights each `B_i` by the
+//! qubit's interaction strength `Σ_j w(e_ij)` (Eq. 7), so busy qubits
+//! dominate.
+
+use leqa_circuit::{Iig, QubitId};
+
+/// The presence-zone area of a qubit with `m` IIG neighbours (Eq. 6):
+/// `B_i = M_i + 1` (the `+1` accounts for the qubit itself).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(leqa::presence::zone_area(5), 6.0);
+/// assert_eq!(leqa::presence::zone_area(0), 1.0);
+/// ```
+#[inline]
+pub fn zone_area(m: u64) -> f64 {
+    (m + 1) as f64
+}
+
+/// The average presence-zone area `B` (Eq. 7): the interaction-strength-
+/// weighted mean of the `B_i`.
+///
+/// Returns `None` when the circuit has no two-qubit operations at all
+/// (every weight is zero), in which case no CNOT routing latency exists to
+/// estimate.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::{FtCircuit, Iig, QubitId};
+///
+/// # fn main() -> Result<(), leqa_circuit::CircuitError> {
+/// let mut ft = FtCircuit::new(3);
+/// ft.push_cnot(QubitId(0), QubitId(1))?;
+/// let iig = Iig::from_ft_circuit(&ft);
+/// // Both interacting qubits have M=1 → B_i = 2 → B = 2.
+/// assert_eq!(leqa::presence::average_zone_area(&iig), Some(2.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn average_zone_area(iig: &Iig) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..iig.num_qubits() {
+        let q = QubitId(i);
+        let strength = iig.strength(q) as f64;
+        if strength > 0.0 {
+            num += strength * zone_area(iig.degree(q));
+            den += strength;
+        }
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::FtCircuit;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn zone_area_matches_eq6() {
+        for m in 0..50u64 {
+            let side = ((m + 1) as f64).sqrt();
+            assert!((zone_area(m) - side * side).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_is_weighted_by_strength() {
+        // q0–q1 interact 3×, q1–q2 once.
+        let mut ft = FtCircuit::new(3);
+        for _ in 0..3 {
+            ft.push_cnot(q(0), q(1)).unwrap();
+        }
+        ft.push_cnot(q(1), q(2)).unwrap();
+        let iig = Iig::from_ft_circuit(&ft);
+        // M0=1 (B=2, s=3), M1=2 (B=3, s=4), M2=1 (B=2, s=1)
+        let expected = (3.0 * 2.0 + 4.0 * 3.0 + 1.0 * 2.0) / (3.0 + 4.0 + 1.0);
+        assert!((average_zone_area(&iig).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_interactions_yields_none() {
+        let ft = FtCircuit::new(4);
+        let iig = Iig::from_ft_circuit(&ft);
+        assert_eq!(average_zone_area(&iig), None);
+    }
+
+    #[test]
+    fn single_pair_average_is_two() {
+        let mut ft = FtCircuit::new(2);
+        ft.push_cnot(q(0), q(1)).unwrap();
+        let iig = Iig::from_ft_circuit(&ft);
+        assert_eq!(average_zone_area(&iig), Some(2.0));
+    }
+
+    #[test]
+    fn average_between_min_and_max_zone() {
+        // A hub: q0 interacts with q1..q5 once each.
+        let mut ft = FtCircuit::new(6);
+        for i in 1..6 {
+            ft.push_cnot(q(0), q(i)).unwrap();
+        }
+        let iig = Iig::from_ft_circuit(&ft);
+        let b = average_zone_area(&iig).unwrap();
+        // Spokes have B=2, the hub has B=6.
+        assert!(b > 2.0 && b < 6.0);
+        // Hub weight 5, each spoke weight 1: (5*6 + 5*1*2)/10 = 4.
+        assert!((b - 4.0).abs() < 1e-12);
+    }
+}

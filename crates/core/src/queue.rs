@@ -1,0 +1,130 @@
+//! The M/M/1 channel-congestion model (§3.1, Eqs. 8–11, Fig. 5).
+//!
+//! A routing channel is *uncongested* while at most `N_c` qubits inhabit it;
+//! such qubits pass with the minimum delay `d_uncong`. Beyond `N_c` the
+//! qubits pipeline through the channel, modelled as an M/M/1/∞ queue with
+//! Poisson arrivals (rate `λ`) and exponential service (rate
+//! `µ = N_c / d_uncong`). Setting the average queue length to `q` and
+//! applying Little's formula yields the congested per-qubit delay
+//! `W_avg = (1 + q) · d_uncong / N_c` (Eq. 11), giving the piecewise
+//! routing-delay law `d_q` of Eq. 8.
+
+use leqa_fabric::Micros;
+
+/// `d_q` (Eq. 8): the average routing latency of a qubit in an average-size
+/// presence zone when the local channel population is `q`.
+///
+/// # Examples
+///
+/// ```
+/// use leqa::queue::routing_delay;
+/// use leqa_fabric::Micros;
+///
+/// let d = Micros::new(1000.0);
+/// // Below capacity: the uncongested latency.
+/// assert_eq!(routing_delay(3, 5, d), d);
+/// assert_eq!(routing_delay(5, 5, d), d);
+/// // Above capacity: (1 + q)/N_c times it.
+/// assert_eq!(routing_delay(9, 5, d), Micros::new(2000.0));
+/// ```
+pub fn routing_delay(q: u64, channel_capacity: u32, d_uncong: Micros) -> Micros {
+    if q <= channel_capacity as u64 {
+        d_uncong
+    } else {
+        d_uncong * ((1 + q) as f64 / channel_capacity as f64)
+    }
+}
+
+/// The arrival rate `λ` implied by an average queue length of `q`
+/// (Eq. 10): `λ = q·N_c / ((1 + q)·d_uncong)`.
+pub fn arrival_rate(q: u64, channel_capacity: u32, d_uncong: Micros) -> f64 {
+    let q = q as f64;
+    q * channel_capacity as f64 / ((1.0 + q) * d_uncong.as_f64())
+}
+
+/// The service rate `µ = N_c / d_uncong` (§3.1).
+pub fn service_rate(channel_capacity: u32, d_uncong: Micros) -> f64 {
+    channel_capacity as f64 / d_uncong.as_f64()
+}
+
+/// Average waiting time from Little's formula (Eq. 11):
+/// `W_avg = q / λ = (1 + q)·d_uncong / N_c`.
+pub fn average_wait(q: u64, channel_capacity: u32, d_uncong: Micros) -> Micros {
+    d_uncong * ((1 + q) as f64 / channel_capacity as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const D: Micros = Micros::new(800.0);
+
+    #[test]
+    fn uncongested_region_is_flat() {
+        for q in 0..=5 {
+            assert_eq!(routing_delay(q, 5, D), D);
+        }
+    }
+
+    #[test]
+    fn congested_region_grows_linearly() {
+        let d6 = routing_delay(6, 5, D).as_f64();
+        let d7 = routing_delay(7, 5, D).as_f64();
+        let d8 = routing_delay(8, 5, D).as_f64();
+        assert!((d7 - d6 - (d8 - d7)).abs() < 1e-9, "constant slope");
+        assert!((d6 - D.as_f64() * 7.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_length_consistency_with_mm1() {
+        // Eq. 9: l = λ/(µ−λ). Plugging Eq. 10's λ back must recover q.
+        for q in 1..50u64 {
+            let lambda = arrival_rate(q, 5, D);
+            let mu = service_rate(5, D);
+            let l = lambda / (mu - lambda);
+            assert!((l - q as f64).abs() < 1e-9, "q={q}: l={l}");
+        }
+    }
+
+    #[test]
+    fn littles_formula_consistency() {
+        // l = λ·W  ⇒  W = q/λ, which must equal Eq. 11.
+        for q in 1..50u64 {
+            let lambda = arrival_rate(q, 5, D);
+            let w = q as f64 / lambda;
+            assert!((w - average_wait(q, 5, D).as_f64()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stability_lambda_below_mu() {
+        // The implied arrival rate must stay below the service rate for any
+        // finite queue (M/M/1 stability).
+        for q in 0..1000u64 {
+            assert!(arrival_rate(q, 5, D) < service_rate(5, D));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn delay_is_monotone_in_population(
+            q in 0u64..200, nc in 1u32..20, d in 1.0f64..1e5
+        ) {
+            let d = Micros::new(d);
+            let now = routing_delay(q, nc, d).as_f64();
+            let next = routing_delay(q + 1, nc, d).as_f64();
+            prop_assert!(next + 1e-12 >= now);
+        }
+
+        #[test]
+        fn delay_never_below_uncongested(
+            q in 0u64..200, nc in 1u32..20, d in 1.0f64..1e5
+        ) {
+            let d = Micros::new(d);
+            // (1+q)/N_c ≥ 1 whenever q > N_c, so the congested branch only
+            // ever raises the delay.
+            prop_assert!(routing_delay(q, nc, d).as_f64() + 1e-12 >= d.as_f64());
+        }
+    }
+}

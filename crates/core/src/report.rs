@@ -1,0 +1,158 @@
+//! Per-qubit model reports (the quantities of §3.1–3.2, one row per
+//! logical qubit).
+//!
+//! Useful for understanding *why* an estimate came out the way it did:
+//! which qubits dominate `B` and `d_uncong`, and how interaction load is
+//! distributed — the per-qubit view behind Fig. 3's presence-zone
+//! picture.
+
+use leqa_circuit::{Iig, Qodg, QubitId};
+use leqa_fabric::Micros;
+
+use crate::{presence, tsp};
+
+/// The presence-zone model quantities of one logical qubit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QubitZone {
+    /// The qubit.
+    pub qubit: QubitId,
+    /// `M_i`: IIG degree (distinct interaction partners).
+    pub degree: u64,
+    /// `Σ_j w(e_ij)`: total two-qubit ops involving this qubit.
+    pub strength: u64,
+    /// `B_i` (Eq. 6): presence-zone area.
+    pub zone_area: f64,
+    /// `E[l_ham,i]` (Eq. 15): expected intra-zone Hamiltonian path.
+    pub expected_path: f64,
+    /// `d_uncong,i` (Eq. 16): uncongested per-op routing latency.
+    pub uncongested_delay: Micros,
+}
+
+/// Computes the per-qubit zone table for a program.
+///
+/// # Examples
+///
+/// ```
+/// use leqa::report::zone_report;
+/// use leqa_circuit::{FtCircuit, Qodg, QubitId};
+///
+/// # fn main() -> Result<(), leqa_circuit::CircuitError> {
+/// let mut ft = FtCircuit::new(3);
+/// ft.push_cnot(QubitId(0), QubitId(1))?;
+/// ft.push_cnot(QubitId(0), QubitId(2))?;
+/// let qodg = Qodg::from_ft_circuit(&ft);
+///
+/// let report = zone_report(&qodg, 0.001);
+/// assert_eq!(report.len(), 3);
+/// assert_eq!(report[0].degree, 2); // the hub qubit
+/// # Ok(())
+/// # }
+/// ```
+pub fn zone_report(qodg: &Qodg, qubit_speed: f64) -> Vec<QubitZone> {
+    let iig = Iig::from_qodg(qodg);
+    zone_report_from_iig(&iig, qubit_speed)
+}
+
+/// Like [`zone_report`], reusing an already-built IIG.
+pub fn zone_report_from_iig(iig: &Iig, qubit_speed: f64) -> Vec<QubitZone> {
+    (0..iig.num_qubits())
+        .map(|i| {
+            let qubit = QubitId(i);
+            let degree = iig.degree(qubit);
+            QubitZone {
+                qubit,
+                degree,
+                strength: iig.strength(qubit),
+                zone_area: presence::zone_area(degree),
+                expected_path: tsp::expected_hamiltonian_path(degree),
+                uncongested_delay: tsp::uncongested_delay_for(degree, qubit_speed),
+            }
+        })
+        .collect()
+}
+
+/// Renders the report as a fixed-width table, strongest qubits first,
+/// truncated to `limit` rows.
+pub fn format_report(report: &[QubitZone], limit: usize) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<&QubitZone> = report.iter().collect();
+    rows.sort_by_key(|z| std::cmp::Reverse(z.strength));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>5} {:>9} {:>8} {:>10} {:>14}",
+        "qubit", "M_i", "strength", "B_i", "E[l_ham]", "d_uncong(µs)"
+    );
+    for z in rows.into_iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>9} {:>8.1} {:>10.3} {:>14.1}",
+            z.qubit.to_string(),
+            z.degree,
+            z.strength,
+            z.zone_area,
+            z.expected_path,
+            z.uncongested_delay.as_f64()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::FtCircuit;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn star() -> Qodg {
+        let mut ft = FtCircuit::new(5);
+        for i in 1..5 {
+            ft.push_cnot(q(0), q(i)).unwrap();
+        }
+        Qodg::from_ft_circuit(&ft)
+    }
+
+    #[test]
+    fn hub_dominates_the_report() {
+        let report = zone_report(&star(), 0.001);
+        assert_eq!(report.len(), 5);
+        let hub = &report[0];
+        assert_eq!(hub.degree, 4);
+        assert_eq!(hub.strength, 4);
+        assert_eq!(hub.zone_area, 5.0);
+        assert!(hub.uncongested_delay.as_f64() > 0.0);
+        // Spokes: degree 1 → zero path by Eq. 15's (M−1)/M factor.
+        for spoke in &report[1..] {
+            assert_eq!(spoke.degree, 1);
+            assert_eq!(spoke.expected_path, 0.0);
+        }
+    }
+
+    #[test]
+    fn report_is_consistent_with_eq12_average() {
+        // The strength-weighted mean of the report's d_uncong,i must equal
+        // tsp::uncongested_delay.
+        let qodg = star();
+        let iig = Iig::from_qodg(&qodg);
+        let report = zone_report_from_iig(&iig, 0.001);
+        let num: f64 = report
+            .iter()
+            .map(|z| z.strength as f64 * z.uncongested_delay.as_f64())
+            .sum();
+        let den: f64 = report.iter().map(|z| z.strength as f64).sum();
+        let expected = tsp::uncongested_delay(&iig, 0.001).unwrap().as_f64();
+        assert!((num / den - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_sorts_and_truncates() {
+        let report = zone_report(&star(), 0.001);
+        let text = format_report(&report, 2);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+        assert!(lines[1].contains("q0")); // hub first
+    }
+}

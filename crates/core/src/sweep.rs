@@ -1,0 +1,239 @@
+//! Fabric-size exploration: Algorithm 1's stated use case ("this value
+//! can be changed to find the optimal size for the fabric which results
+//! in the minimum delay").
+
+use leqa_circuit::Qodg;
+use leqa_fabric::{FabricDims, PhysicalParams};
+
+use crate::{Estimate, Estimator, EstimatorOptions};
+
+/// Outcome of one fabric-size candidate.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The candidate fabric.
+    pub dims: FabricDims,
+    /// The estimate on that fabric, or `None` when the program does not
+    /// fit (fewer ULBs than logical qubits).
+    pub estimate: Option<Estimate>,
+}
+
+/// Estimates a program across candidate fabrics and returns all points.
+///
+/// Candidates too small for the program yield `estimate: None` rather
+/// than an error, so sweeps can span wide ranges.
+pub fn sweep_fabrics(
+    qodg: &Qodg,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    candidates: impl IntoIterator<Item = FabricDims>,
+) -> Vec<SweepPoint> {
+    candidates
+        .into_iter()
+        .map(|dims| {
+            let estimate = if (qodg.num_qubits() as u64) <= dims.area() {
+                Estimator::with_options(dims, params.clone(), options)
+                    .estimate(qodg)
+                    .ok()
+            } else {
+                None
+            };
+            SweepPoint { dims, estimate }
+        })
+        .collect()
+}
+
+/// Finds the latency-minimal square fabric among `sides`.
+///
+/// Returns `None` if no candidate fits the program.
+///
+/// # Examples
+///
+/// ```
+/// use leqa::sweep::optimal_square_fabric;
+/// use leqa::EstimatorOptions;
+/// use leqa_circuit::{FtCircuit, Qodg, QubitId};
+/// use leqa_fabric::PhysicalParams;
+///
+/// # fn main() -> Result<(), leqa_circuit::CircuitError> {
+/// let mut ft = FtCircuit::new(3);
+/// ft.push_cnot(QubitId(0), QubitId(1))?;
+/// ft.push_cnot(QubitId(1), QubitId(2))?;
+/// let qodg = Qodg::from_ft_circuit(&ft);
+///
+/// let best = optimal_square_fabric(
+///     &qodg,
+///     &PhysicalParams::dac13(),
+///     EstimatorOptions::default(),
+///     [2, 4, 8, 16],
+/// );
+/// assert!(best.is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimal_square_fabric(
+    qodg: &Qodg,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    sides: impl IntoIterator<Item = u32>,
+) -> Option<(FabricDims, Estimate)> {
+    let candidates = sides.into_iter().filter_map(|s| FabricDims::new(s, s).ok());
+    sweep_fabrics(qodg, params, options, candidates)
+        .into_iter()
+        .filter_map(|p| p.estimate.map(|e| (p.dims, e)))
+        .min_by(|a, b| a.1.latency.as_f64().total_cmp(&b.1.latency.as_f64()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::{FtCircuit, QubitId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn dense_qodg() -> Qodg {
+        let mut ft = FtCircuit::new(20);
+        for i in 0..20u32 {
+            for j in (i + 1)..20 {
+                ft.push_cnot(q(i), q(j)).unwrap();
+            }
+        }
+        Qodg::from_ft_circuit(&ft)
+    }
+
+    #[test]
+    fn sweep_marks_undersized_fabrics() {
+        let qodg = dense_qodg(); // 20 qubits
+        let points = sweep_fabrics(
+            &qodg,
+            &PhysicalParams::dac13(),
+            EstimatorOptions::default(),
+            [
+                FabricDims::new(4, 4).unwrap(),
+                FabricDims::new(10, 10).unwrap(),
+            ],
+        );
+        assert!(points[0].estimate.is_none()); // 16 < 20
+        assert!(points[1].estimate.is_some());
+    }
+
+    #[test]
+    fn optimum_is_the_sweep_minimum() {
+        let qodg = dense_qodg();
+        let params = PhysicalParams::dac13();
+        let opts = EstimatorOptions::default();
+        let sides = [5u32, 8, 15, 30, 60];
+        let (best_dims, best) =
+            optimal_square_fabric(&qodg, &params, opts, sides).expect("some fit");
+        for p in sweep_fabrics(
+            &qodg,
+            &params,
+            opts,
+            sides.iter().filter_map(|&s| FabricDims::new(s, s).ok()),
+        ) {
+            if let Some(e) = p.estimate {
+                assert!(best.latency.as_f64() <= e.latency.as_f64() + 1e-9);
+            }
+        }
+        assert!(best_dims.area() >= 25);
+    }
+
+    #[test]
+    fn no_fit_returns_none() {
+        let qodg = dense_qodg();
+        assert!(optimal_square_fabric(
+            &qodg,
+            &PhysicalParams::dac13(),
+            EstimatorOptions::default(),
+            [2u32, 3, 4],
+        )
+        .is_none());
+    }
+}
+
+/// Like [`sweep_fabrics`], evaluating candidates on scoped worker threads
+/// (one per candidate, capped by the platform's available parallelism).
+///
+/// Estimation is CPU-bound and candidates are independent, so wide sweeps
+/// — the paper's fabric-size exploration loop — scale with cores.
+pub fn sweep_fabrics_parallel(
+    qodg: &Qodg,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    candidates: impl IntoIterator<Item = FabricDims>,
+) -> Vec<SweepPoint> {
+    let candidates: Vec<FabricDims> = candidates.into_iter().collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(candidates.len().max(1));
+
+    let results: Vec<std::sync::Mutex<Option<SweepPoint>>> = candidates
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                let dims = candidates[i];
+                let estimate = if (qodg.num_qubits() as u64) <= dims.area() {
+                    Estimator::with_options(dims, params.clone(), options)
+                        .estimate(qodg)
+                        .ok()
+                } else {
+                    None
+                };
+                *results[i].lock().expect("no poisoning") = Some(SweepPoint { dims, estimate });
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoning")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use leqa_circuit::{FtCircuit, QubitId};
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let mut ft = FtCircuit::new(12);
+        for i in 0..11u32 {
+            ft.push_cnot(QubitId(i), QubitId(i + 1)).unwrap();
+        }
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let params = PhysicalParams::dac13();
+        let opts = EstimatorOptions::default();
+        let candidates: Vec<FabricDims> = [3u32, 4, 6, 10, 20, 40]
+            .iter()
+            .map(|&s| FabricDims::new(s, s).unwrap())
+            .collect();
+
+        let serial = sweep_fabrics(&qodg, &params, opts, candidates.clone());
+        let parallel = sweep_fabrics_parallel(&qodg, &params, opts, candidates);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.dims, p.dims);
+            match (&s.estimate, &p.estimate) {
+                (Some(a), Some(b)) => assert_eq!(a.latency, b.latency),
+                (None, None) => {}
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+}

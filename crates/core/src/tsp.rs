@@ -1,0 +1,183 @@
+//! The uncongested routing latency `d_uncong` (§3.2, Eqs. 12–16).
+//!
+//! Inside its presence zone a qubit must visit its `M_i` partners, i.e.
+//! traverse a shortest Hamiltonian path through `M_i + 1` random points.
+//! Exact expectation is NP-hard, so the paper brackets the random-TSP tour
+//! length with the classical bounds (for `n ≫ 1` points in the unit square)
+//!
+//! * lower: `0.708·√n + 0.551` (Eq. 13)
+//! * upper: `0.718·√n + 0.731` (Eq. 14)
+//!
+//! averages them (`0.713·√n + 0.641`), rescales by the zone side `√B_i`,
+//! and removes one tour edge with the factor `(M_i − 1)/M_i` to get the
+//! Hamiltonian-path estimate `E[l_ham,i]` (Eq. 15). Dividing by the qubit
+//! speed and the operation count gives the per-operation latency
+//! `d_uncong,i = E[l_ham,i] / (v·M_i)` (Eq. 16), and the strength-weighted
+//! average over all qubits is `d_uncong` (Eq. 12).
+
+use leqa_circuit::{Iig, QubitId};
+use leqa_fabric::Micros;
+
+use crate::presence::zone_area;
+
+/// Coefficients of the random-TSP lower bound (Eq. 13).
+pub const TSP_LOWER: (f64, f64) = (0.708, 0.551);
+/// Coefficients of the random-TSP upper bound (Eq. 14).
+pub const TSP_UPPER: (f64, f64) = (0.718, 0.731);
+/// Midpoint coefficients used by Eq. 15.
+pub const TSP_MID: (f64, f64) = (0.713, 0.641);
+
+/// Expected random-TSP tour length through `n` uniform points in the unit
+/// square, by the midpoint of Eqs. 13–14.
+#[inline]
+pub fn expected_tsp_tour(n: f64) -> f64 {
+    TSP_MID.0 * n.sqrt() + TSP_MID.1
+}
+
+/// `E[l_ham,i]` (Eq. 15): expected shortest-Hamiltonian-path length of
+/// qubit `i` with `m` IIG neighbours inside its own presence zone.
+///
+/// Qubits with `m = 0` never route for a CNOT, so their path length is 0.
+/// `m = 1` also yields 0 through the paper's `(M−1)/M` tour-to-path factor.
+///
+/// # Examples
+///
+/// ```
+/// use leqa::tsp::expected_hamiltonian_path;
+///
+/// assert_eq!(expected_hamiltonian_path(0), 0.0);
+/// assert_eq!(expected_hamiltonian_path(1), 0.0);
+/// let l5 = expected_hamiltonian_path(5);
+/// // √6·(0.713·√6 + 0.641)·(4/5)
+/// let expect = 6f64.sqrt() * (0.713 * 6f64.sqrt() + 0.641) * 0.8;
+/// assert!((l5 - expect).abs() < 1e-12);
+/// ```
+pub fn expected_hamiltonian_path(m: u64) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let b_i = zone_area(m);
+    let points = (m + 1) as f64;
+    b_i.sqrt() * expected_tsp_tour(points) * (m as f64 - 1.0) / m as f64
+}
+
+/// `d_uncong,i` (Eq. 16): the average uncongested routing latency per
+/// operation for qubit `i`, given the fabric's qubit speed `v` (ULB edges
+/// per µs).
+///
+/// Returns zero for `m = 0` (no routing happens at all).
+pub fn uncongested_delay_for(m: u64, qubit_speed: f64) -> Micros {
+    if m == 0 {
+        return Micros::ZERO;
+    }
+    Micros::new(expected_hamiltonian_path(m) / (qubit_speed * m as f64))
+}
+
+/// `d_uncong` (Eq. 12): the interaction-strength-weighted average of the
+/// per-qubit `d_uncong,i`.
+///
+/// Returns `None` when the circuit has no two-qubit operations.
+pub fn uncongested_delay(iig: &Iig, qubit_speed: f64) -> Option<Micros> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..iig.num_qubits() {
+        let q = QubitId(i);
+        let strength = iig.strength(q) as f64;
+        if strength > 0.0 {
+            num += strength * uncongested_delay_for(iig.degree(q), qubit_speed).as_f64();
+            den += strength;
+        }
+    }
+    (den > 0.0).then(|| Micros::new(num / den))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::FtCircuit;
+    use proptest::prelude::*;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn bounds_bracket_the_midpoint() {
+        for n in 2..100u64 {
+            let n = n as f64;
+            let lower = TSP_LOWER.0 * n.sqrt() + TSP_LOWER.1;
+            let upper = TSP_UPPER.0 * n.sqrt() + TSP_UPPER.1;
+            let mid = expected_tsp_tour(n);
+            assert!(lower < mid && mid < upper);
+            assert!((mid - (lower + upper) / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_length_grows_with_degree() {
+        let mut prev = expected_hamiltonian_path(1);
+        for m in 2..200u64 {
+            let cur = expected_hamiltonian_path(m);
+            assert!(cur > prev, "m={m}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn degenerate_degrees() {
+        assert_eq!(expected_hamiltonian_path(0), 0.0);
+        assert_eq!(expected_hamiltonian_path(1), 0.0);
+        assert_eq!(uncongested_delay_for(0, 0.001), Micros::ZERO);
+        assert_eq!(uncongested_delay_for(1, 0.001), Micros::ZERO);
+    }
+
+    #[test]
+    fn dac13_scale_sanity() {
+        // With v = 0.001 and M = 5 the per-op latency should be on the order
+        // of 1 ms — comparable to (but below) the 4930 µs CNOT delay.
+        let d = uncongested_delay_for(5, 0.001);
+        assert!(d.as_f64() > 100.0 && d.as_f64() < 5000.0, "{d}");
+    }
+
+    #[test]
+    fn weighted_average_over_iig() {
+        // Hub q0 with 3 spokes; spokes have m=1 → d=0, hub has m=3.
+        let mut ft = FtCircuit::new(4);
+        for i in 1..4 {
+            ft.push_cnot(q(0), q(i)).unwrap();
+        }
+        let iig = Iig::from_ft_circuit(&ft);
+        let v = 0.001;
+        let hub = uncongested_delay_for(3, v).as_f64();
+        // weights: hub strength 3, spokes 1 each.
+        let expected = 3.0 * hub / (3.0 + 3.0);
+        let got = uncongested_delay(&iig, v).unwrap().as_f64();
+        assert!((got - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_interactions_yields_none() {
+        let ft = FtCircuit::new(3);
+        let iig = Iig::from_ft_circuit(&ft);
+        assert_eq!(uncongested_delay(&iig, 0.001), None);
+    }
+
+    proptest! {
+        #[test]
+        fn delay_scales_inversely_with_speed(m in 2u64..100, v in 1e-4f64..1.0) {
+            let d1 = uncongested_delay_for(m, v).as_f64();
+            let d2 = uncongested_delay_for(m, 2.0 * v).as_f64();
+            prop_assert!((d1 / d2 - 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn per_op_delay_decreases_then_settles(m in 2u64..500) {
+            // E[l]/M ~ (√(M+1)·√(M+1))/M → per-op latency is bounded:
+            // it tends to 0.713/v from above as M grows.
+            let v = 0.001;
+            let d = uncongested_delay_for(m, v).as_f64();
+            prop_assert!(d > 0.0);
+            prop_assert!(d < 5.0 / v); // generous upper bound
+        }
+    }
+}

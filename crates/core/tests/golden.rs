@@ -1,0 +1,125 @@
+//! A fully hand-computed golden scenario pinning Eqs. 2–16 numerically.
+//!
+//! Setup: a 3×3 fabric with the DAC'13 physical parameters and a triangle
+//! circuit — one CNOT on each pair of three qubits. Every intermediate
+//! below was computed by hand (see the inline derivations), so this test
+//! fails if any equation's implementation drifts.
+
+use leqa::coverage::CoverageTable;
+use leqa::{Estimator, EstimatorOptions, ZoneRounding};
+use leqa_circuit::{FtCircuit, Qodg, QubitId};
+use leqa_fabric::{FabricDims, PhysicalParams};
+
+fn triangle() -> Qodg {
+    let q = QubitId;
+    let mut ft = FtCircuit::new(3);
+    ft.push_cnot(q(0), q(1)).unwrap();
+    ft.push_cnot(q(1), q(2)).unwrap();
+    ft.push_cnot(q(0), q(2)).unwrap();
+    Qodg::from_ft_circuit(&ft)
+}
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn presence_zones_eq6_eq7() {
+    // Every qubit has M = 2 partners → B_i = 3 → B = 3.
+    let iig = leqa_circuit::Iig::from_qodg(&triangle());
+    for i in 0..3 {
+        assert_eq!(iig.degree(QubitId(i)), 2);
+        assert_eq!(iig.strength(QubitId(i)), 2);
+    }
+    assert!((leqa::presence::average_zone_area(&iig).unwrap() - 3.0).abs() < TOL);
+}
+
+#[test]
+fn hamiltonian_path_eq15_and_duncong_eq16() {
+    // E[l_ham] = √3 · (0.713·√3 + 0.641) · (2−1)/2 = 1.624622283825825.
+    let e = leqa::tsp::expected_hamiltonian_path(2);
+    assert!((e - 1.624_622_283_825_825).abs() < TOL, "E[l_ham] = {e}");
+    // d_uncong = E[l_ham] / (v·M) = E/(0.001·2) = 812.3111419129125 µs.
+    let d = leqa::tsp::uncongested_delay_for(2, 0.001);
+    assert!((d.as_f64() - 812.311_141_912_912_5).abs() < 1e-6, "d = {d}");
+}
+
+#[test]
+fn coverage_eq5_on_3x3_with_side_2() {
+    // Zone side ⌈√3⌉ = 2 on a 3×3 fabric: 4 placements.
+    // P(corner) = 1/4, P(edge-mid) = 1/2, P(center) = 1.
+    let dims = FabricDims::new(3, 3).unwrap();
+    let table = CoverageTable::new(dims, 3.0, ZoneRounding::Ceil);
+    assert_eq!(table.zone_side(), 2);
+    assert!((table.p(1, 1) - 0.25).abs() < TOL);
+    assert!((table.p(3, 3) - 0.25).abs() < TOL);
+    assert!((table.p(2, 1) - 0.5).abs() < TOL);
+    assert!((table.p(1, 2) - 0.5).abs() < TOL);
+    assert!((table.p(2, 2) - 1.0).abs() < TOL);
+}
+
+#[test]
+fn expected_surfaces_eq4_by_hand() {
+    // With Q = 3 zones on the table above:
+    // E[S_1] = 3·(4·0.25·0.75² + 4·0.5·0.5² + 0) = 3.1875
+    // E[S_2] = 3·(4·0.25²·0.75 + 4·0.5²·0.5 + 0) = 2.0625
+    // E[S_3] = 1·(4·0.25³ + 4·0.5³ + 1)          = 1.5625
+    // and E[S_0] = 2.1875 closes Eq. 3: Σ = 9 = A.
+    let dims = FabricDims::new(3, 3).unwrap();
+    let table = CoverageTable::new(dims, 3.0, ZoneRounding::Ceil);
+    let esq = table.expected_surfaces(3, 20);
+    assert_eq!(esq.len(), 3);
+    assert!((esq[0] - 3.1875).abs() < TOL, "E[S_1] = {}", esq[0]);
+    assert!((esq[1] - 2.0625).abs() < TOL, "E[S_2] = {}", esq[1]);
+    assert!((esq[2] - 1.5625).abs() < TOL, "E[S_3] = {}", esq[2]);
+    let covered: f64 = esq.iter().sum();
+    assert!((covered + 2.1875 - 9.0).abs() < TOL);
+}
+
+#[test]
+fn end_to_end_eq1_eq2_by_hand() {
+    // All coverage counts q ∈ {1,2,3} are below N_c = 5, so every d_q =
+    // d_uncong and Eq. 2 collapses to L_CNOT = d_uncong = 812.311… µs.
+    // The three CNOTs form one serial chain (each pair shares a wire), so
+    // D = 3 · (d_CNOT + L_CNOT) = 3 · (4930 + 812.3111419129125)
+    //   = 17226.933425738738 µs.
+    let estimator = Estimator::with_options(
+        FabricDims::new(3, 3).unwrap(),
+        PhysicalParams::dac13(),
+        EstimatorOptions::default(),
+    );
+    let est = estimator.estimate(&triangle()).unwrap();
+    assert!(
+        (est.l_cnot_avg.as_f64() - 812.311_141_912_912_5).abs() < 1e-6,
+        "L_CNOT = {}",
+        est.l_cnot_avg
+    );
+    assert!(
+        (est.latency.as_f64() - 17_226.933_425_738_738).abs() < 1e-5,
+        "D = {}",
+        est.latency
+    );
+    assert_eq!(est.critical.cnot_count, 3);
+    assert_eq!(est.zone_side, 2);
+    assert!((est.avg_zone_area - 3.0).abs() < TOL);
+}
+
+#[test]
+fn congestion_branch_engages_on_a_unit_capacity_fabric() {
+    // Same scenario but N_c = 1: coverage counts q = 2 and q = 3 are now
+    // congested, d_2 = 3·d_uncong, d_3 = 4·d_uncong (Eq. 8), so
+    // L_CNOT = (E1·1 + E2·3 + E3·4)·d_uncong / (E1+E2+E3)
+    //        = (3.1875 + 6.1875 + 6.25)/6.8125 · d_uncong.
+    let params = PhysicalParams::dac13()
+        .to_builder()
+        .channel_capacity(1)
+        .build()
+        .unwrap();
+    let estimator = Estimator::new(FabricDims::new(3, 3).unwrap(), params);
+    let est = estimator.estimate(&triangle()).unwrap();
+    let d_uncong = 812.311_141_912_912_5;
+    let expected = (3.1875 + 3.0 * 2.0625 + 4.0 * 1.5625) / 6.8125 * d_uncong;
+    assert!(
+        (est.l_cnot_avg.as_f64() - expected).abs() < 1e-6,
+        "L_CNOT = {} vs hand {expected}",
+        est.l_cnot_avg
+    );
+}

@@ -1,0 +1,83 @@
+//! Error type for fabric construction and addressing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or addressing a fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// A fabric dimension was zero.
+    ZeroDimension,
+    /// A coordinate fell outside the fabric.
+    OutOfBounds {
+        /// Offending x coordinate (0-based).
+        x: u32,
+        /// Offending y coordinate (0-based).
+        y: u32,
+        /// Fabric width.
+        width: u32,
+        /// Fabric height.
+        height: u32,
+    },
+    /// Two ULBs that were expected to be adjacent are not.
+    NotAdjacent,
+    /// A physical parameter was non-finite or out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::ZeroDimension => write!(f, "fabric dimensions must be positive"),
+            FabricError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "ulb ({x}, {y}) is outside the {width}x{height} fabric"),
+            FabricError::NotAdjacent => write!(f, "ulbs are not adjacent"),
+            FabricError::InvalidParameter { name } => {
+                write!(f, "physical parameter `{name}` is invalid")
+            }
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            FabricError::ZeroDimension.to_string(),
+            "fabric dimensions must be positive"
+        );
+        assert_eq!(
+            FabricError::OutOfBounds {
+                x: 9,
+                y: 2,
+                width: 4,
+                height: 4
+            }
+            .to_string(),
+            "ulb (9, 2) is outside the 4x4 fabric"
+        );
+        assert_eq!(
+            FabricError::InvalidParameter { name: "v" }.to_string(),
+            "physical parameter `v` is invalid"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FabricError>();
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic dimension-ordered (XY) routing on the ULB grid.
+//!
+//! The detailed mapper moves logical qubits along X-then-Y paths, one channel
+//! traversal per grid step. XY routing is the routing discipline used by the
+//! tile-based quantum microarchitectures the paper builds on (QLA-style
+//! fabrics); it is deadlock-free and makes paths reproducible, which keeps the
+//! ground-truth oracle deterministic.
+
+use crate::{Channel, Ulb};
+
+/// The sequence of ULBs visited when moving from `from` to `to` with
+/// X-then-Y routing, **excluding** `from`, **including** `to`.
+///
+/// An empty vector means the qubit is already at its destination.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_fabric::{route, Ulb};
+///
+/// let hops = route::xy_route(Ulb::new(0, 0), Ulb::new(2, 1));
+/// assert_eq!(
+///     hops,
+///     vec![Ulb::new(1, 0), Ulb::new(2, 0), Ulb::new(2, 1)]
+/// );
+/// ```
+pub fn xy_route(from: Ulb, to: Ulb) -> Vec<Ulb> {
+    let mut hops = Vec::with_capacity(from.manhattan_distance(to) as usize);
+    let mut cur = from;
+    while cur.x != to.x {
+        cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        hops.push(cur);
+    }
+    while cur.y != to.y {
+        cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        hops.push(cur);
+    }
+    hops
+}
+
+/// The channels traversed by the XY route from `from` to `to`, in order.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_fabric::{route, Ulb};
+///
+/// let channels = route::xy_channels(Ulb::new(0, 0), Ulb::new(0, 2));
+/// assert_eq!(channels.len(), 2);
+/// ```
+pub fn xy_channels(from: Ulb, to: Ulb) -> Vec<Channel> {
+    let mut channels = Vec::with_capacity(from.manhattan_distance(to) as usize);
+    let mut prev = from;
+    for hop in xy_route(from, to) {
+        channels.push(Channel::between(prev, hop).expect("consecutive xy hops are adjacent"));
+        prev = hop;
+    }
+    channels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_route_on_self() {
+        assert!(xy_route(Ulb::new(3, 3), Ulb::new(3, 3)).is_empty());
+        assert!(xy_channels(Ulb::new(3, 3), Ulb::new(3, 3)).is_empty());
+    }
+
+    #[test]
+    fn route_goes_x_first() {
+        let hops = xy_route(Ulb::new(2, 2), Ulb::new(0, 3));
+        assert_eq!(hops, vec![Ulb::new(1, 2), Ulb::new(0, 2), Ulb::new(0, 3)]);
+    }
+
+    proptest! {
+        #[test]
+        fn route_length_equals_manhattan_distance(
+            fx in 0u32..32, fy in 0u32..32, tx in 0u32..32, ty in 0u32..32
+        ) {
+            let from = Ulb::new(fx, fy);
+            let to = Ulb::new(tx, ty);
+            let hops = xy_route(from, to);
+            prop_assert_eq!(hops.len() as u32, from.manhattan_distance(to));
+            prop_assert_eq!(xy_channels(from, to).len(), hops.len());
+        }
+
+        #[test]
+        fn route_ends_at_destination_and_steps_are_adjacent(
+            fx in 0u32..32, fy in 0u32..32, tx in 0u32..32, ty in 0u32..32
+        ) {
+            let from = Ulb::new(fx, fy);
+            let to = Ulb::new(tx, ty);
+            let hops = xy_route(from, to);
+            let mut prev = from;
+            for &h in &hops {
+                prop_assert!(prev.is_adjacent(h));
+                prev = h;
+            }
+            prop_assert_eq!(prev, to);
+        }
+    }
+}
+
+/// The sequence of ULBs visited when moving from `from` to `to` with
+/// Y-then-X routing, **excluding** `from`, **including** `to`.
+///
+/// The mirror discipline of [`xy_route`]; a router may pick per-transfer
+/// between the two to dodge congestion (both are minimal and
+/// deadlock-free when used consistently per message).
+pub fn yx_route(from: Ulb, to: Ulb) -> Vec<Ulb> {
+    let mut hops = Vec::with_capacity(from.manhattan_distance(to) as usize);
+    let mut cur = from;
+    while cur.y != to.y {
+        cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        hops.push(cur);
+    }
+    while cur.x != to.x {
+        cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        hops.push(cur);
+    }
+    hops
+}
+
+/// The channels traversed by the YX route from `from` to `to`, in order.
+pub fn yx_channels(from: Ulb, to: Ulb) -> Vec<Channel> {
+    let mut channels = Vec::with_capacity(from.manhattan_distance(to) as usize);
+    let mut prev = from;
+    for hop in yx_route(from, to) {
+        channels.push(Channel::between(prev, hop).expect("consecutive yx hops are adjacent"));
+        prev = hop;
+    }
+    channels
+}
+
+#[cfg(test)]
+mod yx_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn yx_goes_y_first() {
+        let hops = yx_route(Ulb::new(2, 2), Ulb::new(0, 3));
+        assert_eq!(hops, vec![Ulb::new(2, 3), Ulb::new(1, 3), Ulb::new(0, 3)]);
+    }
+
+    proptest! {
+        #[test]
+        fn yx_is_minimal_and_reaches_destination(
+            fx in 0u32..32, fy in 0u32..32, tx in 0u32..32, ty in 0u32..32
+        ) {
+            let from = Ulb::new(fx, fy);
+            let to = Ulb::new(tx, ty);
+            let hops = yx_route(from, to);
+            prop_assert_eq!(hops.len() as u32, from.manhattan_distance(to));
+            prop_assert_eq!(hops.last().copied().unwrap_or(from), to);
+            prop_assert_eq!(yx_channels(from, to).len(), hops.len());
+        }
+
+        #[test]
+        fn xy_and_yx_use_the_same_channel_multiset_only_on_lines(
+            fx in 0u32..16, fy in 0u32..16, t in 0u32..16
+        ) {
+            // On a straight line the two disciplines coincide.
+            let from = Ulb::new(fx, fy);
+            let to = Ulb::new(t, fy);
+            prop_assert_eq!(xy_channels(from, to), yx_channels(from, to));
+        }
+    }
+}

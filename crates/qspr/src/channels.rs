@@ -1,0 +1,210 @@
+//! Channel occupancy tracking: the congestion the router actually pays.
+//!
+//! Each routing channel can carry `N_c` qubits concurrently (the paper's
+//! channel capacity); a traversal occupies one slot for `T_move`. A qubit
+//! arriving at a saturated channel waits for the earliest slot — the FCFS
+//! pipeline behaviour the paper abstracts as an M/M/1 queue (Fig. 5).
+
+use leqa_fabric::{Channel, ChannelId, FabricDims, Micros};
+
+/// Occupancy calendars for every channel of a fabric.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_fabric::{Channel, FabricDims, Micros, Ulb};
+/// use qspr::channels::ChannelOccupancy;
+///
+/// # fn main() -> Result<(), leqa_fabric::FabricError> {
+/// let dims = FabricDims::new(4, 4)?;
+/// let mut occ = ChannelOccupancy::new(dims, 1, Micros::new(100.0));
+/// let ch = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0))?;
+///
+/// // First qubit passes immediately; the second queues behind it.
+/// assert_eq!(occ.traverse(ch, Micros::ZERO), Micros::new(100.0));
+/// assert_eq!(occ.traverse(ch, Micros::ZERO), Micros::new(200.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelOccupancy {
+    dims: FabricDims,
+    capacity: usize,
+    t_move: Micros,
+    /// `capacity` server-free times per channel, flattened.
+    free_at: Vec<f64>,
+    /// Per-channel traversal counts (the congestion heatmap).
+    load: Vec<u64>,
+    /// Total time spent queueing (beyond the raw hop time).
+    congestion_wait: f64,
+    /// Total traversals.
+    traversals: u64,
+}
+
+impl ChannelOccupancy {
+    /// Creates empty calendars for every channel of `dims`.
+    pub fn new(dims: FabricDims, capacity: u32, t_move: Micros) -> Self {
+        let n = ChannelId::count(dims);
+        ChannelOccupancy {
+            dims,
+            capacity: capacity as usize,
+            t_move,
+            free_at: vec![0.0; n * capacity as usize],
+            load: vec![0; n],
+            congestion_wait: 0.0,
+            traversals: 0,
+        }
+    }
+
+    /// Sends a qubit through `channel` starting no earlier than `at`;
+    /// returns the time it emerges on the far side.
+    ///
+    /// The qubit takes the earliest-free of the channel's `N_c` slots
+    /// (FCFS), waiting if all are busy.
+    pub fn traverse(&mut self, channel: Channel, at: Micros) -> Micros {
+        let id = channel.id(self.dims).0;
+        let slots = &mut self.free_at[id * self.capacity..(id + 1) * self.capacity];
+        let (best, _) = slots
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+            .expect("capacity is at least 1");
+        let start = at.as_f64().max(slots[best]);
+        let end = start + self.t_move.as_f64();
+        slots[best] = end;
+        self.load[id] += 1;
+        self.congestion_wait += start - at.as_f64();
+        self.traversals += 1;
+        Micros::new(end)
+    }
+
+    /// Total time qubits spent waiting for channel slots.
+    pub fn congestion_wait(&self) -> Micros {
+        Micros::new(self.congestion_wait)
+    }
+
+    /// Total channel traversals (one per hop).
+    pub fn traversals(&self) -> u64 {
+        self.traversals
+    }
+
+    /// Per-channel traversal counts, indexed by
+    /// [`ChannelId`](leqa_fabric::ChannelId) — the congestion heatmap.
+    pub fn load(&self) -> &[u64] {
+        &self.load
+    }
+
+    /// Consumes the tracker, returning the heatmap.
+    pub fn into_load(self) -> Vec<u64> {
+        self.load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_fabric::Ulb;
+
+    fn setup(capacity: u32) -> (ChannelOccupancy, Channel) {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let occ = ChannelOccupancy::new(dims, capacity, Micros::new(100.0));
+        let ch = Channel::between(Ulb::new(1, 1), Ulb::new(2, 1)).unwrap();
+        (occ, ch)
+    }
+
+    #[test]
+    fn uncongested_traversal_takes_t_move() {
+        let (mut occ, ch) = setup(5);
+        assert_eq!(occ.traverse(ch, Micros::new(50.0)), Micros::new(150.0));
+        assert_eq!(occ.congestion_wait(), Micros::ZERO);
+    }
+
+    #[test]
+    fn capacity_admits_concurrency() {
+        let (mut occ, ch) = setup(3);
+        for _ in 0..3 {
+            assert_eq!(occ.traverse(ch, Micros::ZERO), Micros::new(100.0));
+        }
+        // The fourth concurrent qubit queues.
+        assert_eq!(occ.traverse(ch, Micros::ZERO), Micros::new(200.0));
+        assert_eq!(occ.congestion_wait(), Micros::new(100.0));
+    }
+
+    #[test]
+    fn queue_drains_in_fcfs_order() {
+        let (mut occ, ch) = setup(1);
+        let a = occ.traverse(ch, Micros::ZERO);
+        let b = occ.traverse(ch, Micros::ZERO);
+        let c = occ.traverse(ch, Micros::ZERO);
+        assert!(a < b && b < c);
+        assert_eq!(c, Micros::new(300.0));
+    }
+
+    #[test]
+    fn distinct_channels_do_not_interfere() {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let mut occ = ChannelOccupancy::new(dims, 1, Micros::new(100.0));
+        let ch1 = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        let ch2 = Channel::between(Ulb::new(0, 0), Ulb::new(0, 1)).unwrap();
+        assert_eq!(occ.traverse(ch1, Micros::ZERO), Micros::new(100.0));
+        assert_eq!(occ.traverse(ch2, Micros::ZERO), Micros::new(100.0));
+    }
+
+    #[test]
+    fn traversal_counter() {
+        let (mut occ, ch) = setup(2);
+        for _ in 0..5 {
+            occ.traverse(ch, Micros::ZERO);
+        }
+        assert_eq!(occ.traversals(), 5);
+    }
+
+    #[test]
+    fn late_arrival_does_not_wait() {
+        let (mut occ, ch) = setup(1);
+        occ.traverse(ch, Micros::ZERO); // busy until 100
+                                        // Arriving at 500 finds the channel idle.
+        assert_eq!(occ.traverse(ch, Micros::new(500.0)), Micros::new(600.0));
+        assert_eq!(occ.congestion_wait(), Micros::ZERO);
+    }
+}
+
+impl ChannelOccupancy {
+    /// Estimated queueing wait if a qubit entered `channel` at `at`, in
+    /// µs, without booking anything — the adaptive router's probe.
+    pub fn peek_wait(&self, channel: Channel, at: Micros) -> Micros {
+        let id = channel.id(self.dims).0;
+        let slots = &self.free_at[id * self.capacity..(id + 1) * self.capacity];
+        let earliest = slots.iter().fold(f64::INFINITY, |acc, &slot| acc.min(slot));
+        Micros::new((earliest - at.as_f64()).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod peek_tests {
+    use super::*;
+    use leqa_fabric::Ulb;
+
+    #[test]
+    fn peek_matches_traverse_wait() {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let mut occ = ChannelOccupancy::new(dims, 1, Micros::new(100.0));
+        let ch = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        assert_eq!(occ.peek_wait(ch, Micros::ZERO), Micros::ZERO);
+        occ.traverse(ch, Micros::ZERO); // busy until 100
+        assert_eq!(occ.peek_wait(ch, Micros::ZERO), Micros::new(100.0));
+        assert_eq!(occ.peek_wait(ch, Micros::new(40.0)), Micros::new(60.0));
+        assert_eq!(occ.peek_wait(ch, Micros::new(500.0)), Micros::ZERO);
+    }
+
+    #[test]
+    fn peek_does_not_book() {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let occ = ChannelOccupancy::new(dims, 2, Micros::new(100.0));
+        let ch = Channel::between(Ulb::new(1, 1), Ulb::new(1, 2)).unwrap();
+        let before = occ.peek_wait(ch, Micros::ZERO);
+        let _ = occ.peek_wait(ch, Micros::ZERO);
+        assert_eq!(before, occ.peek_wait(ch, Micros::ZERO));
+        assert_eq!(occ.traversals(), 0);
+    }
+}

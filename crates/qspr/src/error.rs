@@ -1,0 +1,53 @@
+//! Error type for the mapper.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Mapper::map`](crate::Mapper::map).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// More logical qubits than ULBs: no placement exists.
+    FabricTooSmall {
+        /// Logical qubits in the program.
+        qubits: u64,
+        /// ULBs on the fabric.
+        area: u64,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::FabricTooSmall { qubits, area } => write!(
+                f,
+                "{qubits} logical qubits cannot be placed on a {area}-ulb fabric"
+            ),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            MapError::FabricTooSmall {
+                qubits: 10,
+                area: 4
+            }
+            .to_string(),
+            "10 logical qubits cannot be placed on a 4-ulb fabric"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MapError>();
+    }
+}

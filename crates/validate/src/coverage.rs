@@ -1,0 +1,177 @@
+//! Monte-Carlo validation of the coverage statistics (Eqs. 4–5).
+//!
+//! Eq. 4 claims that with `Q` square zones of side `s` dropped uniformly
+//! and independently on an `a × b` fabric, the expected area covered by
+//! exactly `q` zones is `E[S_q] = C(Q,q) Σ_{x,y} P^q (1−P)^{Q−q}` with
+//! `P_{x,y}` from Eq. 5. [`simulate_surfaces`] measures the same quantity
+//! by actually dropping zones; agreement is a direct check of both
+//! equations (and of our implementation of them).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use leqa::coverage::{CoverageTable, ZoneRounding};
+use leqa_fabric::FabricDims;
+
+use crate::Comparison;
+
+/// Empirically estimates `E[S_q]` for `q = 1..=max_q` by dropping
+/// `zones` square zones of side `side` uniformly at random on the fabric,
+/// `trials` times, and averaging the per-`q` covered areas.
+///
+/// # Panics
+///
+/// Panics if `side` is 0 or exceeds either fabric dimension, or if
+/// `trials` is 0.
+pub fn simulate_surfaces(
+    dims: FabricDims,
+    zones: u32,
+    side: u32,
+    max_q: usize,
+    trials: u32,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(trials > 0, "need at least one trial");
+    assert!(
+        side >= 1 && side <= dims.width() && side <= dims.height(),
+        "zone side must fit the fabric"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = dims.width();
+    let b = dims.height();
+    let mut totals = vec![0.0f64; max_q];
+    let mut counts = vec![0u32; dims.area() as usize];
+
+    for _ in 0..trials {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for _ in 0..zones {
+            // Uniform placement of the zone's lower-left corner among the
+            // (a−s+1)(b−s+1) legal positions — the sample space of Eq. 5's
+            // denominator.
+            let ox = rng.gen_range(0..=(a - side));
+            let oy = rng.gen_range(0..=(b - side));
+            for dy in 0..side {
+                for dx in 0..side {
+                    let idx = ((oy + dy) * a + (ox + dx)) as usize;
+                    counts[idx] += 1;
+                }
+            }
+        }
+        for &c in &counts {
+            let c = c as usize;
+            if c >= 1 && c <= max_q {
+                totals[c - 1] += 1.0;
+            }
+        }
+    }
+    totals.iter().map(|t| t / trials as f64).collect()
+}
+
+/// Runs the analytic and Monte-Carlo estimates side by side and returns a
+/// [`Comparison`] per `q`.
+///
+/// The analytic side is evaluated with the *same integer side* the
+/// simulation uses (rounding is bypassed by passing `side²` as the zone
+/// area), so the comparison isolates Eq. 4/5 themselves.
+pub fn compare_surfaces(
+    dims: FabricDims,
+    zones: u32,
+    side: u32,
+    max_q: usize,
+    trials: u32,
+    seed: u64,
+) -> Vec<Comparison> {
+    let table = CoverageTable::new(dims, (side * side) as f64, ZoneRounding::Round);
+    debug_assert_eq!(table.zone_side(), side);
+    let predicted = table.expected_surfaces(zones as u64, max_q);
+    let measured = simulate_surfaces(dims, zones, side, max_q, trials, seed);
+    measured
+        .into_iter()
+        .zip(predicted)
+        .map(|(measured, predicted)| Comparison {
+            measured,
+            predicted,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(a: u32, b: u32) -> FabricDims {
+        FabricDims::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn simulation_conserves_total_area() {
+        // Σ_{q≥0} E[S_q] = A (Eq. 3); measure the q ≥ 1 part plus the
+        // empty fraction.
+        let d = dims(12, 12);
+        let zones = 6u32;
+        let measured = simulate_surfaces(d, zones, 3, zones as usize, 400, 7);
+        let covered: f64 = measured.iter().sum();
+        assert!(covered > 0.0 && covered <= d.area() as f64);
+    }
+
+    #[test]
+    fn eq4_matches_simulation_within_tolerance() {
+        // The headline validation: analytic E[S_q] vs 2000 random drops.
+        let d = dims(15, 15);
+        let comparisons = compare_surfaces(d, 8, 3, 4, 2_000, 11);
+        for (q, c) in comparisons.iter().enumerate() {
+            // Monte-Carlo noise on ~2000 trials: accept 10% relative or
+            // 0.5 ULB absolute, whichever is looser.
+            let abs = (c.measured - c.predicted).abs();
+            assert!(
+                c.relative_error() < 0.10 || abs < 0.5,
+                "q={}: measured {} vs predicted {}",
+                q + 1,
+                c.measured,
+                c.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn unit_zone_unit_fabric_is_exact() {
+        // One 1×1 zone on a fabric: E[S_1] = 1 exactly, regardless of
+        // randomness.
+        let d = dims(5, 5);
+        let measured = simulate_surfaces(d, 1, 1, 1, 50, 3);
+        assert!((measured[0] - 1.0).abs() < 1e-12);
+        let c = compare_surfaces(d, 1, 1, 1, 50, 3);
+        assert!((c[0].predicted - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_fabric_zone_covers_everything_at_max_q() {
+        // Q zones of fabric size: every ULB covered by exactly Q zones.
+        let d = dims(4, 4);
+        let zones = 3u32;
+        let measured = simulate_surfaces(d, zones, 4, zones as usize, 20, 5);
+        assert_eq!(measured[0], 0.0);
+        assert_eq!(measured[1], 0.0);
+        assert!((measured[2] - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = dims(10, 10);
+        let a = simulate_surfaces(d, 5, 2, 5, 100, 42);
+        let b = simulate_surfaces(d, 5, 2, 5, 100, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the fabric")]
+    fn oversized_zone_panics() {
+        simulate_surfaces(dims(4, 4), 2, 5, 2, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        simulate_surfaces(dims(4, 4), 2, 2, 2, 0, 0);
+    }
+}

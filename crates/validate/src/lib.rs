@@ -1,0 +1,66 @@
+//! Validation of LEQA's analytic building blocks against simulation and
+//! exact computation.
+//!
+//! The paper justifies several closed-form models with brief arguments:
+//! the coverage statistics of randomly placed zones (Eqs. 4–5), the M/M/1
+//! channel queue (Eqs. 8–11) and the TSP-bound Hamiltonian-path estimate
+//! (Eqs. 13–15). This crate checks each against an independent oracle:
+//!
+//! * [`coverage`] — drops zones uniformly at random on a fabric and counts
+//!   per-ULB overlap empirically, to compare with
+//!   [`leqa::coverage::CoverageTable::expected_surfaces`];
+//! * [`queueing`] — simulates an FCFS channel pipeline with Poisson
+//!   arrivals and exponential service, to compare with
+//!   [`leqa::queue::average_wait`];
+//! * [`hamiltonian`] — computes the exact shortest Hamiltonian path
+//!   through random point sets by Held–Karp dynamic programming, to
+//!   compare with [`leqa::tsp::expected_hamiltonian_path`].
+//!
+//! The validation functions return measured/predicted pairs so tests can
+//! assert tolerance bands, and the crate's test suite does exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod hamiltonian;
+pub mod queueing;
+
+/// A measured-vs-predicted comparison produced by a validation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// The empirical (simulated or exact) value.
+    pub measured: f64,
+    /// The analytic model's prediction.
+    pub predicted: f64,
+}
+
+impl Comparison {
+    /// Relative error `|measured − predicted| / max(|measured|, ε)`.
+    pub fn relative_error(&self) -> f64 {
+        (self.measured - self.predicted).abs() / self.measured.abs().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        let c = Comparison {
+            measured: 10.0,
+            predicted: 9.0,
+        };
+        assert!((c.relative_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_measurement() {
+        let c = Comparison {
+            measured: 0.0,
+            predicted: 0.5,
+        };
+        assert!(c.relative_error().is_finite());
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulation validation of the M/M/1 channel model (Eqs. 8–11, Fig. 5).
+//!
+//! The paper models a congested routing channel as an M/M/1/∞ queue with
+//! Poisson arrivals (rate `λ`) and exponential service (rate
+//! `µ = N_c/d_uncong`), then uses Little's formula to price the per-qubit
+//! delay at average queue length `q` as `W = (1+q)·d_uncong/N_c`
+//! (Eq. 11). [`simulate_mm1`] runs the queue event by event and measures
+//! both the average system length and the average sojourn time, so tests
+//! can check the chain `λ ↦ L ↦ W` end to end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use leqa_fabric::Micros;
+
+use crate::Comparison;
+
+/// Result of an M/M/1 queue simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1Stats {
+    /// Time-averaged number of customers in the system (`l^avg_queue`).
+    pub avg_system_length: f64,
+    /// Average sojourn (wait + service) time per customer, µs.
+    pub avg_sojourn: f64,
+    /// Customers served.
+    pub served: u64,
+}
+
+/// Simulates an M/M/1 queue with arrival rate `lambda` (per µs) and
+/// service rate `mu` (per µs) for `customers` arrivals.
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < mu` (the stability condition) and
+/// `customers > 0`.
+pub fn simulate_mm1(lambda: f64, mu: f64, customers: u64, seed: u64) -> Mm1Stats {
+    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu");
+    assert!(customers > 0, "need at least one customer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut exp = |rate: f64| -> f64 {
+        // Inverse-CDF sampling of Exp(rate).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    };
+
+    let mut arrival = 0.0f64;
+    let mut server_free = 0.0f64;
+    let mut total_sojourn = 0.0f64;
+    let mut area = 0.0f64; // ∫ N(t) dt via per-customer sojourn sum
+    let mut last_departure = 0.0f64;
+
+    for _ in 0..customers {
+        arrival += exp(lambda);
+        let start = arrival.max(server_free);
+        let departure = start + exp(mu);
+        server_free = departure;
+        total_sojourn += departure - arrival;
+        area += departure - arrival;
+        last_departure = departure;
+    }
+
+    Mm1Stats {
+        // L = λ_effective · W by Little; measure it directly as
+        // (Σ sojourn)/horizon, which equals the time average of N(t).
+        avg_system_length: area / last_departure,
+        avg_sojourn: total_sojourn / customers as f64,
+        served: customers,
+    }
+}
+
+/// Compares the simulated average system length against the analytic
+/// `L = λ/(µ−λ)` of Eq. 9.
+pub fn compare_queue_length(lambda: f64, mu: f64, customers: u64, seed: u64) -> Comparison {
+    let stats = simulate_mm1(lambda, mu, customers, seed);
+    Comparison {
+        measured: stats.avg_system_length,
+        predicted: lambda / (mu - lambda),
+    }
+}
+
+/// Compares the simulated sojourn time against Eq. 11's
+/// `W = (1+q)·d_uncong/N_c`, where `q` is taken from the simulation's own
+/// measured queue length (the paper plugs the observed channel population
+/// into the formula the same way).
+pub fn compare_wait_time(
+    channel_capacity: u32,
+    d_uncong: Micros,
+    q: u64,
+    customers: u64,
+    seed: u64,
+) -> Comparison {
+    // Invert Eq. 10 to find the arrival rate that produces average
+    // population q, then simulate at that operating point.
+    let lambda = leqa::queue::arrival_rate(q, channel_capacity, d_uncong);
+    let mu = leqa::queue::service_rate(channel_capacity, d_uncong);
+    let stats = simulate_mm1(lambda, mu, customers, seed);
+    Comparison {
+        measured: stats.avg_sojourn,
+        predicted: leqa::queue::average_wait(q, channel_capacity, d_uncong).as_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_length_matches_eq9() {
+        // λ/(µ−λ) = 1.0 at λ=0.5, µ=1.0.
+        let c = compare_queue_length(0.5, 1.0, 200_000, 1);
+        assert!(
+            c.relative_error() < 0.05,
+            "measured {} vs predicted {}",
+            c.measured,
+            c.predicted
+        );
+    }
+
+    #[test]
+    fn queue_length_matches_eq9_heavy_load() {
+        // λ/(µ−λ) = 4.0 at λ=0.8, µ=1.0 — heavier congestion, noisier.
+        let c = compare_queue_length(0.8, 1.0, 400_000, 2);
+        assert!(
+            c.relative_error() < 0.10,
+            "measured {} vs predicted {}",
+            c.measured,
+            c.predicted
+        );
+    }
+
+    #[test]
+    fn wait_time_matches_eq11_across_populations() {
+        let d = Micros::new(800.0);
+        for q in [1u64, 3, 8, 15] {
+            let c = compare_wait_time(5, d, q, 300_000, q);
+            assert!(
+                c.relative_error() < 0.10,
+                "q={q}: measured {} vs predicted {}",
+                c.measured,
+                c.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn littles_law_holds_in_the_simulation() {
+        // L = λ·W must hold for the measured quantities themselves.
+        let lambda = 0.6;
+        let stats = simulate_mm1(lambda, 1.0, 300_000, 9);
+        let l_from_w = lambda * stats.avg_sojourn;
+        let rel = (stats.avg_system_length - l_from_w).abs() / stats.avg_system_length;
+        assert!(rel < 0.05, "L={} λW={}", stats.avg_system_length, l_from_w);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = simulate_mm1(0.5, 1.0, 10_000, 5);
+        let b = simulate_mm1(0.5, 1.0, 10_000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lambda < mu")]
+    fn unstable_queue_panics() {
+        simulate_mm1(1.5, 1.0, 100, 0);
+    }
+}

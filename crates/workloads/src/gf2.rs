@@ -1,0 +1,169 @@
+//! GF(2^n) multiplication benchmarks.
+//!
+//! The classical Mastrovito multiplier computes `c(x) = a(x)·b(x) mod p(x)`
+//! over GF(2). Its reversible form — the construction behind the
+//! `gf2^n mult` benchmarks — uses one Toffoli per partial product
+//! `a_i·b_j` (accumulated into the output register indexed mod `n`) and a
+//! tail of CNOTs that fold the modular reduction of `p(x)` into the output
+//! cells: `(n − 1)` CNOTs per non-trivial reduction tap.
+//!
+//! With a pentanomial reduction (`x^n ≡ x^3 + x^2 + x + 1`, three
+//! non-trivial taps) the lowered FT-op count is `15·n² + 3·(n−1)`, which
+//! matches **every** `gf2^n mult` row of Table 3 exactly, except
+//! `gf2^20 mult` where the paper's count implies the irreducible trinomial
+//! `x^20 + x^3 + 1` (one tap). [`gf2_mult`] picks those defaults;
+//! [`gf2_mult_with_taps`] exposes the tap set.
+
+use leqa_circuit::{Circuit, Gate, QubitId};
+
+/// Generates the `gf2^n mult` benchmark with the paper-matching reduction
+/// polynomial (trinomial for `n = 20`, pentanomial otherwise).
+///
+/// The circuit uses `3n` qubits: `a` in wires `0..n`, `b` in `n..2n` and
+/// the product register `c` in `2n..3n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (a field extension needs at least degree 2).
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::decompose::lowered_op_count;
+/// use leqa_workloads::gf2::gf2_mult;
+///
+/// let c = gf2_mult(16);
+/// assert_eq!(c.num_qubits(), 48);
+/// assert_eq!(lowered_op_count(&c), 3885); // Table 3's gf2^16mult
+/// ```
+pub fn gf2_mult(n: u32) -> Circuit {
+    let taps: &[u32] = if n == 20 { &[3] } else { &[1, 2, 3] };
+    gf2_mult_with_taps(n, taps)
+}
+
+/// Generates a GF(2^n) multiplier with an explicit set of non-trivial
+/// reduction taps (each tap `t` folds `c_k` into `c_{(k+t) mod n}`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`, if a tap is 0 or ≥ `n`, or if taps repeat.
+pub fn gf2_mult_with_taps(n: u32, taps: &[u32]) -> Circuit {
+    assert!(n >= 2, "field degree must be at least 2");
+    for (i, &t) in taps.iter().enumerate() {
+        assert!(t > 0 && t < n, "tap {t} out of range for degree {n}");
+        assert!(!taps[i + 1..].contains(&t), "tap {t} repeated");
+    }
+
+    let mut circuit = Circuit::with_name(3 * n, format!("gf2^{n}mult"));
+    let a = |i: u32| QubitId(i);
+    let b = |j: u32| QubitId(n + j);
+    let c = |k: u32| QubitId(2 * n + k);
+
+    // Partial products: one Toffoli per (i, j) pair, accumulated into the
+    // output cell of the (pre-reduction) degree class.
+    for i in 0..n {
+        for j in 0..n {
+            let k = (i + j) % n;
+            circuit
+                .push(Gate::toffoli(a(i), b(j), c(k)).expect("distinct registers"))
+                .expect("wires in range");
+        }
+    }
+
+    // Reduction folding: (n − 1) CNOTs per tap.
+    for &t in taps {
+        for k in 1..n {
+            let from = c(k);
+            let to = c((k + t) % n);
+            if from != to {
+                circuit
+                    .push(Gate::cnot(from, to).expect("distinct cells"))
+                    .expect("wires in range");
+            }
+        }
+    }
+
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::{lower_to_ft, lowered_op_count};
+
+    #[test]
+    fn qubit_count_is_3n() {
+        for n in [4u32, 16, 20, 50] {
+            assert_eq!(gf2_mult(n).num_qubits(), 3 * n);
+        }
+    }
+
+    #[test]
+    fn table3_op_counts_match_exactly() {
+        // (n, ops from Table 3)
+        let rows = [
+            (16u32, 3_885u64),
+            (18, 4_911),
+            (19, 5_469),
+            (20, 6_019),
+            (50, 37_647),
+            (64, 61_629),
+            (100, 150_297),
+            (128, 246_141),
+            (256, 983_805),
+        ];
+        for (n, ops) in rows {
+            assert_eq!(lowered_op_count(&gf2_mult(n)), ops, "gf2^{n}mult op count");
+        }
+    }
+
+    #[test]
+    fn lowering_adds_no_ancillas() {
+        let ft = lower_to_ft(&gf2_mult(8)).unwrap();
+        assert_eq!(ft.num_qubits(), 24);
+    }
+
+    #[test]
+    fn structure_toffolis_then_cnots() {
+        let circ = gf2_mult(4);
+        let s = circ.stats();
+        assert_eq!(s.toffoli, 16);
+        assert_eq!(s.cnot, 3 * 3);
+        assert_eq!(s.total(), 16 + 9);
+    }
+
+    #[test]
+    fn every_a_b_pair_interacts_once() {
+        let circ = gf2_mult(5);
+        let mut toffoli_pairs = 0;
+        for g in circ.gates() {
+            if let Gate::Toffoli { .. } = g {
+                toffoli_pairs += 1;
+            }
+        }
+        assert_eq!(toffoli_pairs, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "field degree")]
+    fn rejects_tiny_degree() {
+        gf2_mult(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_tap() {
+        gf2_mult_with_taps(8, &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn rejects_repeated_tap() {
+        gf2_mult_with_taps(8, &[2, 2]);
+    }
+
+    #[test]
+    fn name_is_set() {
+        assert_eq!(gf2_mult(16).name(), Some("gf2^16mult"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Hamming-coding benchmarks: `ham3` (Fig. 2) and `ham15`.
+
+use leqa_circuit::{Circuit, Gate, QubitId};
+
+use crate::MixSpec;
+
+/// The ham3 circuit of Fig. 2a: size-3 Hamming optimal coding, already in
+/// FT gates — one 3-input Toffoli (which Fig. 2 shows expanded into the
+/// 15-gate network) plus four CNOTs, for the figure's 19 QODG operation
+/// nodes.
+///
+/// The figure's scan does not fully resolve the CNOT endpoints; this
+/// transcription keeps the published structure (counts and the
+/// Toffoli-in-the-middle shape), which is what the Fig. 2 integration test
+/// checks.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::decompose::lowered_op_count;
+/// use leqa_workloads::ham::ham3;
+///
+/// assert_eq!(lowered_op_count(&ham3()), 19);
+/// ```
+pub fn ham3() -> Circuit {
+    let q = QubitId;
+    let mut c = Circuit::with_name(3, "ham3");
+    c.push(Gate::cnot(q(1), q(0)).expect("distinct"))
+        .expect("in range");
+    c.push(Gate::cnot(q(2), q(1)).expect("distinct"))
+        .expect("in range");
+    c.push(Gate::toffoli(q(0), q(1), q(2)).expect("distinct"))
+        .expect("in range");
+    c.push(Gate::cnot(q(1), q(0)).expect("distinct"))
+        .expect("in range");
+    c.push(Gate::cnot(q(2), q(1)).expect("distinct"))
+        .expect("in range");
+    c
+}
+
+/// The recipe behind the `ham15` benchmark (size-15 Hamming coding):
+/// Table 3 gives `Q = 146`, `N = 5308`, which pins a mix of 51 3-control
+/// and 40 4-control MCTs plus 13 CNOTs over the 15 primary wires.
+pub fn ham15_spec() -> MixSpec {
+    MixSpec {
+        name: "ham15".into(),
+        base_wires: 15,
+        mct: vec![(3, 51), (4, 40)],
+        toffoli: 0,
+        cnot: 13,
+        not: 0,
+        // Hamming parity checks couple data wires to parity wires across
+        // the register.
+        locality: 15,
+        seed: 0x4841_4D15,
+    }
+}
+
+/// Generates the `ham15` benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::decompose::lowered_op_count;
+/// use leqa_workloads::ham::ham15;
+///
+/// assert_eq!(lowered_op_count(&ham15()), 5308);
+/// ```
+pub fn ham15() -> Circuit {
+    ham15_spec().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::{lower_to_ft, lowered_op_count};
+    use leqa_circuit::{Iig, Qodg};
+
+    #[test]
+    fn ham3_has_19_ft_ops() {
+        let ft = lower_to_ft(&ham3()).unwrap();
+        assert_eq!(ft.ops().len(), 19);
+        assert_eq!(ft.num_qubits(), 3);
+    }
+
+    #[test]
+    fn ham3_qodg_matches_fig2() {
+        let ft = lower_to_ft(&ham3()).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        // 19 op nodes plus start and end.
+        assert_eq!(qodg.node_count(), 21);
+        assert_eq!(qodg.op_count(), 19);
+    }
+
+    #[test]
+    fn ham3_iig_is_a_triangle() {
+        // All three qubits interact pairwise (Toffoli lowers to CNOTs
+        // between every pair it touches, plus the explicit CNOTs).
+        let ft = lower_to_ft(&ham3()).unwrap();
+        let iig = Iig::from_ft_circuit(&ft);
+        for i in 0..3 {
+            assert_eq!(iig.degree(QubitId(i)), 2, "qubit {i}");
+        }
+    }
+
+    #[test]
+    fn ham15_counts_match_table3() {
+        let spec = ham15_spec();
+        assert_eq!(spec.predicted_qubits(), 146);
+        assert_eq!(spec.predicted_ops(), 5_308);
+        assert_eq!(lowered_op_count(&ham15()), 5_308);
+    }
+
+    #[test]
+    fn ham15_lowering_matches_prediction() {
+        let ft = lower_to_ft(&ham15()).unwrap();
+        assert_eq!(ft.num_qubits(), 146);
+        assert_eq!(ft.ops().len(), 5_308);
+    }
+}

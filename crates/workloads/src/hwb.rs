@@ -1,0 +1,120 @@
+//! Hidden-weighted-bit (`hwbNps`) benchmarks.
+//!
+//! The hidden-weighted-bit function cyclically rotates the input by its
+//! Hamming weight; its synthesized circuits are controlled-permutation
+//! networks dominated by Toffolis and small multi-controlled Toffolis. The
+//! original `hwbNps` netlists ("ps" = partially synthesized) are no longer
+//! distributable; each [`hwb`] size rebuilds a circuit with **exactly** the
+//! qubit and FT-op counts of Table 3 from a [`MixSpec`] recipe (see
+//! DESIGN.md §4 for how the published `(Q, N)` pair pins the mix of
+//! 3-control MCTs, Toffolis and CNOTs).
+
+use leqa_circuit::Circuit;
+
+use crate::MixSpec;
+
+/// The recipe behind an `hwbNps` benchmark size.
+///
+/// Returns `None` for sizes the paper does not evaluate; use
+/// [`hwb_with_spec`] for custom sizes.
+pub fn hwb_spec(n: u32) -> Option<MixSpec> {
+    // (base wires, 3-control MCTs, Toffolis, CNOTs), derived from Table 3's
+    // (Q, N): ancillas = Q − n pins the MCT count; the op remainder pins
+    // Toffolis and CNOTs.
+    let (mct3, toffoli, cnot) = match n {
+        15 => (32, 163, 0),
+        16 => (39, 137, 1),
+        20 => (63, 237, 5),
+        50 => (320, 731, 5),
+        100 => (1006, 1497, 10),
+        200 => (2945, 2864, 5),
+        _ => return None,
+    };
+    Some(MixSpec {
+        name: format!("hwb{n}ps"),
+        base_wires: n,
+        mct: vec![(3, mct3)],
+        toffoli,
+        cnot,
+        not: 0,
+        // hwb's weight-controlled rotations touch wires about half a
+        // register apart.
+        locality: (n / 2).max(4),
+        seed: 0x4857_4200 + n as u64,
+    })
+}
+
+/// Generates the `hwbNps` benchmark for a Table 3 size.
+///
+/// # Panics
+///
+/// Panics if `n` is not one of the paper's sizes (15, 16, 20, 50, 100,
+/// 200); use [`hwb_with_spec`] for other sizes.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::decompose::{lowered_ancilla_count, lowered_op_count};
+/// use leqa_workloads::hwb::hwb;
+///
+/// let c = hwb(15);
+/// assert_eq!(lowered_op_count(&c), 3885);
+/// assert_eq!(c.num_qubits() as u64 + lowered_ancilla_count(&c), 47);
+/// ```
+pub fn hwb(n: u32) -> Circuit {
+    hwb_spec(n)
+        .unwrap_or_else(|| panic!("hwb{n}ps is not a Table 3 size"))
+        .build()
+}
+
+/// Generates an hwb-style circuit from a custom recipe.
+pub fn hwb_with_spec(spec: MixSpec) -> Circuit {
+    spec.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::lower_to_ft;
+
+    #[test]
+    fn table3_counts_match_exactly() {
+        let rows = [
+            (15u32, 47u64, 3_885u64),
+            (16, 55, 3_811),
+            (20, 83, 6_395),
+            (50, 370, 25_370),
+            (100, 1_106, 67_735),
+            (200, 3_145, 175_490),
+        ];
+        for (n, qubits, ops) in rows {
+            let spec = hwb_spec(n).unwrap();
+            assert_eq!(spec.predicted_qubits(), qubits, "hwb{n}ps qubits");
+            assert_eq!(spec.predicted_ops(), ops, "hwb{n}ps ops");
+        }
+    }
+
+    #[test]
+    fn lowered_circuit_matches_prediction() {
+        let spec = hwb_spec(15).unwrap();
+        let ft = lower_to_ft(&spec.build()).unwrap();
+        assert_eq!(ft.ops().len() as u64, 3_885);
+        assert_eq!(ft.num_qubits() as u64, 47);
+    }
+
+    #[test]
+    fn unknown_size_is_none() {
+        assert!(hwb_spec(17).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Table 3 size")]
+    fn hwb_panics_on_unknown_size() {
+        hwb(17);
+    }
+
+    #[test]
+    fn circuits_are_reproducible() {
+        assert_eq!(hwb(16), hwb(16));
+    }
+}

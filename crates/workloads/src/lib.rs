@@ -1,0 +1,43 @@
+//! Benchmark-circuit generators reproducing the LEQA evaluation suite.
+//!
+//! The paper takes its 18 benchmarks from D. Maslov's reversible-benchmark
+//! page (reference [12], a 2012 snapshot that is no longer distributable).
+//! This crate regenerates each family procedurally:
+//!
+//! * [`gf2::gf2_mult`] — GF(2^n) multipliers as Mastrovito Toffoli networks:
+//!   `n²` Toffolis (one per partial product) plus `w·(n−1)` reduction CNOTs
+//!   for a reduction polynomial with `w` non-trivial taps. With the paper's
+//!   pentanomial default (`w = 3`, trinomial for n = 20) the lowered op
+//!   counts **exactly** match Table 3 for every `gf2^n mult` row.
+//! * [`adder`] — ripple-carry adders (a genuine Cuccaro construction plus
+//!   the suite's tuned 8-bit and mod-2^20 variants).
+//! * [`hwb::hwb`] — hidden-weighted-bit-style controlled-permutation
+//!   networks with the published qubit/op counts.
+//! * [`ham`] — Hamming-code benchmarks, including the ham3 circuit of
+//!   Fig. 2.
+//! * [`random_circuit`] — seeded random circuits for property tests and
+//!   sweeps.
+//! * [`suite`] — the named 18-benchmark table suite with the paper's
+//!   published numbers attached for comparison.
+//!
+//! See DESIGN.md §4 for the substitution argument: LEQA consumes only graph
+//! statistics (dependency structure, interaction degrees, two-qubit-op
+//! multiplicities), so a generator that reproduces the family structure,
+//! qubit count and op count preserves the quantities under test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod gf2;
+pub mod ham;
+pub mod hwb;
+mod mix;
+pub mod qft;
+mod random;
+pub mod shor;
+pub mod suite;
+
+pub use mix::MixSpec;
+pub use random::{random_circuit, RandomCircuitConfig};
+pub use suite::{Benchmark, PaperRow, SUITE};

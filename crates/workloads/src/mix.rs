@@ -1,0 +1,310 @@
+//! Structured gate-mix builder.
+//!
+//! Several of the paper's benchmarks (the `hwbNps` family, `ham15`, the
+//! adders) are only published as aggregate statistics — qubit count and
+//! FT-op count (Table 3). [`MixSpec`] rebuilds a circuit from such a
+//! recipe: a number of primary wires plus exact counts of multi-controlled
+//! Toffolis, plain Toffolis, CNOTs and NOTs. Operands are chosen with a
+//! sliding locality window driven by a seeded RNG, giving the mix the
+//! neighbourhood structure (local chains with occasional long hops) that
+//! synthesized permutation circuits exhibit.
+//!
+//! The arithmetic behind each recipe: a `k`-control MCT lowers to
+//! `(2k − 3)` Toffolis (15 FT ops each) and adds `(k − 2)` ancillas, so the
+//! published `(Q, N)` pair pins the gate mix — see DESIGN.md §4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use leqa_circuit::{Circuit, Gate, QubitId};
+
+/// Recipe for a structured benchmark circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Circuit name (shows up in reports).
+    pub name: String,
+    /// Primary (non-ancilla) wires.
+    pub base_wires: u32,
+    /// `(controls, count)` pairs of multi-controlled Toffolis (controls ≥ 3).
+    pub mct: Vec<(u32, u32)>,
+    /// Plain 3-input Toffolis.
+    pub toffoli: u32,
+    /// CNOTs.
+    pub cnot: u32,
+    /// NOTs.
+    pub not: u32,
+    /// Operand locality window (wires); clamped to the wire count.
+    pub locality: u32,
+    /// RNG seed for operand selection (fixed → reproducible circuits).
+    pub seed: u64,
+}
+
+impl MixSpec {
+    /// Predicted FT-op count after lowering:
+    /// `15·(toffoli + Σ (2k−3)·count) + cnot + not`.
+    pub fn predicted_ops(&self) -> u64 {
+        let mct_toffolis: u64 = self
+            .mct
+            .iter()
+            .map(|&(k, c)| (2 * k as u64 - 3) * c as u64)
+            .sum();
+        15 * (self.toffoli as u64 + mct_toffolis) + self.cnot as u64 + self.not as u64
+    }
+
+    /// Predicted qubit count after lowering:
+    /// `base_wires + Σ (k−2)·count`.
+    pub fn predicted_qubits(&self) -> u64 {
+        let ancillas: u64 = self
+            .mct
+            .iter()
+            .map(|&(k, c)| (k as u64 - 2) * c as u64)
+            .sum();
+        self.base_wires as u64 + ancillas
+    }
+
+    /// Builds the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_wires` is smaller than the largest gate's operand
+    /// count (controls + 1).
+    pub fn build(&self) -> Circuit {
+        let max_operands = self
+            .mct
+            .iter()
+            .map(|&(k, _)| k + 1)
+            .chain([3, 2, 1])
+            .max()
+            .unwrap_or(1);
+        assert!(
+            self.base_wires >= max_operands,
+            "{} wires cannot host a {}-operand gate",
+            self.base_wires,
+            max_operands
+        );
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut circuit = Circuit::with_name(self.base_wires, self.name.clone());
+
+        // Build a type schedule that spreads each class evenly through the
+        // program, then emit gates with windowed operands.
+        let schedule = self.schedule();
+        let window = self.locality.clamp(max_operands, self.base_wires);
+        let mut cursor = 0u32;
+
+        for kind in schedule {
+            let operands = pick_operands(
+                &mut rng,
+                self.base_wires,
+                window,
+                &mut cursor,
+                kind.operand_count(),
+            );
+            let gate = match kind {
+                GateKind::Mct(_) => {
+                    let (target, controls) = operands.split_last().expect("≥1 operand");
+                    Gate::mct(controls.to_vec(), *target).expect("distinct operands")
+                }
+                GateKind::Toffoli => {
+                    Gate::toffoli(operands[0], operands[1], operands[2]).expect("distinct")
+                }
+                GateKind::Cnot => Gate::cnot(operands[0], operands[1]).expect("distinct"),
+                GateKind::Not => Gate::not(operands[0]),
+            };
+            circuit.push(gate).expect("operands in range");
+        }
+        circuit
+    }
+
+    /// Interleaves the gate classes evenly (largest-remainder round robin).
+    fn schedule(&self) -> Vec<GateKind> {
+        let mut classes: Vec<(GateKind, u64)> = Vec::new();
+        for &(k, count) in &self.mct {
+            classes.push((GateKind::Mct(k), count as u64));
+        }
+        classes.push((GateKind::Toffoli, self.toffoli as u64));
+        classes.push((GateKind::Cnot, self.cnot as u64));
+        classes.push((GateKind::Not, self.not as u64));
+        classes.retain(|&(_, c)| c > 0);
+
+        let total: u64 = classes.iter().map(|&(_, c)| c).sum();
+        let mut out = Vec::with_capacity(total as usize);
+        let mut emitted: Vec<u64> = vec![0; classes.len()];
+        for step in 0..total {
+            // Largest-remainder pick: the class furthest behind its
+            // proportional share, never exceeding its budget.
+            let mut best: Option<usize> = None;
+            let mut best_deficit = i128::MIN;
+            for (i, &(_, c)) in classes.iter().enumerate() {
+                if emitted[i] >= c {
+                    continue;
+                }
+                let deficit = c as i128 * (step as i128 + 1) - emitted[i] as i128 * total as i128;
+                if deficit > best_deficit {
+                    best_deficit = deficit;
+                    best = Some(i);
+                }
+            }
+            let i = best.expect("budgets sum to total");
+            emitted[i] += 1;
+            out.push(classes[i].0);
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateKind {
+    Mct(u32),
+    Toffoli,
+    Cnot,
+    Not,
+}
+
+impl GateKind {
+    fn operand_count(self) -> u32 {
+        match self {
+            GateKind::Mct(k) => k + 1,
+            GateKind::Toffoli => 3,
+            GateKind::Cnot => 2,
+            GateKind::Not => 1,
+        }
+    }
+}
+
+/// Picks `count` distinct wires inside a window that slowly sweeps the
+/// register, mimicking the ripple/permutation locality of synthesized
+/// circuits.
+fn pick_operands(
+    rng: &mut StdRng,
+    wires: u32,
+    window: u32,
+    cursor: &mut u32,
+    count: u32,
+) -> Vec<QubitId> {
+    debug_assert!(window >= count && wires >= window);
+    let base = *cursor % wires;
+    *cursor = cursor.wrapping_add(1 + rng.gen_range(0..3));
+
+    let mut picked: Vec<u32> = Vec::with_capacity(count as usize);
+    while picked.len() < count as usize {
+        let offset = rng.gen_range(0..window);
+        let wire = (base + offset) % wires;
+        if !picked.contains(&wire) {
+            picked.push(wire);
+        }
+    }
+    picked.into_iter().map(QubitId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::{lower_to_ft, lowered_op_count};
+
+    fn spec() -> MixSpec {
+        MixSpec {
+            name: "mix-test".into(),
+            base_wires: 15,
+            mct: vec![(3, 4), (4, 2)],
+            toffoli: 10,
+            cnot: 7,
+            not: 3,
+            locality: 6,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn predicted_ops_match_lowering() {
+        let s = spec();
+        let c = s.build();
+        assert_eq!(lowered_op_count(&c), s.predicted_ops());
+        let ft = lower_to_ft(&c).unwrap();
+        assert_eq!(ft.ops().len() as u64, s.predicted_ops());
+    }
+
+    #[test]
+    fn predicted_qubits_match_lowering() {
+        let s = spec();
+        let ft = lower_to_ft(&s.build()).unwrap();
+        assert_eq!(ft.num_qubits() as u64, s.predicted_qubits());
+        // 15 + 4·1 + 2·2 = 23
+        assert_eq!(s.predicted_qubits(), 23);
+    }
+
+    #[test]
+    fn gate_counts_match_spec() {
+        let s = spec();
+        let stats = s.build().stats();
+        assert_eq!(stats.mct, 6);
+        assert_eq!(stats.toffoli, 10);
+        assert_eq!(stats.cnot, 7);
+        assert_eq!(stats.one_qubit, 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = spec().build();
+        let b = spec().build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_operands() {
+        let a = spec().build();
+        let mut s2 = spec();
+        s2.seed = 99;
+        let b = s2.build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn operands_respect_wire_range() {
+        let c = spec().build();
+        for g in c.gates() {
+            for q in g.qubits() {
+                assert!(q.0 < 15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn too_few_wires_panics() {
+        MixSpec {
+            name: "bad".into(),
+            base_wires: 3,
+            mct: vec![(5, 1)],
+            toffoli: 0,
+            cnot: 0,
+            not: 0,
+            locality: 3,
+            seed: 0,
+        }
+        .build();
+    }
+
+    #[test]
+    fn schedule_interleaves_classes() {
+        // With equal counts, no class should be fully exhausted in the
+        // first half of the program.
+        let s = MixSpec {
+            name: "interleave".into(),
+            base_wires: 8,
+            mct: vec![],
+            toffoli: 20,
+            cnot: 20,
+            not: 0,
+            locality: 4,
+            seed: 1,
+        };
+        let c = s.build();
+        let first_half = &c.gates()[..20];
+        let toffolis = first_half
+            .iter()
+            .filter(|g| matches!(g, Gate::Toffoli { .. }))
+            .count();
+        assert!(toffolis > 2 && toffolis < 18, "got {toffolis}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Approximate quantum Fourier transform workloads.
+//!
+//! The QFT is the core subroutine of Shor's algorithm — the workload the
+//! paper's extrapolation argument (§4.2) targets. The exact QFT uses
+//! controlled rotations `R_k` outside the fault-tolerant gate set; the
+//! standard FT compilation replaces each controlled-`R_k` with a
+//! CNOT-conjugated phase ladder over `{T, T†, S, S†, Z}` (exact for
+//! `k ≤ 3`, Solovay–Kitaev-style approximation beyond — modelled here as
+//! a fixed-depth T ladder, which preserves the gate-count structure LEQA
+//! consumes).
+
+use leqa_circuit::{Circuit, Gate, QubitId};
+use leqa_fabric::OneQubitKind;
+
+/// Generates an `n`-qubit approximate QFT circuit.
+///
+/// Structure per qubit `i`: a Hadamard, then controlled rotations from
+/// every later qubit `j`, each compiled as CNOT–phase–CNOT–phase with a
+/// rotation ladder whose depth shrinks with distance (`k = j − i + 1`,
+/// capped at `max_k`). Distant rotations below the cap are dropped — the
+/// usual *approximate* QFT that keeps the circuit polynomial.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_k < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_workloads::qft::qft;
+///
+/// let c = qft(8, 5);
+/// assert_eq!(c.num_qubits(), 8);
+/// assert!(c.gates().len() > 8); // H per qubit + rotation ladders
+/// ```
+pub fn qft(n: u32, max_k: u32) -> Circuit {
+    assert!(n > 0, "qft needs at least one qubit");
+    assert!(max_k >= 2, "rotation cutoff must be at least 2");
+    let q = QubitId;
+    let mut c = Circuit::with_name(n, format!("qft{n}"));
+
+    for i in 0..n {
+        c.push(Gate::one_qubit(OneQubitKind::H, q(i)))
+            .expect("in range");
+        for j in (i + 1)..n {
+            let k = j - i + 1;
+            if k > max_k {
+                break; // approximate QFT: drop negligible rotations
+            }
+            emit_controlled_phase(&mut c, q(j), q(i), k);
+        }
+    }
+    // Final bit-reversal as a swap network (3 CNOTs per swap).
+    for i in 0..n / 2 {
+        let (a, b) = (q(i), q(n - 1 - i));
+        c.push(Gate::cnot(a, b).expect("distinct"))
+            .expect("in range");
+        c.push(Gate::cnot(b, a).expect("distinct"))
+            .expect("in range");
+        c.push(Gate::cnot(a, b).expect("distinct"))
+            .expect("in range");
+    }
+    c
+}
+
+/// Controlled-`R_k` compiled over the FT set: phase kickback via two
+/// CNOTs with `R_{k+1}`-grade single-qubit rotations on both wires.
+///
+/// `R_2` (controlled-S) and `R_3` (controlled-T) are exact in this
+/// pattern; deeper rotations use a T-ladder of length `k − 3` as the
+/// Solovay–Kitaev stand-in (each extra level costs a constant factor in
+/// practice; a linear ladder keeps dependence structure realistic without
+/// exploding the circuit).
+fn emit_controlled_phase(c: &mut Circuit, control: QubitId, target: QubitId, k: u32) {
+    let rotation = |c: &mut Circuit, wire: QubitId, inverse: bool| {
+        let (fine, fine_inv) = (OneQubitKind::T, OneQubitKind::Tdg);
+        let kind = if inverse { fine_inv } else { fine };
+        match k {
+            2 => {
+                // Half of controlled-S: S = T², one T per half.
+                c.push(Gate::one_qubit(kind, wire)).expect("in range");
+            }
+            _ => {
+                // T-grade plus an approximation ladder for k > 3.
+                for _ in 0..(k - 2) {
+                    c.push(Gate::one_qubit(kind, wire)).expect("in range");
+                }
+            }
+        }
+    };
+
+    rotation(c, control, false);
+    rotation(c, target, false);
+    c.push(Gate::cnot(control, target).expect("distinct"))
+        .expect("in range");
+    rotation(c, target, true);
+    c.push(Gate::cnot(control, target).expect("distinct"))
+        .expect("in range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::lower_to_ft;
+    use leqa_circuit::Iig;
+
+    #[test]
+    fn qubit_count_and_name() {
+        let c = qft(6, 4);
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.name(), Some("qft6"));
+    }
+
+    #[test]
+    fn every_gate_is_ft_level() {
+        // QFT compiles straight to {1q, CNOT}: lowering adds no ancillas
+        // and the op count equals the gate count.
+        let c = qft(8, 5);
+        let ft = lower_to_ft(&c).unwrap();
+        assert_eq!(ft.num_qubits(), 8);
+        assert_eq!(ft.ops().len(), c.gates().len());
+    }
+
+    #[test]
+    fn approximation_cap_bounds_interactions() {
+        // With max_k = 3, qubit i only interacts with i±1, i±2 (plus the
+        // swap network partner).
+        let c = qft(12, 3);
+        let ft = lower_to_ft(&c).unwrap();
+        let iig = Iig::from_ft_circuit(&ft);
+        for i in 0..12u32 {
+            assert!(
+                iig.degree(QubitId(i)) <= 5,
+                "qubit {i} has degree {}",
+                iig.degree(QubitId(i))
+            );
+        }
+    }
+
+    #[test]
+    fn exact_small_qft_structure() {
+        // n=2, max_k=2: H(0), CR_2(1→0), H(1), swap.
+        let c = qft(2, 2);
+        let stats = c.stats();
+        assert_eq!(stats.one_qubit, 2 + 3); // 2 H + 3 phase rotations
+        assert_eq!(stats.cnot, 2 + 3); // kickback pair + swap
+    }
+
+    #[test]
+    fn gate_count_grows_linearly_with_cutoff_fixed() {
+        let small = qft(16, 4).gates().len();
+        let large = qft(32, 4).gates().len();
+        // Fixed cutoff → O(n) gates: doubling n roughly doubles gates.
+        let ratio = large as f64 / small as f64;
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_panics() {
+        qft(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn tiny_cutoff_panics() {
+        qft(4, 1);
+    }
+}

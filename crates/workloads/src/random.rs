@@ -1,0 +1,176 @@
+//! Seeded random circuits for property tests, fuzzing and sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use leqa_circuit::{Circuit, Gate, QubitId};
+use leqa_fabric::OneQubitKind;
+
+/// Configuration for [`random_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomCircuitConfig {
+    /// Number of wires (≥ 3 so Toffolis fit).
+    pub qubits: u32,
+    /// Number of gates to emit.
+    pub gates: u64,
+    /// Fraction of gates that are Toffolis (0..=1).
+    pub toffoli_fraction: f64,
+    /// Fraction of gates that are CNOTs (0..=1; the rest are one-qubit).
+    pub cnot_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            qubits: 16,
+            gates: 200,
+            toffoli_fraction: 0.25,
+            cnot_fraction: 0.35,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random reversible circuit.
+///
+/// The gate mix is Toffoli/CNOT/one-qubit with the configured fractions;
+/// operands are uniform distinct wires. Deterministic for a fixed seed.
+///
+/// # Panics
+///
+/// Panics if `qubits < 3` or the fractions are outside `[0, 1]` or sum to
+/// more than 1.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_workloads::{random_circuit, RandomCircuitConfig};
+///
+/// let c = random_circuit(RandomCircuitConfig::default());
+/// assert_eq!(c.gates().len(), 200);
+/// ```
+pub fn random_circuit(config: RandomCircuitConfig) -> Circuit {
+    assert!(config.qubits >= 3, "need at least 3 wires for Toffolis");
+    assert!(
+        (0.0..=1.0).contains(&config.toffoli_fraction)
+            && (0.0..=1.0).contains(&config.cnot_fraction)
+            && config.toffoli_fraction + config.cnot_fraction <= 1.0 + 1e-12,
+        "fractions must be probabilities summing to at most 1"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut c = Circuit::with_name(config.qubits, format!("random{}", config.seed));
+
+    let one_qubit_kinds = OneQubitKind::ALL;
+    for _ in 0..config.gates {
+        let roll: f64 = rng.gen();
+        let gate = if roll < config.toffoli_fraction {
+            let (a, b, t) = three_distinct(&mut rng, config.qubits);
+            Gate::toffoli(a, b, t).expect("distinct")
+        } else if roll < config.toffoli_fraction + config.cnot_fraction {
+            let (a, b) = two_distinct(&mut rng, config.qubits);
+            Gate::cnot(a, b).expect("distinct")
+        } else {
+            let kind = one_qubit_kinds[rng.gen_range(0..one_qubit_kinds.len())];
+            Gate::one_qubit(kind, QubitId(rng.gen_range(0..config.qubits)))
+        };
+        c.push(gate).expect("in range");
+    }
+    c
+}
+
+fn two_distinct(rng: &mut StdRng, qubits: u32) -> (QubitId, QubitId) {
+    let a = rng.gen_range(0..qubits);
+    let mut b = rng.gen_range(0..qubits - 1);
+    if b >= a {
+        b += 1;
+    }
+    (QubitId(a), QubitId(b))
+}
+
+fn three_distinct(rng: &mut StdRng, qubits: u32) -> (QubitId, QubitId, QubitId) {
+    let (a, b) = two_distinct(rng, qubits);
+    loop {
+        let t = QubitId(rng.gen_range(0..qubits));
+        if t != a && t != b {
+            return (a, b, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = RandomCircuitConfig::default();
+        assert_eq!(random_circuit(cfg), random_circuit(cfg));
+    }
+
+    #[test]
+    fn gate_count_matches() {
+        let cfg = RandomCircuitConfig {
+            gates: 500,
+            ..Default::default()
+        };
+        assert_eq!(random_circuit(cfg).gates().len(), 500);
+    }
+
+    #[test]
+    fn all_one_qubit_mix() {
+        let cfg = RandomCircuitConfig {
+            toffoli_fraction: 0.0,
+            cnot_fraction: 0.0,
+            ..Default::default()
+        };
+        let c = random_circuit(cfg);
+        assert_eq!(c.stats().one_qubit, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_wires() {
+        random_circuit(RandomCircuitConfig {
+            qubits: 2,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn bad_fractions() {
+        random_circuit(RandomCircuitConfig {
+            toffoli_fraction: 0.8,
+            cnot_fraction: 0.8,
+            ..Default::default()
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn operands_always_valid(seed in 0u64..500, qubits in 3u32..32) {
+            let cfg = RandomCircuitConfig {
+                qubits,
+                gates: 50,
+                seed,
+                ..Default::default()
+            };
+            let c = random_circuit(cfg);
+            for g in c.gates() {
+                let qs = g.qubits();
+                for q in &qs {
+                    prop_assert!(q.0 < qubits);
+                }
+                // distinct operands
+                let mut sorted = qs.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), qs.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! A Shor's-algorithm skeleton: the workload behind the paper's §4.2
+//! extrapolation argument.
+//!
+//! Full Shor-`n` modular exponentiation is ~`O(n³)` gates — far beyond
+//! what anyone maps in one piece. This generator builds the *inner loop*
+//! the architecture papers (e.g. ref. [10]) analyse: a cascade of
+//! controlled modular additions, each realized as a Cuccaro ripple-carry
+//! adder with its MAJ/UMA cells controlled by an exponent qubit (one
+//! ancilla-free controlled-adder round per exponent bit window).
+//!
+//! The result is a realistic large circuit family with adder-style
+//! locality plus a global control fan-out — useful for stress-testing
+//! both tools beyond the Maslov suite.
+
+use leqa_circuit::{Circuit, Gate, QubitId};
+
+/// Generates a Shor-skeleton circuit: `rounds` controlled modular-adder
+/// rounds over an `n`-bit register.
+///
+/// Layout: wire 0 = carry ancilla, `1..=n` = accumulator `a`,
+/// `n+1..=2n` = addend `b`, `2n+1` = carry-out, `2n+2..2n+2+rounds` =
+/// exponent (control) qubits. Qubit count `2n + 2 + rounds`; gate count
+/// grows as `rounds · n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rounds == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_workloads::shor::shor_skeleton;
+///
+/// let c = shor_skeleton(8, 4);
+/// assert_eq!(c.num_qubits(), 8 * 2 + 2 + 4);
+/// ```
+pub fn shor_skeleton(n: u32, rounds: u32) -> Circuit {
+    assert!(n > 0, "register width must be positive");
+    assert!(rounds > 0, "need at least one exponent round");
+
+    let carry_in = QubitId(0);
+    let a = |i: u32| QubitId(1 + i);
+    let b = |i: u32| QubitId(1 + n + i);
+    let carry_out = QubitId(2 * n + 1);
+    let exponent = |r: u32| QubitId(2 * n + 2 + r);
+
+    let mut c = Circuit::with_name(2 * n + 2 + rounds, format!("shor{n}x{rounds}"));
+
+    for r in 0..rounds {
+        let ctl = exponent(r);
+        // Controlled-MAJ: the CNOTs become Toffolis under the exponent
+        // control; the Toffoli becomes a 3-control MCT.
+        let cmaj = |c: &mut Circuit, x: QubitId, y: QubitId, z: QubitId| {
+            c.push(Gate::toffoli(ctl, z, y).expect("distinct"))
+                .expect("range");
+            c.push(Gate::toffoli(ctl, z, x).expect("distinct"))
+                .expect("range");
+            c.push(Gate::mct(vec![ctl, x, y], z).expect("distinct"))
+                .expect("range");
+        };
+        let cuma = |c: &mut Circuit, x: QubitId, y: QubitId, z: QubitId| {
+            c.push(Gate::mct(vec![ctl, x, y], z).expect("distinct"))
+                .expect("range");
+            c.push(Gate::toffoli(ctl, z, x).expect("distinct"))
+                .expect("range");
+            c.push(Gate::toffoli(ctl, x, y).expect("distinct"))
+                .expect("range");
+        };
+
+        cmaj(&mut c, carry_in, b(0), a(0));
+        for i in 1..n {
+            cmaj(&mut c, a(i - 1), b(i), a(i));
+        }
+        c.push(Gate::toffoli(ctl, a(n - 1), carry_out).expect("distinct"))
+            .expect("range");
+        for i in (1..n).rev() {
+            cuma(&mut c, a(i - 1), b(i), a(i));
+        }
+        cuma(&mut c, carry_in, b(0), a(0));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::{lower_to_ft, lowered_op_count};
+    use leqa_circuit::Iig;
+
+    #[test]
+    fn qubit_and_gate_structure() {
+        let c = shor_skeleton(4, 3);
+        assert_eq!(c.num_qubits(), 4 * 2 + 2 + 3);
+        let s = c.stats();
+        // Per round: 2n controlled-MAJ/UMA cells with 2 Toffolis + 1 MCT3
+        // each, plus the carry-out Toffoli.
+        assert_eq!(s.mct, 3 * 2 * 4);
+        assert_eq!(s.toffoli as u32, 3 * (2 * 2 * 4 + 1));
+    }
+
+    #[test]
+    fn op_count_scales_linearly_in_rounds() {
+        let one = lowered_op_count(&shor_skeleton(8, 1));
+        let four = lowered_op_count(&shor_skeleton(8, 4));
+        assert_eq!(four, 4 * one);
+    }
+
+    #[test]
+    fn exponent_qubits_are_global_hubs() {
+        let ft = lower_to_ft(&shor_skeleton(6, 2)).unwrap();
+        let iig = Iig::from_ft_circuit(&ft);
+        // Each exponent qubit touches most of the register.
+        let ctl = QubitId(6 * 2 + 2);
+        assert!(iig.degree(ctl) >= 6, "degree {}", iig.degree(ctl));
+    }
+
+    #[test]
+    fn lowering_adds_one_ancilla_per_mct() {
+        let c = shor_skeleton(4, 1);
+        let ft = lower_to_ft(&c).unwrap();
+        // 2n MCT3 gates, each adds exactly one ancilla.
+        assert_eq!(ft.num_qubits(), c.num_qubits() + 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        shor_skeleton(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_rounds_panics() {
+        shor_skeleton(4, 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The named 18-benchmark evaluation suite (Tables 2 and 3), with the
+//! paper's published numbers attached for side-by-side reporting.
+
+use leqa_circuit::Circuit;
+
+use crate::{adder, gf2, ham, hwb};
+
+/// One row of the paper's published results (Tables 2 and 3 combined).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Qubit count (Table 3).
+    pub qubits: u64,
+    /// FT operation count (Table 3).
+    pub ops: u64,
+    /// QSPR's "actual delay" in seconds (Table 2).
+    pub actual_delay_s: f64,
+    /// LEQA's "estimated delay" in seconds (Table 2).
+    pub estimated_delay_s: f64,
+    /// Absolute error in percent (Table 2).
+    pub error_pct: f64,
+    /// QSPR runtime in seconds (Table 3).
+    pub qspr_runtime_s: f64,
+    /// LEQA runtime in seconds (Table 3).
+    pub leqa_runtime_s: f64,
+    /// Speedup factor (Table 3).
+    pub speedup: f64,
+}
+
+/// Which generator family a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    Adder8,
+    Gf2(u32),
+    Hwb(u32),
+    Ham15,
+    ModAdder,
+}
+
+/// A named benchmark of the evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// The paper's benchmark name.
+    pub name: &'static str,
+    /// The paper's published numbers for this benchmark.
+    pub paper: PaperRow,
+    family: Family,
+}
+
+impl Benchmark {
+    /// Generates the benchmark circuit (reversible level; lower it with
+    /// [`leqa_circuit::decompose::lower_to_ft`]).
+    pub fn circuit(&self) -> Circuit {
+        match self.family {
+            Family::Adder8 => adder::adder8(),
+            Family::Gf2(n) => gf2::gf2_mult(n),
+            Family::Hwb(n) => hwb::hwb(n),
+            Family::Ham15 => ham::ham15(),
+            Family::ModAdder => adder::mod1048576_adder(),
+        }
+    }
+
+    /// Looks a benchmark up by its paper name.
+    pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+        SUITE.iter().find(|b| b.name == name)
+    }
+}
+
+macro_rules! row {
+    ($name:literal, $family:expr, $qubits:literal, $ops:literal,
+     $actual:literal, $est:literal, $err:literal,
+     $qspr_rt:literal, $leqa_rt:literal, $speedup:literal) => {
+        Benchmark {
+            name: $name,
+            family: $family,
+            paper: PaperRow {
+                qubits: $qubits,
+                ops: $ops,
+                actual_delay_s: $actual,
+                estimated_delay_s: $est,
+                error_pct: $err,
+                qspr_runtime_s: $qspr_rt,
+                leqa_runtime_s: $leqa_rt,
+                speedup: $speedup,
+            },
+        }
+    };
+}
+
+/// The 18 benchmarks in Table 3's order (sorted by operation count).
+pub const SUITE: [Benchmark; 18] = [
+    row!(
+        "8bitadder",
+        Family::Adder8,
+        24,
+        822,
+        1.617,
+        1.667,
+        3.10,
+        0.9,
+        0.115,
+        8.2
+    ),
+    row!(
+        "gf2^16mult",
+        Family::Gf2(16),
+        48,
+        3885,
+        4.460,
+        4.524,
+        1.45,
+        3.0,
+        0.289,
+        10.3
+    ),
+    row!(
+        "hwb15ps",
+        Family::Hwb(15),
+        47,
+        3885,
+        19.40,
+        19.93,
+        2.76,
+        2.7,
+        0.256,
+        10.7
+    ),
+    row!(
+        "hwb16ps",
+        Family::Hwb(16),
+        55,
+        3811,
+        18.52,
+        19.03,
+        2.76,
+        2.9,
+        0.250,
+        11.5
+    ),
+    row!(
+        "gf2^18mult",
+        Family::Gf2(18),
+        54,
+        4911,
+        5.085,
+        5.109,
+        0.46,
+        3.5,
+        0.276,
+        12.6
+    ),
+    row!(
+        "gf2^19mult",
+        Family::Gf2(19),
+        57,
+        5469,
+        5.393,
+        5.407,
+        0.25,
+        3.7,
+        0.259,
+        14.2
+    ),
+    row!(
+        "gf2^20mult",
+        Family::Gf2(20),
+        60,
+        6019,
+        5.654,
+        5.660,
+        0.11,
+        5.1,
+        0.301,
+        17.1
+    ),
+    row!(
+        "ham15",
+        Family::Ham15,
+        146,
+        5308,
+        25.18,
+        25.30,
+        0.51,
+        4.3,
+        0.257,
+        16.6
+    ),
+    row!(
+        "hwb20ps",
+        Family::Hwb(20),
+        83,
+        6395,
+        30.26,
+        31.06,
+        2.66,
+        3.8,
+        0.272,
+        13.9
+    ),
+    row!(
+        "hwb50ps",
+        Family::Hwb(50),
+        370,
+        25370,
+        123.6,
+        127.4,
+        3.10,
+        11.8,
+        0.450,
+        26.3
+    ),
+    row!(
+        "gf2^50mult",
+        Family::Gf2(50),
+        150,
+        37647,
+        14.74,
+        14.95,
+        1.44,
+        16.9,
+        0.398,
+        42.5
+    ),
+    row!(
+        "mod1048576adder",
+        Family::ModAdder,
+        1180,
+        37070,
+        202.7,
+        195.8,
+        3.38,
+        20.2,
+        0.382,
+        52.8
+    ),
+    row!(
+        "gf2^64mult",
+        Family::Gf2(64),
+        192,
+        61629,
+        19.04,
+        19.35,
+        1.64,
+        29.4,
+        0.461,
+        63.8
+    ),
+    row!(
+        "hwb100ps",
+        Family::Hwb(100),
+        1106,
+        67735,
+        342.7,
+        340.2,
+        0.72,
+        26.7,
+        0.575,
+        46.4
+    ),
+    row!(
+        "gf2^100mult",
+        Family::Gf2(100),
+        300,
+        150297,
+        30.15,
+        29.98,
+        0.57,
+        65.2,
+        0.859,
+        76.0
+    ),
+    row!(
+        "hwb200ps",
+        Family::Hwb(200),
+        3145,
+        175490,
+        963.8,
+        883.9,
+        8.29,
+        66.7,
+        0.915,
+        72.9
+    ),
+    row!(
+        "gf2^128mult",
+        Family::Gf2(128),
+        384,
+        246141,
+        38.86,
+        38.38,
+        1.24,
+        106.0,
+        1.381,
+        78.3
+    ),
+    row!(
+        "gf2^256mult",
+        Family::Gf2(256),
+        768,
+        983805,
+        79.36,
+        76.54,
+        3.55,
+        524.8,
+        4.576,
+        114.7
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::decompose::{lowered_ancilla_count, lowered_op_count};
+
+    #[test]
+    fn suite_has_18_benchmarks_in_paper_order() {
+        assert_eq!(SUITE.len(), 18);
+        assert_eq!(SUITE[0].name, "8bitadder");
+        assert_eq!(SUITE[17].name, "gf2^256mult");
+        // Table 3 is *roughly* sorted by operation count (hwb16ps sits one
+        // row out of order in the paper itself); check the overall trend.
+        assert!(SUITE[17].paper.ops > SUITE[0].paper.ops * 1000);
+    }
+
+    #[test]
+    fn generated_counts_match_paper_exactly() {
+        for b in &SUITE {
+            let c = b.circuit();
+            let ops = lowered_op_count(&c);
+            let qubits = c.num_qubits() as u64 + lowered_ancilla_count(&c);
+            assert_eq!(ops, b.paper.ops, "{} op count", b.name);
+            assert_eq!(qubits, b.paper.qubits, "{} qubit count", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(Benchmark::by_name("gf2^256mult").is_some());
+        assert!(Benchmark::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn paper_average_error_is_as_published() {
+        // Table 2 reports an average absolute error of 2.11%.
+        let avg: f64 = SUITE.iter().map(|b| b.paper.error_pct).sum::<f64>() / SUITE.len() as f64;
+        assert!((avg - 2.11).abs() < 0.01, "average error {avg}");
+    }
+
+    #[test]
+    fn paper_errors_match_delays() {
+        for b in &SUITE {
+            let err = 100.0 * (b.paper.estimated_delay_s - b.paper.actual_delay_s).abs()
+                / b.paper.actual_delay_s;
+            assert!(
+                (err - b.paper.error_pct).abs() < 0.06,
+                "{}: recomputed {err:.2}% vs published {:.2}%",
+                b.name,
+                b.paper.error_pct
+            );
+        }
+    }
+
+    #[test]
+    fn paper_speedups_match_runtimes() {
+        for b in &SUITE {
+            let speedup = b.paper.qspr_runtime_s / b.paper.leqa_runtime_s;
+            assert!(
+                (speedup - b.paper.speedup).abs() / b.paper.speedup < 0.05,
+                "{}: recomputed {speedup:.1} vs published {:.1}",
+                b.name,
+                b.paper.speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Congestion heatmap — the Fig. 3 picture, measured instead of drawn:
+//! where presence zones overlap, routing channels carry more traffic.
+//!
+//! Maps a benchmark with the detailed mapper and renders an ASCII heatmap
+//! of per-ULB channel traffic (each cell aggregates its adjacent
+//! channels' traversal counts), alongside LEQA's model view of the same
+//! phenomenon (the congested fraction of `E[S_q]` mass).
+//!
+//! ```sh
+//! cargo run --release --example congestion_heatmap
+//! ```
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{Channel, FabricDims, PhysicalParams, Ulb};
+use leqa_workloads::Benchmark;
+use qspr::Mapper;
+
+const SHADES: [char; 7] = [' ', '.', ':', '+', '*', '#', '@'];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::by_name("hwb50ps").expect("suite benchmark");
+    let ft = lower_to_ft(&bench.circuit())?;
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let dims = FabricDims::new(30, 30)?; // small fabric → visible congestion
+    let params = PhysicalParams::dac13();
+
+    let result = Mapper::new(dims, params.clone()).map(&qodg)?;
+
+    // Aggregate channel load onto ULB cells.
+    let mut cell_load = vec![0u64; dims.area() as usize];
+    for ulb in dims.ulbs() {
+        for n in dims.neighbors(ulb) {
+            let id = Channel::between(ulb, n).expect("adjacent").id(dims);
+            cell_load[dims.index_of(ulb)] += result.channel_load[id.0];
+        }
+    }
+    let max = cell_load.iter().copied().max().unwrap_or(1).max(1);
+
+    println!(
+        "{} on a {}x{} fabric — channel-traffic heatmap (max {} traversals/cell)",
+        bench.name,
+        dims.width(),
+        dims.height(),
+        max
+    );
+    for y in 0..dims.height() {
+        let row: String = (0..dims.width())
+            .map(|x| {
+                let load = cell_load[dims.index_of(Ulb::new(x, y))];
+                let shade = (load * (SHADES.len() as u64 - 1) + max / 2) / max;
+                SHADES[shade as usize]
+            })
+            .collect();
+        println!("  |{row}|");
+    }
+
+    println!(
+        "\nmapper: total congestion wait {:.3} s, busiest channel {} traversals",
+        result.stats.congestion_wait.as_secs(),
+        result.stats.max_channel_load
+    );
+
+    // LEQA's view: how much E[S_q] mass sits above the channel capacity.
+    let estimate = Estimator::new(dims, params.clone()).estimate(&qodg)?;
+    let total: f64 = estimate.esq.iter().sum();
+    let congested: f64 = estimate
+        .esq
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| (k + 1) as u32 > params.channel_capacity())
+        .map(|(_, e)| e)
+        .sum();
+    println!(
+        "LEQA model: {:.1}% of covered area carries more than N_c = {} zones \
+         (drives L_CNOT = {:.0} µs)",
+        100.0 * congested / total,
+        params.channel_capacity(),
+        estimate.l_cnot_avg.as_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Estimator vs detailed mapper on the same program: the Table 2
+//! experiment in miniature, with the mapper's movement statistics shown
+//! next to LEQA's model quantities.
+//!
+//! ```sh
+//! cargo run --release --example estimator_vs_mapper
+//! ```
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::Benchmark;
+use qspr::Mapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::by_name("ham15").expect("suite benchmark");
+    let ft = lower_to_ft(&bench.circuit())?;
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+
+    let actual = Mapper::new(dims, params.clone()).map(&qodg)?;
+    let estimate = Estimator::new(dims, params).estimate(&qodg)?;
+
+    let err = 100.0 * (estimate.latency.as_secs() - actual.latency.as_secs()).abs()
+        / actual.latency.as_secs();
+
+    println!(
+        "benchmark: {} ({} qubits, {} ops)",
+        bench.name,
+        qodg.num_qubits(),
+        qodg.op_count()
+    );
+    println!();
+    println!("QSPR (detailed mapping)");
+    println!("  actual latency:        {:.4} s", actual.latency.as_secs());
+    println!("  CNOTs routed:          {}", actual.stats.cnot_ops);
+    println!(
+        "  avg CNOT distance:     {:.2} hops",
+        actual.stats.avg_cnot_distance()
+    );
+    println!(
+        "  channel traversals:    {}",
+        actual.stats.channel_traversals
+    );
+    println!(
+        "  congestion wait:       {:.4} s (summed over qubits)",
+        actual.stats.congestion_wait.as_secs()
+    );
+    println!();
+    println!("LEQA (procedural estimate)");
+    println!(
+        "  estimated latency:     {:.4} s",
+        estimate.latency.as_secs()
+    );
+    println!(
+        "  L_CNOT^avg:            {:.0} µs",
+        estimate.l_cnot_avg.as_f64()
+    );
+    println!(
+        "  d_uncong:              {:.0} µs",
+        estimate.d_uncong.as_f64()
+    );
+    println!(
+        "  avg presence zone B:   {:.2} ULBs",
+        estimate.avg_zone_area
+    );
+    println!();
+    println!("absolute error: {err:.2}% (paper's suite average: 2.11%)");
+    Ok(())
+}

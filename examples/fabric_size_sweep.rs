@@ -1,0 +1,62 @@
+//! Fabric-size exploration — the use case Algorithm 1's inputs call out:
+//! "Size of the fabric ... can be changed to find the optimal size for the
+//! fabric which results in the minimum delay."
+//!
+//! Sweeps square fabrics and prints the estimated latency of a benchmark
+//! on each, showing the congestion/area trade-off: a fabric barely larger
+//! than the qubit count suffers congested channels; past a point, extra
+//! area buys nothing.
+//!
+//! ```sh
+//! cargo run --release --example fabric_size_sweep
+//! ```
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::by_name("hwb50ps").expect("suite benchmark");
+    let ft = lower_to_ft(&bench.circuit())?;
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let params = PhysicalParams::dac13();
+
+    println!(
+        "fabric-size sweep for {} ({} logical qubits)",
+        bench.name,
+        qodg.num_qubits()
+    );
+    println!(
+        "{:>9} {:>8} {:>14} {:>14}",
+        "fabric", "ULBs", "L_CNOT (µs)", "latency (s)"
+    );
+
+    let mut best: Option<(u32, f64)> = None;
+    for side in [20u32, 25, 30, 40, 50, 60, 80, 100, 140] {
+        let dims = FabricDims::new(side, side)?;
+        if (qodg.num_qubits() as u64) > dims.area() {
+            println!(
+                "{side:>6}x{side:<2} {:>8} (too small for the program)",
+                dims.area()
+            );
+            continue;
+        }
+        let estimate = Estimator::new(dims, params.clone()).estimate(&qodg)?;
+        let latency = estimate.latency.as_secs();
+        println!(
+            "{side:>6}x{side:<2} {:>8} {:>14.0} {:>14.4}",
+            dims.area(),
+            estimate.l_cnot_avg.as_f64(),
+            latency
+        );
+        if best.is_none_or(|(_, l)| latency < l) {
+            best = Some((side, latency));
+        }
+    }
+
+    if let Some((side, latency)) = best {
+        println!("\nminimum estimated delay: {latency:.4} s at {side}x{side}");
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! QECC co-design — the intro's motivating loop: "designers of quantum
+//! error correction codes [can] investigate the effect of different error
+//! correction codes on the latency of quantum programs".
+//!
+//! Compares the estimated latency of a benchmark under three gate-delay
+//! sets standing in for different codes: the paper's one-level [[7,1,3]]
+//! Steane numbers, a two-level concatenation (every delay roughly an order
+//! of magnitude slower, movement included), and a hypothetical
+//! magic-state-assisted code whose T gates cost the same as Cliffords.
+//!
+//! ```sh
+//! cargo run --release --example qecc_comparison
+//! ```
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, GateDelays, Micros, OneQubitKind, PhysicalParams};
+use leqa_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::by_name("gf2^16mult").expect("suite benchmark");
+    let ft = lower_to_ft(&bench.circuit())?;
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let dims = FabricDims::dac13();
+    let steane1 = PhysicalParams::dac13();
+
+    // Two-level Steane: each logical op expands ~10x in physical depth and
+    // logical qubits move as larger blocks.
+    let steane2 = steane1
+        .to_builder()
+        .gate_delays(GateDelays::from_fn(
+            |kind| steane1.gate_delays().one_qubit(kind) * 10.0,
+            steane1.gate_delays().cnot() * 10.0,
+        ))
+        .t_move(steane1.t_move() * 10.0)
+        .build()?;
+
+    // Magic-state-assisted code: T costs no more than the Paulis because
+    // the expensive part is distilled offline.
+    let magic = steane1
+        .to_builder()
+        .gate_delays(GateDelays::from_fn(
+            |kind| match kind {
+                OneQubitKind::T | OneQubitKind::Tdg => Micros::new(5240.0),
+                other => steane1.gate_delays().one_qubit(other),
+            },
+            steane1.gate_delays().cnot(),
+        ))
+        .build()?;
+
+    println!(
+        "QECC comparison on {} ({} FT ops; T-heavy Toffoli networks)",
+        bench.name,
+        qodg.op_count()
+    );
+    println!("{:<28} {:>14}", "code", "latency (s)");
+    for (label, params) in [
+        ("[[7,1,3]] Steane, 1 level", steane1.clone()),
+        ("[[7,1,3]] Steane, 2 levels", steane2),
+        ("magic-state (cheap T)", magic),
+    ] {
+        let estimate = Estimator::new(dims, params).estimate(&qodg)?;
+        println!("{:<28} {:>14.4}", label, estimate.latency.as_secs());
+    }
+
+    println!(
+        "\nthe cheap-T code wins because the Shende–Markov Toffoli network \
+         puts 7 T/T† gates on every Toffoli's path; LEQA prices that in \
+         milliseconds instead of a full mapping run."
+    );
+    Ok(())
+}

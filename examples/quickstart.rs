@@ -1,0 +1,68 @@
+//! Quickstart: build a circuit, lower it, and estimate its latency.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Circuits can be built programmatically (see the other examples) or
+    // parsed from the shared text format.
+    let source = "\
+.name demo
+.qubits 5
+toffoli 0 1 2
+cnot 2 3
+toffoli 1 2 4
+cnot 4 0
+h 3
+t 3
+";
+    let circuit = parser::parse(source)?;
+
+    // Lower to fault-tolerant operations ({H, T, T†, CNOT, ...}) and build
+    // the quantum operation dependency graph.
+    let ft = lower_to_ft(&circuit)?;
+    let qodg = Qodg::from_ft_circuit(&ft);
+    println!(
+        "circuit `{}`: {} qubits, {} FT ops, {} QODG edges",
+        circuit.name().unwrap_or("?"),
+        ft.num_qubits(),
+        ft.ops().len(),
+        qodg.edge_count()
+    );
+
+    // Estimate on the paper's 60x60 ion-trap fabric (Table 1 parameters).
+    let estimator = Estimator::new(FabricDims::dac13(), PhysicalParams::dac13());
+    let estimate = estimator.estimate(&qodg)?;
+
+    println!(
+        "estimated latency:       {:.4} s",
+        estimate.latency.as_secs()
+    );
+    println!(
+        "  L_CNOT^avg:            {:.0} µs",
+        estimate.l_cnot_avg.as_f64()
+    );
+    println!(
+        "  L_g^avg:               {:.0} µs",
+        estimate.l_one_qubit_avg.as_f64()
+    );
+    println!(
+        "  d_uncong:              {:.0} µs",
+        estimate.d_uncong.as_f64()
+    );
+    println!(
+        "  avg presence zone B:   {:.2} ULBs",
+        estimate.avg_zone_area
+    );
+    println!(
+        "  critical path:         {} CNOTs + {} one-qubit ops",
+        estimate.critical.cnot_count,
+        estimate.critical.one_qubit_counts.iter().sum::<u64>()
+    );
+    Ok(())
+}

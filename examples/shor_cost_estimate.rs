@@ -1,0 +1,78 @@
+//! Shor-style cost estimation — the §4.2 story, run instead of argued:
+//! LEQA prices a (skeletonized) Shor inner loop in milliseconds where
+//! detailed mapping already takes noticeable time, and picks the
+//! latency-optimal fabric while at it.
+//!
+//! ```sh
+//! cargo run --release --example shor_cost_estimate
+//! ```
+
+use std::time::Instant;
+
+use leqa::sweep::optimal_square_fabric;
+use leqa::{Estimator, EstimatorOptions};
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::shor::shor_skeleton;
+use qspr::Mapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = PhysicalParams::dac13();
+
+    println!(
+        "{:>5} {:>7} {:>9} {:>12} {:>12} {:>9}",
+        "bits", "rounds", "ops", "LEQA (s)", "QSPR (s)", "speedup"
+    );
+    for (bits, rounds) in [(8u32, 4u32), (16, 8), (24, 12), (32, 16)] {
+        let circuit = shor_skeleton(bits, rounds);
+        let ft = lower_to_ft(&circuit)?;
+        let qodg = Qodg::from_ft_circuit(&ft);
+
+        let t0 = Instant::now();
+        let estimate = Estimator::new(FabricDims::dac13(), params.clone()).estimate(&qodg)?;
+        let t_leqa = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let actual = Mapper::new(FabricDims::dac13(), params.clone()).map(&qodg)?;
+        let t_qspr = t0.elapsed().as_secs_f64();
+
+        println!(
+            "{bits:>5} {rounds:>7} {:>9} {:>12.5} {:>12.5} {:>9.1}",
+            qodg.op_count(),
+            t_leqa,
+            t_qspr,
+            t_qspr / t_leqa
+        );
+        let err = 100.0 * (estimate.latency.as_secs() - actual.latency.as_secs()).abs()
+            / actual.latency.as_secs();
+        println!(
+            "      estimated {:.2} s vs mapped {:.2} s ({err:.1}% error)",
+            estimate.latency.as_secs(),
+            actual.latency.as_secs()
+        );
+    }
+
+    // The co-design question LEQA makes cheap: what fabric should a
+    // Shor-32 inner loop run on?
+    let circuit = shor_skeleton(32, 16);
+    let ft = lower_to_ft(&circuit)?;
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let t0 = Instant::now();
+    let best = optimal_square_fabric(
+        &qodg,
+        &params,
+        EstimatorOptions::default(),
+        [12, 16, 20, 30, 40, 60, 90],
+    )
+    .expect("some candidate fits");
+    println!(
+        "\noptimal fabric for shor32x16 ({} qubits): {}x{} at {:.2} s \
+         (swept 7 fabrics in {:.0} ms)",
+        qodg.num_qubits(),
+        best.0.width(),
+        best.0.height(),
+        best.1.latency.as_secs(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}

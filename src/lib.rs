@@ -1,0 +1,21 @@
+//! Umbrella crate for the LEQA reproduction suite.
+//!
+//! This crate exists to host the workspace's runnable [examples] and
+//! cross-crate integration tests; the functionality lives in the member
+//! crates, re-exported here for convenience:
+//!
+//! * [`leqa`] — the latency estimator (the paper's contribution, Algorithm 1),
+//! * [`leqa_fabric`] — the tiled-quantum-architecture substrate,
+//! * [`leqa_circuit`] — circuits, decomposition passes, QODG and IIG,
+//! * [`leqa_workloads`] — the benchmark-suite generators,
+//! * [`qspr`] — the detailed scheduling/placement/routing baseline mapper.
+//!
+//! [examples]: https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples
+
+#![forbid(unsafe_code)]
+
+pub use leqa;
+pub use leqa_circuit;
+pub use leqa_fabric;
+pub use leqa_workloads;
+pub use qspr;

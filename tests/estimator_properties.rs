@@ -1,0 +1,125 @@
+//! Property-based tests of the estimator over random circuits.
+
+use proptest::prelude::*;
+
+use leqa::{Estimator, EstimatorOptions, ZoneRounding};
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::{random_circuit, RandomCircuitConfig};
+
+fn qodg_for(seed: u64, qubits: u32, gates: u64) -> Qodg {
+    let circuit = random_circuit(RandomCircuitConfig {
+        qubits,
+        gates,
+        seed,
+        ..Default::default()
+    });
+    let ft = lower_to_ft(&circuit).expect("random circuits lower cleanly");
+    Qodg::from_ft_circuit(&ft)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimate_is_finite_positive_and_deterministic(
+        seed in 0u64..1000, qubits in 3u32..40, gates in 1u64..120
+    ) {
+        let qodg = qodg_for(seed, qubits, gates);
+        let estimator = Estimator::new(FabricDims::dac13(), PhysicalParams::dac13());
+        let a = estimator.estimate(&qodg).expect("fits");
+        let b = estimator.estimate(&qodg).expect("fits");
+        prop_assert!(a.latency.is_valid());
+        prop_assert!(a.latency.as_f64() > 0.0);
+        prop_assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn estimate_at_least_the_bare_critical_path(
+        seed in 0u64..1000, qubits in 3u32..40, gates in 1u64..120
+    ) {
+        // Routing latencies only ever add to node delays, so the estimate
+        // must dominate the critical path computed with bare gate delays.
+        use leqa_circuit::{FtOp, QodgNode};
+        let qodg = qodg_for(seed, qubits, gates);
+        let params = PhysicalParams::dac13();
+        let delays = *params.gate_delays();
+        let bare = qodg.critical_path(|node| match node {
+            QodgNode::Op(FtOp::Cnot { .. }) => delays.cnot(),
+            QodgNode::Op(FtOp::OneQubit { kind, .. }) => delays.one_qubit(*kind),
+            _ => leqa_fabric::Micros::ZERO,
+        });
+        let est = Estimator::new(FabricDims::dac13(), params)
+            .estimate(&qodg)
+            .expect("fits");
+        prop_assert!(est.latency.as_f64() >= bare.length.as_f64() - 1e-6);
+    }
+
+    #[test]
+    fn appending_a_gate_never_reduces_the_estimate(
+        seed in 0u64..500, qubits in 3u32..24, gates in 1u64..60
+    ) {
+        // The prefix circuit's QODG is a sub-DAG of the full one, with the
+        // same IIG or a lighter one... the IIG changes, so only test the
+        // purely serial case: appending to a single-wire chain.
+        use leqa_circuit::{FtCircuit, OneQubitKind, QubitId};
+        let _ = (seed, qubits); // exercised above; keep ranges for shrinkage
+        let estimator = Estimator::new(FabricDims::dac13(), PhysicalParams::dac13());
+        let mut ft = FtCircuit::new(1);
+        let mut prev = 0.0;
+        for i in 0..gates.min(20) {
+            let kind = if i % 2 == 0 { OneQubitKind::H } else { OneQubitKind::T };
+            ft.push_one_qubit(kind, QubitId(0)).expect("in range");
+            let qodg = Qodg::from_ft_circuit(&ft);
+            let est = estimator.estimate(&qodg).expect("fits");
+            prop_assert!(est.latency.as_f64() > prev);
+            prev = est.latency.as_f64();
+        }
+    }
+
+    #[test]
+    fn rounding_modes_bracket_each_other(
+        seed in 0u64..500, qubits in 4u32..32, gates in 10u64..100
+    ) {
+        // Floor ≤ Ceil zone side ⇒ the coverage probability and thus
+        // L_CNOT differ, but all three modes stay within a factor of 2.
+        let qodg = qodg_for(seed, qubits, gates);
+        let mut latencies = Vec::new();
+        for rounding in [ZoneRounding::Floor, ZoneRounding::Round, ZoneRounding::Ceil] {
+            let est = Estimator::with_options(
+                FabricDims::dac13(),
+                PhysicalParams::dac13(),
+                EstimatorOptions { zone_rounding: rounding, ..Default::default() },
+            )
+            .estimate(&qodg)
+            .expect("fits");
+            latencies.push(est.latency.as_f64());
+        }
+        let min = latencies.iter().cloned().fold(f64::MAX, f64::min);
+        let max = latencies.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(max / min < 2.0, "rounding spread {min}..{max}");
+    }
+
+    #[test]
+    fn more_esq_terms_never_lowers_l_cnot(
+        seed in 0u64..500, qubits in 4u32..32, gates in 10u64..100
+    ) {
+        // d_q is non-decreasing in q, so adding terms (weight at higher
+        // congestion) cannot decrease the weighted average L_CNOT.
+        let qodg = qodg_for(seed, qubits, gates);
+        let l_cnot = |terms: usize| {
+            Estimator::with_options(
+                FabricDims::dac13(),
+                PhysicalParams::dac13(),
+                EstimatorOptions { max_esq_terms: terms, ..Default::default() },
+            )
+            .estimate(&qodg)
+            .expect("fits")
+            .l_cnot_avg
+            .as_f64()
+        };
+        let few = l_cnot(3);
+        let more = l_cnot(30);
+        prop_assert!(more >= few - 1e-9, "terms 3 -> {few}, terms 30 -> {more}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Reproduces Fig. 2: the ham3 circuit for size-3 Hamming optimal coding
+//! and the QODG constructed from it.
+
+use leqa_circuit::{decompose::lower_to_ft, Iig, OneQubitKind, Qodg, QubitId};
+use leqa_fabric::Micros;
+use leqa_workloads::ham::ham3;
+
+#[test]
+fn ham3_lowers_to_19_ft_gates() {
+    // Fig. 2a numbers its FT gates 1..19: one Toffoli (15 gates after the
+    // Shende–Markov expansion) plus 4 CNOTs.
+    let ft = lower_to_ft(&ham3()).expect("ham3 lowers cleanly");
+    assert_eq!(ft.ops().len(), 19);
+    assert_eq!(ft.num_qubits(), 3);
+
+    // Gate multiset of the figure: 2 H, 4 T, 3 T†, and 6+4 CNOTs.
+    let one_qubit = ft.one_qubit_counts();
+    assert_eq!(one_qubit[OneQubitKind::H.index()], 2);
+    assert_eq!(one_qubit[OneQubitKind::T.index()], 4);
+    assert_eq!(one_qubit[OneQubitKind::Tdg.index()], 3);
+    assert_eq!(ft.cnot_count(), 10);
+}
+
+#[test]
+fn ham3_qodg_has_start_end_and_19_op_nodes() {
+    let ft = lower_to_ft(&ham3()).expect("ham3 lowers cleanly");
+    let qodg = Qodg::from_ft_circuit(&ft);
+    assert_eq!(qodg.op_count(), 19);
+    assert_eq!(qodg.node_count(), 21); // + start + end
+
+    // The start node feeds the first-level nodes; the end node is fed by
+    // the last-level nodes; every edge points forward (it is a DAG in
+    // program order).
+    assert!(qodg.preds(qodg.start()).is_empty());
+    assert!(!qodg.preds(qodg.end()).is_empty());
+    for i in 0..qodg.node_count() {
+        for p in qodg.preds(leqa_circuit::NodeId(i)) {
+            assert!(p.0 < i);
+        }
+    }
+}
+
+#[test]
+fn ham3_qodg_critical_path_is_a_full_chain_subset() {
+    let ft = lower_to_ft(&ham3()).expect("ham3 lowers cleanly");
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let cp = qodg.critical_path(|_| Micros::new(1.0));
+    // On 3 wires with 19 ops the longest chain is most of the program but
+    // cannot exceed it.
+    assert!(cp.op_count() >= 10 && cp.op_count() <= 19);
+    assert_eq!(cp.length.as_f64(), cp.op_count() as f64);
+}
+
+#[test]
+fn ham3_iig_connects_all_three_qubits() {
+    let ft = lower_to_ft(&ham3()).expect("ham3 lowers cleanly");
+    let iig = Iig::from_ft_circuit(&ft);
+    for i in 0..3 {
+        assert_eq!(iig.degree(QubitId(i)), 2);
+        assert!(iig.strength(QubitId(i)) > 0);
+    }
+    assert_eq!(iig.total_weight(), 10); // one per CNOT
+}

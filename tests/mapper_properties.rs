@@ -1,0 +1,118 @@
+//! Property-based tests of the detailed mapper over random circuits.
+
+use proptest::prelude::*;
+
+use leqa_circuit::{decompose::lower_to_ft, FtOp, Qodg, QodgNode};
+use leqa_fabric::{FabricDims, Micros, PhysicalParams};
+use leqa_workloads::{random_circuit, RandomCircuitConfig};
+use qspr::{Mapper, MapperConfig, PlacementStrategy};
+
+fn qodg_for(seed: u64, qubits: u32, gates: u64) -> Qodg {
+    let circuit = random_circuit(RandomCircuitConfig {
+        qubits,
+        gates,
+        seed,
+        ..Default::default()
+    });
+    let ft = lower_to_ft(&circuit).expect("random circuits lower cleanly");
+    Qodg::from_ft_circuit(&ft)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn latency_dominates_the_dependency_bound(
+        seed in 0u64..1000, qubits in 3u32..32, gates in 1u64..100
+    ) {
+        let qodg = qodg_for(seed, qubits, gates);
+        let params = PhysicalParams::dac13();
+        let delays = *params.gate_delays();
+        let shuttle = params.one_qubit_routing_latency();
+        let bound = qodg.critical_path(|node| match node {
+            QodgNode::Op(FtOp::Cnot { .. }) => delays.cnot(),
+            QodgNode::Op(FtOp::OneQubit { kind, .. }) => delays.one_qubit(*kind) + shuttle,
+            _ => Micros::ZERO,
+        });
+        let actual = Mapper::new(FabricDims::dac13(), params)
+            .map(&qodg)
+            .expect("fits");
+        prop_assert!(
+            actual.latency.as_f64() >= bound.length.as_f64() - 1e-6,
+            "mapper {} below bound {}", actual.latency, bound.length
+        );
+    }
+
+    #[test]
+    fn mapping_is_deterministic(
+        seed in 0u64..1000, qubits in 3u32..24, gates in 1u64..60
+    ) {
+        let qodg = qodg_for(seed, qubits, gates);
+        let mapper = Mapper::new(FabricDims::dac13(), PhysicalParams::dac13());
+        let a = mapper.map(&qodg).expect("fits");
+        let b = mapper.map(&qodg).expect("fits");
+        prop_assert_eq!(a.latency, b.latency);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn op_census_matches_the_program(
+        seed in 0u64..1000, qubits in 3u32..24, gates in 1u64..60
+    ) {
+        let qodg = qodg_for(seed, qubits, gates);
+        let result = Mapper::new(FabricDims::dac13(), PhysicalParams::dac13())
+            .map(&qodg)
+            .expect("fits");
+        let cnots = qodg.op_nodes().filter(|(_, op)| op.is_cnot()).count() as u64;
+        prop_assert_eq!(result.stats.cnot_ops, cnots);
+        prop_assert_eq!(
+            result.stats.one_qubit_ops + result.stats.cnot_ops,
+            qodg.op_count() as u64
+        );
+    }
+
+    #[test]
+    fn congested_channels_only_slow_things_down(
+        seed in 0u64..300, qubits in 4u32..20, gates in 10u64..60
+    ) {
+        // Shrinking the channel capacity can only increase latency.
+        let qodg = qodg_for(seed, qubits, gates);
+        let latency = |capacity: u32| {
+            let params = PhysicalParams::dac13()
+                .to_builder()
+                .channel_capacity(capacity)
+                .build()
+                .expect("valid");
+            Mapper::new(FabricDims::dac13(), params)
+                .map(&qodg)
+                .expect("fits")
+                .latency
+                .as_f64()
+        };
+        prop_assert!(latency(1) >= latency(5) - 1e-6);
+    }
+
+    #[test]
+    fn placement_strategies_all_complete(
+        seed in 0u64..300, qubits in 3u32..20, gates in 1u64..40
+    ) {
+        let qodg = qodg_for(seed, qubits, gates);
+        for strategy in [
+            PlacementStrategy::IigCluster,
+            PlacementStrategy::RowMajor,
+            PlacementStrategy::Random,
+        ] {
+            let mapper = Mapper::with_config(MapperConfig {
+                dims: FabricDims::dac13(),
+                params: PhysicalParams::dac13(),
+                placement: strategy,
+                router: Default::default(),
+                movement: Default::default(),
+                seed,
+            });
+            let r = mapper.map(&qodg).expect("fits");
+            prop_assert!(r.latency.is_valid());
+        }
+    }
+}

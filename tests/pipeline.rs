@@ -1,0 +1,109 @@
+//! End-to-end pipeline tests: text format → reversible circuit → FT
+//! lowering → QODG/IIG → LEQA estimate and QSPR mapping.
+
+use leqa::Estimator;
+use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use qspr::Mapper;
+
+const SOURCE: &str = "\
+.name pipeline-demo
+.qubits 6
+toffoli 0 1 2
+cnot 2 3
+fredkin 3 4 5
+mct 0 1 2 3 4
+h 5
+t 0
+";
+
+#[test]
+fn parse_lower_estimate_map() {
+    let circuit = parser::parse(SOURCE).expect("valid source");
+    assert_eq!(circuit.name(), Some("pipeline-demo"));
+
+    let ft = lower_to_ft(&circuit).expect("lowers cleanly");
+    // mct with 4 controls adds 2 ancillas.
+    assert_eq!(ft.num_qubits(), 8);
+
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+
+    let estimate = Estimator::new(dims, params.clone())
+        .estimate(&qodg)
+        .expect("fits the fabric");
+    let actual = Mapper::new(dims, params)
+        .map(&qodg)
+        .expect("fits the fabric");
+
+    assert!(estimate.latency.as_f64() > 0.0);
+    assert!(actual.latency.as_f64() > 0.0);
+    // On a tiny circuit the two disagree more than on the suite, but they
+    // must be the same order of magnitude.
+    let ratio = estimate.latency.as_f64() / actual.latency.as_f64();
+    assert!((0.2..5.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn roundtrip_preserves_results() {
+    let circuit = parser::parse(SOURCE).expect("valid source");
+    let reparsed = parser::parse(&parser::write(&circuit)).expect("roundtrips");
+    assert_eq!(circuit, reparsed);
+
+    let dims = FabricDims::dac13();
+    let params = PhysicalParams::dac13();
+    let estimate = |c| {
+        let ft = lower_to_ft(c).expect("lowers");
+        let qodg = Qodg::from_ft_circuit(&ft);
+        Estimator::new(dims, params.clone())
+            .estimate(&qodg)
+            .expect("fits")
+            .latency
+    };
+    assert_eq!(estimate(&circuit), estimate(&reparsed));
+}
+
+#[test]
+fn mapper_latency_never_below_dependency_lower_bound() {
+    // The critical path with bare gate delays (plus the 1q shuttle) is a
+    // hard lower bound on any schedule the mapper can produce.
+    use leqa_circuit::{FtOp, QodgNode};
+
+    let circuit = parser::parse(SOURCE).expect("valid source");
+    let ft = lower_to_ft(&circuit).expect("lowers");
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let params = PhysicalParams::dac13();
+    let delays = *params.gate_delays();
+    let shuttle = params.one_qubit_routing_latency();
+
+    let bound = qodg.critical_path(|node| match node {
+        QodgNode::Op(FtOp::Cnot { .. }) => delays.cnot(),
+        QodgNode::Op(FtOp::OneQubit { kind, .. }) => delays.one_qubit(*kind) + shuttle,
+        _ => leqa_fabric::Micros::ZERO,
+    });
+
+    let actual = Mapper::new(FabricDims::dac13(), params)
+        .map(&qodg)
+        .expect("fits");
+    assert!(
+        actual.latency.as_f64() >= bound.length.as_f64() - 1e-6,
+        "mapper {} must be at least the dependency bound {}",
+        actual.latency,
+        bound.length
+    );
+}
+
+#[test]
+fn estimator_and_mapper_reject_oversized_programs_consistently() {
+    let circuit = parser::parse(SOURCE).expect("valid source");
+    let ft = lower_to_ft(&circuit).expect("lowers");
+    let qodg = Qodg::from_ft_circuit(&ft);
+    let tiny = FabricDims::new(2, 2).expect("valid dims");
+    let params = PhysicalParams::dac13();
+
+    assert!(Estimator::new(tiny, params.clone())
+        .estimate(&qodg)
+        .is_err());
+    assert!(Mapper::new(tiny, params).map(&qodg).is_err());
+}
