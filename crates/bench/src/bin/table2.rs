@@ -2,11 +2,30 @@
 //! per benchmark, with absolute error — side by side with the paper's
 //! published numbers.
 
-use leqa_bench::{run_benchmark, sci};
+use leqa_bench::{run_suite, sci};
 use leqa_fabric::{FabricDims, PhysicalParams};
 use leqa_workloads::SUITE;
 
 fn main() {
+    // `--max-ops N` restricts the run to benchmarks whose published op
+    // count is at most N — the reduced suite CI smoke-runs.
+    let mut max_ops = u64::MAX;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-ops" => {
+                i += 1;
+                max_ops = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-ops needs an integer");
+            }
+            other => panic!("unknown argument `{other}` (supported: --max-ops N)"),
+        }
+        i += 1;
+    }
+
     let dims = FabricDims::dac13();
     let params = PhysicalParams::dac13();
 
@@ -21,9 +40,10 @@ fn main() {
     );
     println!("{}", "-".repeat(16 + 3 + 11 * 4 + 7 * 2 + 10));
 
+    let benches: Vec<_> = SUITE.iter().filter(|b| b.paper.ops <= max_ops).collect();
+    let rows = run_suite(&benches, dims, &params);
     let mut errors = Vec::new();
-    for bench in &SUITE {
-        let row = run_benchmark(bench, dims, &params);
+    for (bench, row) in benches.iter().zip(rows) {
         errors.push(row.error_pct);
         println!(
             "{:<16} | {:>11} {:>11} {:>7.2} | {:>11} {:>11} {:>7.2}",

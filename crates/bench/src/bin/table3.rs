@@ -32,6 +32,8 @@ fn main() {
     );
     println!("{}", "-".repeat(110));
 
+    // Always serial: this table's whole point is the wall-clock columns,
+    // which concurrent rows would contend for (see `run_suite`'s docs).
     let mut first_speedup = None;
     let mut last_speedup = 0.0;
     for bench in &SUITE {

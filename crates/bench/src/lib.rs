@@ -13,8 +13,36 @@
 //! | `cargo run -p leqa-bench --bin ablations --release` | DESIGN.md §5 accuracy ablations |
 //! | `cargo bench -p leqa-bench` | Criterion runtime benches per table row |
 //!
-//! The library part hosts the shared runner and a tiny least-squares
-//! power-law fitter used by the scaling study.
+//! The library part hosts the shared runner ([`run_benchmark`] for one row,
+//! [`run_suite`] for many) and a tiny least-squares power-law fitter used
+//! by the scaling study.
+//!
+//! # Profile reuse and the sweep benches
+//!
+//! LEQA's hot path is split into a per-program [`leqa::ProgramProfile`]
+//! (IIG, zone statistics, uncongested-delay terms — `O(ops)`) and a cheap
+//! per-fabric remainder. `benches/sweep_profile.rs` measures the payoff:
+//! a 50-candidate [`leqa::sweep::sweep_fabrics`] over QFT-64 against 50
+//! independent [`leqa::Estimator::estimate`] calls, asserting the sweep
+//! engine's ≥5× speedup while `tests/differential.rs` (workspace root)
+//! pins bit-identical estimates. See PERF.md for the full API tour.
+//!
+//! # The `parallel` feature
+//!
+//! `--features parallel` runs [`run_suite`]'s independent rows on scoped
+//! worker threads (one per core) and enables the thread-parallel
+//! per-candidate loop inside `leqa`'s sweep engine. Latency/accuracy
+//! results are identical to the serial engines'. Timing-sensitive
+//! binaries (Table 3, the scaling study) deliberately stay serial so
+//! their wall-clock columns are uncontended — see [`run_suite`]'s docs.
+//!
+//! # Recording baselines
+//!
+//! The criterion harness appends one JSON line per completed benchmark to
+//! the file named by `BENCH_JSON`, so
+//! `BENCH_JSON=BENCH_estimator.json cargo bench -p leqa-bench` records a
+//! machine-readable baseline to diff across commits (PERF.md documents the
+//! workflow).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,6 +117,36 @@ pub fn run_benchmark(bench: &Benchmark, dims: FabricDims, params: &PhysicalParam
         qspr_runtime_s,
         leqa_runtime_s,
         speedup: qspr_runtime_s / leqa_runtime_s,
+    }
+}
+
+/// Runs a set of suite benchmarks, returning one row per benchmark in
+/// input order.
+///
+/// Rows are independent, so with the `parallel` feature they run on scoped
+/// worker threads (via [`leqa::exec::parallel_map`], capped by the
+/// platform's available parallelism); latency/accuracy columns are
+/// identical either way. **The wall-clock columns (`qspr_runtime_s`,
+/// `leqa_runtime_s`, `speedup`) are contended under the parallel runner**
+/// — concurrent rows compete for cores and caches — so timing-sensitive
+/// consumers (the Table 3 binary, the scaling study) must call
+/// [`run_benchmark`] serially instead; accuracy-only consumers (Table 2)
+/// can parallelize freely.
+///
+/// # Panics
+///
+/// Same as [`run_benchmark`].
+pub fn run_suite(benches: &[&Benchmark], dims: FabricDims, params: &PhysicalParams) -> Vec<RunRow> {
+    #[cfg(feature = "parallel")]
+    {
+        leqa::exec::parallel_map(benches, |b| run_benchmark(b, dims, params))
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        benches
+            .iter()
+            .map(|b| run_benchmark(b, dims, params))
+            .collect()
     }
 }
 

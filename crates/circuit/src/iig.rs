@@ -6,12 +6,19 @@
 //! reads off the IIG are `M_i = deg(n_i)` (the neighbour count) and
 //! `Σ_j w(e_ij)` (the interaction *strength*, the weight used in the
 //! weighted averages of Eqs. 7 and 12).
-
-use std::collections::HashMap;
+//!
+//! # Representation
+//!
+//! The graph is stored in compressed sparse row (CSR) form: one flat arena
+//! of `(neighbour, weight)` entries sorted within each qubit's run, plus an
+//! offset table — no per-qubit hash maps. Construction sorts and
+//! run-length-encodes the CNOT pair stream, so building from a circuit of
+//! `g` two-qubit ops costs `O(g log g)` with zero per-node allocation, and
+//! `degree`/`strength` are O(1) lookups (strengths are precomputed).
 
 use crate::{FtCircuit, FtOp, Qodg, QubitId};
 
-/// The interaction intensity graph of a circuit.
+/// The interaction intensity graph of a circuit, in CSR form.
 ///
 /// # Examples
 ///
@@ -33,76 +40,159 @@ use crate::{FtCircuit, FtOp, Qodg, QubitId};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Iig {
-    /// Per-qubit adjacency: neighbour → weight.
-    adj: Vec<HashMap<QubitId, u64>>,
+    num_qubits: u32,
+    /// `offsets[i]..offsets[i+1]` is qubit `i`'s run in the arenas below.
+    offsets: Vec<u32>,
+    /// Neighbour ids, sorted ascending within each run.
+    neighbors: Vec<QubitId>,
+    /// Edge weights, parallel to `neighbors`.
+    weights: Vec<u64>,
+    /// Precomputed `Σ_j w(e_ij)` per qubit.
+    strengths: Vec<u64>,
     total_weight: u64,
 }
 
 impl Iig {
     /// Builds the IIG by a single traversal of the lowered circuit.
     pub fn from_ft_circuit(circuit: &FtCircuit) -> Self {
-        let mut iig = Iig {
-            adj: vec![HashMap::new(); circuit.num_qubits() as usize],
-            total_weight: 0,
-        };
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for op in circuit.ops() {
             if let FtOp::Cnot { control, target } = *op {
-                iig.add_interaction(control, target);
+                pairs.push(normalize(control, target));
             }
         }
-        iig
+        Iig::from_pairs(circuit.num_qubits(), pairs)
     }
 
     /// Builds the IIG by traversing a QODG (Algorithm 1, line 1:
-    /// `O(|V| + |E|)`).
+    /// `O(|V| + |E|)` plus the pair sort).
     pub fn from_qodg(qodg: &Qodg) -> Self {
-        let mut iig = Iig {
-            adj: vec![HashMap::new(); qodg.num_qubits() as usize],
-            total_weight: 0,
-        };
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (_, op) in qodg.op_nodes() {
             if let FtOp::Cnot { control, target } = op {
-                iig.add_interaction(control, target);
+                pairs.push(normalize(control, target));
             }
         }
-        iig
+        Iig::from_pairs(qodg.num_qubits(), pairs)
     }
 
-    fn add_interaction(&mut self, a: QubitId, b: QubitId) {
-        debug_assert_ne!(a, b, "no self-loops in the IIG");
-        *self.adj[a.index()].entry(b).or_insert(0) += 1;
-        *self.adj[b.index()].entry(a).or_insert(0) += 1;
-        self.total_weight += 1;
+    /// Builds the CSR arenas from the raw interaction pair stream by
+    /// sort + run-length dedup (two passes over the sorted pairs, no
+    /// per-node allocation).
+    fn from_pairs(num_qubits: u32, mut pairs: Vec<(u32, u32)>) -> Self {
+        let total_weight = pairs.len() as u64;
+        pairs.sort_unstable();
+
+        // Pass 1 over unique runs: per-qubit degrees.
+        let mut degrees = vec![0u32; num_qubits as usize];
+        let mut unique_edges = 0usize;
+        let mut i = 0;
+        while i < pairs.len() {
+            let (a, b) = pairs[i];
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+            unique_edges += 1;
+            while i < pairs.len() && pairs[i] == (a, b) {
+                i += 1;
+            }
+        }
+
+        // Prefix-sum the offsets; keep per-qubit write cursors.
+        let mut offsets = Vec::with_capacity(num_qubits as usize + 1);
+        let mut running = 0u32;
+        offsets.push(0);
+        for &d in &degrees {
+            running += d;
+            offsets.push(running);
+        }
+        debug_assert_eq!(running as usize, 2 * unique_edges);
+
+        // Pass 2: fill both directed half-edges. Pairs are sorted by
+        // (lo, hi), so each endpoint's run comes out sorted by neighbour:
+        // the `lo` side sees increasing `hi`, and for a fixed `hi` the `lo`
+        // values arrive in increasing order too.
+        let mut cursors: Vec<u32> = offsets[..num_qubits as usize].to_vec();
+        let mut neighbors = vec![QubitId(0); running as usize];
+        let mut weights = vec![0u64; running as usize];
+        let mut strengths = vec![0u64; num_qubits as usize];
+        let mut i = 0;
+        while i < pairs.len() {
+            let (a, b) = pairs[i];
+            let start = i;
+            while i < pairs.len() && pairs[i] == (a, b) {
+                i += 1;
+            }
+            let w = (i - start) as u64;
+            let ca = cursors[a as usize] as usize;
+            neighbors[ca] = QubitId(b);
+            weights[ca] = w;
+            cursors[a as usize] += 1;
+            let cb = cursors[b as usize] as usize;
+            neighbors[cb] = QubitId(a);
+            weights[cb] = w;
+            cursors[b as usize] += 1;
+            strengths[a as usize] += w;
+            strengths[b as usize] += w;
+        }
+
+        Iig {
+            num_qubits,
+            offsets,
+            neighbors,
+            weights,
+            strengths,
+            total_weight,
+        }
+    }
+
+    /// The bounds of qubit `i`'s run in the arenas.
+    #[inline]
+    fn run(&self, qubit: QubitId) -> (usize, usize) {
+        (
+            self.offsets[qubit.index()] as usize,
+            self.offsets[qubit.index() + 1] as usize,
+        )
     }
 
     /// Number of qubits (nodes), `Q`.
     #[inline]
     pub fn num_qubits(&self) -> u32 {
-        self.adj.len() as u32
+        self.num_qubits
     }
 
     /// `M_i`: the number of distinct interaction partners of qubit `i`.
     #[inline]
     pub fn degree(&self, qubit: QubitId) -> u64 {
-        self.adj[qubit.index()].len() as u64
+        let (lo, hi) = self.run(qubit);
+        (hi - lo) as u64
     }
 
-    /// `Σ_j w(e_ij)`: total two-qubit ops involving qubit `i`.
+    /// `Σ_j w(e_ij)`: total two-qubit ops involving qubit `i` (O(1),
+    /// precomputed).
     #[inline]
     pub fn strength(&self, qubit: QubitId) -> u64 {
-        self.adj[qubit.index()].values().sum()
+        self.strengths[qubit.index()]
     }
 
     /// `w(e_ij)`: two-qubit ops between `a` and `b` (0 if they never
-    /// interact; symmetric).
+    /// interact; symmetric). Binary search over `a`'s sorted run.
     #[inline]
     pub fn weight(&self, a: QubitId, b: QubitId) -> u64 {
-        self.adj[a.index()].get(&b).copied().unwrap_or(0)
+        let (lo, hi) = self.run(a);
+        match self.neighbors[lo..hi].binary_search(&b) {
+            Ok(pos) => self.weights[lo + pos],
+            Err(_) => 0,
+        }
     }
 
-    /// Iterates over the neighbours of `qubit` with edge weights.
+    /// Iterates over the neighbours of `qubit` with edge weights, in
+    /// ascending neighbour order.
     pub fn neighbors(&self, qubit: QubitId) -> impl Iterator<Item = (QubitId, u64)> + '_ {
-        self.adj[qubit.index()].iter().map(|(&q, &w)| (q, w))
+        let (lo, hi) = self.run(qubit);
+        self.neighbors[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&q, &w)| (q, w))
     }
 
     /// Total edge weight (= total two-qubit op count of the circuit).
@@ -112,16 +202,27 @@ impl Iig {
     }
 
     /// Number of distinct edges.
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(|m| m.len()).sum::<usize>() / 2
+        self.neighbors.len() / 2
     }
 
     /// Qubit ids sorted by decreasing strength (used by the mapper's
     /// interaction-aware placement).
     pub fn qubits_by_strength(&self) -> Vec<QubitId> {
-        let mut ids: Vec<QubitId> = (0..self.num_qubits()).map(QubitId).collect();
+        let mut ids: Vec<QubitId> = (0..self.num_qubits).map(QubitId).collect();
         ids.sort_by_key(|q| std::cmp::Reverse(self.strength(*q)));
         ids
+    }
+}
+
+#[inline]
+fn normalize(a: QubitId, b: QubitId) -> (u32, u32) {
+    debug_assert_ne!(a, b, "no self-loops in the IIG");
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
     }
 }
 
@@ -192,8 +293,36 @@ mod tests {
     #[test]
     fn neighbors_iteration() {
         let iig = Iig::from_ft_circuit(&sample());
-        let mut n: Vec<(QubitId, u64)> = iig.neighbors(q(1)).collect();
-        n.sort();
+        let n: Vec<(QubitId, u64)> = iig.neighbors(q(1)).collect();
+        // CSR runs are sorted by neighbour id already.
         assert_eq!(n, vec![(q(0), 2), (q(2), 1)]);
+    }
+
+    #[test]
+    fn neighbors_runs_are_sorted() {
+        // A denser pattern exercising both fill directions of pass 2.
+        let mut ft = FtCircuit::new(6);
+        for (a, b) in [(4, 1), (0, 5), (2, 5), (1, 3), (5, 1), (0, 2), (3, 0)] {
+            ft.push_cnot(q(a), q(b)).unwrap();
+        }
+        let iig = Iig::from_ft_circuit(&ft);
+        for i in 0..6 {
+            let ids: Vec<u32> = iig.neighbors(q(i)).map(|(n, _)| n.0).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "run of q{i} must be sorted");
+        }
+    }
+
+    #[test]
+    fn empty_circuit_has_empty_graph() {
+        let iig = Iig::from_ft_circuit(&FtCircuit::new(3));
+        assert_eq!(iig.total_weight(), 0);
+        assert_eq!(iig.edge_count(), 0);
+        for i in 0..3 {
+            assert_eq!(iig.degree(q(i)), 0);
+            assert_eq!(iig.strength(q(i)), 0);
+            assert_eq!(iig.neighbors(q(i)).count(), 0);
+        }
     }
 }

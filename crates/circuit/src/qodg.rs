@@ -10,6 +10,15 @@
 //! in program order), which makes the longest-path (critical path)
 //! computation a single linear sweep — the `O(|V| + |E|)` step of the
 //! paper's Algorithm 1, line 19.
+//!
+//! # Representation
+//!
+//! Predecessor lists live in compressed sparse row (CSR) form: a flat
+//! `pred_edges` arena indexed by a `pred_offsets` table, appended to in one
+//! pass during construction — no per-node `Vec` allocations. The
+//! critical-path sweep can likewise reuse a caller-owned
+//! [`CriticalPathScratch`] so repeated passes (fabric sweeps) allocate
+//! nothing but the result path.
 
 use leqa_fabric::Micros;
 
@@ -56,10 +65,12 @@ pub enum QodgNode {
 #[derive(Debug, Clone)]
 pub struct Qodg {
     nodes: Vec<QodgNode>,
-    /// Predecessor lists; `preds[i]` indexes into `nodes`. Node order is
+    /// CSR offsets into `pred_edges`; node `i`'s predecessors are
+    /// `pred_edges[pred_offsets[i]..pred_offsets[i + 1]]`. Node order is
     /// topological by construction.
-    preds: Vec<Vec<NodeId>>,
-    edge_count: usize,
+    pred_offsets: Vec<u32>,
+    /// Flat predecessor arena, in the order edges were discovered.
+    pred_edges: Vec<NodeId>,
     num_qubits: u32,
 }
 
@@ -68,53 +79,53 @@ impl Qodg {
     pub fn from_ft_circuit(circuit: &FtCircuit) -> Self {
         let n_ops = circuit.ops().len();
         let mut nodes = Vec::with_capacity(n_ops + 2);
-        let mut preds: Vec<Vec<NodeId>> = Vec::with_capacity(n_ops + 2);
+        let mut pred_offsets: Vec<u32> = Vec::with_capacity(n_ops + 3);
+        // Each op contributes at most two merged predecessor edges.
+        let mut pred_edges: Vec<NodeId> = Vec::with_capacity(2 * n_ops + 2);
 
         nodes.push(QodgNode::Start);
-        preds.push(Vec::new());
+        pred_offsets.push(0);
+        pred_offsets.push(0); // start has no predecessors
         let start = NodeId(0);
 
         let mut last: Vec<Option<NodeId>> = vec![None; circuit.num_qubits() as usize];
-        let mut edge_count = 0usize;
 
         for &op in circuit.ops() {
             let id = NodeId(nodes.len());
             nodes.push(QodgNode::Op(op));
-            let mut p: Vec<NodeId> = Vec::with_capacity(2);
+            let first = pred_edges.len();
             for q in op.qubits() {
                 let pred = last[q.index()].unwrap_or(start);
                 // Merge parallel edges (the paper combines duplicate edges).
-                if !p.contains(&pred) {
-                    p.push(pred);
-                    edge_count += 1;
+                if !pred_edges[first..].contains(&pred) {
+                    pred_edges.push(pred);
                 }
                 last[q.index()] = Some(id);
             }
-            preds.push(p);
+            pred_offsets.push(pred_edges.len() as u32);
         }
 
         let end = NodeId(nodes.len());
         nodes.push(QodgNode::End);
-        let mut end_preds: Vec<NodeId> = Vec::new();
+        let first = pred_edges.len();
         for l in last.iter().flatten() {
-            if !end_preds.contains(l) {
-                end_preds.push(*l);
-                edge_count += 1;
+            if !pred_edges[first..].contains(l) {
+                pred_edges.push(*l);
             }
         }
-        if end_preds.is_empty() {
+        if pred_edges.len() == first {
             // Empty program: keep start connected to end so the graph stays
             // a single component.
-            end_preds.push(start);
-            edge_count += 1;
+            pred_edges.push(start);
         }
-        preds.push(end_preds);
+        pred_offsets.push(pred_edges.len() as u32);
         debug_assert_eq!(end.0 + 1, nodes.len());
+        debug_assert_eq!(pred_offsets.len(), nodes.len() + 1);
 
         Qodg {
             nodes,
-            preds,
-            edge_count,
+            pred_offsets,
+            pred_edges,
             num_qubits: circuit.num_qubits(),
         }
     }
@@ -134,7 +145,7 @@ impl Qodg {
     /// Total edge count `|E|` after duplicate-edge merging.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.pred_edges.len()
     }
 
     /// The number of logical qubits the underlying circuit uses (`Q`).
@@ -172,7 +183,9 @@ impl Qodg {
     /// Panics if `id` is out of range.
     #[inline]
     pub fn preds(&self, id: NodeId) -> &[NodeId] {
-        &self.preds[id.0]
+        let lo = self.pred_offsets[id.0] as usize;
+        let hi = self.pred_offsets[id.0 + 1] as usize;
+        &self.pred_edges[lo..hi]
     }
 
     /// Iterates over operation nodes in topological (program) order.
@@ -189,15 +202,30 @@ impl Qodg {
     ///
     /// Runs in `O(|V| + |E|)` (supplemental, line 19).
     pub fn critical_path(&self, delay: impl Fn(&QodgNode) -> Micros) -> CriticalPath {
+        self.critical_path_reuse(delay, &mut CriticalPathScratch::new())
+    }
+
+    /// Like [`critical_path`](Self::critical_path), reusing caller-owned
+    /// scratch buffers so repeated passes (one per fabric candidate in a
+    /// sweep) allocate nothing but the returned path.
+    pub fn critical_path_reuse(
+        &self,
+        delay: impl Fn(&QodgNode) -> Micros,
+        scratch: &mut CriticalPathScratch,
+    ) -> CriticalPath {
         let n = self.nodes.len();
-        let mut dist = vec![Micros::ZERO; n];
-        let mut argmax: Vec<Option<NodeId>> = vec![None; n];
+        scratch.dist.clear();
+        scratch.dist.resize(n, Micros::ZERO);
+        scratch.argmax.clear();
+        scratch.argmax.resize(n, None);
+        let dist = &mut scratch.dist;
+        let argmax = &mut scratch.argmax;
 
         for i in 0..n {
             let node = &self.nodes[i];
             let mut best = Micros::ZERO;
             let mut best_pred = None;
-            for &p in &self.preds[i] {
+            for &p in self.preds(NodeId(i)) {
                 if best_pred.is_none() || dist[p.0] > best {
                     best = dist[p.0];
                     best_pred = Some(p);
@@ -242,6 +270,21 @@ impl Qodg {
             QodgNode::Op(op) => op.qubits().collect(),
             _ => Vec::new(),
         }
+    }
+}
+
+/// Reusable buffers for [`Qodg::critical_path_reuse`]. One instance can
+/// serve any number of passes over any number of graphs.
+#[derive(Debug, Default)]
+pub struct CriticalPathScratch {
+    dist: Vec<Micros>,
+    argmax: Vec<Option<NodeId>>,
+}
+
+impl CriticalPathScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        CriticalPathScratch::default()
     }
 }
 
@@ -396,6 +439,21 @@ mod tests {
         for i in 0..qodg.node_count() {
             for p in qodg.preds(NodeId(i)) {
                 assert!(p.0 < i, "edges must point forward");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut scratch = CriticalPathScratch::new();
+        // Reuse the same scratch across two different graphs and delay
+        // functions; results must match the allocating entry point.
+        for ft in [chain(), FtCircuit::new(2)] {
+            let qodg = Qodg::from_ft_circuit(&ft);
+            for unit in [1.0, 2.5] {
+                let fresh = qodg.critical_path(|_| Micros::new(unit));
+                let reused = qodg.critical_path_reuse(|_| Micros::new(unit), &mut scratch);
+                assert_eq!(fresh, reused);
             }
         }
     }

@@ -2,7 +2,8 @@
 
 use std::io::Write;
 
-use leqa::Estimator;
+use leqa::sweep::sweep_fabrics;
+use leqa::EstimatorOptions;
 use leqa_fabric::{FabricDims, PhysicalParams};
 
 use super::load_qodg;
@@ -10,6 +11,10 @@ use crate::{CliError, Options};
 
 /// Estimates the circuit on each `--sizes` square fabric and reports the
 /// latency-optimal size (Algorithm 1's stated use case).
+///
+/// Runs through [`sweep_fabrics`], which builds the program profile once
+/// and amortises the per-candidate work — the output per size is
+/// bit-identical to an independent `leqa estimate` on that fabric.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let (label, qodg) = load_qodg(opts)?;
     writeln!(
@@ -25,17 +30,21 @@ pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
 
     let params = PhysicalParams::dac13();
-    let mut best: Option<(u32, f64)> = None;
+    let mut candidates = Vec::with_capacity(opts.sizes.len());
     for &side in &opts.sizes {
-        let dims = match FabricDims::new(side, side) {
-            Ok(d) => d,
+        match FabricDims::new(side, side) {
+            Ok(d) => candidates.push(d),
             Err(e) => return Err(CliError::Usage(e.to_string())),
-        };
-        if (qodg.num_qubits() as u64) > dims.area() {
+        }
+    }
+
+    let mut best: Option<(u32, f64)> = None;
+    for point in sweep_fabrics(&qodg, &params, EstimatorOptions::default(), candidates) {
+        let side = point.dims.width();
+        let Some(estimate) = point.estimate else {
             writeln!(out, "{side:>6}x{side:<2} (too small)")?;
             continue;
-        }
-        let estimate = Estimator::new(dims, params.clone()).estimate(&qodg)?;
+        };
         let latency = estimate.latency.as_secs();
         writeln!(
             out,

@@ -151,6 +151,165 @@ impl CoverageTable {
     }
 }
 
+/// A run-length-compressed view of the `P_{x,y}` table (Eq. 5), for fast
+/// `E[S_q]` evaluation.
+///
+/// `P_{x,y} = covers(x)·covers(y) / placements` takes at most
+/// `min(s, a−s+1) · min(s, b−s+1)` **distinct** values on an `a × b`
+/// fabric (the coverage count per axis saturates after `s` steps), so the
+/// Eq. 4 sum over all `A` ULBs collapses to a sum over distinct values with
+/// integer multiplicities. [`expected_surfaces`](Self::expected_surfaces)
+/// therefore costs `O(terms · s²)` instead of the table's
+/// `O(terms · A)` — the dominant per-candidate cost in a fabric sweep —
+/// while computing exactly the same quantity (summation order differs, so
+/// results can differ from [`CoverageTable`] in the last few ULPs).
+#[derive(Debug, Clone)]
+pub struct CoverageHistogram {
+    side: u32,
+    /// `(multiplicity, P, ln P, ln(1 − P))` per distinct coverage value.
+    /// Entries with `P ≥ 1` keep NaN logs and are handled separately, as in
+    /// [`CoverageTable::expected_surfaces`].
+    entries: Vec<(f64, f64, f64, f64)>,
+}
+
+impl CoverageHistogram {
+    /// Builds the histogram for zones of average area `avg_zone_area`
+    /// (rounded by `rounding`, clamped exactly like [`CoverageTable::new`])
+    /// on `dims`. Runs in `O(s²)` — it never materialises the `A`-sized
+    /// table.
+    pub fn new(dims: FabricDims, avg_zone_area: f64, rounding: ZoneRounding) -> Self {
+        let side = rounding
+            .side_of(avg_zone_area)
+            .min(dims.width())
+            .min(dims.height());
+        let a = dims.width() as u64;
+        let b = dims.height() as u64;
+        let s = side as u64;
+        let placements = ((a - s + 1) * (b - s + 1)) as f64;
+
+        // Per axis of length n, covers(x) = min(x, n−x+1, s, n−s+1) takes
+        // value k with multiplicity 2 for k < m := min(s, n−s+1) (x = k and
+        // x = n−k+1) and multiplicity n − 2(m−1) for k = m.
+        let axis = |n: u64| -> Vec<(u64, u64)> {
+            let m = s.min(n - s + 1);
+            let mut out = Vec::with_capacity(m as usize);
+            for k in 1..m {
+                out.push((k, 2));
+            }
+            out.push((m, n - 2 * (m - 1)));
+            out
+        };
+
+        let xs = axis(a);
+        let ys = axis(b);
+        let mut entries = Vec::with_capacity(xs.len() * ys.len());
+        for &(cy, my) in &ys {
+            for &(cx, mx) in &xs {
+                let p = (cx * cy) as f64 / placements;
+                entries.push(((mx * my) as f64, p, p.ln(), (-p).ln_1p()));
+            }
+        }
+        CoverageHistogram { side, entries }
+    }
+
+    /// The integer zone side actually used.
+    #[inline]
+    pub fn zone_side(&self) -> u32 {
+        self.side
+    }
+
+    /// `E[S_q]` for `q = 1 ..= min(max_terms, qubits)` (Eq. 4); entry `k`
+    /// of the result is `E[S_{k+1}]`. Semantically identical to
+    /// [`CoverageTable::expected_surfaces`], evaluated over the compressed
+    /// histogram.
+    pub fn expected_surfaces(&self, qubits: u64, max_terms: usize) -> Vec<f64> {
+        let terms = (max_terms as u64).min(qubits) as usize;
+        let mut out = Vec::with_capacity(terms);
+        let q_total = qubits as f64;
+        let mut ln_choose = 0.0f64;
+        for q in 1..=terms as u64 {
+            ln_choose += ((q_total - q as f64 + 1.0) / q as f64).ln();
+            let qf = q as f64;
+            let rest = q_total - qf;
+            let mut sum = 0.0;
+            for &(mult, p, ln_p, ln_1mp) in &self.entries {
+                if p >= 1.0 {
+                    // A zone as large as the fabric covers these ULBs
+                    // surely: probability mass 1 at q == Q, zero elsewhere.
+                    if q == qubits {
+                        sum += mult;
+                    }
+                    continue;
+                }
+                sum += mult * (ln_choose + qf * ln_p + rest * ln_1mp).exp();
+            }
+            out.push(sum);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dims(a: u32, b: u32) -> FabricDims {
+        FabricDims::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn histogram_matches_table_sides_and_esq() {
+        for (a, b, area, qubits) in [
+            (3u32, 3u32, 3.0f64, 3u64),
+            (4, 5, 1.0, 6),
+            (9, 9, 9.0, 12),
+            (60, 60, 6.0, 768),
+            (8, 6, 4.0, 10),
+            (3, 3, 9.0, 4), // zone covers the whole fabric
+        ] {
+            let table = CoverageTable::new(dims(a, b), area, ZoneRounding::Ceil);
+            let hist = CoverageHistogram::new(dims(a, b), area, ZoneRounding::Ceil);
+            assert_eq!(table.zone_side(), hist.zone_side());
+            let esq_t = table.expected_surfaces(qubits, 20);
+            let esq_h = hist.expected_surfaces(qubits, 20);
+            assert_eq!(esq_t.len(), esq_h.len());
+            for (t, h) in esq_t.iter().zip(&esq_h) {
+                assert!(
+                    (t - h).abs() <= 1e-9 * t.abs().max(1.0),
+                    "{a}x{b} area {area}: table {t} vs histogram {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_multiplicities_cover_the_fabric() {
+        // Multiplicities must sum to A for any geometry.
+        for (a, b, area) in [(3u32, 7u32, 2.0), (16, 4, 5.5), (60, 60, 36.0)] {
+            let hist = CoverageHistogram::new(dims(a, b), area, ZoneRounding::Ceil);
+            let total: f64 = hist.entries.iter().map(|e| e.0).sum();
+            assert_eq!(total as u64, (a * b) as u64);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_agrees_with_table_on_random_geometry(
+            a in 2u32..24, b in 2u32..24, area in 1.0f64..100.0, qubits in 1u64..40
+        ) {
+            let table = CoverageTable::new(dims(a, b), area, ZoneRounding::Ceil);
+            let hist = CoverageHistogram::new(dims(a, b), area, ZoneRounding::Ceil);
+            prop_assert_eq!(table.zone_side(), hist.zone_side());
+            let esq_t = table.expected_surfaces(qubits, 20);
+            let esq_h = hist.expected_surfaces(qubits, 20);
+            for (t, h) in esq_t.iter().zip(&esq_h) {
+                prop_assert!((t - h).abs() <= 1e-9 * t.abs().max(1.0));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

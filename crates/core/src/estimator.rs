@@ -1,12 +1,19 @@
 //! Algorithm 1: the end-to-end LEQA estimator.
+//!
+//! The implementation is split along the paper's own structure: the
+//! program-dependent passes live in [`ProgramProfile`], the
+//! fabric-dependent quantities in [`Estimator::estimate_with_profile`] —
+//! [`Estimator::estimate`] simply builds a throwaway profile first, so both
+//! entry points produce bit-identical results (the sweep engine in
+//! [`crate::sweep`] relies on this).
 
 use leqa_circuit::FtOp;
-use leqa_circuit::{CriticalPath, Iig, Qodg, QodgNode};
+use leqa_circuit::{CriticalPath, CriticalPathScratch, Qodg, QodgNode};
 use leqa_fabric::{FabricDims, Micros, OneQubitKind, PhysicalParams};
 
 pub use crate::coverage::ZoneRounding;
-use crate::coverage::{CoverageTable, DEFAULT_MAX_TERMS};
-use crate::{presence, queue, tsp, EstimateError};
+use crate::coverage::{CoverageHistogram, DEFAULT_MAX_TERMS};
+use crate::{queue, EstimateError, ProgramProfile};
 
 /// Tunables of the estimation procedure.
 ///
@@ -87,18 +94,57 @@ impl Estimator {
     /// Runs Algorithm 1 on a QODG and returns the latency estimate with all
     /// intermediate quantities (C-INTERMEDIATE).
     ///
+    /// Builds a throwaway [`ProgramProfile`]; callers estimating the same
+    /// program on several fabrics should build the profile once and use
+    /// [`estimate_with_profile`](Self::estimate_with_profile) (or the sweep
+    /// helpers in [`crate::sweep`]) instead.
+    ///
     /// # Errors
     ///
     /// Returns [`EstimateError::FabricTooSmall`] if the program uses more
     /// logical qubits than the fabric has ULBs, and
     /// [`EstimateError::InvalidOption`] if `max_esq_terms` is zero.
     pub fn estimate(&self, qodg: &Qodg) -> Result<Estimate, EstimateError> {
+        self.estimate_with_profile(&ProgramProfile::new(qodg))
+    }
+
+    /// Runs the fabric-dependent part of Algorithm 1 against a prebuilt
+    /// [`ProgramProfile`]. Bit-identical to [`estimate`](Self::estimate) on
+    /// the profile's QODG; the `O(ops)` program traversals are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`estimate`](Self::estimate).
+    pub fn estimate_with_profile(
+        &self,
+        profile: &ProgramProfile<'_>,
+    ) -> Result<Estimate, EstimateError> {
+        let quantities = self.routing_quantities(profile)?;
+        let mut scratch = CriticalPathScratch::new();
+        let critical = routing_aware_critical_path(
+            &self.params,
+            &self.options,
+            profile.qodg(),
+            quantities.l_cnot_avg,
+            &mut scratch,
+        );
+        Ok(assemble_estimate(&self.params, quantities, critical))
+    }
+
+    /// Lines 1–18 of Algorithm 1 for one fabric candidate: the congestion
+    /// pricing quantities. Program-dependent inputs come from the profile;
+    /// only the coverage statistics and the Eq. 2 average are computed here
+    /// (`O(terms · s²)` via [`CoverageHistogram`]).
+    pub(crate) fn routing_quantities(
+        &self,
+        profile: &ProgramProfile<'_>,
+    ) -> Result<RoutingQuantities, EstimateError> {
         if self.options.max_esq_terms == 0 {
             return Err(EstimateError::InvalidOption {
                 name: "max_esq_terms",
             });
         }
-        let qubit_count = qodg.num_qubits() as u64;
+        let qubit_count = profile.qubit_count();
         if qubit_count > self.dims.area() {
             return Err(EstimateError::FabricTooSmall {
                 qubits: qubit_count,
@@ -106,22 +152,19 @@ impl Estimator {
             });
         }
 
-        // Line 1: the IIG.
-        let iig = Iig::from_qodg(qodg);
-        // Lines 2–3: presence zones.
-        let avg_zone_area = presence::average_zone_area(&iig);
-
+        let avg_zone_area = profile.avg_zone_area();
         let (l_cnot_avg, d_uncong, esq, zone_side) = match avg_zone_area {
             // No two-qubit ops at all: no CNOT routing exists.
             None => (Micros::ZERO, Micros::ZERO, Vec::new(), 0),
             Some(b) => {
-                // Lines 4–8: d_uncong.
-                let d_uncong = tsp::uncongested_delay(&iig, self.params.qubit_speed())
+                // Lines 4–8: d_uncong (traversal prepaid by the profile).
+                let d_uncong = profile
+                    .uncongested_delay(self.params.qubit_speed())
                     .expect("interactions exist, so the average is defined");
-                // Lines 9–13: the P_{x,y} table.
-                let table = CoverageTable::new(self.dims, b, self.options.zone_rounding);
+                // Lines 9–13: the P_{x,y} statistics, run-length compressed.
+                let hist = CoverageHistogram::new(self.dims, b, self.options.zone_rounding);
                 // Lines 14–17: E[S_q] and d_q.
-                let esq = table.expected_surfaces(qubit_count, self.options.max_esq_terms);
+                let esq = hist.expected_surfaces(qubit_count, self.options.max_esq_terms);
                 // Line 18: L_CNOT^avg (Eq. 2).
                 let mut num = 0.0;
                 let mut den = 0.0;
@@ -136,16 +179,39 @@ impl Estimator {
                 } else {
                     Micros::ZERO
                 };
-                (l, d_uncong, esq, table.zone_side())
+                (l, d_uncong, esq, hist.zone_side())
             }
         };
 
-        let l_one_qubit_avg = self.params.one_qubit_routing_latency();
-        let delays = *self.params.gate_delays();
+        Ok(RoutingQuantities {
+            l_cnot_avg,
+            d_uncong,
+            esq,
+            zone_side,
+            avg_zone_area: avg_zone_area.unwrap_or(0.0),
+            qubit_count,
+        })
+    }
+}
 
-        // Line 19: critical path, with or without the routing update.
-        let include_routing = self.options.update_critical_path;
-        let critical = qodg.critical_path(|node| match node {
+/// Line 19: the critical path with (or, per the options, without) the
+/// routing latencies added to the node delays.
+///
+/// A free function over `(params, options)` rather than an [`Estimator`]
+/// method: it is fabric-independent by construction, and the sweep engine
+/// calls it once per path regime without inventing a placeholder fabric.
+pub(crate) fn routing_aware_critical_path(
+    params: &PhysicalParams,
+    options: &EstimatorOptions,
+    qodg: &Qodg,
+    l_cnot_avg: Micros,
+    scratch: &mut CriticalPathScratch,
+) -> CriticalPath {
+    let l_one_qubit_avg = params.one_qubit_routing_latency();
+    let delays = *params.gate_delays();
+    let include_routing = options.update_critical_path;
+    qodg.critical_path_reuse(
+        |node| match node {
             QodgNode::Op(FtOp::Cnot { .. }) => {
                 delays.cnot()
                     + if include_routing {
@@ -163,29 +229,62 @@ impl Estimator {
                     }
             }
             _ => Micros::ZERO,
-        });
+        },
+        scratch,
+    )
+}
 
-        // Line 20: Eq. 1 from the critical-path census. When the critical
-        // path already includes the routing latencies this equals its
-        // length; the explicit form also covers the ablation variant.
-        let mut latency = (delays.cnot() + l_cnot_avg) * critical.cnot_count as f64;
-        for kind in OneQubitKind::ALL {
-            let n = critical.one_qubit_counts[kind.index()] as f64;
-            latency += (delays.one_qubit(kind) + l_one_qubit_avg) * n;
-        }
+/// Line 20: Eq. 1 from the critical-path census. When the critical
+/// path already includes the routing latencies this equals its
+/// length; the explicit form also covers the ablation variant.
+///
+/// Fabric-independent (see [`routing_aware_critical_path`] on why it is a
+/// free function).
+pub(crate) fn assemble_estimate(
+    params: &PhysicalParams,
+    quantities: RoutingQuantities,
+    critical: CriticalPath,
+) -> Estimate {
+    let RoutingQuantities {
+        l_cnot_avg,
+        d_uncong,
+        esq,
+        zone_side,
+        avg_zone_area,
+        qubit_count,
+    } = quantities;
+    let l_one_qubit_avg = params.one_qubit_routing_latency();
+    let delays = *params.gate_delays();
 
-        Ok(Estimate {
-            latency,
-            l_cnot_avg,
-            l_one_qubit_avg,
-            d_uncong,
-            avg_zone_area: avg_zone_area.unwrap_or(0.0),
-            zone_side,
-            esq,
-            critical,
-            qubit_count,
-        })
+    let mut latency = (delays.cnot() + l_cnot_avg) * critical.cnot_count as f64;
+    for kind in OneQubitKind::ALL {
+        let n = critical.one_qubit_counts[kind.index()] as f64;
+        latency += (delays.one_qubit(kind) + l_one_qubit_avg) * n;
     }
+
+    Estimate {
+        latency,
+        l_cnot_avg,
+        l_one_qubit_avg,
+        d_uncong,
+        avg_zone_area,
+        zone_side,
+        esq,
+        critical,
+        qubit_count,
+    }
+}
+
+/// Lines 1–18 of Algorithm 1 for one fabric candidate, bundled for the
+/// sweep engine.
+#[derive(Debug, Clone)]
+pub(crate) struct RoutingQuantities {
+    pub(crate) l_cnot_avg: Micros,
+    pub(crate) d_uncong: Micros,
+    pub(crate) esq: Vec<f64>,
+    pub(crate) zone_side: u32,
+    pub(crate) avg_zone_area: f64,
+    pub(crate) qubit_count: u64,
 }
 
 /// The output of Algorithm 1, with every intermediate the paper names.

@@ -50,7 +50,9 @@
 pub mod coverage;
 mod error;
 mod estimator;
+pub mod exec;
 pub mod presence;
+mod profile;
 pub mod queue;
 pub mod report;
 pub mod sweep;
@@ -58,3 +60,4 @@ pub mod tsp;
 
 pub use error::EstimateError;
 pub use estimator::{Estimate, Estimator, EstimatorOptions, ZoneRounding};
+pub use profile::ProgramProfile;

@@ -1,11 +1,44 @@
 //! Fabric-size exploration: Algorithm 1's stated use case ("this value
 //! can be changed to find the optimal size for the fabric which results
 //! in the minimum delay").
+//!
+//! # The sweep engine
+//!
+//! A sweep estimates one program on `N` candidate fabrics. Done naively
+//! that costs `N` full runs of Algorithm 1; this module amortises all
+//! program-dependent work instead:
+//!
+//! 1. **Profile reuse** — the IIG traversal, Eq. 7's zone average and
+//!    Eq. 12's uncongested-delay terms are computed once per program
+//!    ([`ProgramProfile`]) and shared by every candidate.
+//! 2. **Compressed coverage** — per candidate, `E[S_q]` is evaluated over
+//!    the run-length-compressed coverage histogram
+//!    ([`crate::coverage::CoverageHistogram`], `O(terms · s²)` instead of
+//!    `O(terms · A)`).
+//! 3. **Census bisection** — the routing-aware critical path depends on the
+//!    fabric only through the scalar `L_CNOT^avg`, and the optimal path is
+//!    piecewise-constant in it. The engine sorts the candidates'
+//!    `L_CNOT^avg` values and recursively bisects: when the two endpoints
+//!    of an interval select the *same* path, every interior candidate
+//!    provably shares it (the longest-path envelope is convex in
+//!    `L_CNOT^avg`) and only the path's length is re-accumulated, in
+//!    exactly the order the full `O(|V|+|E|)` pass would have used.
+//!    Typical sweeps cross a handful of path regimes, so ~`log N` full
+//!    passes replace `N`.
+//!
+//! Every estimate produced this way is bit-identical to an independent
+//! [`Estimator::estimate`] call on the same candidate (asserted per
+//! workload by `tests/differential.rs`).
+//!
+//! With the `parallel` feature the per-candidate loop runs on scoped
+//! worker threads (one per core); candidate results are identical either
+//! way.
 
-use leqa_circuit::Qodg;
-use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_circuit::{CriticalPath, CriticalPathScratch, Qodg, QodgNode};
+use leqa_fabric::{FabricDims, Micros, PhysicalParams};
 
-use crate::{Estimate, Estimator, EstimatorOptions};
+use crate::estimator::{assemble_estimate, routing_aware_critical_path, RoutingQuantities};
+use crate::{Estimate, Estimator, EstimatorOptions, ProgramProfile};
 
 /// Outcome of one fabric-size candidate.
 #[derive(Debug, Clone)]
@@ -19,27 +52,59 @@ pub struct SweepPoint {
 
 /// Estimates a program across candidate fabrics and returns all points.
 ///
-/// Candidates too small for the program yield `estimate: None` rather
-/// than an error, so sweeps can span wide ranges.
+/// Builds the [`ProgramProfile`] once and runs the amortised engine above,
+/// so an `N`-candidate sweep pays the `O(ops)` program traversals once
+/// instead of `N` times. Candidates too small for the program yield
+/// `estimate: None` rather than an error, so sweeps can span wide ranges.
 pub fn sweep_fabrics(
     qodg: &Qodg,
     params: &PhysicalParams,
     options: EstimatorOptions,
     candidates: impl IntoIterator<Item = FabricDims>,
 ) -> Vec<SweepPoint> {
-    candidates
-        .into_iter()
-        .map(|dims| {
-            let estimate = if (qodg.num_qubits() as u64) <= dims.area() {
-                Estimator::with_options(dims, params.clone(), options)
-                    .estimate(qodg)
-                    .ok()
-            } else {
-                None
-            };
-            SweepPoint { dims, estimate }
-        })
-        .collect()
+    sweep_profile(&ProgramProfile::new(qodg), params, options, candidates)
+}
+
+/// Like [`sweep_fabrics`] with a caller-owned [`ProgramProfile`] — the
+/// entry point for callers sweeping the same program repeatedly (e.g.
+/// across parameter sets as well as fabric sizes).
+pub fn sweep_profile(
+    profile: &ProgramProfile<'_>,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    candidates: impl IntoIterator<Item = FabricDims>,
+) -> Vec<SweepPoint> {
+    let candidates: Vec<FabricDims> = candidates.into_iter().collect();
+    run_sweep(
+        profile,
+        params,
+        options,
+        candidates,
+        cfg!(feature = "parallel"),
+    )
+}
+
+/// Like [`sweep_fabrics`], forcing the per-candidate loop onto scoped
+/// worker threads (capped by the platform's available parallelism) even
+/// when the `parallel` feature is off.
+///
+/// Estimation is CPU-bound and candidates are independent, so wide sweeps
+/// — the paper's fabric-size exploration loop — scale with cores. Results
+/// are identical to the serial engine's.
+pub fn sweep_fabrics_parallel(
+    qodg: &Qodg,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    candidates: impl IntoIterator<Item = FabricDims>,
+) -> Vec<SweepPoint> {
+    let candidates: Vec<FabricDims> = candidates.into_iter().collect();
+    run_sweep(
+        &ProgramProfile::new(qodg),
+        params,
+        options,
+        candidates,
+        true,
+    )
 }
 
 /// Finds the latency-minimal square fabric among `sides`.
@@ -81,6 +146,277 @@ pub fn optimal_square_fabric(
         .into_iter()
         .filter_map(|p| p.estimate.map(|e| (p.dims, e)))
         .min_by(|a, b| a.1.latency.as_f64().total_cmp(&b.1.latency.as_f64()))
+}
+
+// ── Engine internals ─────────────────────────────────────────────────────
+
+fn run_sweep(
+    profile: &ProgramProfile<'_>,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    candidates: Vec<FabricDims>,
+    threaded: bool,
+) -> Vec<SweepPoint> {
+    // Phase 1: per-candidate congestion pricing (Algorithm 1 lines 1–18,
+    // with lines 1–8 prepaid by the profile).
+    let quantities = if threaded {
+        quantities_threaded(profile, params, options, &candidates)
+    } else {
+        candidates
+            .iter()
+            .map(|&dims| candidate_quantities(profile, params, options, dims))
+            .collect()
+    };
+
+    // Phase 2: resolve the routing-aware critical path for every distinct
+    // L_CNOT^avg by convex bisection. The critical-path and assembly
+    // kernels are fabric-independent free functions, so no placeholder
+    // fabric is involved.
+    let xs: Vec<Micros> = quantities
+        .iter()
+        .flatten()
+        .map(|q: &RoutingQuantities| q.l_cnot_avg)
+        .collect();
+    let censuses = CensusCache::resolve(params, &options, profile.qodg(), &xs);
+
+    // Phase 3: assemble the estimates (Eq. 1) in candidate order.
+    candidates
+        .into_iter()
+        .zip(quantities)
+        .map(|(dims, quantities)| {
+            let estimate = quantities.map(|q| {
+                let critical = censuses
+                    .materialize(q.l_cnot_avg)
+                    .expect("phase 2 resolved every candidate's L_CNOT^avg");
+                assemble_estimate(params, q, critical)
+            });
+            SweepPoint { dims, estimate }
+        })
+        .collect()
+}
+
+/// Phase 1 for one candidate; `None` when the program does not fit or the
+/// options are invalid (mirrors the `.ok()` semantics sweeps always had).
+fn candidate_quantities(
+    profile: &ProgramProfile<'_>,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    dims: FabricDims,
+) -> Option<RoutingQuantities> {
+    Estimator::with_options(dims, params.clone(), options)
+        .routing_quantities(profile)
+        .ok()
+}
+
+/// Phase 1 across scoped worker threads.
+fn quantities_threaded(
+    profile: &ProgramProfile<'_>,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    candidates: &[FabricDims],
+) -> Vec<Option<RoutingQuantities>> {
+    crate::exec::parallel_map(candidates, |&dims| {
+        candidate_quantities(profile, params, options, dims)
+    })
+}
+
+/// Resolved critical paths per distinct `L_CNOT^avg` value: a handful of
+/// *template* paths from full passes, plus a `(template, length)` pair per
+/// value — template paths are shared until [`materialize`] clones one into
+/// an [`Estimate`], so each candidate pays exactly one path copy.
+///
+/// [`materialize`]: CensusCache::materialize
+struct CensusCache {
+    /// Distinct `L_CNOT^avg` values, ascending.
+    xs: Vec<f64>,
+    /// `(index into templates, length at xs[i])`.
+    resolved: Vec<Option<(usize, Micros)>>,
+    /// Critical paths produced by full passes, one per path regime hit.
+    templates: Vec<CriticalPath>,
+}
+
+impl CensusCache {
+    /// Computes the routing-aware critical path for every value in `xs`.
+    ///
+    /// In exact arithmetic the longest-path length is a convex
+    /// piecewise-linear function of `L_CNOT^avg` (each start→end path
+    /// contributes the line `base + n_CNOT · x`), so if the full
+    /// `O(|V|+|E|)` pass selects the same path at both endpoints of an
+    /// interval, that path is optimal on the whole interval; interior
+    /// values then only re-accumulate its length. Intervals whose
+    /// endpoints disagree are bisected with a full pass in the middle.
+    ///
+    /// Floats bend the lines by ULPs, so an interior reuse is additionally
+    /// guarded: if any *other* discovered path regime comes within a few
+    /// ULPs of (or beats) the template's length at that value, the engine
+    /// falls back to a full pass there instead of trusting the convexity
+    /// argument across a near-degenerate tie. (`tests/differential.rs`
+    /// pins the resulting bit-identity across the workload suite.)
+    fn resolve(
+        params: &PhysicalParams,
+        options: &EstimatorOptions,
+        qodg: &Qodg,
+        xs: &[Micros],
+    ) -> CensusCache {
+        let mut unique: Vec<f64> = xs.iter().map(|x| x.as_f64()).collect();
+        unique.sort_by(f64::total_cmp);
+        unique.dedup();
+
+        let mut cache = CensusCache {
+            resolved: vec![None; unique.len()],
+            xs: unique,
+            templates: Vec::new(),
+        };
+        if cache.xs.is_empty() {
+            return cache;
+        }
+
+        let mut scratch = CriticalPathScratch::new();
+        if !options.update_critical_path {
+            // Ablation mode: node delays ignore routing, so the pass is
+            // independent of L_CNOT^avg — one pass serves every candidate.
+            let cp = routing_aware_critical_path(params, options, qodg, Micros::ZERO, &mut scratch);
+            let length = cp.length;
+            cache.templates.push(cp);
+            cache.resolved.fill(Some((0, length)));
+            return cache;
+        }
+
+        let last = cache.xs.len() - 1;
+        cache.full_pass(params, options, qodg, 0, &mut scratch);
+        if last > 0 {
+            cache.full_pass(params, options, qodg, last, &mut scratch);
+        }
+        cache.solve(params, options, qodg, 0, last, &mut scratch);
+        cache
+    }
+
+    /// Runs the full critical-path pass at `xs[i]`, registering its path
+    /// as a template (deduplicated against the previous passes' paths).
+    fn full_pass(
+        &mut self,
+        params: &PhysicalParams,
+        options: &EstimatorOptions,
+        qodg: &Qodg,
+        i: usize,
+        scratch: &mut CriticalPathScratch,
+    ) {
+        let x = Micros::new(self.xs[i]);
+        let cp = routing_aware_critical_path(params, options, qodg, x, scratch);
+        let length = cp.length;
+        let template = match self.templates.iter().position(|t| t.path == cp.path) {
+            Some(t) => t,
+            None => {
+                self.templates.push(cp);
+                self.templates.len() - 1
+            }
+        };
+        self.resolved[i] = Some((template, length));
+    }
+
+    /// Fills `resolved[lo..=hi]` given that both endpoints already are.
+    fn solve(
+        &mut self,
+        params: &PhysicalParams,
+        options: &EstimatorOptions,
+        qodg: &Qodg,
+        lo: usize,
+        hi: usize,
+        scratch: &mut CriticalPathScratch,
+    ) {
+        if hi <= lo + 1 {
+            return;
+        }
+        let (tpl_lo, _) = self.resolved[lo].expect("endpoint resolved");
+        let (tpl_hi, _) = self.resolved[hi].expect("endpoint resolved");
+        if tpl_lo == tpl_hi {
+            // One path rules the whole interval: re-accumulate its length
+            // at each interior value in DP order. Guard each reuse against
+            // the other discovered regimes (see `resolve`): a rival within
+            // a few ULPs means the full pass's winner is
+            // rounding-determined there, so run the full pass.
+            for mid in lo + 1..hi {
+                let x = Micros::new(self.xs[mid]);
+                let length = accumulate_along(params, qodg, &self.templates[tpl_lo], x);
+                if self.rival_near(params, qodg, tpl_lo, length, x) {
+                    self.full_pass(params, options, qodg, mid, scratch);
+                } else {
+                    self.resolved[mid] = Some((tpl_lo, length));
+                }
+            }
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            self.full_pass(params, options, qodg, mid, scratch);
+            self.solve(params, options, qodg, lo, mid, scratch);
+            self.solve(params, options, qodg, mid, hi, scratch);
+        }
+    }
+
+    /// Whether any template other than `chosen` reaches (or ULP-grazes)
+    /// `length` at `x`. Cheap in the common case: sweeps usually discover
+    /// a single path regime, and the loop skips `chosen` itself.
+    fn rival_near(
+        &self,
+        params: &PhysicalParams,
+        qodg: &Qodg,
+        chosen: usize,
+        length: Micros,
+        x: Micros,
+    ) -> bool {
+        const REL_MARGIN: f64 = 1e-12;
+        self.templates.iter().enumerate().any(|(t, template)| {
+            if t == chosen {
+                return false;
+            }
+            let rival = accumulate_along(params, qodg, template, x).as_f64();
+            rival >= length.as_f64() * (1.0 - REL_MARGIN)
+        })
+    }
+
+    /// Builds the owned [`CriticalPath`] for a phase-1 `L_CNOT^avg` value
+    /// (one path copy — the only one a candidate pays).
+    fn materialize(&self, x: Micros) -> Option<CriticalPath> {
+        let i = self
+            .xs
+            .binary_search_by(|probe| probe.total_cmp(&x.as_f64()))
+            .ok()?;
+        let (template, length) = self.resolved[i]?;
+        let template = &self.templates[template];
+        Some(CriticalPath {
+            length,
+            cnot_count: template.cnot_count,
+            one_qubit_counts: template.one_qubit_counts,
+            path: template.path.clone(),
+        })
+    }
+}
+
+/// Re-accumulates a known path's length at a new `L_CNOT^avg`: node delays
+/// added in first-to-last order — exactly the float additions the full
+/// pass performs along its argmax chain, so the length is bit-identical to
+/// what the pass would return for this path.
+fn accumulate_along(
+    params: &PhysicalParams,
+    qodg: &Qodg,
+    template: &CriticalPath,
+    l_cnot_avg: Micros,
+) -> Micros {
+    let l_one_qubit_avg = params.one_qubit_routing_latency();
+    let delays = *params.gate_delays();
+
+    let mut length = Micros::ZERO;
+    for &id in &template.path {
+        if let QodgNode::Op(op) = qodg.node(id) {
+            let own = match op {
+                leqa_circuit::FtOp::Cnot { .. } => delays.cnot() + l_cnot_avg,
+                leqa_circuit::FtOp::OneQubit { kind, .. } => {
+                    delays.one_qubit(kind) + l_one_qubit_avg
+                }
+            };
+            length += own;
+        }
+    }
+    length
 }
 
 #[cfg(test)]
@@ -150,59 +486,61 @@ mod tests {
         )
         .is_none());
     }
-}
 
-/// Like [`sweep_fabrics`], evaluating candidates on scoped worker threads
-/// (one per candidate, capped by the platform's available parallelism).
-///
-/// Estimation is CPU-bound and candidates are independent, so wide sweeps
-/// — the paper's fabric-size exploration loop — scale with cores.
-pub fn sweep_fabrics_parallel(
-    qodg: &Qodg,
-    params: &PhysicalParams,
-    options: EstimatorOptions,
-    candidates: impl IntoIterator<Item = FabricDims>,
-) -> Vec<SweepPoint> {
-    let candidates: Vec<FabricDims> = candidates.into_iter().collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(candidates.len().max(1));
-
-    let results: Vec<std::sync::Mutex<Option<SweepPoint>>> = candidates
-        .iter()
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
+    #[test]
+    fn sweep_is_bit_identical_to_independent_estimates() {
+        // The engine's contract: profile reuse, compressed coverage and
+        // census bisection change the cost, never the bits.
+        let qodg = dense_qodg();
+        let params = PhysicalParams::dac13();
+        let opts = EstimatorOptions::default();
+        let candidates: Vec<FabricDims> = (5..=60)
+            .step_by(5)
+            .map(|s| FabricDims::new(s, s).unwrap())
+            .collect();
+        let points = sweep_fabrics(&qodg, &params, opts, candidates.clone());
+        for (point, dims) in points.iter().zip(&candidates) {
+            let direct = Estimator::with_options(*dims, params.clone(), opts)
+                .estimate(&qodg)
+                .ok();
+            match (&point.estimate, &direct) {
+                (Some(sweep), Some(direct)) => {
+                    assert_eq!(sweep.latency, direct.latency, "{dims:?}");
+                    assert_eq!(sweep.l_cnot_avg, direct.l_cnot_avg, "{dims:?}");
+                    assert_eq!(sweep.critical, direct.critical, "{dims:?}");
+                    assert_eq!(sweep.esq, direct.esq, "{dims:?}");
                 }
-                let dims = candidates[i];
-                let estimate = if (qodg.num_qubits() as u64) <= dims.area() {
-                    Estimator::with_options(dims, params.clone(), options)
-                        .estimate(qodg)
-                        .ok()
-                } else {
-                    None
-                };
-                *results[i].lock().expect("no poisoning") = Some(SweepPoint { dims, estimate });
-            });
+                (None, None) => {}
+                other => panic!("{dims:?}: fit mismatch {other:?}"),
+            }
         }
-    });
+    }
 
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoning")
-                .expect("worker filled every slot")
-        })
-        .collect()
+    #[test]
+    fn sweep_without_critical_path_update_matches_too() {
+        let qodg = dense_qodg();
+        let params = PhysicalParams::dac13();
+        let opts = EstimatorOptions {
+            update_critical_path: false,
+            ..Default::default()
+        };
+        for point in sweep_fabrics(
+            &qodg,
+            &params,
+            opts,
+            [
+                FabricDims::new(5, 5).unwrap(),
+                FabricDims::new(40, 40).unwrap(),
+            ],
+        ) {
+            let direct = Estimator::with_options(point.dims, params.clone(), opts)
+                .estimate(&qodg)
+                .unwrap();
+            let sweep = point.estimate.expect("fits");
+            assert_eq!(sweep.latency, direct.latency);
+            assert_eq!(sweep.critical, direct.critical);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,269 @@
+//! Offline shim for the subset of the `criterion` crate API this workspace
+//! uses: `Criterion::{bench_function, benchmark_group}`, groups with
+//! `sample_size`/`bench_with_input`/`finish`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing model: each benchmark warms up briefly, then runs batches of
+//! iterations until `measurement_time` elapses and reports the median
+//! per-iteration time. No statistical analysis or HTML reports — results go
+//! to stdout, and optionally to a JSON-lines file for baseline recording:
+//! set `BENCH_JSON=path.json` and every completed benchmark appends
+//! `{"name": ..., "median_ns": ..., "iters": ...}` (see PERF.md).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one function under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op: the shim sizes samples by wall-clock budget
+    /// rather than a fixed count, so this only shortens the budget for
+    /// small requested sizes the way callers intend it (fast benches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.measurement_time = Duration::from_millis(200);
+        }
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a plain function under `id`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) does the timing.
+pub struct Bencher {
+    budget: Duration,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the median per-iteration
+    /// time. The routine's output is black-boxed so it is not optimized
+    /// away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // ≥ ~1 ms (or a cap), so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            iters += batch;
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+        self.iters = iters;
+    }
+}
+
+fn run_one(name: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        budget,
+        median_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "{name:<48} time: {:>12}   ({} iterations)",
+        format_ns(bencher.median_ns),
+        bencher.iters
+    );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{}\",\"median_ns\":{},\"iters\":{}}}",
+                name.replace('"', "'"),
+                bencher.median_ns,
+                bencher.iters
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! See `crates/shims/README.md`. The generator is SplitMix64 — deterministic
+//! per seed, statistically good enough for Monte-Carlo validation and
+//! property tests, and dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness (the subset of `rand_core::RngCore` we need).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed (the subset of
+/// `rand::SeedableRng` we need).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a bounded range. Mirrors
+/// `rand::distributions::uniform::SampleUniform` so type inference flows the
+/// same way as with the real crate (a `Range<T>` constrains `T` directly).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Sampling of a uniform value out of a range, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Types that can be drawn uniformly from their "standard" distribution
+/// ([`Rng::gen`]): the unit interval for floats, the full domain for ints.
+pub trait Standard: Sized {
+    /// Draws one standard sample.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _: bool) -> Self {
+        lo + f64::standard(rng) * (hi - lo)
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits over [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`] (the subset of
+/// `rand::Rng` we need).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Standard-distribution sample (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64; see the crate docs for
+    /// how this differs from upstream `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling (the subset of `rand::seq::SliceRandom` we need).
+    pub trait SliceRandom {
+        /// Item type of the slice.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let (va, vb, vc): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle is a fixed point with negligible probability"
+        );
+    }
+
+    #[test]
+    fn unit_samples_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            lo |= u < 0.1;
+            hi |= u > 0.9;
+        }
+        assert!(lo && hi, "samples should reach both tails");
+    }
+}

@@ -11,7 +11,8 @@
 //! cargo run --release --example fabric_size_sweep
 //! ```
 
-use leqa::Estimator;
+use leqa::sweep::sweep_fabrics;
+use leqa::EstimatorOptions;
 use leqa_circuit::{decompose::lower_to_ft, Qodg};
 use leqa_fabric::{FabricDims, PhysicalParams};
 use leqa_workloads::Benchmark;
@@ -32,21 +33,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fabric", "ULBs", "L_CNOT (µs)", "latency (s)"
     );
 
+    // One sweep call: the program profile (IIG, zone statistics,
+    // uncongested-delay terms) is built once and shared by every candidate.
+    let sides = [20u32, 25, 30, 40, 50, 60, 80, 100, 140];
+    let candidates = sides
+        .iter()
+        .map(|&s| FabricDims::new(s, s))
+        .collect::<Result<Vec<_>, _>>()?;
+
     let mut best: Option<(u32, f64)> = None;
-    for side in [20u32, 25, 30, 40, 50, 60, 80, 100, 140] {
-        let dims = FabricDims::new(side, side)?;
-        if (qodg.num_qubits() as u64) > dims.area() {
+    for point in sweep_fabrics(&qodg, &params, EstimatorOptions::default(), candidates) {
+        let side = point.dims.width();
+        let Some(estimate) = point.estimate else {
             println!(
                 "{side:>6}x{side:<2} {:>8} (too small for the program)",
-                dims.area()
+                point.dims.area()
             );
             continue;
-        }
-        let estimate = Estimator::new(dims, params.clone()).estimate(&qodg)?;
+        };
         let latency = estimate.latency.as_secs();
         println!(
             "{side:>6}x{side:<2} {:>8} {:>14.0} {:>14.4}",
-            dims.area(),
+            point.dims.area(),
             estimate.l_cnot_avg.as_f64(),
             latency
         );
