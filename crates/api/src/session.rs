@@ -1,0 +1,621 @@
+//! The [`Session`]: one configured service instance.
+//!
+//! A session owns the fabric dimensions, physical parameters and estimator
+//! options (set once through [`SessionBuilder`]) and a program cache:
+//! every loaded program is keyed by a content hash of its canonical
+//! circuit text, and its [`ProfileData`] — the expensive program-dependent
+//! half of Algorithm 1 — is computed exactly once no matter how many
+//! requests name it, through whichever [`ProgramSpec`] source. The
+//! [`batch`](Session::batch) endpoint warms the cache serially (so
+//! deduplication is exact), then executes the requests — on scoped worker
+//! threads when the `parallel` feature is on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use leqa::report::zone_report_from_iig;
+use leqa::sweep::sweep_profile;
+use leqa::{Estimator, EstimatorOptions, ProfileData, ProgramProfile};
+use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use qspr::{Mapper, MapperConfig};
+
+use crate::dto::{
+    CompareRequest, CompareResponse, EstimateRequest, EstimateResponse, FabricSpec, MapRequest,
+    MapResponse, ProgramSpec, ProgramSummary, Request, Response, SweepPointDto, SweepRequest,
+    SweepResponse, ZoneRowDto, ZonesRequest, ZonesResponse,
+};
+use crate::error::{ErrorKind, LeqaError};
+use crate::BatchResponse;
+
+/// The cached, spec-independent part of a loaded program: canonical
+/// source, lowered QODG, and the lazily-computed [`ProfileData`]. Shared
+/// (via `Arc`) by every request whose content hashes to it.
+#[derive(Debug)]
+struct ProgramData {
+    source: String,
+    qodg: Qodg,
+    /// Computed on first use by an endpoint that needs it (estimate,
+    /// sweep, zones, compare, `dot --graph iig`) — `map` and `gen` never
+    /// pay the IIG/zone passes. `OnceLock` guarantees exactly one
+    /// initialization even under the parallel batch fan-out.
+    profile: OnceLock<ProfileData>,
+}
+
+/// A loaded program as one request sees it: the label the *request's*
+/// spec implies plus the shared, content-addressed program data (source,
+/// QODG, lazy profile). Cheap to move around (a string and two `Arc`s).
+#[derive(Debug)]
+pub struct ProgramHandle {
+    label: String,
+    shared: Arc<ProgramData>,
+    profile_builds: Arc<AtomicU64>,
+}
+
+impl ProgramHandle {
+    /// Display label (benchmark name, `.name` header, or file path) —
+    /// derived from the spec *this* load used, not from whichever spec
+    /// first populated the cache.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Canonical circuit text (the content that was hashed).
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.shared.source
+    }
+
+    /// The lowered program.
+    #[must_use]
+    pub fn qodg(&self) -> &Qodg {
+        &self.shared.qodg
+    }
+
+    /// The program profile data, computed on first use and cached for
+    /// every later request naming the same content.
+    #[must_use]
+    pub fn profile_data(&self) -> &ProfileData {
+        self.shared.profile.get_or_init(|| {
+            self.profile_builds.fetch_add(1, Ordering::Relaxed);
+            ProfileData::new(&self.shared.qodg)
+        })
+    }
+
+    /// The identity echoed in responses.
+    #[must_use]
+    pub fn summary(&self) -> ProgramSummary {
+        ProgramSummary {
+            label: self.label.clone(),
+            qubits: u64::from(self.shared.qodg.num_qubits()),
+            ops: self.shared.qodg.op_count() as u64,
+        }
+    }
+}
+
+/// Cache counters, exposed for observability and asserted by the
+/// profile-reuse tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Programs whose [`ProfileData`] was computed (one per distinct
+    /// content hash).
+    pub profile_builds: u64,
+    /// Loads served from the cache without recomputation.
+    pub cache_hits: u64,
+}
+
+/// Builds a [`Session`].
+///
+/// Defaults mirror the paper: 60×60 fabric, Table 1 ion-trap/\[\[7,1,3\]\]
+/// parameters, 20 `E[S_q]` terms with ceiling zone rounding.
+#[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until `build()` is called"]
+pub struct SessionBuilder {
+    fabric: Option<FabricDims>,
+    params: Option<PhysicalParams>,
+    options: Option<EstimatorOptions>,
+}
+
+impl SessionBuilder {
+    /// Sets the session fabric (default: the paper's 60×60).
+    pub fn fabric(mut self, dims: FabricDims) -> Self {
+        self.fabric = Some(dims);
+        self
+    }
+
+    /// Sets the physical parameters (default: Table 1's).
+    pub fn params(mut self, params: PhysicalParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Sets the estimator options (default: the paper's).
+    pub fn options(mut self, options: EstimatorOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::Invalid`] when the estimator options are out
+    /// of range (currently: zero `E[S_q]` terms).
+    pub fn build(self) -> Result<Session, LeqaError> {
+        let options = self.options.unwrap_or_default();
+        if options.max_esq_terms == 0 {
+            return Err(LeqaError::new(
+                ErrorKind::Invalid,
+                "estimator option `max_esq_terms` must be positive",
+            ));
+        }
+        Ok(Session {
+            fabric: self.fabric.unwrap_or_else(FabricDims::dac13),
+            params: self.params.unwrap_or_else(PhysicalParams::dac13),
+            options,
+            cache: HashMap::new(),
+            profile_builds: Arc::new(AtomicU64::new(0)),
+            cache_hits: 0,
+        })
+    }
+}
+
+/// One configured LEQA service instance: the single supported entry point
+/// for applications (see the crate docs for an example).
+#[derive(Debug)]
+pub struct Session {
+    fabric: FabricDims,
+    params: PhysicalParams,
+    options: EstimatorOptions,
+    cache: HashMap<u64, Arc<ProgramData>>,
+    /// Shared with every [`ProgramHandle`] so lazy profile computation
+    /// counts no matter which handle forces it.
+    profile_builds: Arc<AtomicU64>,
+    cache_hits: u64,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session fabric.
+    #[must_use]
+    pub fn fabric(&self) -> FabricDims {
+        self.fabric
+    }
+
+    /// The physical parameters.
+    #[must_use]
+    pub fn params(&self) -> &PhysicalParams {
+        &self.params
+    }
+
+    /// The estimator options.
+    #[must_use]
+    pub fn options(&self) -> &EstimatorOptions {
+        &self.options
+    }
+
+    /// The cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            profile_builds: self.profile_builds.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits,
+        }
+    }
+
+    /// Drops every cached program.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Loads (or fetches from cache) the program a spec names.
+    ///
+    /// The cache key is a content hash of the canonical circuit text, so
+    /// the same program reached through different specs — a benchmark
+    /// name, a file, inline source — shares one profile.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Usage`] for unknown benchmark names, [`ErrorKind::Io`]
+    /// for unreadable files, [`ErrorKind::Parse`]/[`ErrorKind::Invalid`]
+    /// for bad circuit text.
+    pub fn load(&mut self, spec: &ProgramSpec) -> Result<ProgramHandle, LeqaError> {
+        self.load_tracking(spec).map(|(handle, _)| handle)
+    }
+
+    /// Like [`load`](Self::load), also reporting whether the program came
+    /// from the cache.
+    fn load_tracking(&mut self, spec: &ProgramSpec) -> Result<(ProgramHandle, bool), LeqaError> {
+        let (label, circuit) = match spec {
+            ProgramSpec::Bench { name } => {
+                let circuit = leqa_workloads::circuit_by_name(name).ok_or_else(|| {
+                    LeqaError::usage(format!(
+                        "unknown benchmark `{name}`; names follow Table 3 (e.g. gf2^16mult) \
+                         or the parametric forms (e.g. qft_64)"
+                    ))
+                })?;
+                (name.clone(), circuit)
+            }
+            ProgramSpec::Path { path } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(LeqaError::from)
+                    .map_err(|e| e.context(format!("reading `{path}`")))?;
+                let circuit = parser::parse(&text)?;
+                let label = circuit.name().unwrap_or(path.as_str()).to_string();
+                (label, circuit)
+            }
+            ProgramSpec::Source { text } => {
+                let circuit = parser::parse(text)?;
+                let label = circuit.name().unwrap_or("<inline>").to_string();
+                (label, circuit)
+            }
+        };
+
+        let source = parser::write(&circuit);
+        let key = fnv1a(source.as_bytes());
+        // Verify on hit: a 64-bit collision must repeat work, not hand a
+        // request some other program's profile.
+        if let Some(shared) = self.cache.get(&key) {
+            if shared.source == source {
+                self.cache_hits += 1;
+                return Ok((
+                    ProgramHandle {
+                        label,
+                        shared: Arc::clone(shared),
+                        profile_builds: Arc::clone(&self.profile_builds),
+                    },
+                    true,
+                ));
+            }
+        }
+
+        let ft = lower_to_ft(&circuit)
+            .map_err(LeqaError::from)
+            .map_err(|e| e.context(format!("lowering `{label}`")))?;
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let shared = Arc::new(ProgramData {
+            source,
+            qodg,
+            profile: OnceLock::new(),
+        });
+        self.cache.insert(key, Arc::clone(&shared));
+        Ok((
+            ProgramHandle {
+                label,
+                shared,
+                profile_builds: Arc::clone(&self.profile_builds),
+            },
+            false,
+        ))
+    }
+
+    /// Resolves a per-request fabric override against the session fabric.
+    fn resolve_fabric(&self, spec: Option<FabricSpec>) -> Result<FabricDims, LeqaError> {
+        match spec {
+            None => Ok(self.fabric),
+            Some(f) => FabricDims::new(f.width, f.height).map_err(LeqaError::from),
+        }
+    }
+
+    // ── Endpoints ────────────────────────────────────────────────────────
+
+    /// Runs Algorithm 1 on one program.
+    ///
+    /// # Errors
+    ///
+    /// Any load error (see [`load`](Self::load)), or
+    /// [`ErrorKind::Estimate`] when the program does not fit the fabric.
+    #[must_use = "the response (or its error) is the entire point of the call"]
+    pub fn estimate(&mut self, req: &EstimateRequest) -> Result<EstimateResponse, LeqaError> {
+        let (handle, cached) = self.load_tracking(&req.program)?;
+        self.run_estimate(req, &handle, cached)
+    }
+
+    /// Estimates one program across candidate square fabrics, through the
+    /// amortised sweep engine (bit-identical to independent estimates).
+    ///
+    /// # Errors
+    ///
+    /// Any load error, or [`ErrorKind::Invalid`] for a malformed size.
+    /// Candidates too small for the program yield unfit points, not
+    /// errors.
+    #[must_use = "the response (or its error) is the entire point of the call"]
+    pub fn sweep(&mut self, req: &SweepRequest) -> Result<SweepResponse, LeqaError> {
+        let (handle, _) = self.load_tracking(&req.program)?;
+        self.run_sweep(req, &handle)
+    }
+
+    /// Computes the per-qubit presence-zone report.
+    ///
+    /// # Errors
+    ///
+    /// Any load error.
+    #[must_use = "the response (or its error) is the entire point of the call"]
+    pub fn zones(&mut self, req: &ZonesRequest) -> Result<ZonesResponse, LeqaError> {
+        let (handle, _) = self.load_tracking(&req.program)?;
+        self.run_zones(req, &handle)
+    }
+
+    /// Runs the Table 2 experiment: detailed QSPR mapping next to the
+    /// LEQA estimate.
+    ///
+    /// # Errors
+    ///
+    /// Any load error, [`ErrorKind::Map`] or [`ErrorKind::Estimate`] when
+    /// the program does not fit.
+    #[must_use = "the response (or its error) is the entire point of the call"]
+    pub fn compare(&mut self, req: &CompareRequest) -> Result<CompareResponse, LeqaError> {
+        let (handle, _) = self.load_tracking(&req.program)?;
+        self.run_compare(req, &handle)
+    }
+
+    /// Runs the detailed QSPR mapper.
+    ///
+    /// # Errors
+    ///
+    /// Any load error, or [`ErrorKind::Map`] when the program does not
+    /// fit.
+    #[must_use = "the response (or its error) is the entire point of the call"]
+    pub fn map(&mut self, req: &MapRequest) -> Result<MapResponse, LeqaError> {
+        let (handle, _) = self.load_tracking(&req.program)?;
+        self.run_map(req, &handle)
+    }
+
+    /// Executes one request of any kind.
+    ///
+    /// # Errors
+    ///
+    /// The named endpoint's errors.
+    #[must_use = "the response (or its error) is the entire point of the call"]
+    pub fn execute(&mut self, req: &Request) -> Result<Response, LeqaError> {
+        match req {
+            Request::Estimate(r) => self.estimate(r).map(Response::Estimate),
+            Request::Sweep(r) => self.sweep(r).map(Response::Sweep),
+            Request::Zones(r) => self.zones(r).map(Response::Zones),
+            Request::Compare(r) => self.compare(r).map(Response::Compare),
+            Request::Map(r) => self.map(r).map(Response::Map),
+        }
+    }
+
+    /// Executes a batch of requests, one result slot per request in
+    /// order; a failing request fails only its own slot.
+    ///
+    /// Programs are loaded (and deduplicated by content hash) serially
+    /// first, so each distinct program's profile is built exactly once;
+    /// the per-request execution then fans out over scoped worker threads
+    /// when the `parallel` feature is enabled.
+    #[must_use = "the batch response carries every per-request outcome"]
+    pub fn batch(&mut self, requests: &[Request]) -> BatchResponse {
+        /// One warmed batch slot: request index, its (cached) program, and
+        /// whether the load was a cache hit.
+        type Prepared = Result<(usize, ProgramHandle, bool), LeqaError>;
+
+        // Phase 1 (serial, &mut): warm the program cache.
+        let prepared: Vec<Prepared> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                self.load_tracking(req.program())
+                    .map(|(handle, cached)| (i, handle, cached))
+                    .map_err(|e| e.context(format!("batch request {i}")))
+            })
+            .collect();
+
+        // Phase 2 (&self): execute. The closure only reads the session,
+        // so the fan-out is safe to thread.
+        let run = |slot: &Prepared| match slot {
+            Err(e) => Err(e.clone()),
+            Ok((i, handle, cached)) => self
+                .execute_prepared(&requests[*i], handle, *cached)
+                .map_err(|e| e.context(format!("batch request {i}"))),
+        };
+        #[cfg(feature = "parallel")]
+        let results = leqa::exec::parallel_map(&prepared, run);
+        #[cfg(not(feature = "parallel"))]
+        let results = prepared.iter().map(run).collect();
+
+        BatchResponse { results }
+    }
+
+    /// Dispatches one request against an already-loaded program, without
+    /// touching the cache (`&self`: thread-safe for the batch fan-out).
+    fn execute_prepared(
+        &self,
+        req: &Request,
+        handle: &ProgramHandle,
+        cached: bool,
+    ) -> Result<Response, LeqaError> {
+        match req {
+            Request::Estimate(r) => self.run_estimate(r, handle, cached).map(Response::Estimate),
+            Request::Sweep(r) => self.run_sweep(r, handle).map(Response::Sweep),
+            Request::Zones(r) => self.run_zones(r, handle).map(Response::Zones),
+            Request::Compare(r) => self.run_compare(r, handle).map(Response::Compare),
+            Request::Map(r) => self.run_map(r, handle).map(Response::Map),
+        }
+    }
+
+    fn run_estimate(
+        &self,
+        req: &EstimateRequest,
+        handle: &ProgramHandle,
+        cached: bool,
+    ) -> Result<EstimateResponse, LeqaError> {
+        let dims = self.resolve_fabric(req.fabric)?;
+        let estimator = Estimator::with_options(dims, self.params.clone(), self.options);
+        let profile = ProgramProfile::from_data(handle.qodg(), handle.profile_data());
+        let estimate = estimator.estimate_with_profile(&profile)?;
+        Ok(EstimateResponse {
+            program: handle.summary(),
+            fabric: FabricSpec::new(dims.width(), dims.height()),
+            latency_us: estimate.latency.as_f64(),
+            l_cnot_avg_us: estimate.l_cnot_avg.as_f64(),
+            l_one_qubit_avg_us: estimate.l_one_qubit_avg.as_f64(),
+            d_uncong_us: estimate.d_uncong.as_f64(),
+            avg_zone_area: estimate.avg_zone_area,
+            zone_side: estimate.zone_side,
+            esq: estimate.esq,
+            critical_cnots: estimate.critical.cnot_count,
+            critical_one_qubit: estimate.critical.one_qubit_counts.iter().sum(),
+            profile_cached: cached,
+        })
+    }
+
+    fn run_sweep(
+        &self,
+        req: &SweepRequest,
+        handle: &ProgramHandle,
+    ) -> Result<SweepResponse, LeqaError> {
+        let mut candidates = Vec::with_capacity(req.sizes.len());
+        for &side in &req.sizes {
+            candidates.push(FabricDims::new(side, side).map_err(LeqaError::from)?);
+        }
+        let profile = ProgramProfile::from_data(handle.qodg(), handle.profile_data());
+        let points = sweep_profile(&profile, &self.params, self.options, candidates);
+
+        let mut optimal: Option<(u32, f64)> = None;
+        let points: Vec<SweepPointDto> = points
+            .into_iter()
+            .map(|point| {
+                let side = point.dims.width();
+                match point.estimate {
+                    None => SweepPointDto {
+                        side,
+                        l_cnot_avg_us: None,
+                        latency_us: None,
+                    },
+                    Some(e) => {
+                        let latency = e.latency.as_f64();
+                        if optimal.is_none_or(|(_, best)| latency < best) {
+                            optimal = Some((side, latency));
+                        }
+                        SweepPointDto {
+                            side,
+                            l_cnot_avg_us: Some(e.l_cnot_avg.as_f64()),
+                            latency_us: Some(latency),
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        Ok(SweepResponse {
+            program: handle.summary(),
+            points,
+            optimal_side: optimal.map(|(side, _)| side),
+        })
+    }
+
+    fn run_zones(
+        &self,
+        req: &ZonesRequest,
+        handle: &ProgramHandle,
+    ) -> Result<ZonesResponse, LeqaError> {
+        let report = zone_report_from_iig(handle.profile_data().iig(), self.params.qubit_speed());
+        let total_rows = report.len() as u64;
+        let mut rows: Vec<&leqa::report::QubitZone> = report.iter().collect();
+        rows.sort_by_key(|z| std::cmp::Reverse(z.strength));
+        let limit = match req.limit {
+            None | Some(0) => rows.len(),
+            Some(n) => usize::try_from(n).unwrap_or(usize::MAX).min(rows.len()),
+        };
+        Ok(ZonesResponse {
+            program: handle.summary(),
+            fabric: FabricSpec::new(self.fabric.width(), self.fabric.height()),
+            rows: rows
+                .into_iter()
+                .take(limit)
+                .map(|z| ZoneRowDto {
+                    qubit: z.qubit.0,
+                    degree: z.degree,
+                    strength: z.strength,
+                    zone_area: z.zone_area,
+                    expected_path: z.expected_path,
+                    uncongested_delay_us: z.uncongested_delay.as_f64(),
+                })
+                .collect(),
+            total_rows,
+        })
+    }
+
+    fn run_compare(
+        &self,
+        req: &CompareRequest,
+        handle: &ProgramHandle,
+    ) -> Result<CompareResponse, LeqaError> {
+        let dims = self.resolve_fabric(req.fabric)?;
+        let actual = Mapper::new(dims, self.params.clone()).map(handle.qodg())?;
+        let profile = ProgramProfile::from_data(handle.qodg(), handle.profile_data());
+        let estimate = Estimator::with_options(dims, self.params.clone(), self.options)
+            .estimate_with_profile(&profile)?;
+
+        let actual_us = actual.latency.as_f64();
+        let estimated_us = estimate.latency.as_f64();
+        Ok(CompareResponse {
+            program: handle.summary(),
+            fabric: FabricSpec::new(dims.width(), dims.height()),
+            actual_us,
+            estimated_us,
+            error_pct: (actual_us > 0.0)
+                .then(|| 100.0 * (estimated_us - actual_us).abs() / actual_us),
+        })
+    }
+
+    fn run_map(&self, req: &MapRequest, handle: &ProgramHandle) -> Result<MapResponse, LeqaError> {
+        let dims = self.resolve_fabric(req.fabric)?;
+        let mapper = Mapper::with_config(MapperConfig {
+            dims,
+            params: self.params.clone(),
+            placement: req.placement,
+            router: req.router,
+            movement: req.movement,
+            seed: 0,
+        });
+        let (result, trace) = if req.trace_limit > 0 {
+            let (r, t) = mapper.map_with_trace(handle.qodg())?;
+            let rows = usize::try_from(req.trace_limit).unwrap_or(usize::MAX);
+            (r, Some(t.summary(rows)))
+        } else {
+            (mapper.map(handle.qodg())?, None)
+        };
+        Ok(MapResponse {
+            program: handle.summary(),
+            fabric: FabricSpec::new(dims.width(), dims.height()),
+            latency_us: result.latency.as_f64(),
+            cnot_ops: result.stats.cnot_ops,
+            avg_cnot_distance: result.stats.avg_cnot_distance(),
+            congestion_wait_us: result.stats.congestion_wait.as_f64(),
+            max_channel_load: result.stats.max_channel_load,
+            trace,
+        })
+    }
+}
+
+/// FNV-1a over the canonical circuit bytes: stable, dependency-free, and
+/// plenty for a cache key (lookups verify the source on hit, so a
+/// collision costs a rebuild, never a wrong answer).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_and_repeats() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+}

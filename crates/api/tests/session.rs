@@ -1,0 +1,295 @@
+//! Integration tests of the [`Session`] façade: endpoint parity with the
+//! engine crates, profile-cache accounting, batch semantics, and the
+//! error taxonomy end to end.
+
+use leqa_api::{
+    BatchResponse, CompareRequest, ErrorKind, EstimateRequest, MapRequest, ProgramSpec, Request,
+    Response, Session, SweepRequest, ZonesRequest,
+};
+
+fn session() -> Session {
+    Session::builder().build().expect("default session builds")
+}
+
+#[test]
+fn estimate_matches_the_engine_bit_for_bit() {
+    use leqa::Estimator;
+    use leqa_circuit::{decompose::lower_to_ft, Qodg};
+    use leqa_fabric::{FabricDims, PhysicalParams};
+
+    let mut s = session();
+    let resp = s
+        .estimate(&EstimateRequest::new(ProgramSpec::bench("8bitadder")))
+        .unwrap();
+
+    let circuit = leqa_workloads::circuit_by_name("8bitadder").unwrap();
+    let qodg = Qodg::from_ft_circuit(&lower_to_ft(&circuit).unwrap());
+    let direct = Estimator::new(FabricDims::dac13(), PhysicalParams::dac13())
+        .estimate(&qodg)
+        .unwrap();
+
+    assert_eq!(resp.latency_us, direct.latency.as_f64());
+    assert_eq!(resp.l_cnot_avg_us, direct.l_cnot_avg.as_f64());
+    assert_eq!(resp.esq, direct.esq);
+    assert_eq!(resp.critical_cnots, direct.critical.cnot_count);
+    assert_eq!(resp.program.qubits, 24);
+    assert_eq!(resp.program.ops, 822);
+    assert!(!resp.profile_cached);
+}
+
+#[test]
+fn repeat_requests_hit_the_profile_cache() {
+    let mut s = session();
+    let req = EstimateRequest::new(ProgramSpec::bench("8bitadder"));
+    let first = s.estimate(&req).unwrap();
+    let second = s.estimate(&req).unwrap();
+    assert!(!first.profile_cached);
+    assert!(second.profile_cached);
+    assert_eq!(first.latency_us, second.latency_us);
+    assert_eq!(s.cache_stats().profile_builds, 1);
+    assert_eq!(s.cache_stats().cache_hits, 1);
+}
+
+#[test]
+fn cache_keys_by_content_not_by_spec() {
+    // The same circuit through `bench` and `source` shares one profile.
+    let mut s = session();
+    let via_bench = s
+        .estimate(&EstimateRequest::new(ProgramSpec::bench("8bitadder")))
+        .unwrap();
+    let text = s
+        .load(&ProgramSpec::bench("8bitadder"))
+        .unwrap()
+        .source()
+        .to_string();
+    let via_source = s
+        .estimate(&EstimateRequest::new(ProgramSpec::source(text)))
+        .unwrap();
+    assert!(via_source.profile_cached);
+    assert_eq!(via_bench.latency_us, via_source.latency_us);
+    assert_eq!(s.cache_stats().profile_builds, 1);
+}
+
+#[test]
+fn cache_hits_keep_the_requesting_specs_label() {
+    // Regression: a cache hit must not echo the label of whichever spec
+    // first populated the cache — each response is labelled by the spec
+    // the current request named.
+    let mut s = session();
+    let via_source = s
+        .load(&ProgramSpec::source(".qubits 2\ncnot 0 1\n"))
+        .unwrap();
+    assert_eq!(via_source.label(), "<inline>");
+    let via_path = {
+        let dir = std::env::temp_dir().join("leqa-api-label-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.qc");
+        std::fs::write(&path, ".qubits 2\ncnot 0 1\n").unwrap();
+        s.load(&ProgramSpec::path(path.to_string_lossy().into_owned()))
+            .unwrap()
+    };
+    // Same content → cache hit, but the label follows the new spec.
+    assert_eq!(s.cache_stats().cache_hits, 1);
+    assert!(
+        via_path.label().ends_with("tiny.qc"),
+        "{}",
+        via_path.label()
+    );
+    let resp = s
+        .estimate(&EstimateRequest::new(ProgramSpec::source(
+            ".qubits 2\ncnot 0 1\n",
+        )))
+        .unwrap();
+    assert!(resp.profile_cached);
+    assert_eq!(resp.program.label, "<inline>");
+}
+
+#[test]
+fn profiles_are_lazy_map_never_builds_one() {
+    // `map` and `gen` never touch the presence-zone model, so the profile
+    // pass must not run for them.
+    let mut s = session();
+    s.map(&MapRequest::new(ProgramSpec::bench("8bitadder")))
+        .unwrap();
+    assert_eq!(s.cache_stats().profile_builds, 0);
+    // The first estimator-side request forces it, exactly once.
+    s.estimate(&EstimateRequest::new(ProgramSpec::bench("8bitadder")))
+        .unwrap();
+    s.zones(&ZonesRequest::new(ProgramSpec::bench("8bitadder")))
+        .unwrap();
+    assert_eq!(s.cache_stats().profile_builds, 1);
+}
+
+#[test]
+fn batch_builds_each_profile_exactly_once() {
+    // The acceptance criterion: a batch naming N programs (with repeats)
+    // builds each ProgramProfile exactly once; every further use is a
+    // cache hit.
+    let mut s = session();
+    let a = || ProgramSpec::bench("8bitadder");
+    let b = || ProgramSpec::bench("qft_8");
+    let requests = vec![
+        Request::Estimate(EstimateRequest::new(a())),
+        Request::Estimate(EstimateRequest::new(b())),
+        Request::Estimate(EstimateRequest::new(a())),
+        Request::Zones(ZonesRequest::new(a()).with_limit(3)),
+        Request::Sweep(SweepRequest::new(b(), [10, 20, 60])),
+    ];
+    let batch = s.batch(&requests);
+    assert_eq!(batch.results.len(), 5);
+    for slot in &batch.results {
+        assert!(slot.is_ok(), "{slot:?}");
+    }
+    let stats = s.cache_stats();
+    assert_eq!(stats.profile_builds, 2, "two distinct programs");
+    assert_eq!(stats.cache_hits, 3, "three repeat namings");
+}
+
+#[test]
+fn batch_matches_individual_calls_and_isolates_failures() {
+    let requests = vec![
+        Request::Estimate(EstimateRequest::new(ProgramSpec::bench("8bitadder"))),
+        Request::Estimate(EstimateRequest::new(ProgramSpec::bench("no-such-bench"))),
+        Request::Compare(CompareRequest::new(ProgramSpec::bench("qft_8")).with_fabric(12, 12)),
+        // Fits errors stay per-slot too: 24 qubits cannot fit 2x2.
+        Request::Estimate(EstimateRequest::new(ProgramSpec::bench("8bitadder")).with_fabric(2, 2)),
+    ];
+    let batch = session().batch(&requests);
+
+    let mut serial = session();
+    match (&batch.results[0], serial.execute(&requests[0])) {
+        (Ok(Response::Estimate(a)), Ok(Response::Estimate(b))) => {
+            assert_eq!(a.latency_us, b.latency_us);
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    match &batch.results[1] {
+        Err(e) => {
+            assert_eq!(e.kind(), ErrorKind::Usage);
+            assert!(e.to_string().contains("batch request 1"), "{e}");
+        }
+        ok => panic!("expected usage error, got {ok:?}"),
+    }
+    match (&batch.results[2], serial.execute(&requests[2])) {
+        (Ok(Response::Compare(a)), Ok(Response::Compare(b))) => {
+            assert_eq!(a.actual_us, b.actual_us);
+            assert_eq!(a.estimated_us, b.estimated_us);
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    match &batch.results[3] {
+        Err(e) => assert_eq!(e.kind(), ErrorKind::Estimate),
+        ok => panic!("expected estimate error, got {ok:?}"),
+    }
+
+    // The batch round-trips through its JSON envelope.
+    let wire = batch.to_json().encode();
+    let back = BatchResponse::from_json(&leqa_api::json::parse(&wire).unwrap()).unwrap();
+    assert_eq!(back, batch);
+}
+
+#[test]
+fn sweep_matches_the_sweep_engine() {
+    let mut s = session();
+    let resp = s
+        .sweep(&SweepRequest::new(
+            ProgramSpec::bench("8bitadder"),
+            [4, 10, 60],
+        ))
+        .unwrap();
+    assert_eq!(resp.points.len(), 3);
+    // 24 qubits: 4x4 = 16 ULBs is too small.
+    assert_eq!(resp.points[0].latency_us, None);
+    assert!(resp.points[1].latency_us.is_some());
+    assert_eq!(resp.optimal_side, Some(60));
+}
+
+#[test]
+fn zones_limit_semantics() {
+    let mut s = session();
+    let all = s
+        .zones(&ZonesRequest::new(ProgramSpec::bench("8bitadder")))
+        .unwrap();
+    assert_eq!(all.rows.len() as u64, all.total_rows);
+    let limited = s
+        .zones(&ZonesRequest::new(ProgramSpec::bench("8bitadder")).with_limit(2))
+        .unwrap();
+    assert_eq!(limited.rows.len(), 2);
+    assert_eq!(limited.total_rows, all.total_rows);
+    // Strongest first.
+    assert!(limited.rows[0].strength >= limited.rows[1].strength);
+    // limit 0 == no limit.
+    let zero = s
+        .zones(&ZonesRequest::new(ProgramSpec::bench("8bitadder")).with_limit(0))
+        .unwrap();
+    assert_eq!(zero.rows.len() as u64, zero.total_rows);
+}
+
+#[test]
+fn map_and_compare_agree_on_the_actual_latency() {
+    let mut s = session();
+    let spec = || ProgramSpec::bench("8bitadder");
+    let map = s.map(&MapRequest::new(spec()).with_trace_limit(3)).unwrap();
+    let cmp = s.compare(&CompareRequest::new(spec())).unwrap();
+    assert_eq!(map.latency_us, cmp.actual_us);
+    assert!(map.trace.as_deref().unwrap().contains("dist"));
+    let err = cmp.error_pct.expect("nonzero actual");
+    assert!(err >= 0.0);
+}
+
+#[test]
+fn error_taxonomy_end_to_end() {
+    let mut s = session();
+
+    let usage = s
+        .estimate(&EstimateRequest::new(ProgramSpec::bench("nope")))
+        .unwrap_err();
+    assert_eq!(usage.kind(), ErrorKind::Usage);
+    assert_eq!(usage.exit_code(), 2);
+
+    let io = s
+        .estimate(&EstimateRequest::new(ProgramSpec::path(
+            "/nonexistent/x.qc",
+        )))
+        .unwrap_err();
+    assert_eq!(io.kind(), ErrorKind::Io);
+    assert!(io.to_string().contains("reading `/nonexistent/x.qc`"));
+
+    let parse = s
+        .estimate(&EstimateRequest::new(ProgramSpec::source("frobnicate 1 2")))
+        .unwrap_err();
+    assert_eq!(parse.kind(), ErrorKind::Parse);
+
+    let map = s
+        .map(&MapRequest::new(ProgramSpec::bench("8bitadder")).with_fabric(2, 2))
+        .unwrap_err();
+    assert_eq!(map.kind(), ErrorKind::Map);
+
+    let invalid = s
+        .estimate(&EstimateRequest::new(ProgramSpec::bench("8bitadder")).with_fabric(0, 5))
+        .unwrap_err();
+    assert_eq!(invalid.kind(), ErrorKind::Invalid);
+}
+
+#[test]
+fn builder_rejects_invalid_options() {
+    let err = Session::builder()
+        .options(leqa::EstimatorOptions {
+            max_esq_terms: 0,
+            ..Default::default()
+        })
+        .build()
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Invalid);
+}
+
+#[test]
+fn clear_cache_forces_a_rebuild() {
+    let mut s = session();
+    let req = EstimateRequest::new(ProgramSpec::bench("qft_8"));
+    s.estimate(&req).unwrap();
+    s.clear_cache();
+    let resp = s.estimate(&req).unwrap();
+    assert!(!resp.profile_cached);
+    assert_eq!(s.cache_stats().profile_builds, 2);
+}

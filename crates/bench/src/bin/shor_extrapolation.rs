@@ -1,5 +1,5 @@
 //! Regenerates the paper's prose extrapolation (§4.2): mapping Shor-1024
-//! (≈1.35·10¹⁰ logical operations after [[7,1,3]]² encoding) would take
+//! (≈1.35·10¹⁰ logical operations after \[\[7,1,3\]\]² encoding) would take
 //! QSPR ~2 years but LEQA only ~16.5 hours.
 //!
 //! The paper extrapolates each tool's measured runtime-vs-ops power law to
@@ -16,7 +16,7 @@ use leqa_fabric::{FabricDims, PhysicalParams};
 use leqa_workloads::gf2::gf2_mult;
 use qspr::Mapper;
 
-/// Logical op count of Shor-1024 under two-level [[7,1,3]] Steane coding
+/// Logical op count of Shor-1024 under two-level \[\[7,1,3\]\] Steane coding
 /// (§4.2: 1.35·10¹⁵ physical ops / ~10⁵ physical ops per logical op).
 const SHOR_OPS: f64 = 1.35e10;
 

@@ -8,8 +8,10 @@ use leqa_workloads::SUITE;
 
 fn main() {
     // `--max-ops N` restricts the run to benchmarks whose published op
-    // count is at most N — the reduced suite CI smoke-runs.
+    // count is at most N — the reduced suite CI smoke-runs. `--format
+    // json` emits one versioned envelope instead of the table.
     let mut max_ops = u64::MAX;
+    let mut json = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -21,13 +23,51 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-ops needs an integer");
             }
-            other => panic!("unknown argument `{other}` (supported: --max-ops N)"),
+            "--format" => {
+                i += 1;
+                json = match args.get(i).map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => panic!("--format needs json|text, got {other:?}"),
+                };
+            }
+            other => {
+                panic!("unknown argument `{other}` (supported: --max-ops N, --format json|text)")
+            }
         }
         i += 1;
     }
 
     let dims = FabricDims::dac13();
     let params = PhysicalParams::dac13();
+
+    if json {
+        use leqa_api::json::Json;
+        let benches: Vec<_> = SUITE.iter().filter(|b| b.paper.ops <= max_ops).collect();
+        let rows = run_suite(&benches, dims, &params);
+        // No rows → null aggregates: an empty filtered run must not read
+        // as a perfect (0% error) one.
+        let (avg, max) = if rows.is_empty() {
+            (Json::Null, Json::Null)
+        } else {
+            (
+                Json::Num(rows.iter().map(|r| r.error_pct).sum::<f64>() / rows.len() as f64),
+                Json::Num(rows.iter().map(|r| r.error_pct).fold(0.0, f64::max)),
+            )
+        };
+        let doc = Json::obj(vec![
+            ("schema_version", Json::num(leqa_api::SCHEMA_VERSION as u32)),
+            ("op", Json::str("table2")),
+            (
+                "rows",
+                Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("average_error_pct", avg),
+            ("max_error_pct", max),
+        ]);
+        println!("{}", doc.encode());
+        return;
+    }
 
     println!("Table 2. Actual (QSPR) vs estimated (LEQA) latency");
     println!(

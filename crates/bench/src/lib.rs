@@ -150,6 +150,27 @@ pub fn run_suite(benches: &[&Benchmark], dims: FabricDims, params: &PhysicalPara
     }
 }
 
+impl RunRow {
+    /// Serializes the row for machine-readable table output (the
+    /// `--format json` path of the table binaries), using the same
+    /// dependency-free JSON document model as the service layer.
+    #[must_use]
+    pub fn to_json(&self) -> leqa_api::json::Json {
+        use leqa_api::json::Json;
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("qubits", Json::Num(self.qubits as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("actual_s", Json::Num(self.actual_s)),
+            ("estimated_s", Json::Num(self.estimated_s)),
+            ("error_pct", Json::Num(self.error_pct)),
+            ("qspr_runtime_s", Json::Num(self.qspr_runtime_s)),
+            ("leqa_runtime_s", Json::Num(self.leqa_runtime_s)),
+            ("speedup", Json::Num(self.speedup)),
+        ])
+    }
+}
+
 /// Least-squares fit of `y = c·x^e` in log-log space; returns `(e, c)`.
 ///
 /// # Panics

@@ -190,7 +190,7 @@ fn uncompute_controls(_controls: &[QubitId], computed: Vec<SimpleGate>, out: &mu
 }
 
 /// The Shende–Markov 15-gate Toffoli network over `{H, T, T†, CNOT}`
-/// (Fig. 2a of the paper; [21]).
+/// (Fig. 2a of the paper; \[21\]).
 fn emit_toffoli_ft(
     ft: &mut FtCircuit,
     a: QubitId,

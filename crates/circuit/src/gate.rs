@@ -26,7 +26,7 @@ impl std::fmt::Display for QubitId {
 
 /// A gate of the synthesized reversible circuit, before FT lowering.
 ///
-/// Reversible logic synthesis emits NOT, CNOT and Toffoli gates (§2, [8]);
+/// Reversible logic synthesis emits NOT, CNOT and Toffoli gates (§2, \[8\]);
 /// benchmark circuits additionally contain Fredkin (controlled-swap) and
 /// multi-controlled variants, which the paper decomposes before mapping
 /// (§4.1). One-qubit FT gates are also allowed so that already-lowered

@@ -1,61 +1,25 @@
 //! Hand-rolled argument parsing (no external dependencies).
-
-use std::error::Error;
-use std::fmt;
+//!
+//! Errors are [`LeqaError`]s from the unified taxonomy in `leqa-api`:
+//! argument problems carry [`ErrorKind::Usage`](leqa_api::ErrorKind::Usage)
+//! and exit with code 2 (see `API.md` for the full table).
 
 use leqa::ZoneRounding;
+use leqa_api::LeqaError;
 use leqa_fabric::FabricDims;
 use qspr::{MovementModel, PlacementStrategy, RouterStrategy};
 
-/// Errors surfaced to the CLI user.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum CliError {
-    /// Argument-level problem (unknown flag, missing value, bad syntax).
-    Usage(String),
-    /// The circuit file could not be read.
-    Io(std::io::Error),
-    /// The circuit failed to parse or lower.
-    Circuit(leqa_circuit::CircuitError),
-    /// Estimation failed (e.g. fabric too small).
-    Estimate(leqa::EstimateError),
-    /// Mapping failed (e.g. fabric too small).
-    Map(qspr::MapError),
-}
+/// The CLI error type: the workspace-wide taxonomy from `leqa-api`.
+pub type CliError = LeqaError;
 
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::Usage(msg) => write!(f, "{msg}"),
-            CliError::Io(e) => write!(f, "io error: {e}"),
-            CliError::Circuit(e) => write!(f, "circuit error: {e}"),
-            CliError::Estimate(e) => write!(f, "estimation error: {e}"),
-            CliError::Map(e) => write!(f, "mapping error: {e}"),
-        }
-    }
-}
-
-impl Error for CliError {}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::Io(e)
-    }
-}
-impl From<leqa_circuit::CircuitError> for CliError {
-    fn from(e: leqa_circuit::CircuitError) -> Self {
-        CliError::Circuit(e)
-    }
-}
-impl From<leqa::EstimateError> for CliError {
-    fn from(e: leqa::EstimateError) -> Self {
-        CliError::Estimate(e)
-    }
-}
-impl From<qspr::MapError> for CliError {
-    fn from(e: qspr::MapError) -> Self {
-        CliError::Map(e)
-    }
+/// Output encoding selected with `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable tables (the default).
+    #[default]
+    Text,
+    /// One machine-readable JSON document (schema in `API.md`).
+    Json,
 }
 
 /// Shared options resolved from flags.
@@ -83,6 +47,8 @@ pub struct Options {
     pub filter: Option<String>,
     /// Fabric sides for `sweep` (`--sizes`).
     pub sizes: Vec<u32>,
+    /// Output encoding (`--format json|text`).
+    pub format: OutputFormat,
 }
 
 impl Default for Options {
@@ -99,6 +65,7 @@ impl Default for Options {
             trace: 0,
             filter: None,
             sizes: Vec::new(),
+            format: OutputFormat::Text,
         }
     }
 }
@@ -130,13 +97,13 @@ pub enum Command {
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] for unknown commands/flags, missing values
-/// or malformed values.
+/// Returns a usage-kind [`LeqaError`] for unknown commands/flags, missing
+/// values or malformed values.
 pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     let mut it = argv.iter();
     let command = it
         .next()
-        .ok_or_else(|| CliError::Usage("missing command; try `leqa help`".into()))?;
+        .ok_or_else(|| LeqaError::usage("missing command; try `leqa help`"))?;
 
     if command == "help" || command == "--help" || command == "-h" {
         return Ok(Command::Help);
@@ -155,7 +122,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             "--terms" => {
                 opts.terms = value(&rest, &mut i, "--terms")?
                     .parse()
-                    .map_err(|_| CliError::Usage("--terms needs a positive integer".into()))?;
+                    .map_err(|_| LeqaError::usage("--terms needs a positive integer"))?;
             }
             "--rounding" => {
                 opts.rounding = match value(&rest, &mut i, "--rounding")?.as_str() {
@@ -163,7 +130,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "floor" => ZoneRounding::Floor,
                     "round" => ZoneRounding::Round,
                     other => {
-                        return Err(CliError::Usage(format!(
+                        return Err(LeqaError::usage(format!(
                             "unknown rounding `{other}` (ceil|floor|round)"
                         )))
                     }
@@ -175,7 +142,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "rowmajor" => PlacementStrategy::RowMajor,
                     "random" => PlacementStrategy::Random,
                     other => {
-                        return Err(CliError::Usage(format!(
+                        return Err(LeqaError::usage(format!(
                             "unknown placement `{other}` (cluster|rowmajor|random)"
                         )))
                     }
@@ -187,7 +154,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "yx" => RouterStrategy::Yx,
                     "adaptive" => RouterStrategy::Adaptive,
                     other => {
-                        return Err(CliError::Usage(format!(
+                        return Err(LeqaError::usage(format!(
                             "unknown router `{other}` (xy|yx|adaptive)"
                         )))
                     }
@@ -198,7 +165,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "home" => MovementModel::HomeBased,
                     "drift" => MovementModel::Drift,
                     other => {
-                        return Err(CliError::Usage(format!(
+                        return Err(LeqaError::usage(format!(
                             "unknown movement model `{other}` (home|drift)"
                         )))
                     }
@@ -207,7 +174,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             "--trace" => {
                 opts.trace = value(&rest, &mut i, "--trace")?
                     .parse()
-                    .map_err(|_| CliError::Usage("--trace needs a non-negative integer".into()))?;
+                    .map_err(|_| LeqaError::usage("--trace needs a non-negative integer"))?;
             }
             "--bench" => {
                 opts.bench = Some(value(&rest, &mut i, "--bench")?.clone());
@@ -220,8 +187,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "qodg" => crate::commands::dot::DotGraph::Qodg,
                     "iig" => crate::commands::dot::DotGraph::Iig,
                     other => {
-                        return Err(CliError::Usage(format!(
+                        return Err(LeqaError::usage(format!(
                             "unknown graph `{other}` (qodg|iig)"
+                        )))
+                    }
+                };
+            }
+            "--format" => {
+                opts.format = match value(&rest, &mut i, "--format")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => {
+                        return Err(LeqaError::usage(format!(
+                            "unknown format `{other}` (text|json)"
                         )))
                     }
                 };
@@ -233,16 +211,16 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .map(|s| {
                         s.trim()
                             .parse::<u32>()
-                            .map_err(|_| CliError::Usage(format!("bad size `{s}` in --sizes")))
+                            .map_err(|_| LeqaError::usage(format!("bad size `{s}` in --sizes")))
                     })
                     .collect::<Result<_, _>>()?;
             }
             flag if flag.starts_with("--") => {
-                return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+                return Err(LeqaError::usage(format!("unknown flag `{flag}`")));
             }
             path => {
                 if opts.input.is_some() {
-                    return Err(CliError::Usage(format!("unexpected argument `{path}`")));
+                    return Err(LeqaError::usage(format!("unexpected argument `{path}`")));
                 }
                 opts.input = Some(path.to_string());
             }
@@ -252,7 +230,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
 
     let need_input = |opts: &Options, what: &str| -> Result<(), CliError> {
         if opts.input.is_none() && opts.bench.is_none() {
-            Err(CliError::Usage(format!(
+            Err(LeqaError::usage(format!(
                 "`leqa {what}` needs a circuit file or --bench NAME"
             )))
         } else {
@@ -277,15 +255,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "sweep" => {
             need_input(&opts, "sweep")?;
             if opts.sizes.is_empty() {
-                return Err(CliError::Usage(
-                    "`leqa sweep` needs --sizes S1,S2,...".into(),
-                ));
+                return Err(LeqaError::usage("`leqa sweep` needs --sizes S1,S2,..."));
             }
             Ok(Command::Sweep(opts))
         }
         "gen" => {
             if opts.bench.is_none() {
-                return Err(CliError::Usage("`leqa gen` needs --bench NAME".into()));
+                return Err(LeqaError::usage("`leqa gen` needs --bench NAME"));
             }
             Ok(Command::Gen(opts))
         }
@@ -297,7 +273,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             need_input(&opts, "zones")?;
             Ok(Command::Zones(opts))
         }
-        other => Err(CliError::Usage(format!(
+        other => Err(LeqaError::usage(format!(
             "unknown command `{other}`; try `leqa help`"
         ))),
     }
@@ -307,20 +283,20 @@ fn value<'a>(rest: &[&'a String], i: &mut usize, flag: &str) -> Result<&'a Strin
     *i += 1;
     rest.get(*i)
         .copied()
-        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        .ok_or_else(|| LeqaError::usage(format!("{flag} needs a value")))
 }
 
 fn parse_fabric(spec: &str) -> Result<FabricDims, CliError> {
     let (a, b) = spec
         .split_once(['x', 'X'])
-        .ok_or_else(|| CliError::Usage(format!("bad fabric `{spec}`; use AxB")))?;
+        .ok_or_else(|| LeqaError::usage(format!("bad fabric `{spec}`; use AxB")))?;
     let a: u32 = a
         .parse()
-        .map_err(|_| CliError::Usage(format!("bad fabric width `{a}`")))?;
+        .map_err(|_| LeqaError::usage(format!("bad fabric width `{a}`")))?;
     let b: u32 = b
         .parse()
-        .map_err(|_| CliError::Usage(format!("bad fabric height `{b}`")))?;
-    FabricDims::new(a, b).map_err(|e| CliError::Usage(e.to_string()))
+        .map_err(|_| LeqaError::usage(format!("bad fabric height `{b}`")))?;
+    FabricDims::new(a, b).map_err(|e| LeqaError::usage(e.to_string()))
 }
 
 #[cfg(test)]
@@ -351,6 +327,7 @@ mod tests {
         assert_eq!((opts.fabric.width(), opts.fabric.height()), (40, 30));
         assert_eq!(opts.terms, 10);
         assert_eq!(opts.rounding, ZoneRounding::Floor);
+        assert_eq!(opts.format, OutputFormat::Text);
     }
 
     #[test]
@@ -378,6 +355,41 @@ mod tests {
             panic!("wrong command");
         };
         assert_eq!(opts.bench.as_deref(), Some("ham15"));
+    }
+
+    #[test]
+    fn every_command_accepts_format_json() {
+        for args in [
+            vec!["estimate", "c.qc", "--format", "json"],
+            vec!["map", "c.qc", "--format", "json"],
+            vec!["compare", "c.qc", "--format", "json"],
+            vec!["suite", "--format", "json"],
+            vec!["sweep", "c.qc", "--sizes", "10", "--format", "json"],
+            vec!["gen", "--bench", "ham15", "--format", "json"],
+            vec!["dot", "c.qc", "--format", "json"],
+            vec!["zones", "c.qc", "--format", "json"],
+        ] {
+            let cmd = parse(&argv(&args)).unwrap();
+            let opts = match &cmd {
+                Command::Estimate(o)
+                | Command::Map(o)
+                | Command::Compare(o)
+                | Command::Suite(o)
+                | Command::Sweep(o)
+                | Command::Gen(o)
+                | Command::Dot(o, _)
+                | Command::Zones(o) => o,
+                Command::Help => panic!("wrong command"),
+            };
+            assert_eq!(opts.format, OutputFormat::Json, "{args:?}");
+        }
+    }
+
+    #[test]
+    fn bad_format_is_a_usage_error() {
+        let err = parse(&argv(&["estimate", "c.qc", "--format", "xml"])).unwrap_err();
+        assert_eq!(err.kind(), leqa_api::ErrorKind::Usage);
+        assert!(err.to_string().contains("unknown format"));
     }
 
     #[test]

@@ -1,7 +1,10 @@
-//! Subcommand implementations.
+//! Subcommand implementations: thin adapters over [`leqa_api`].
 //!
-//! Each command takes resolved [`Options`](crate::Options) and a writer,
-//! so the whole surface is testable without a process boundary.
+//! Every command follows the same shape — resolve the [`Options`] into an
+//! API request, run it through a [`Session`], and emit either the
+//! machine-readable JSON envelope (`--format json`) or the text rendering
+//! from [`leqa_api::render`]. No command touches the estimator or mapper
+//! engines directly; the façade is the single entry point.
 
 pub mod compare;
 pub mod dot;
@@ -14,45 +17,47 @@ pub mod zones;
 
 use std::io::Write;
 
-use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
+use leqa::EstimatorOptions;
+use leqa_api::{json::Json, ProgramSpec, Session};
 
-use crate::{CliError, Options};
+use crate::{CliError, Options, OutputFormat};
 
-/// Loads the circuit named by the options: a text file if `input` is set,
-/// otherwise a suite benchmark via `--bench`.
-pub(crate) fn load_qodg(opts: &Options) -> Result<(String, Qodg), CliError> {
-    let (label, circuit) = if let Some(path) = &opts.input {
-        let text = std::fs::read_to_string(path)?;
-        let circuit = parser::parse(&text)?;
-        (circuit.name().unwrap_or(path.as_str()).to_string(), circuit)
-    } else {
-        let name = opts.bench.as_deref().expect("parser enforced input");
-        let bench = leqa_workloads::Benchmark::by_name(name).ok_or_else(|| {
-            CliError::Usage(format!(
-                "unknown benchmark `{name}`; names follow Table 3 (e.g. gf2^16mult)"
-            ))
-        })?;
-        (name.to_string(), bench.circuit())
-    };
-    let ft = lower_to_ft(&circuit)?;
-    Ok((label, Qodg::from_ft_circuit(&ft)))
+/// The program spec the options name: a file path if given, otherwise the
+/// `--bench` workload.
+pub(crate) fn program_spec(opts: &Options) -> ProgramSpec {
+    match &opts.input {
+        Some(path) => ProgramSpec::path(path),
+        None => ProgramSpec::bench(opts.bench.as_deref().expect("parser enforced input")),
+    }
 }
 
-/// Writes the standard program header line.
-pub(crate) fn header(
+/// Builds the session the options describe (fabric, terms, rounding).
+pub(crate) fn session(opts: &Options) -> Result<Session, CliError> {
+    Session::builder()
+        .fabric(opts.fabric)
+        .options(EstimatorOptions {
+            max_esq_terms: opts.terms,
+            zone_rounding: opts.rounding,
+            update_critical_path: true,
+        })
+        .build()
+}
+
+/// Writes either the JSON envelope (with a trailing newline) or the text
+/// rendering, per `--format`.
+pub(crate) fn emit(
     out: &mut dyn Write,
-    label: &str,
-    qodg: &Qodg,
-    opts: &Options,
+    format: OutputFormat,
+    json: impl FnOnce() -> Json,
+    text: impl FnOnce() -> String,
 ) -> Result<(), CliError> {
-    writeln!(
-        out,
-        "{label}: {} logical qubits, {} FT ops on a {}x{} fabric",
-        qodg.num_qubits(),
-        qodg.op_count(),
-        opts.fabric.width(),
-        opts.fabric.height()
-    )?;
+    match format {
+        OutputFormat::Json => {
+            out.write_all(json().encode().as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        OutputFormat::Text => out.write_all(text().as_bytes())?,
+    }
     Ok(())
 }
 

@@ -2,40 +2,29 @@
 
 use std::io::Write;
 
-use leqa::Estimator;
-use leqa_fabric::PhysicalParams;
-use qspr::Mapper;
+use leqa_api::{render, CompareRequest};
 
-use super::{header, load_qodg};
+use super::{emit, program_spec, session};
 use crate::{CliError, Options};
 
-/// Runs both tools and prints actual vs estimated latency with the error.
+/// Runs both tools through the API session and emits actual vs estimated
+/// latency with the error.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let (label, qodg) = load_qodg(opts)?;
-    header(out, &label, &qodg, opts)?;
-
-    let params = PhysicalParams::dac13();
-    let actual = Mapper::new(opts.fabric, params.clone()).map(&qodg)?;
-    let estimate = Estimator::new(opts.fabric, params).estimate(&qodg)?;
-
-    let a = actual.latency.as_secs();
-    let e = estimate.latency.as_secs();
-    writeln!(out, "actual (QSPR):      {a:.6} s")?;
-    writeln!(out, "estimated (LEQA):   {e:.6} s")?;
-    if a > 0.0 {
-        writeln!(
-            out,
-            "absolute error:     {:.2} %",
-            100.0 * (e - a).abs() / a
-        )?;
-    }
-    Ok(())
+    let mut session = session(opts)?;
+    let response = session.compare(&CompareRequest::new(program_spec(opts)))?;
+    emit(
+        out,
+        opts.format,
+        || response.to_json(),
+        || render::compare_text(&response),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
 
     #[test]
     fn compares_both_tools() {
@@ -44,5 +33,19 @@ mod tests {
         assert!(text.contains("actual (QSPR)"));
         assert!(text.contains("estimated (LEQA)"));
         assert!(text.contains("absolute error"));
+    }
+
+    #[test]
+    fn json_format_reports_both_latencies() {
+        let opts = Options {
+            format: OutputFormat::Json,
+            ..bench_opts("8bitadder")
+        };
+        let text = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let response = leqa_api::CompareResponse::from_json(&doc).expect("valid envelope");
+        assert!(response.actual_us > 0.0);
+        assert!(response.estimated_us > 0.0);
+        assert!(response.error_pct.is_some());
     }
 }

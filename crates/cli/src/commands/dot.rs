@@ -2,9 +2,10 @@
 
 use std::io::Write;
 
-use leqa_circuit::{viz, Iig};
+use leqa_api::{json::Json, SCHEMA_VERSION};
+use leqa_circuit::viz;
 
-use super::load_qodg;
+use super::{emit, program_spec, session};
 use crate::{CliError, Options};
 
 /// Which graph to render.
@@ -18,20 +19,36 @@ pub enum DotGraph {
 }
 
 /// Writes the requested graph in DOT syntax (pipe into `dot -Tsvg`).
+/// `--format json` wraps the DOT text in a versioned envelope. The IIG
+/// comes straight from the session's cached program profile.
 pub fn run(opts: &Options, graph: DotGraph, out: &mut dyn Write) -> Result<(), CliError> {
-    let (_, qodg) = load_qodg(opts)?;
-    let dot = match graph {
-        DotGraph::Qodg => viz::qodg_to_dot(&qodg),
-        DotGraph::Iig => viz::iig_to_dot(&Iig::from_qodg(&qodg)),
+    let mut session = session(opts)?;
+    let handle = session.load(&program_spec(opts))?;
+    let (kind, dot) = match graph {
+        DotGraph::Qodg => ("qodg", viz::qodg_to_dot(handle.qodg())),
+        DotGraph::Iig => ("iig", viz::iig_to_dot(handle.profile_data().iig())),
     };
-    out.write_all(dot.as_bytes())?;
-    Ok(())
+    emit(
+        out,
+        opts.format,
+        || {
+            Json::obj(vec![
+                ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+                ("op", Json::str("dot")),
+                ("label", Json::str(handle.label())),
+                ("graph", Json::str(kind)),
+                ("dot", Json::str(&dot)),
+            ])
+        },
+        || dot.clone(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
 
     #[test]
     fn qodg_dot_renders() {
@@ -45,5 +62,20 @@ mod tests {
         let opts = bench_opts("8bitadder");
         let text = capture(|out| run(&opts, DotGraph::Iig, out));
         assert!(text.starts_with("graph iig {"));
+    }
+
+    #[test]
+    fn json_format_wraps_the_dot_text() {
+        let mut opts = bench_opts("8bitadder");
+        opts.format = OutputFormat::Json;
+        let text = capture(|out| run(&opts, DotGraph::Iig, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        assert_eq!(doc.get("graph").unwrap().as_str(), Some("iig"));
+        assert!(doc
+            .get("dot")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("graph iig {"));
     }
 }

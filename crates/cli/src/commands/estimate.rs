@@ -2,63 +2,29 @@
 
 use std::io::Write;
 
-use leqa::{Estimator, EstimatorOptions};
-use leqa_fabric::PhysicalParams;
+use leqa_api::{render, EstimateRequest};
 
-use super::{header, load_qodg};
+use super::{emit, program_spec, session};
 use crate::{CliError, Options};
 
-/// Runs the estimator and prints the latency with every intermediate.
+/// Runs the estimator through the API session and emits the latency with
+/// every intermediate, as text or JSON.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let (label, qodg) = load_qodg(opts)?;
-    header(out, &label, &qodg, opts)?;
-
-    let estimator = Estimator::with_options(
-        opts.fabric,
-        PhysicalParams::dac13(),
-        EstimatorOptions {
-            max_esq_terms: opts.terms,
-            zone_rounding: opts.rounding,
-            update_critical_path: true,
-        },
-    );
-    let estimate = estimator.estimate(&qodg)?;
-
-    writeln!(
+    let mut session = session(opts)?;
+    let response = session.estimate(&EstimateRequest::new(program_spec(opts)))?;
+    emit(
         out,
-        "estimated latency:  {:.6} s",
-        estimate.latency.as_secs()
-    )?;
-    writeln!(
-        out,
-        "  L_CNOT^avg:       {:.1} µs",
-        estimate.l_cnot_avg.as_f64()
-    )?;
-    writeln!(
-        out,
-        "  L_g^avg:          {:.1} µs",
-        estimate.l_one_qubit_avg.as_f64()
-    )?;
-    writeln!(
-        out,
-        "  d_uncong:         {:.1} µs",
-        estimate.d_uncong.as_f64()
-    )?;
-    writeln!(out, "  avg zone area B:  {:.2}", estimate.avg_zone_area)?;
-    writeln!(out, "  zone side:        {}", estimate.zone_side)?;
-    writeln!(
-        out,
-        "  critical path:    {} CNOT + {} one-qubit ops",
-        estimate.critical.cnot_count,
-        estimate.critical.one_qubit_counts.iter().sum::<u64>()
-    )?;
-    Ok(())
+        opts.format,
+        || response.to_json(),
+        || render::estimate_text(&response),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
 
     #[test]
     fn estimates_a_suite_benchmark() {
@@ -67,6 +33,18 @@ mod tests {
         assert!(text.contains("estimated latency"));
         assert!(text.contains("L_CNOT^avg"));
         assert!(text.contains("48 logical qubits, 3885 FT ops"));
+    }
+
+    #[test]
+    fn json_format_emits_the_versioned_envelope() {
+        let mut opts = bench_opts("gf2^16mult");
+        opts.format = OutputFormat::Json;
+        let text = capture(|out| run(&opts, out));
+        assert!(text.starts_with("{\"schema_version\":1,\"op\":\"estimate\""));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let response = leqa_api::EstimateResponse::from_json(&doc).expect("valid envelope");
+        assert!(response.latency_us > 0.0);
+        assert_eq!(response.program.qubits, 48);
     }
 
     #[test]

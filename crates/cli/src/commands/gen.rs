@@ -1,25 +1,40 @@
-//! `leqa gen` — emit a suite benchmark in the shared text format.
+//! `leqa gen` — emit a workload circuit in the shared text format.
 
 use std::io::Write;
 
-use leqa_circuit::parser;
+use leqa_api::{json::Json, ProgramSpec, SCHEMA_VERSION};
 
+use super::{emit, session};
 use crate::{CliError, Options};
 
-/// Writes the named benchmark's circuit text to the output (pipe it to a
-/// file to feed other commands or external tools).
+/// Writes the named workload's circuit text to the output (pipe it to a
+/// file to feed other commands or external tools). `--format json` wraps
+/// the text in a versioned envelope.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let name = opts.bench.as_deref().expect("parser enforced --bench");
-    let bench = leqa_workloads::Benchmark::by_name(name)
-        .ok_or_else(|| CliError::Usage(format!("unknown benchmark `{name}`")))?;
-    out.write_all(parser::write(&bench.circuit()).as_bytes())?;
-    Ok(())
+    let mut session = session(opts)?;
+    let handle = session.load(&ProgramSpec::bench(name))?;
+    emit(
+        out,
+        opts.format,
+        || {
+            Json::obj(vec![
+                ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+                ("op", Json::str("gen")),
+                ("label", Json::str(handle.label())),
+                ("circuit", Json::str(handle.source())),
+            ])
+        },
+        || handle.source().to_string(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
+    use leqa_circuit::parser;
 
     #[test]
     fn generated_text_reparses_to_the_same_circuit() {
@@ -33,6 +48,23 @@ mod tests {
                 .unwrap()
                 .circuit()
         );
+    }
+
+    #[test]
+    fn json_format_wraps_the_circuit_text() {
+        let mut opts = bench_opts("gf2^16mult");
+        opts.format = OutputFormat::Json;
+        let text = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let circuit = doc.get("circuit").unwrap().as_str().unwrap();
+        assert!(parser::parse(circuit).is_ok());
+    }
+
+    #[test]
+    fn parametric_names_generate_too() {
+        let opts = bench_opts("qft_8");
+        let text = capture(|out| run(&opts, out));
+        assert!(parser::parse(&text).is_ok());
     }
 
     #[test]

@@ -2,62 +2,35 @@
 
 use std::io::Write;
 
-use leqa_fabric::PhysicalParams;
-use qspr::{Mapper, MapperConfig};
+use leqa_api::{render, MapRequest};
 
-use super::{header, load_qodg};
+use super::{emit, program_spec, session};
 use crate::{CliError, Options};
 
-/// Runs the mapper and prints latency, movement statistics and (with
-/// `--trace N`) the N longest-running operations.
+/// Runs the mapper through the API session and emits latency, movement
+/// statistics and (with `--trace N`) the N longest-running operations.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let (label, qodg) = load_qodg(opts)?;
-    header(out, &label, &qodg, opts)?;
-
-    let mapper = Mapper::with_config(MapperConfig {
-        dims: opts.fabric,
-        params: PhysicalParams::dac13(),
-        placement: opts.placement,
-        router: opts.router,
-        movement: opts.movement,
-        seed: 0,
-    });
-
-    let (result, trace) = if opts.trace > 0 {
-        let (r, t) = mapper.map_with_trace(&qodg)?;
-        (r, Some(t))
-    } else {
-        (mapper.map(&qodg)?, None)
-    };
-
-    writeln!(out, "actual latency:     {:.6} s", result.latency.as_secs())?;
-    writeln!(out, "  CNOTs routed:     {}", result.stats.cnot_ops)?;
-    writeln!(
-        out,
-        "  avg CNOT distance:{:.2} hops",
-        result.stats.avg_cnot_distance()
+    let mut session = session(opts)?;
+    let response = session.map(
+        &MapRequest::new(program_spec(opts))
+            .with_placement(opts.placement)
+            .with_router(opts.router)
+            .with_movement(opts.movement)
+            .with_trace_limit(opts.trace as u64),
     )?;
-    writeln!(
+    emit(
         out,
-        "  congestion wait:  {:.6} s (summed over qubits)",
-        result.stats.congestion_wait.as_secs()
-    )?;
-    writeln!(
-        out,
-        "  busiest channel:  {} traversals",
-        result.stats.max_channel_load
-    )?;
-    if let Some(trace) = trace {
-        writeln!(out, "\nlongest-running operations:")?;
-        out.write_all(trace.summary(opts.trace).as_bytes())?;
-    }
-    Ok(())
+        opts.format,
+        || response.to_json(),
+        || render::map_text(&response),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
 
     #[test]
     fn maps_a_suite_benchmark() {
@@ -74,5 +47,18 @@ mod tests {
         let text = capture(|out| run(&opts, out));
         assert!(text.contains("longest-running operations"));
         assert!(text.contains("dist"));
+    }
+
+    #[test]
+    fn json_format_carries_stats_and_trace() {
+        let mut opts = bench_opts("8bitadder");
+        opts.trace = 3;
+        opts.format = OutputFormat::Json;
+        let text = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let response = leqa_api::MapResponse::from_json(&doc).expect("valid envelope");
+        assert!(response.latency_us > 0.0);
+        assert!(response.cnot_ops > 0);
+        assert!(response.trace.unwrap().contains("dist"));
     }
 }

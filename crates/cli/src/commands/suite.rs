@@ -2,67 +2,94 @@
 
 use std::io::Write;
 
-use leqa::Estimator;
-use leqa_circuit::{decompose::lower_to_ft, Qodg};
-use leqa_fabric::PhysicalParams;
+use leqa_api::{CompareRequest, ProgramSpec, Request, Response};
 use leqa_workloads::SUITE;
-use qspr::Mapper;
 
+use super::{emit, session};
 use crate::{CliError, Options};
 
-/// Runs every matching suite benchmark through both tools and prints one
-/// row each, followed by the error summary.
+/// Runs every matching suite benchmark through the API `batch` endpoint
+/// (one compare request per benchmark, profiles cached per program) and
+/// prints one row each, followed by the error summary. `--format json`
+/// emits the whole batch envelope.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let params = PhysicalParams::dac13();
-    let mapper = Mapper::new(opts.fabric, params.clone());
-    let estimator = Estimator::new(opts.fabric, params);
+    let requests: Vec<Request> = SUITE
+        .iter()
+        .filter(|b| opts.filter.as_deref().is_none_or(|f| b.name.contains(f)))
+        .map(|b| Request::Compare(CompareRequest::new(ProgramSpec::bench(b.name))))
+        .collect();
 
-    writeln!(
+    let mut session = session(opts)?;
+    let batch = session.batch(&requests);
+
+    emit(
+        out,
+        opts.format,
+        || batch.to_json(),
+        || render_rows(&batch.results),
+    )
+}
+
+fn render_rows(results: &[Result<Response, CliError>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
         out,
         "{:<16} {:>7} {:>9} {:>12} {:>12} {:>8}",
         "benchmark", "qubits", "ops", "actual(s)", "est.(s)", "err(%)"
-    )?;
+    );
 
     let mut errors = Vec::new();
-    for bench in SUITE
-        .iter()
-        .filter(|b| opts.filter.as_deref().is_none_or(|f| b.name.contains(f)))
-    {
-        let ft = lower_to_ft(&bench.circuit())?;
-        let qodg = Qodg::from_ft_circuit(&ft);
-        let actual = mapper.map(&qodg)?.latency.as_secs();
-        let estimated = estimator.estimate(&qodg)?.latency.as_secs();
-        let err = 100.0 * (estimated - actual).abs() / actual;
-        errors.push(err);
-        writeln!(
+    let mut any_rows = false;
+    for result in results {
+        let row = match result {
+            Ok(Response::Compare(row)) => row,
+            Ok(_) => {
+                let _ = writeln!(out, "(unexpected response kind)");
+                continue;
+            }
+            Err(e) => {
+                let _ = writeln!(out, "(request failed: {e})");
+                continue;
+            }
+        };
+        any_rows = true;
+        let actual = row.actual_us / 1_000_000.0;
+        let estimated = row.estimated_us / 1_000_000.0;
+        // An unknown error (actual latency 0) renders as `-` and stays
+        // out of the average/max statistics.
+        let err_col = match row.error_pct {
+            Some(err) => {
+                errors.push(err);
+                format!("{err:>8.2}")
+            }
+            None => format!("{:>8}", "-"),
+        };
+        let _ = writeln!(
             out,
-            "{:<16} {:>7} {:>9} {:>12.4} {:>12.4} {:>8.2}",
-            bench.name,
-            qodg.num_qubits(),
-            qodg.op_count(),
-            actual,
-            estimated,
-            err
-        )?;
+            "{:<16} {:>7} {:>9} {:>12.4} {:>12.4} {}",
+            row.program.label, row.program.qubits, row.program.ops, actual, estimated, err_col
+        );
     }
 
-    if errors.is_empty() {
-        writeln!(out, "(no benchmark matches the filter)")?;
-    } else {
-        writeln!(
+    if !any_rows && results.is_empty() {
+        let _ = writeln!(out, "(no benchmark matches the filter)");
+    } else if !errors.is_empty() {
+        let _ = writeln!(
             out,
             "average error: {:.2}%  max error: {:.2}%",
             errors.iter().sum::<f64>() / errors.len() as f64,
             errors.iter().cloned().fold(0.0, f64::max)
-        )?;
+        );
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::capture;
+    use crate::OutputFormat;
 
     #[test]
     fn filtered_suite_runs_matching_rows() {
@@ -84,5 +111,19 @@ mod tests {
         };
         let text = capture(|out| run(&opts, out));
         assert!(text.contains("no benchmark matches"));
+    }
+
+    #[test]
+    fn json_format_emits_a_batch_envelope() {
+        let opts = Options {
+            filter: Some("8bitadder".to_string()),
+            format: OutputFormat::Json,
+            ..Default::default()
+        };
+        let text = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let batch = leqa_api::BatchResponse::from_json(&doc).expect("valid envelope");
+        assert_eq!(batch.results.len(), 1);
+        assert!(batch.results[0].is_ok());
     }
 }

@@ -2,70 +2,34 @@
 
 use std::io::Write;
 
-use leqa::sweep::sweep_fabrics;
-use leqa::EstimatorOptions;
-use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_api::{render, SweepRequest};
 
-use super::load_qodg;
+use super::{emit, program_spec, session};
 use crate::{CliError, Options};
 
-/// Estimates the circuit on each `--sizes` square fabric and reports the
-/// latency-optimal size (Algorithm 1's stated use case).
-///
-/// Runs through [`sweep_fabrics`], which builds the program profile once
-/// and amortises the per-candidate work — the output per size is
-/// bit-identical to an independent `leqa estimate` on that fabric.
+/// Estimates the circuit on each `--sizes` square fabric through the API
+/// session (which runs the amortised sweep engine — per-size output is
+/// bit-identical to an independent `leqa estimate`) and reports the
+/// latency-optimal size.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let (label, qodg) = load_qodg(opts)?;
-    writeln!(
+    let mut session = session(opts)?;
+    let response = session.sweep(&SweepRequest::new(
+        program_spec(opts),
+        opts.sizes.iter().copied(),
+    ))?;
+    emit(
         out,
-        "{label}: fabric-size sweep ({} qubits, {} ops)",
-        qodg.num_qubits(),
-        qodg.op_count()
-    )?;
-    writeln!(
-        out,
-        "{:>9} {:>12} {:>14}",
-        "fabric", "L_CNOT(µs)", "latency(s)"
-    )?;
-
-    let params = PhysicalParams::dac13();
-    let mut candidates = Vec::with_capacity(opts.sizes.len());
-    for &side in &opts.sizes {
-        match FabricDims::new(side, side) {
-            Ok(d) => candidates.push(d),
-            Err(e) => return Err(CliError::Usage(e.to_string())),
-        }
-    }
-
-    let mut best: Option<(u32, f64)> = None;
-    for point in sweep_fabrics(&qodg, &params, EstimatorOptions::default(), candidates) {
-        let side = point.dims.width();
-        let Some(estimate) = point.estimate else {
-            writeln!(out, "{side:>6}x{side:<2} (too small)")?;
-            continue;
-        };
-        let latency = estimate.latency.as_secs();
-        writeln!(
-            out,
-            "{side:>6}x{side:<2} {:>12.1} {:>14.6}",
-            estimate.l_cnot_avg.as_f64(),
-            latency
-        )?;
-        if best.is_none_or(|(_, l)| latency < l) {
-            best = Some((side, latency));
-        }
-    }
-    if let Some((side, latency)) = best {
-        writeln!(out, "optimal: {side}x{side} at {latency:.6} s")?;
-    }
-    Ok(())
+        opts.format,
+        || response.to_json(),
+        || render::sweep_text(&response),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
 
     #[test]
     fn sweep_reports_optimum() {
@@ -83,5 +47,18 @@ mod tests {
         let text = capture(|out| run(&opts, out));
         assert!(text.contains("too small"));
         assert!(text.contains("optimal: 60x60"));
+    }
+
+    #[test]
+    fn json_format_lists_every_point() {
+        let mut opts = bench_opts("8bitadder");
+        opts.sizes = vec![4, 10, 60];
+        opts.format = OutputFormat::Json;
+        let text = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let response = leqa_api::SweepResponse::from_json(&doc).expect("valid envelope");
+        assert_eq!(response.points.len(), 3);
+        assert_eq!(response.points[0].latency_us, None); // 4x4 < 24 qubits
+        assert_eq!(response.optimal_side, Some(60));
     }
 }

@@ -2,29 +2,32 @@
 
 use std::io::Write;
 
-use leqa::report::{format_report, zone_report};
-use leqa_fabric::PhysicalParams;
+use leqa_api::{render, ZonesRequest};
 
-use super::{header, load_qodg};
+use super::{emit, program_spec, session};
 use crate::{CliError, Options};
 
-/// Prints the per-qubit model quantities (`M_i`, strength, `B_i`, `E[l_ham,i]`,
-/// `d_uncong,i`), strongest qubits first. `--trace N` bounds the row count
-/// (default 20).
+/// Emits the per-qubit model quantities (`M_i`, strength, `B_i`,
+/// `E[l_ham,i]`, `d_uncong,i`), strongest qubits first. `--trace N`
+/// bounds the row count (default 20).
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let (label, qodg) = load_qodg(opts)?;
-    header(out, &label, &qodg, opts)?;
-    let params = PhysicalParams::dac13();
-    let report = zone_report(&qodg, params.qubit_speed());
     let limit = if opts.trace > 0 { opts.trace } else { 20 };
-    out.write_all(format_report(&report, limit).as_bytes())?;
-    Ok(())
+    let mut session = session(opts)?;
+    let response =
+        session.zones(&ZonesRequest::new(program_spec(opts)).with_limit(limit as u64))?;
+    emit(
+        out,
+        opts.format,
+        || response.to_json(),
+        || render::zones_text(&response),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::commands::test_util::{bench_opts, capture};
+    use crate::OutputFormat;
 
     #[test]
     fn prints_zone_rows() {
@@ -41,5 +44,18 @@ mod tests {
         let text = capture(|out| run(&opts, out));
         // header line of the program + table header + 2 rows
         assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_format_carries_rows_and_totals() {
+        let mut opts = bench_opts("gf2^16mult");
+        opts.trace = 2;
+        opts.format = OutputFormat::Json;
+        let text = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(text.trim_end()).expect("valid json");
+        let response = leqa_api::ZonesResponse::from_json(&doc).expect("valid envelope");
+        assert_eq!(response.rows.len(), 2);
+        assert_eq!(response.total_rows, 48);
+        assert!(response.rows[0].strength >= response.rows[1].strength);
     }
 }

@@ -1,9 +1,10 @@
 //! Library backing the `leqa` command-line tool.
 //!
-//! The binary is a thin wrapper around [`run`]; everything else lives here
-//! so the argument parser and each subcommand are unit-testable. Output is
-//! written to a caller-supplied [`Write`](std::io::Write), never directly
-//! to stdout.
+//! The binary is a thin wrapper around [`run`]; every subcommand is a
+//! thin adapter over the [`leqa_api`] session façade (build a request,
+//! execute, render), so the CLI, JSON output and any future server share
+//! one code path. Output is written to a caller-supplied
+//! [`std::io::Write`], never directly to stdout.
 //!
 //! ```text
 //! leqa estimate <circuit.qc> [--fabric AxB] [--terms N] [--rounding ceil|floor|round]
@@ -13,6 +14,11 @@
 //! leqa sweep    <circuit.qc> --sizes 20,40,60 [...]
 //! leqa gen      --bench NAME
 //! ```
+//!
+//! Every subcommand accepts `--format json|text`; JSON output is one
+//! versioned envelope per invocation (schema in `API.md`). Failures exit
+//! with the stable per-kind codes of
+//! [`LeqaError::exit_code`](leqa_api::LeqaError::exit_code).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +28,8 @@ pub mod commands;
 
 use std::io::Write;
 
-pub use args::{CliError, Command, Options};
+pub use args::{CliError, Command, Options, OutputFormat};
+pub use leqa_api::{ErrorKind, LeqaError};
 
 /// Usage text printed by `leqa help` and on argument errors.
 pub const USAGE: &str = "\
@@ -39,20 +46,25 @@ USAGE:
   leqa zones    (<circuit.qc> | --bench NAME) [--trace N]
   leqa help
 
+Every command also accepts `--format json|text` (default text); JSON
+output is one versioned envelope per invocation — see API.md for the
+schema and the exit-code table.
+
 Circuits use the line-based text format shared by LEQA and QSPR
 (`.qubits N`, then one gate per line: h/t/tdg/s/sdg/x/y/z/cnot/toffoli/
-fredkin/mct/mcf). Fabric defaults to the paper's 60x60; physical
-parameters are Table 1's ion-trap/[[7,1,3]] values.
+fredkin/mct/mcf). `--bench` accepts the Table 3 names (e.g. gf2^16mult)
+and parametric generators (e.g. qft_64). Fabric defaults to the paper's
+60x60; physical parameters are Table 1's ion-trap/[[7,1,3]] values.
 ";
 
 /// Parses `argv` (without the program name) and executes the command,
-/// writing human-readable output to `out`.
+/// writing output to `out`.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] for bad arguments, unreadable files, parse
-/// failures, or programs that do not fit the fabric. The caller maps this
-/// to an exit code.
+/// Returns [`LeqaError`] for bad arguments, unreadable files, parse
+/// failures, or programs that do not fit the fabric. The caller maps the
+/// error kind to an exit code via [`LeqaError::exit_code`].
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let command = args::parse(argv)?;
     match command {
@@ -82,6 +94,7 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("USAGE"));
         assert!(text.contains("estimate"));
+        assert!(text.contains("--format json|text"));
     }
 
     #[test]
@@ -89,6 +102,8 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&["frobnicate".to_string()], &mut out).unwrap_err();
         assert!(err.to_string().contains("unknown command"));
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

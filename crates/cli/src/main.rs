@@ -1,5 +1,7 @@
 //! The `leqa` command-line tool. All logic lives in [`leqa_cli`]; this
-//! binary only collects arguments and maps errors to exit codes.
+//! binary only collects arguments and maps the unified error taxonomy to
+//! the stable exit codes documented in API.md (usage 2, io 3, parse 4,
+//! invalid 5, estimate 6, map 7, json 8, internal 70).
 
 use std::process::ExitCode;
 
@@ -10,10 +12,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("error: {err}");
-            if matches!(err, leqa_cli::CliError::Usage(_)) {
+            if err.kind() == leqa_cli::ErrorKind::Usage {
                 eprintln!("\n{}", leqa_cli::USAGE);
             }
-            ExitCode::FAILURE
+            ExitCode::from(err.exit_code())
         }
     }
 }

@@ -64,6 +64,44 @@ fn missing_file_reports_io_error() {
 }
 
 #[test]
+fn exit_codes_follow_the_error_taxonomy() {
+    // Stable per-kind codes (API.md): usage 2, io 3, estimate 6, map 7.
+    assert_eq!(leqa(&["bogus"]).status.code(), Some(2));
+    assert_eq!(
+        leqa(&["estimate", "/nonexistent/path.qc"]).status.code(),
+        Some(3)
+    );
+    assert_eq!(
+        leqa(&["estimate", "--bench", "ham15", "--fabric", "5x5"])
+            .status
+            .code(),
+        Some(6)
+    );
+    assert_eq!(
+        leqa(&["map", "--bench", "ham15", "--fabric", "5x5"])
+            .status
+            .code(),
+        Some(7)
+    );
+}
+
+#[test]
+fn json_format_end_to_end() {
+    let out = leqa(&["estimate", "--bench", "qft_8", "--format", "json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("{\"schema_version\":1,"));
+    let doc = leqa_api::json::parse(text.trim_end()).expect("valid json on stdout");
+    let resp = leqa_api::EstimateResponse::from_json(&doc).expect("valid estimate envelope");
+    assert_eq!(resp.program.label, "qft_8");
+    assert!(resp.latency_us > 0.0);
+}
+
+#[test]
 fn gen_pipes_reparseable_text() {
     let out = leqa(&["gen", "--bench", "hwb15ps"]);
     assert!(out.status.success());

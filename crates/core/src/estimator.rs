@@ -104,6 +104,7 @@ impl Estimator {
     /// Returns [`EstimateError::FabricTooSmall`] if the program uses more
     /// logical qubits than the fabric has ULBs, and
     /// [`EstimateError::InvalidOption`] if `max_esq_terms` is zero.
+    #[must_use = "the estimate (or its error) is the entire point of the call"]
     pub fn estimate(&self, qodg: &Qodg) -> Result<Estimate, EstimateError> {
         self.estimate_with_profile(&ProgramProfile::new(qodg))
     }
@@ -115,6 +116,7 @@ impl Estimator {
     /// # Errors
     ///
     /// Same as [`estimate`](Self::estimate).
+    #[must_use = "the estimate (or its error) is the entire point of the call"]
     pub fn estimate_with_profile(
         &self,
         profile: &ProgramProfile<'_>,
@@ -288,7 +290,11 @@ pub(crate) struct RoutingQuantities {
 }
 
 /// The output of Algorithm 1, with every intermediate the paper names.
+///
+/// `#[non_exhaustive]`: response-shaped — new intermediates may be added
+/// without a breaking release.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct Estimate {
     /// `D` (Eq. 1): the estimated program latency.
     pub latency: Micros,

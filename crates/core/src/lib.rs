@@ -12,7 +12,29 @@
 //! delays and re-running a critical-path pass over the dependency graph
 //! yields the estimate (Eq. 1 / Algorithm 1).
 //!
-//! # Quick start
+//! # Quick start: the `Session` façade
+//!
+//! The supported entry point for applications is the request/response
+//! layer in the `leqa-api` crate (re-exported as `leqa_repro::api`): a
+//! `Session` owns the fabric dimensions, physical parameters and
+//! estimator options, caches per-program profiles by content hash, and
+//! answers typed requests (see `API.md` at the workspace root):
+//!
+//! ```text
+//! use leqa_api::{ProgramSpec, Session};
+//!
+//! let mut session = Session::builder().build()?;          // 60×60, Table 1 params
+//! let response = session.estimate(
+//!     &leqa_api::EstimateRequest::new(ProgramSpec::bench("8bitadder")),
+//! )?;
+//! println!("{}", response.to_json().encode());            // versioned JSON
+//! ```
+//!
+//! This crate is the engine underneath: building blocks for callers that
+//! need the raw Algorithm 1 pipeline (the `qspr` differential tests, the
+//! bench harness, the sweep engine) without the service framing.
+//!
+//! # Engine-level use
 //!
 //! ```
 //! use leqa::Estimator;
@@ -33,6 +55,11 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Estimating one program on many fabrics? Build a [`ProgramProfile`]
+//! once (or cache its owned [`ProfileData`]) and use
+//! [`Estimator::estimate_with_profile`] or the amortised engine in
+//! [`sweep`].
 //!
 //! # Module map (paper section → module)
 //!
@@ -60,4 +87,4 @@ pub mod tsp;
 
 pub use error::EstimateError;
 pub use estimator::{Estimate, Estimator, EstimatorOptions, ZoneRounding};
-pub use profile::ProgramProfile;
+pub use profile::{ProfileData, ProgramProfile};

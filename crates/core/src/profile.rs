@@ -7,11 +7,80 @@
 //! [`ProgramProfile`] captures everything in the first group once per QODG,
 //! so an `N`-candidate fabric sweep pays the `O(ops)` traversals once
 //! instead of `N` times (see [`crate::sweep`] and PERF.md).
+//!
+//! The precomputation itself lives in the owned, borrow-free
+//! [`ProfileData`], so long-lived callers (the `leqa-api` session cache)
+//! can store it next to the program and re-attach it to the QODG with
+//! [`ProgramProfile::from_data`] at zero cost per request.
+
+use std::borrow::Cow;
 
 use leqa_circuit::{Iig, Qodg, QubitId};
 use leqa_fabric::Micros;
 
 use crate::{presence, tsp};
+
+/// The owned program-dependent precomputation of Algorithm 1 (lines 1–8):
+/// the IIG, Eq. 7's zone average and Eq. 12's weighted uncongested-delay
+/// terms with the qubit speed factored out.
+///
+/// Unlike [`ProgramProfile`] this holds no borrow of the QODG, so it can
+/// be cached and moved freely; pair it back up with the program it was
+/// computed from via [`ProgramProfile::from_data`].
+#[derive(Debug, Clone)]
+pub struct ProfileData {
+    iig: Iig,
+    /// `B` (Eq. 7), `None` when the program has no two-qubit ops.
+    avg_zone_area: Option<f64>,
+    /// `Σ_i strength_i · (E[l_ham,i] / M_i)` — the speed-independent
+    /// numerator of Eq. 12 (multiply by `1/v` to price it).
+    uncong_numerator: f64,
+    /// `Σ_i strength_i` over qubits with interactions (Eq. 12 denominator).
+    strength_total: f64,
+}
+
+impl ProfileData {
+    /// Runs the program-dependent passes once for `qodg`.
+    #[must_use]
+    pub fn new(qodg: &Qodg) -> Self {
+        ProfileData::with_iig(Iig::from_qodg(qodg))
+    }
+
+    /// Like [`new`](Self::new) with a caller-built IIG.
+    #[must_use]
+    pub fn with_iig(iig: Iig) -> Self {
+        let avg_zone_area = presence::average_zone_area(&iig);
+        let mut uncong_numerator = 0.0;
+        let mut strength_total = 0.0;
+        for i in 0..iig.num_qubits() {
+            let q = QubitId(i);
+            let strength = iig.strength(q) as f64;
+            if strength > 0.0 {
+                let m = iig.degree(q);
+                // Eq. 16 numerator: E[l_ham,i] / M_i, speed factored out.
+                let per_op = if m == 0 {
+                    0.0
+                } else {
+                    tsp::expected_hamiltonian_path(m) / m as f64
+                };
+                uncong_numerator += strength * per_op;
+                strength_total += strength;
+            }
+        }
+        ProfileData {
+            iig,
+            avg_zone_area,
+            uncong_numerator,
+            strength_total,
+        }
+    }
+
+    /// The interaction intensity graph.
+    #[inline]
+    pub fn iig(&self) -> &Iig {
+        &self.iig
+    }
+}
 
 /// Fabric-independent precomputation for one program (QODG).
 ///
@@ -39,52 +108,43 @@ use crate::{presence, tsp};
 #[derive(Debug)]
 pub struct ProgramProfile<'a> {
     qodg: &'a Qodg,
-    iig: Iig,
-    /// `B` (Eq. 7), `None` when the program has no two-qubit ops.
-    avg_zone_area: Option<f64>,
-    /// `Σ_i strength_i · (E[l_ham,i] / M_i)` — the speed-independent
-    /// numerator of Eq. 12 (multiply by `1/v` to price it).
-    uncong_numerator: f64,
-    /// `Σ_i strength_i` over qubits with interactions (Eq. 12 denominator).
-    strength_total: f64,
+    data: Cow<'a, ProfileData>,
 }
 
 impl<'a> ProgramProfile<'a> {
     /// Runs the program-dependent passes of Algorithm 1 (lines 1–8) once:
     /// IIG construction, Eq. 7's zone average, and Eq. 12's weighted
     /// uncongested-delay terms with the qubit speed factored out.
+    #[must_use]
     pub fn new(qodg: &'a Qodg) -> Self {
-        let iig = Iig::from_qodg(qodg);
-        ProgramProfile::with_iig(qodg, iig)
+        ProgramProfile {
+            qodg,
+            data: Cow::Owned(ProfileData::new(qodg)),
+        }
     }
 
     /// Like [`new`](Self::new) with a caller-built IIG (for callers that
     /// already have one).
+    #[must_use]
     pub fn with_iig(qodg: &'a Qodg, iig: Iig) -> Self {
-        let avg_zone_area = presence::average_zone_area(&iig);
-        let mut uncong_numerator = 0.0;
-        let mut strength_total = 0.0;
-        for i in 0..iig.num_qubits() {
-            let q = QubitId(i);
-            let strength = iig.strength(q) as f64;
-            if strength > 0.0 {
-                let m = iig.degree(q);
-                // Eq. 16 numerator: E[l_ham,i] / M_i, speed factored out.
-                let per_op = if m == 0 {
-                    0.0
-                } else {
-                    tsp::expected_hamiltonian_path(m) / m as f64
-                };
-                uncong_numerator += strength * per_op;
-                strength_total += strength;
-            }
-        }
         ProgramProfile {
             qodg,
-            iig,
-            avg_zone_area,
-            uncong_numerator,
-            strength_total,
+            data: Cow::Owned(ProfileData::with_iig(iig)),
+        }
+    }
+
+    /// Re-attaches cached [`ProfileData`] to the program it was computed
+    /// from. O(1) — no traversal happens; this is how the `leqa-api`
+    /// session serves repeat requests without rebuilding the profile.
+    ///
+    /// The caller must pair the data with *its own* QODG; attaching a
+    /// different program's data silently yields that other program's
+    /// congestion quantities.
+    #[must_use]
+    pub fn from_data(qodg: &'a Qodg, data: &'a ProfileData) -> Self {
+        ProgramProfile {
+            qodg,
+            data: Cow::Borrowed(data),
         }
     }
 
@@ -97,7 +157,7 @@ impl<'a> ProgramProfile<'a> {
     /// The interaction intensity graph.
     #[inline]
     pub fn iig(&self) -> &Iig {
-        &self.iig
+        self.data.iig()
     }
 
     /// `Q`: logical qubits in the program.
@@ -110,21 +170,22 @@ impl<'a> ProgramProfile<'a> {
     /// `None` when the program has no two-qubit operations.
     #[inline]
     pub fn avg_zone_area(&self) -> Option<f64> {
-        self.avg_zone_area
+        self.data.avg_zone_area
     }
 
     /// Total interaction weight (two-qubit op count) of the program.
     #[inline]
     pub fn total_weight(&self) -> u64 {
-        self.iig.total_weight()
+        self.data.iig.total_weight()
     }
 
     /// `d_uncong` (Eq. 12) for a fabric with the given qubit speed `v`, or
     /// `None` when no two-qubit operations exist. O(1): the traversal was
     /// paid at construction.
     pub fn uncongested_delay(&self, qubit_speed: f64) -> Option<Micros> {
-        (self.strength_total > 0.0)
-            .then(|| Micros::new(self.uncong_numerator / self.strength_total / qubit_speed))
+        let data = &*self.data;
+        (data.strength_total > 0.0)
+            .then(|| Micros::new(data.uncong_numerator / data.strength_total / qubit_speed))
     }
 }
 
@@ -187,5 +248,21 @@ mod tests {
         let d1 = profile.uncongested_delay(0.001).unwrap().as_f64();
         let d2 = profile.uncongested_delay(0.002).unwrap().as_f64();
         assert!((d1 / d2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detached_data_reattaches_bitwise_identically() {
+        // The api session's caching pattern: compute once, detach, reuse.
+        let qodg = star_qodg();
+        let fresh = ProgramProfile::new(&qodg);
+        let data = ProfileData::new(&qodg);
+        let reattached = ProgramProfile::from_data(&qodg, &data);
+
+        assert_eq!(fresh.avg_zone_area(), reattached.avg_zone_area());
+        assert_eq!(fresh.total_weight(), reattached.total_weight());
+        assert_eq!(
+            fresh.uncongested_delay(0.001),
+            reattached.uncongested_delay(0.001)
+        );
     }
 }

@@ -13,6 +13,7 @@ use crate::{presence, tsp};
 
 /// The presence-zone model quantities of one logical qubit.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct QubitZone {
     /// The qubit.
     pub qubit: QubitId,
@@ -72,11 +73,19 @@ pub fn zone_report_from_iig(iig: &Iig, qubit_speed: f64) -> Vec<QubitZone> {
 }
 
 /// Renders the report as a fixed-width table, strongest qubits first,
-/// truncated to `limit` rows.
+/// truncated to `limit` rows. `limit == 0` means *no* limit (all rows);
+/// a `limit` beyond the report length is clamped to it. The function is
+/// total: every `(report, limit)` pair yields a well-formed table.
+#[must_use]
 pub fn format_report(report: &[QubitZone], limit: usize) -> String {
     use std::fmt::Write as _;
     let mut rows: Vec<&QubitZone> = report.iter().collect();
     rows.sort_by_key(|z| std::cmp::Reverse(z.strength));
+    let limit = if limit == 0 {
+        rows.len()
+    } else {
+        limit.min(rows.len())
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -154,5 +163,33 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 rows
         assert!(lines[1].contains("q0")); // hub first
+    }
+
+    #[test]
+    fn zero_limit_means_all_rows() {
+        // Regression: `limit == 0` used to render an empty table (header
+        // only), silently swallowing the report.
+        let report = zone_report(&star(), 0.001);
+        let text = format_report(&report, 0);
+        assert_eq!(text.lines().count(), 1 + report.len());
+        assert_eq!(text, format_report(&report, report.len()));
+    }
+
+    #[test]
+    fn oversized_limit_is_clamped() {
+        // Regression: `limit > len` must behave exactly like `limit == len`
+        // (total function, no padding rows, no panic).
+        let report = zone_report(&star(), 0.001);
+        assert_eq!(
+            format_report(&report, usize::MAX),
+            format_report(&report, report.len())
+        );
+    }
+
+    #[test]
+    fn empty_report_formats_to_header_only() {
+        for limit in [0, 1, 7] {
+            assert_eq!(format_report(&[], limit).lines().count(), 1);
+        }
     }
 }

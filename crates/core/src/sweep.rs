@@ -41,7 +41,11 @@ use crate::estimator::{assemble_estimate, routing_aware_critical_path, RoutingQu
 use crate::{Estimate, Estimator, EstimatorOptions, ProgramProfile};
 
 /// Outcome of one fabric-size candidate.
+///
+/// `#[non_exhaustive]`: response-shaped — new per-candidate quantities may
+/// be added without a breaking release.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SweepPoint {
     /// The candidate fabric.
     pub dims: FabricDims,

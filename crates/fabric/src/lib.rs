@@ -10,7 +10,7 @@
 //!   ULBs, with a dense index for occupancy bookkeeping,
 //! * [`route::xy_route`] — deterministic dimension-ordered (X-then-Y) paths,
 //! * [`PhysicalParams`] / [`GateDelays`] — the physical parameter set of
-//!   Table 1 ([[7,1,3]] Steane code on an ion-trap fabric),
+//!   Table 1 (\[\[7,1,3\]\] Steane code on an ion-trap fabric),
 //! * [`Micros`] — a newtype for latencies in microseconds.
 //!
 //! # Examples

@@ -1,7 +1,7 @@
 //! Physical parameters of the TQA (Table 1 of the paper).
 //!
 //! Gate delays come from a ULB fabric-designer tool for an ion-trap fabric
-//! with the [[7,1,3]] Steane code: the non-transversal `T`/`T†` gates are the
+//! with the \[\[7,1,3\]\] Steane code: the non-transversal `T`/`T†` gates are the
 //! slowest. These numbers are plain inputs to both the estimator and the
 //! detailed mapper; swapping them retargets the whole suite to another
 //! technology or QECC ("does not limit the functionality of LEQA", §4.1).
@@ -144,7 +144,7 @@ pub struct PhysicalParams {
 }
 
 impl PhysicalParams {
-    /// The parameter set of Table 1 (ion trap, [[7,1,3]] Steane code).
+    /// The parameter set of Table 1 (ion trap, \[\[7,1,3\]\] Steane code).
     ///
     /// `d_S`/`d_S†` are not listed in Table 1; they are transversal in the
     /// Steane code like the Paulis, so we use the Pauli delay (5240 µs) and

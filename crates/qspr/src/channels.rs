@@ -118,7 +118,7 @@ impl ChannelOccupancy {
     }
 
     /// Per-channel traversal counts, indexed by
-    /// [`ChannelId`](leqa_fabric::ChannelId) — the congestion heatmap.
+    /// [`ChannelId`] — the congestion heatmap.
     pub fn load(&self) -> &[u64] {
         &self.load
     }

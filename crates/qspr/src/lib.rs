@@ -1,7 +1,7 @@
 //! QSPR — a detailed **q**uantum **s**cheduling, **p**lacement and
 //! **r**outing mapper for the tiled quantum architecture.
 //!
-//! The LEQA paper uses the authors' QSPR tool (DATE 2012, ref. [20]) as the
+//! The LEQA paper uses the authors' QSPR tool (DATE 2012, ref. \[20\]) as the
 //! ground truth: it maps the quantum operation dependency graph (QODG) onto
 //! the ULB grid and simulates **every** qubit movement, producing the
 //! "actual delay" column of Table 2 and the runtime baseline of Table 3.

@@ -1,7 +1,7 @@
 //! Benchmark-circuit generators reproducing the LEQA evaluation suite.
 //!
 //! The paper takes its 18 benchmarks from D. Maslov's reversible-benchmark
-//! page (reference [12], a 2012 snapshot that is no longer distributable).
+//! page (reference \[12\], a 2012 snapshot that is no longer distributable).
 //! This crate regenerates each family procedurally:
 //!
 //! * [`gf2::gf2_mult`] — GF(2^n) multipliers as Mastrovito Toffoli networks:
@@ -41,3 +41,62 @@ pub mod suite;
 pub use mix::MixSpec;
 pub use random::{random_circuit, RandomCircuitConfig};
 pub use suite::{Benchmark, PaperRow, SUITE};
+
+use leqa_circuit::Circuit;
+
+/// Resolves a workload name to its circuit: either one of the 18 named
+/// suite benchmarks ([`Benchmark::by_name`]) or a parametric generator
+/// spelled inline:
+///
+/// * `qft_N` — the approximate QFT on `N` qubits with the default
+///   rotation cutoff (`min(N, 16)`, the Shor-extrapolation setting),
+/// * `qft_N_K` — the same with an explicit cutoff `K ≥ 2`.
+///
+/// Returns `None` for unknown names or out-of-range parameters, so
+/// callers can produce their own "unknown benchmark" diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_workloads::circuit_by_name;
+///
+/// assert_eq!(circuit_by_name("qft_64").unwrap().num_qubits(), 64);
+/// assert!(circuit_by_name("8bitadder").is_some());
+/// assert!(circuit_by_name("nope").is_none());
+/// ```
+#[must_use]
+pub fn circuit_by_name(name: &str) -> Option<Circuit> {
+    if let Some(bench) = Benchmark::by_name(name) {
+        return Some(bench.circuit());
+    }
+    let mut parts = name.strip_prefix("qft_")?.split('_');
+    let n: u32 = parts.next()?.parse().ok()?;
+    let max_k: u32 = match parts.next() {
+        Some(k) => k.parse().ok()?,
+        None => n.min(16),
+    };
+    if parts.next().is_some() || n == 0 || max_k < 2 {
+        return None;
+    }
+    Some(qft::qft(n, max_k))
+}
+
+#[cfg(test)]
+mod name_tests {
+    use super::*;
+
+    #[test]
+    fn qft_names_resolve_with_and_without_cutoff() {
+        let default = circuit_by_name("qft_8").unwrap();
+        let explicit = circuit_by_name("qft_8_8").unwrap();
+        assert_eq!(default, explicit); // min(8, 16) == 8
+        assert_ne!(circuit_by_name("qft_8_2").unwrap(), default);
+    }
+
+    #[test]
+    fn malformed_parametric_names_are_rejected() {
+        for bad in ["qft_", "qft_0", "qft_8_1", "qft_8_2_9", "qft_x", "qft_8_"] {
+            assert!(circuit_by_name(bad).is_none(), "{bad}");
+        }
+    }
+}

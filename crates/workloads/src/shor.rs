@@ -3,7 +3,7 @@
 //!
 //! Full Shor-`n` modular exponentiation is ~`O(n³)` gates — far beyond
 //! what anyone maps in one piece. This generator builds the *inner loop*
-//! the architecture papers (e.g. ref. [10]) analyse: a cascade of
+//! the architecture papers (e.g. ref. \[10\]) analyse: a cascade of
 //! controlled modular additions, each realized as a Cuccaro ripple-carry
 //! adder with its MAJ/UMA cells controlled by an exponent qubit (one
 //! ancilla-free controlled-adder round per exponent bit window).

@@ -4,6 +4,8 @@
 //! cross-crate integration tests; the functionality lives in the member
 //! crates, re-exported here for convenience:
 //!
+//! * [`api`] — the supported application entry point: `Session`,
+//!   request/response DTOs with JSON I/O, the unified error taxonomy,
 //! * [`leqa`] — the latency estimator (the paper's contribution, Algorithm 1),
 //! * [`leqa_fabric`] — the tiled-quantum-architecture substrate,
 //! * [`leqa_circuit`] — circuits, decomposition passes, QODG and IIG,
@@ -15,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub use leqa;
+pub use leqa_api as api;
 pub use leqa_circuit;
 pub use leqa_fabric;
 pub use leqa_workloads;
