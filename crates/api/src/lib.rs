@@ -12,6 +12,9 @@
 //!   estimator options (via [`SessionBuilder`]), and caches each loaded
 //!   program's [`leqa::ProfileData`] keyed by a content hash of its
 //!   canonical circuit text, so repeat requests never rebuild profiles.
+//!   `Send + Sync` with every endpoint on `&self`: one session serves
+//!   all your worker threads (sharded cache, atomic counters — see
+//!   `API.md`'s threading contract).
 //! * Request/response DTOs ([`EstimateRequest`] → [`EstimateResponse`],
 //!   sweep/zones/compare/map, and [`Request`]/[`Response`] envelopes) —
 //!   plain structs carrying a `schema_version`, encoded and decoded by
@@ -32,7 +35,7 @@
 //! use leqa_api::{EstimateRequest, ProgramSpec, Session};
 //!
 //! # fn main() -> Result<(), leqa_api::LeqaError> {
-//! let mut session = Session::builder().build()?; // 60×60, Table 1 params
+//! let session = Session::builder().build()?; // 60×60, Table 1 params
 //! let response = session.estimate(&EstimateRequest::new(
 //!     ProgramSpec::source(".qubits 2\ncnot 0 1\nh 0\n"),
 //! ))?;

@@ -5,19 +5,36 @@
 //! every loaded program is keyed by a content hash of its canonical
 //! circuit text, and its [`ProfileData`] — the expensive program-dependent
 //! half of Algorithm 1 — is computed exactly once no matter how many
-//! requests name it, through whichever [`ProgramSpec`] source. The
-//! [`batch`](Session::batch) endpoint warms the cache serially (so
-//! deduplication is exact), then executes the requests — on scoped worker
-//! threads when the `parallel` feature is on.
+//! requests name it, through whichever [`ProgramSpec`] source.
+//!
+//! # Concurrency model
+//!
+//! `Session` is `Send + Sync` and every endpoint takes `&self`, so one
+//! session can be shared across threads (`Arc<Session>` or a plain
+//! borrow) and hammered concurrently. The program cache is sharded: 16
+//! independent `RwLock`-protected maps selected by the FNV content hash,
+//! so concurrent loads of *different* programs never contend on one lock
+//! and repeat loads of the *same* program take only a shard read lock.
+//! Cache counters ([`CacheStats`]) are atomics with the invariant
+//! `cache_hits + cache_misses == loads`; profiles stay exactly-once via
+//! `OnceLock` no matter how many threads race on a program.
+//!
+//! The [`batch`](Session::batch) endpoint resolves every request's
+//! program text first, dedups by content hash, warms the *distinct*
+//! programs concurrently (on the persistent worker pool when the
+//! `parallel` feature is on), then fans the per-request execution out —
+//! with hit/miss accounting and `profile_cached` flags bit-identical to
+//! the serial request-by-request order.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use leqa::report::zone_report_from_iig;
 use leqa::sweep::sweep_profile;
 use leqa::{Estimator, EstimatorOptions, ProfileData, ProgramProfile};
-use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
+use leqa_circuit::{decompose::lower_to_ft, parser, Circuit, Qodg};
 use leqa_fabric::{FabricDims, PhysicalParams};
 use qspr::{Mapper, MapperConfig};
 
@@ -39,7 +56,7 @@ struct ProgramData {
     /// Computed on first use by an endpoint that needs it (estimate,
     /// sweep, zones, compare, `dot --graph iig`) — `map` and `gen` never
     /// pay the IIG/zone passes. `OnceLock` guarantees exactly one
-    /// initialization even under the parallel batch fan-out.
+    /// initialization even when threads race on the same program.
     profile: OnceLock<ProfileData>,
 }
 
@@ -50,7 +67,7 @@ struct ProgramData {
 pub struct ProgramHandle {
     label: String,
     shared: Arc<ProgramData>,
-    profile_builds: Arc<AtomicU64>,
+    counters: Arc<Counters>,
 }
 
 impl ProgramHandle {
@@ -79,7 +96,7 @@ impl ProgramHandle {
     #[must_use]
     pub fn profile_data(&self) -> &ProfileData {
         self.shared.profile.get_or_init(|| {
-            self.profile_builds.fetch_add(1, Ordering::Relaxed);
+            self.counters.profile_builds.fetch_add(1, Ordering::Relaxed);
             ProfileData::new(&self.shared.qodg)
         })
     }
@@ -96,15 +113,114 @@ impl ProgramHandle {
 }
 
 /// Cache counters, exposed for observability and asserted by the
-/// profile-reuse tests.
+/// profile-reuse and concurrency tests. At quiescence
+/// `cache_hits + cache_misses == loads`; a snapshot racing in-flight
+/// loads may transiently *under*-count `cache_hits + cache_misses`
+/// relative to `loads` (never the reverse — see
+/// [`Session::cache_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct CacheStats {
     /// Programs whose [`ProfileData`] was computed (one per distinct
     /// content hash).
     pub profile_builds: u64,
-    /// Loads served from the cache without recomputation.
+    /// Loads served from the cache without re-lowering.
     pub cache_hits: u64,
+    /// Loads that lowered and inserted a program (one per distinct
+    /// content hash, plus hash-collision rebuilds).
+    pub cache_misses: u64,
+    /// Successful program loads (`cache_hits + cache_misses`).
+    pub loads: u64,
+}
+
+/// The session's atomic counters, shared with every [`ProgramHandle`] so
+/// lazy profile computation counts no matter which handle forces it.
+#[derive(Debug, Default)]
+struct Counters {
+    profile_builds: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    loads: AtomicU64,
+}
+
+impl Counters {
+    // `loads` is bumped (release) before the hit/miss half, and
+    // `Session::cache_stats` reads the halves (acquire) before `loads`:
+    // any half increment a snapshot observes carries its `loads`
+    // increment with it, so a racing snapshot can only ever see
+    // `hits + misses <= loads`, never a sum exceeding the loads it was
+    // read against.
+
+    fn record_hit(&self) {
+        self.loads.fetch_add(1, Ordering::Release);
+        self.hits.fetch_add(1, Ordering::Release);
+    }
+
+    fn record_miss(&self) {
+        self.loads.fetch_add(1, Ordering::Release);
+        self.misses.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Shard count of the program cache. 16 keeps the footprint trivial
+/// while making same-shard contention between distinct hot programs
+/// unlikely at service concurrency levels.
+const SHARD_COUNT: usize = 16;
+
+/// The sharded program cache: `SHARD_COUNT` independent `RwLock`-guarded
+/// maps, selected by the FNV-1a content hash, so concurrent loads only
+/// contend when they actually touch the same shard.
+#[derive(Debug, Default)]
+struct ShardedCache {
+    shards: [RwLock<HashMap<u64, Arc<ProgramData>>>; SHARD_COUNT],
+}
+
+impl ShardedCache {
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Arc<ProgramData>>> {
+        &self.shards[(key % SHARD_COUNT as u64) as usize]
+    }
+
+    /// Fetches the entry for `key` if present *and* its source matches
+    /// (a 64-bit collision must repeat work, not hand a request some
+    /// other program's profile).
+    fn lookup(&self, key: u64, source: &str) -> Option<Arc<ProgramData>> {
+        let shard = self.shard(key).read().expect("no poisoning");
+        shard
+            .get(&key)
+            .filter(|shared| shared.source == source)
+            .map(Arc::clone)
+    }
+
+    /// Inserts `candidate` under `key`, unless a matching entry appeared
+    /// in the meantime (another thread won the race) — then the existing
+    /// entry is adopted. Returns the canonical `Arc` and whether the
+    /// candidate was freshly inserted.
+    fn insert(&self, key: u64, candidate: Arc<ProgramData>) -> (Arc<ProgramData>, bool) {
+        let mut shard = self.shard(key).write().expect("no poisoning");
+        match shard.entry(key) {
+            Entry::Occupied(mut existing) => {
+                if existing.get().source == candidate.source {
+                    (Arc::clone(existing.get()), false)
+                } else {
+                    // Hash collision: the newcomer takes the slot (the
+                    // verify-on-hit lookup keeps either resident correct,
+                    // a collision only ever costs rebuilds).
+                    existing.insert(Arc::clone(&candidate));
+                    (candidate, true)
+                }
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(Arc::clone(&candidate));
+                (candidate, true)
+            }
+        }
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("no poisoning").clear();
+        }
+    }
 }
 
 /// Builds a [`Session`].
@@ -156,25 +272,46 @@ impl SessionBuilder {
             fabric: self.fabric.unwrap_or_else(FabricDims::dac13),
             params: self.params.unwrap_or_else(PhysicalParams::dac13),
             options,
-            cache: HashMap::new(),
-            profile_builds: Arc::new(AtomicU64::new(0)),
-            cache_hits: 0,
+            cache: ShardedCache::default(),
+            counters: Arc::new(Counters::default()),
         })
     }
 }
 
 /// One configured LEQA service instance: the single supported entry point
 /// for applications (see the crate docs for an example).
+///
+/// `Session` is `Send + Sync` with every endpoint on `&self` — share one
+/// instance across however many threads the service runs (see the module
+/// docs for the concurrency model).
 #[derive(Debug)]
 pub struct Session {
     fabric: FabricDims,
     params: PhysicalParams,
     options: EstimatorOptions,
-    cache: HashMap<u64, Arc<ProgramData>>,
-    /// Shared with every [`ProgramHandle`] so lazy profile computation
-    /// counts no matter which handle forces it.
-    profile_builds: Arc<AtomicU64>,
-    cache_hits: u64,
+    cache: ShardedCache,
+    counters: Arc<Counters>,
+}
+
+/// The `Send + Sync` contract is part of the public API (concurrent
+/// services depend on it); this fails to compile if an unsound field
+/// sneaks in.
+#[allow(dead_code)]
+fn _assert_session_is_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<Session>();
+    assert::<ProgramHandle>();
+    assert::<CacheStats>();
+}
+
+/// A program resolved to its canonical identity, before any cache or
+/// lowering work: the batch warm phase dedups on `key`.
+#[derive(Debug)]
+struct ResolvedSpec {
+    label: String,
+    circuit: Circuit,
+    source: String,
+    key: u64,
 }
 
 impl Session {
@@ -201,17 +338,27 @@ impl Session {
         &self.options
     }
 
-    /// The cache counters.
+    /// The cache counters (atomic snapshots; under concurrent load each
+    /// counter is exact and monotone). At quiescence
+    /// `cache_hits + cache_misses == loads`; a snapshot taken while
+    /// loads are in flight may observe `cache_hits + cache_misses <
+    /// loads` (each load bumps `loads` first), never the reverse.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
+        // Read the halves before `loads` (see `Counters` for the
+        // release/acquire pairing that makes the inequality hold).
+        let cache_hits = self.counters.hits.load(Ordering::Acquire);
+        let cache_misses = self.counters.misses.load(Ordering::Acquire);
         CacheStats {
-            profile_builds: self.profile_builds.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits,
+            profile_builds: self.counters.profile_builds.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            loads: self.counters.loads.load(Ordering::Acquire),
         }
     }
 
     /// Drops every cached program.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.cache.clear();
     }
 
@@ -226,13 +373,13 @@ impl Session {
     /// [`ErrorKind::Usage`] for unknown benchmark names, [`ErrorKind::Io`]
     /// for unreadable files, [`ErrorKind::Parse`]/[`ErrorKind::Invalid`]
     /// for bad circuit text.
-    pub fn load(&mut self, spec: &ProgramSpec) -> Result<ProgramHandle, LeqaError> {
+    pub fn load(&self, spec: &ProgramSpec) -> Result<ProgramHandle, LeqaError> {
         self.load_tracking(spec).map(|(handle, _)| handle)
     }
 
-    /// Like [`load`](Self::load), also reporting whether the program came
-    /// from the cache.
-    fn load_tracking(&mut self, spec: &ProgramSpec) -> Result<(ProgramHandle, bool), LeqaError> {
+    /// Resolves a spec to its canonical identity (label, parsed circuit,
+    /// canonical text, content key) without touching the cache.
+    fn resolve_spec(&self, spec: &ProgramSpec) -> Result<ResolvedSpec, LeqaError> {
         let (label, circuit) = match spec {
             ProgramSpec::Bench { name } => {
                 let circuit = leqa_workloads::circuit_by_name(name).ok_or_else(|| {
@@ -257,43 +404,62 @@ impl Session {
                 (label, circuit)
             }
         };
-
         let source = parser::write(&circuit);
         let key = fnv1a(source.as_bytes());
-        // Verify on hit: a 64-bit collision must repeat work, not hand a
-        // request some other program's profile.
-        if let Some(shared) = self.cache.get(&key) {
-            if shared.source == source {
-                self.cache_hits += 1;
-                return Ok((
-                    ProgramHandle {
-                        label,
-                        shared: Arc::clone(shared),
-                        profile_builds: Arc::clone(&self.profile_builds),
-                    },
-                    true,
-                ));
-            }
-        }
-
-        let ft = lower_to_ft(&circuit)
-            .map_err(LeqaError::from)
-            .map_err(|e| e.context(format!("lowering `{label}`")))?;
-        let qodg = Qodg::from_ft_circuit(&ft);
-        let shared = Arc::new(ProgramData {
+        Ok(ResolvedSpec {
+            label,
+            circuit,
             source,
-            qodg,
+            key,
+        })
+    }
+
+    /// Lowers a resolved circuit into the shareable program data.
+    fn lower(&self, resolved: &ResolvedSpec) -> Result<ProgramData, LeqaError> {
+        let ft = lower_to_ft(&resolved.circuit)
+            .map_err(LeqaError::from)
+            .map_err(|e| e.context(format!("lowering `{}`", resolved.label)))?;
+        Ok(ProgramData {
+            source: resolved.source.clone(),
+            qodg: Qodg::from_ft_circuit(&ft),
             profile: OnceLock::new(),
-        });
-        self.cache.insert(key, Arc::clone(&shared));
-        Ok((
-            ProgramHandle {
-                label,
-                shared,
-                profile_builds: Arc::clone(&self.profile_builds),
-            },
-            false,
-        ))
+        })
+    }
+
+    fn handle(&self, label: String, shared: Arc<ProgramData>) -> ProgramHandle {
+        ProgramHandle {
+            label,
+            shared,
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Like [`load`](Self::load), also reporting whether the program came
+    /// from the cache.
+    fn load_tracking(&self, spec: &ProgramSpec) -> Result<(ProgramHandle, bool), LeqaError> {
+        let resolved = self.resolve_spec(spec)?;
+        self.load_resolved(resolved)
+    }
+
+    /// The cache half of a load: fetch-or-lower an already-resolved
+    /// program, with hit/miss accounting.
+    fn load_resolved(&self, resolved: ResolvedSpec) -> Result<(ProgramHandle, bool), LeqaError> {
+        if let Some(shared) = self.cache.lookup(resolved.key, &resolved.source) {
+            self.counters.record_hit();
+            return Ok((self.handle(resolved.label, shared), true));
+        }
+        // Miss: lower outside any lock (the expensive part), then
+        // insert-or-adopt under the shard write lock. A concurrent load
+        // of the same program may win the race; the loser adopts the
+        // winner's entry so profiles stay exactly-once.
+        let candidate = Arc::new(self.lower(&resolved)?);
+        let (shared, fresh) = self.cache.insert(resolved.key, candidate);
+        if fresh {
+            self.counters.record_miss();
+        } else {
+            self.counters.record_hit();
+        }
+        Ok((self.handle(resolved.label, shared), !fresh))
     }
 
     /// Resolves a per-request fabric override against the session fabric.
@@ -313,7 +479,7 @@ impl Session {
     /// Any load error (see [`load`](Self::load)), or
     /// [`ErrorKind::Estimate`] when the program does not fit the fabric.
     #[must_use = "the response (or its error) is the entire point of the call"]
-    pub fn estimate(&mut self, req: &EstimateRequest) -> Result<EstimateResponse, LeqaError> {
+    pub fn estimate(&self, req: &EstimateRequest) -> Result<EstimateResponse, LeqaError> {
         let (handle, cached) = self.load_tracking(&req.program)?;
         self.run_estimate(req, &handle, cached)
     }
@@ -321,13 +487,16 @@ impl Session {
     /// Estimates one program across candidate square fabrics, through the
     /// amortised sweep engine (bit-identical to independent estimates).
     ///
+    /// With the `parallel` feature the per-candidate loop runs on the
+    /// persistent worker pool; results are identical either way.
+    ///
     /// # Errors
     ///
     /// Any load error, or [`ErrorKind::Invalid`] for a malformed size.
     /// Candidates too small for the program yield unfit points, not
     /// errors.
     #[must_use = "the response (or its error) is the entire point of the call"]
-    pub fn sweep(&mut self, req: &SweepRequest) -> Result<SweepResponse, LeqaError> {
+    pub fn sweep(&self, req: &SweepRequest) -> Result<SweepResponse, LeqaError> {
         let (handle, _) = self.load_tracking(&req.program)?;
         self.run_sweep(req, &handle)
     }
@@ -338,7 +507,7 @@ impl Session {
     ///
     /// Any load error.
     #[must_use = "the response (or its error) is the entire point of the call"]
-    pub fn zones(&mut self, req: &ZonesRequest) -> Result<ZonesResponse, LeqaError> {
+    pub fn zones(&self, req: &ZonesRequest) -> Result<ZonesResponse, LeqaError> {
         let (handle, _) = self.load_tracking(&req.program)?;
         self.run_zones(req, &handle)
     }
@@ -351,7 +520,7 @@ impl Session {
     /// Any load error, [`ErrorKind::Map`] or [`ErrorKind::Estimate`] when
     /// the program does not fit.
     #[must_use = "the response (or its error) is the entire point of the call"]
-    pub fn compare(&mut self, req: &CompareRequest) -> Result<CompareResponse, LeqaError> {
+    pub fn compare(&self, req: &CompareRequest) -> Result<CompareResponse, LeqaError> {
         let (handle, _) = self.load_tracking(&req.program)?;
         self.run_compare(req, &handle)
     }
@@ -363,7 +532,7 @@ impl Session {
     /// Any load error, or [`ErrorKind::Map`] when the program does not
     /// fit.
     #[must_use = "the response (or its error) is the entire point of the call"]
-    pub fn map(&mut self, req: &MapRequest) -> Result<MapResponse, LeqaError> {
+    pub fn map(&self, req: &MapRequest) -> Result<MapResponse, LeqaError> {
         let (handle, _) = self.load_tracking(&req.program)?;
         self.run_map(req, &handle)
     }
@@ -374,7 +543,7 @@ impl Session {
     ///
     /// The named endpoint's errors.
     #[must_use = "the response (or its error) is the entire point of the call"]
-    pub fn execute(&mut self, req: &Request) -> Result<Response, LeqaError> {
+    pub fn execute(&self, req: &Request) -> Result<Response, LeqaError> {
         match req {
             Request::Estimate(r) => self.estimate(r).map(Response::Estimate),
             Request::Sweep(r) => self.sweep(r).map(Response::Sweep),
@@ -387,45 +556,161 @@ impl Session {
     /// Executes a batch of requests, one result slot per request in
     /// order; a failing request fails only its own slot.
     ///
-    /// Programs are loaded (and deduplicated by content hash) serially
-    /// first, so each distinct program's profile is built exactly once;
-    /// the per-request execution then fans out over scoped worker threads
-    /// when the `parallel` feature is enabled.
+    /// Every request's program text is resolved first and deduplicated
+    /// by content hash; the *distinct* programs are then lowered
+    /// **concurrently** (on the persistent worker pool when the
+    /// `parallel` feature is enabled) before the per-request execution
+    /// fans out. Responses, `profile_cached` flags and [`CacheStats`]
+    /// deltas are identical to executing the requests one by one in
+    /// order.
     #[must_use = "the batch response carries every per-request outcome"]
-    pub fn batch(&mut self, requests: &[Request]) -> BatchResponse {
-        /// One warmed batch slot: request index, its (cached) program, and
-        /// whether the load was a cache hit.
-        type Prepared = Result<(usize, ProgramHandle, bool), LeqaError>;
+    pub fn batch(&self, requests: &[Request]) -> BatchResponse {
+        /// Maps over the slice on the pool under `parallel`, serially
+        /// otherwise (results identical by the pool's contract).
+        fn fan_out<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+            #[cfg(feature = "parallel")]
+            {
+                leqa::exec::parallel_map(items, f)
+            }
+            #[cfg(not(feature = "parallel"))]
+            {
+                items.iter().map(f).collect()
+            }
+        }
 
-        // Phase 1 (serial, &mut): warm the program cache.
-        let prepared: Vec<Prepared> = requests
+        // Phase 1 (concurrent, cache-untouched): resolve every request's
+        // spec to canonical text + content key.
+        let resolved: Vec<Result<ResolvedSpec, LeqaError>> =
+            fan_out(requests, |req| self.resolve_spec(req.program()));
+
+        // Phase 2: pick, in request order, the first namer of each
+        // distinct content key — exactly the request that would miss the
+        // cache if the batch ran serially. Keys are FNV hashes, so a
+        // later request may share a key with a *different* source (a
+        // 64-bit collision); such requests are detected against the
+        // first namer's source and routed through the full per-request
+        // load path instead, preserving the collision contract ("repeat
+        // work, never hand a request some other program's profile").
+        let mut first_namer: HashMap<u64, usize> = HashMap::new();
+        for (i, slot) in resolved.iter().enumerate() {
+            if let Ok(r) = slot {
+                first_namer.entry(r.key).or_insert(i);
+            }
+        }
+        let mut warm_order: Vec<usize> = first_namer.values().copied().collect();
+        warm_order.sort_unstable();
+
+        // Phase 3 (concurrent over *distinct* programs): fetch-or-lower.
+        // `was_cached` records whether the program was already resident
+        // before this batch.
+        type Warmed = Result<(Arc<ProgramData>, bool), LeqaError>;
+        let warmed: Vec<Warmed> = fan_out(&warm_order, |&i| {
+            let r = resolved[i].as_ref().expect("warm_order holds Ok slots");
+            if let Some(shared) = self.cache.lookup(r.key, &r.source) {
+                return Ok((shared, true));
+            }
+            let candidate = Arc::new(self.lower(r)?);
+            let (shared, fresh) = self.cache.insert(r.key, candidate);
+            Ok((shared, !fresh))
+        });
+        let warmed_by_key: HashMap<u64, &Warmed> = warm_order
             .iter()
-            .enumerate()
-            .map(|(i, req)| {
-                self.load_tracking(req.program())
-                    .map(|(handle, cached)| (i, handle, cached))
-                    .map_err(|e| e.context(format!("batch request {i}")))
+            .zip(&warmed)
+            .map(|(&i, w)| {
+                let r = resolved[i].as_ref().expect("warm_order holds Ok slots");
+                (r.key, w)
             })
             .collect();
 
-        // Phase 2 (&self): execute. The closure only reads the session,
-        // so the fan-out is safe to thread.
-        let run = |slot: &Prepared| match slot {
+        // Phase 4a: decide each slot's path while the resolved specs can
+        // still be cross-referenced — the warm result only applies to a
+        // request whose source matches the one that was actually warmed.
+        enum Plan {
+            /// Phase-1 resolution failed.
+            Unresolved,
+            /// The warmed program is this request's program.
+            Warm { cached: bool },
+            /// Warming this request's program failed; inherit the error.
+            WarmFailed,
+            /// Key collision with the warmed program: full load instead.
+            Collision,
+        }
+        let plans: Vec<Plan> = resolved
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let Ok(r) = slot else { return Plan::Unresolved };
+                let namer = first_namer[&r.key];
+                let namer_source = &resolved[namer]
+                    .as_ref()
+                    .expect("first namers resolved")
+                    .source;
+                if *namer_source != r.source {
+                    return Plan::Collision;
+                }
+                match warmed_by_key[&r.key] {
+                    Ok((_, was_cached)) => Plan::Warm {
+                        cached: *was_cached || namer != i,
+                    },
+                    Err(_) => Plan::WarmFailed,
+                }
+            })
+            .collect();
+
+        // Phase 4b (serial, deterministic): per-request accounting and
+        // handle assembly, in request order — counters and
+        // `profile_cached` flags match the serial execution exactly.
+        type Prepared = Result<(usize, ProgramHandle, bool), LeqaError>;
+        let prepared: Vec<Prepared> = resolved
+            .into_iter()
+            .zip(plans)
+            .enumerate()
+            .map(|(i, (slot, plan))| {
+                let per_slot = |e: LeqaError| e.context(format!("batch request {i}"));
+                match plan {
+                    Plan::Unresolved => Err(per_slot(slot.expect_err("plan says unresolved"))),
+                    Plan::Collision => {
+                        let r = slot.expect("plan says resolved");
+                        self.load_resolved(r)
+                            .map(|(handle, cached)| (i, handle, cached))
+                            .map_err(per_slot)
+                    }
+                    Plan::WarmFailed => {
+                        let r = slot.expect("plan says resolved");
+                        let Err(e) = warmed_by_key[&r.key] else {
+                            unreachable!("plan says warming failed")
+                        };
+                        Err(per_slot(e.clone()))
+                    }
+                    Plan::Warm { cached } => {
+                        let r = slot.expect("plan says resolved");
+                        let Ok((shared, _)) = warmed_by_key[&r.key] else {
+                            unreachable!("plan says warmed")
+                        };
+                        if cached {
+                            self.counters.record_hit();
+                        } else {
+                            self.counters.record_miss();
+                        }
+                        Ok((i, self.handle(r.label, Arc::clone(shared)), cached))
+                    }
+                }
+            })
+            .collect();
+
+        // Phase 5 (concurrent): execute.
+        let results = fan_out(&prepared, |slot| match slot {
             Err(e) => Err(e.clone()),
             Ok((i, handle, cached)) => self
                 .execute_prepared(&requests[*i], handle, *cached)
                 .map_err(|e| e.context(format!("batch request {i}"))),
-        };
-        #[cfg(feature = "parallel")]
-        let results = leqa::exec::parallel_map(&prepared, run);
-        #[cfg(not(feature = "parallel"))]
-        let results = prepared.iter().map(run).collect();
+        });
 
         BatchResponse { results }
     }
 
     /// Dispatches one request against an already-loaded program, without
-    /// touching the cache (`&self`: thread-safe for the batch fan-out).
+    /// touching the cache.
     fn execute_prepared(
         &self,
         req: &Request,
@@ -599,7 +884,8 @@ impl Session {
 
 /// FNV-1a over the canonical circuit bytes: stable, dependency-free, and
 /// plenty for a cache key (lookups verify the source on hit, so a
-/// collision costs a rebuild, never a wrong answer).
+/// collision costs a rebuild, never a wrong answer). The same hash picks
+/// the cache shard (`key mod 16`).
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -617,5 +903,22 @@ mod tests {
     fn fnv_distinguishes_and_repeats() {
         assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
         assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let cache = ShardedCache::default();
+        // Distinct keys land on distinct shards at least sometimes.
+        let shards: std::collections::HashSet<usize> = (0u64..64)
+            .map(|k| {
+                let shard = cache.shard(fnv1a(&k.to_le_bytes()));
+                cache
+                    .shards
+                    .iter()
+                    .position(|s| std::ptr::eq(s, shard))
+                    .expect("shard belongs to the cache")
+            })
+            .collect();
+        assert!(shards.len() > 4, "FNV should spread across shards");
     }
 }

@@ -17,7 +17,7 @@ fn estimate_matches_the_engine_bit_for_bit() {
     use leqa_circuit::{decompose::lower_to_ft, Qodg};
     use leqa_fabric::{FabricDims, PhysicalParams};
 
-    let mut s = session();
+    let s = session();
     let resp = s
         .estimate(&EstimateRequest::new(ProgramSpec::bench("8bitadder")))
         .unwrap();
@@ -39,7 +39,7 @@ fn estimate_matches_the_engine_bit_for_bit() {
 
 #[test]
 fn repeat_requests_hit_the_profile_cache() {
-    let mut s = session();
+    let s = session();
     let req = EstimateRequest::new(ProgramSpec::bench("8bitadder"));
     let first = s.estimate(&req).unwrap();
     let second = s.estimate(&req).unwrap();
@@ -53,7 +53,7 @@ fn repeat_requests_hit_the_profile_cache() {
 #[test]
 fn cache_keys_by_content_not_by_spec() {
     // The same circuit through `bench` and `source` shares one profile.
-    let mut s = session();
+    let s = session();
     let via_bench = s
         .estimate(&EstimateRequest::new(ProgramSpec::bench("8bitadder")))
         .unwrap();
@@ -75,7 +75,7 @@ fn cache_hits_keep_the_requesting_specs_label() {
     // Regression: a cache hit must not echo the label of whichever spec
     // first populated the cache — each response is labelled by the spec
     // the current request named.
-    let mut s = session();
+    let s = session();
     let via_source = s
         .load(&ProgramSpec::source(".qubits 2\ncnot 0 1\n"))
         .unwrap();
@@ -108,7 +108,7 @@ fn cache_hits_keep_the_requesting_specs_label() {
 fn profiles_are_lazy_map_never_builds_one() {
     // `map` and `gen` never touch the presence-zone model, so the profile
     // pass must not run for them.
-    let mut s = session();
+    let s = session();
     s.map(&MapRequest::new(ProgramSpec::bench("8bitadder")))
         .unwrap();
     assert_eq!(s.cache_stats().profile_builds, 0);
@@ -125,7 +125,7 @@ fn batch_builds_each_profile_exactly_once() {
     // The acceptance criterion: a batch naming N programs (with repeats)
     // builds each ProgramProfile exactly once; every further use is a
     // cache hit.
-    let mut s = session();
+    let s = session();
     let a = || ProgramSpec::bench("8bitadder");
     let b = || ProgramSpec::bench("qft_8");
     let requests = vec![
@@ -156,7 +156,7 @@ fn batch_matches_individual_calls_and_isolates_failures() {
     ];
     let batch = session().batch(&requests);
 
-    let mut serial = session();
+    let serial = session();
     match (&batch.results[0], serial.execute(&requests[0])) {
         (Ok(Response::Estimate(a)), Ok(Response::Estimate(b))) => {
             assert_eq!(a.latency_us, b.latency_us);
@@ -190,7 +190,7 @@ fn batch_matches_individual_calls_and_isolates_failures() {
 
 #[test]
 fn sweep_matches_the_sweep_engine() {
-    let mut s = session();
+    let s = session();
     let resp = s
         .sweep(&SweepRequest::new(
             ProgramSpec::bench("8bitadder"),
@@ -206,7 +206,7 @@ fn sweep_matches_the_sweep_engine() {
 
 #[test]
 fn zones_limit_semantics() {
-    let mut s = session();
+    let s = session();
     let all = s
         .zones(&ZonesRequest::new(ProgramSpec::bench("8bitadder")))
         .unwrap();
@@ -227,7 +227,7 @@ fn zones_limit_semantics() {
 
 #[test]
 fn map_and_compare_agree_on_the_actual_latency() {
-    let mut s = session();
+    let s = session();
     let spec = || ProgramSpec::bench("8bitadder");
     let map = s.map(&MapRequest::new(spec()).with_trace_limit(3)).unwrap();
     let cmp = s.compare(&CompareRequest::new(spec())).unwrap();
@@ -239,7 +239,7 @@ fn map_and_compare_agree_on_the_actual_latency() {
 
 #[test]
 fn error_taxonomy_end_to_end() {
-    let mut s = session();
+    let s = session();
 
     let usage = s
         .estimate(&EstimateRequest::new(ProgramSpec::bench("nope")))
@@ -285,7 +285,7 @@ fn builder_rejects_invalid_options() {
 
 #[test]
 fn clear_cache_forces_a_rebuild() {
-    let mut s = session();
+    let s = session();
     let req = EstimateRequest::new(ProgramSpec::bench("qft_8"));
     s.estimate(&req).unwrap();
     s.clear_cache();

@@ -25,7 +25,12 @@
 //! a 50-candidate [`leqa::sweep::sweep_fabrics`] over QFT-64 against 50
 //! independent [`leqa::Estimator::estimate`] calls, asserting the sweep
 //! engine's ≥5× speedup while `tests/differential.rs` (workspace root)
-//! pins bit-identical estimates. See PERF.md for the full API tour.
+//! pins bit-identical estimates. `benches/throughput.rs` measures the
+//! *service* layer: one shared `Session` hammered serially vs on the
+//! persistent worker pool, the `batch` endpoint, and the QFT-64
+//! `compare` exercising the zero-alloc mapper scratch (headline: the
+//! ≥3× batch-throughput target on multi-core runners, recorded to
+//! `BENCH_throughput.json`). See PERF.md for the full API tour.
 //!
 //! # The `parallel` feature
 //!

@@ -10,7 +10,7 @@ use crate::{CliError, Options};
 /// Runs both tools through the API session and emits actual vs estimated
 /// latency with the error.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let response = session.compare(&CompareRequest::new(program_spec(opts)))?;
     emit(
         out,

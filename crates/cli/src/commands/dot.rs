@@ -22,7 +22,7 @@ pub enum DotGraph {
 /// `--format json` wraps the DOT text in a versioned envelope. The IIG
 /// comes straight from the session's cached program profile.
 pub fn run(opts: &Options, graph: DotGraph, out: &mut dyn Write) -> Result<(), CliError> {
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let handle = session.load(&program_spec(opts))?;
     let (kind, dot) = match graph {
         DotGraph::Qodg => ("qodg", viz::qodg_to_dot(handle.qodg())),

@@ -10,7 +10,7 @@ use crate::{CliError, Options};
 /// Runs the estimator through the API session and emits the latency with
 /// every intermediate, as text or JSON.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let response = session.estimate(&EstimateRequest::new(program_spec(opts)))?;
     emit(
         out,

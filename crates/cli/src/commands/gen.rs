@@ -12,7 +12,7 @@ use crate::{CliError, Options};
 /// the text in a versioned envelope.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let name = opts.bench.as_deref().expect("parser enforced --bench");
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let handle = session.load(&ProgramSpec::bench(name))?;
     emit(
         out,

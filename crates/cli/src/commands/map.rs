@@ -10,7 +10,7 @@ use crate::{CliError, Options};
 /// Runs the mapper through the API session and emits latency, movement
 /// statistics and (with `--trace N`) the N longest-running operations.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let response = session.map(
         &MapRequest::new(program_spec(opts))
             .with_placement(opts.placement)

@@ -19,7 +19,7 @@ pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         .map(|b| Request::Compare(CompareRequest::new(ProgramSpec::bench(b.name))))
         .collect();
 
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let batch = session.batch(&requests);
 
     emit(

@@ -12,7 +12,7 @@ use crate::{CliError, Options};
 /// bit-identical to an independent `leqa estimate`) and reports the
 /// latency-optimal size.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let response = session.sweep(&SweepRequest::new(
         program_spec(opts),
         opts.sizes.iter().copied(),

@@ -12,7 +12,7 @@ use crate::{CliError, Options};
 /// bounds the row count (default 20).
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let limit = if opts.trace > 0 { opts.trace } else { 20 };
-    let mut session = session(opts)?;
+    let session = session(opts)?;
     let response =
         session.zones(&ZonesRequest::new(program_spec(opts)).with_limit(limit as u64))?;
     emit(

@@ -1,49 +1,21 @@
-//! Small execution utilities shared by the sweep engine and the bench
-//! harness.
+//! Small execution utilities shared by the sweep engine, the batch
+//! endpoint and the bench harness.
 
-/// Maps `f` over `items` on scoped worker threads (one per core, capped by
-/// the item count), preserving order. Falls back to a plain serial map
-/// when only one worker is available. `f` must be freely callable from any
-/// thread; results are identical to `items.iter().map(f)` — only
-/// wall-clock changes.
+/// Maps `f` over `items` on the process-wide persistent worker pool
+/// ([`crate::pool::Pool::global`]), preserving order. `f` must be freely
+/// callable from any thread; results are identical to
+/// `items.iter().map(f)` — only wall-clock changes.
+///
+/// This used to spawn fresh scoped threads per call; it now dispatches
+/// to the shared pool so thread startup is amortised across requests
+/// (see `pool`'s docs for the execution model).
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-
-    let results: Vec<std::sync::Mutex<Option<U>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *results[i].lock().expect("no poisoning") = Some(f(&items[i]));
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoning")
-                .expect("worker filled every slot")
-        })
-        .collect()
+    crate::pool::Pool::global().map(items, f)
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! ```text
 //! use leqa_api::{ProgramSpec, Session};
 //!
-//! let mut session = Session::builder().build()?;          // 60×60, Table 1 params
+//! let session = Session::builder().build()?;          // 60×60, Table 1 params
 //! let response = session.estimate(
 //!     &leqa_api::EstimateRequest::new(ProgramSpec::bench("8bitadder")),
 //! )?;
@@ -71,13 +71,17 @@
 //! | Eqs. 13–16 (TSP-bound Hamiltonian path, `d_uncong`) | [`tsp`] |
 //! | Eqs. 1–2 + Algorithm 1 | [`Estimator`] |
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool needs one
+// documented lifetime-erasing `transmute` (see `pool`); everything else
+// stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coverage;
 mod error;
 mod estimator;
 pub mod exec;
+pub mod pool;
 pub mod presence;
 mod profile;
 pub mod queue;

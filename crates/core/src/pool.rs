@@ -1,0 +1,394 @@
+//! A persistent worker pool with a shared injector queue.
+//!
+//! Every thread-parallel path in the workspace (the sweep engine's
+//! per-candidate loop, `Session::batch`'s fan-out, the bench suite
+//! runner) used to spawn fresh scoped threads per call. Under service
+//! traffic that pays thread startup on every request; this module keeps
+//! one process-wide set of workers alive instead ([`Pool::global`],
+//! sized to the platform's available parallelism) and hands them work
+//! through a shared FIFO injector queue.
+//!
+//! # Execution model
+//!
+//! [`Pool::map`] is the only entry point: it maps a closure over a
+//! borrowed slice, in order, and returns the results — semantically
+//! identical to `items.iter().map(f).collect()`. Internally the call
+//! enqueues up to `workers` *helper* jobs, each of which drains items
+//! from a shared atomic cursor; the **submitting thread always
+//! participates** in the drain, so a call completes even when every
+//! worker is busy with other requests (and nested `map` calls cannot
+//! deadlock). Helper jobs that no worker picks up by the time the
+//! submitter finishes are reclaimed unrun. Item order, and therefore
+//! results, never depend on scheduling — parallelism changes wall-clock
+//! only.
+//!
+//! # Why there is `unsafe` here (and nowhere else)
+//!
+//! Helper jobs borrow the caller's slice and closure, but live on
+//! persistent threads the borrow checker cannot tie to the caller's
+//! stack frame — the same problem `rayon` and `crossbeam` solve, and
+//! like them this module erases the borrow lifetime and re-establishes
+//! safety with a completion latch: [`Pool::map`] does not return until
+//! every helper job either ran to completion or was reclaimed before
+//! running, so no erased borrow can outlive the frame it points into.
+//! The erasure is one documented `transmute`; the rest of the crate
+//! remains `#![deny(unsafe_code)]`-clean.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased helper job (see the module docs for the latch
+/// discipline that makes the erasure sound).
+type ErasedJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// One enqueued helper job. `claimed` is set by whoever takes
+/// responsibility for the slot — a worker about to run it, or the
+/// submitter reclaiming it unrun — so exactly one side runs the job and
+/// exactly one side counts the latch down.
+struct JobSlot {
+    claimed: AtomicBool,
+    job: Mutex<Option<ErasedJob>>,
+    latch: Arc<Latch>,
+}
+
+impl JobSlot {
+    /// Runs (worker side) or skips (already claimed) the slot.
+    fn run(&self) {
+        if self.claimed.swap(true, Ordering::AcqRel) {
+            return; // the submitter reclaimed it and counted down
+        }
+        let job = self.job.lock().expect("no poisoning").take();
+        if let Some(job) = job {
+            job();
+        }
+        self.latch.count_down();
+    }
+}
+
+/// Counts outstanding helper jobs of one `map` call down to zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("no poisoning");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("no poisoning");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("no poisoning");
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<JobSlot>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent worker pool (see the [module docs](self)).
+///
+/// Most callers want [`Pool::global`]; dedicated pools
+/// ([`Pool::with_workers`]) exist for sizing tests and shut their
+/// workers down on drop.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// The process-wide pool, spawned on first use with one worker per
+    /// core (`std::thread::available_parallelism`). Every
+    /// [`parallel_map`](crate::exec::parallel_map) call shares it, so
+    /// thread startup is paid once per process instead of once per
+    /// request.
+    pub fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            Pool::with_workers(workers)
+        })
+    }
+
+    /// A dedicated pool with exactly `workers` worker threads (0 is
+    /// allowed: every `map` then runs entirely on the submitting
+    /// thread). Workers are joined when the pool is dropped.
+    pub fn with_workers(workers: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("leqa-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// The number of worker threads (the submitting thread participates
+    /// on top of these).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the pool, preserving order. Results are
+    /// identical to `items.iter().map(f).collect()` — only wall-clock
+    /// changes. The submitting thread participates, so the call
+    /// completes (and nested calls cannot deadlock) even when every
+    /// worker is busy. A panic in `f` is re-raised on the submitting
+    /// thread after all in-flight items finish.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        if self.workers == 0 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let results: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        // The drain loop every participant runs: claim the next item
+        // index, compute, store. Captures only shared references, so it
+        // is `Copy` — each helper job boxes its own copy.
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                Ok(value) => *results[i].lock().expect("no poisoning") = Some(value),
+                Err(payload) => {
+                    let mut slot = panic_slot.lock().expect("no poisoning");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+        };
+
+        let helpers = self.workers.min(items.len() - 1);
+        let latch = Arc::new(Latch::new(helpers));
+        let mut slots: Vec<Arc<JobSlot>> = Vec::with_capacity(helpers);
+        {
+            let mut queue = self.shared.queue.lock().expect("no poisoning");
+            for _ in 0..helpers {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(work);
+                // SAFETY: the erased job borrows `items`, `f` and the
+                // locals above, all of which outlive this function body.
+                // The latch below guarantees `map` does not return until
+                // every slot was either run to completion by a worker or
+                // reclaimed (and its job dropped unrun) by this thread,
+                // so the borrows never escape the frame. Lifetime is the
+                // only thing the transmute changes.
+                #[allow(unsafe_code)]
+                let job: ErasedJob =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, ErasedJob>(job) };
+                let slot = Arc::new(JobSlot {
+                    claimed: AtomicBool::new(false),
+                    job: Mutex::new(Some(job)),
+                    latch: Arc::clone(&latch),
+                });
+                slots.push(Arc::clone(&slot));
+                queue.push_back(slot);
+            }
+        }
+        self.shared.available.notify_all();
+
+        // Participate: the submitting thread drains items alongside the
+        // workers (with the original, un-erased closure).
+        work();
+
+        // Reclaim helper jobs no worker picked up — their items are
+        // already done, running them would be a no-op loop iteration.
+        for slot in &slots {
+            if !slot.claimed.swap(true, Ordering::AcqRel) {
+                drop(slot.job.lock().expect("no poisoning").take());
+                slot.latch.count_down();
+            }
+        }
+        latch.wait();
+
+        if let Some(payload) = panic_slot.lock().expect("no poisoning").take() {
+            resume_unwind(payload);
+        }
+
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("no poisoning")
+                    .expect("every item was drained")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: pop and run jobs until shutdown (draining any queued
+/// jobs first, so in-flight `map` calls complete during a pool drop).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let slot = {
+            let mut queue = shared.queue.lock().expect("no poisoning");
+            loop {
+                if let Some(slot) = queue.pop_front() {
+                    break slot;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("no poisoning");
+            }
+        };
+        slot.run();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let pool = Pool::with_workers(4);
+        let items: Vec<u64> = (0..257).collect();
+        let out = pool.map(&items, |&x| x * 3 + 1);
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = Pool::with_workers(2);
+        assert!(pool.map(&[] as &[u64], |&x| x).is_empty());
+        assert_eq!(pool.map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_on_the_submitter() {
+        let pool = Pool::with_workers(0);
+        let items: Vec<u64> = (0..50).collect();
+        assert_eq!(
+            pool.map(&items, |&x| x * x),
+            items.iter().map(|x| x * x).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn global_pool_is_reusable_across_calls() {
+        let pool = Pool::global();
+        for round in 0..5u64 {
+            let items: Vec<u64> = (0..40).collect();
+            let out = pool.map(&items, |&x| x + round);
+            assert_eq!(out, items.iter().map(|x| x + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_maps_complete() {
+        let pool = Pool::with_workers(2);
+        let outer: Vec<u64> = (0..6).collect();
+        let out = pool.map(&outer, |&x| {
+            let inner: Vec<u64> = (0..8).collect();
+            Pool::global()
+                .map(&inner, |&y| x * 10 + y)
+                .iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = outer
+            .iter()
+            .map(|&x| (0..8).map(|y| x * 10 + y).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Pool::with_workers(3);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let items: Vec<u64> = (0..100).collect();
+                    let out = pool.map(&items, |&x| x ^ t);
+                    assert_eq!(out, items.iter().map(|x| x ^ t).collect::<Vec<_>>());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let pool = Pool::with_workers(2);
+        let items: Vec<u64> = (0..32).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |&x| {
+                assert!(x != 17, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked map.
+        assert_eq!(pool.map(&[1u64, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = Pool::with_workers(2);
+        let items: Vec<u64> = (0..64).collect();
+        let _ = pool.map(&items, |&x| x);
+        drop(pool); // must not hang
+    }
+}

@@ -50,12 +50,28 @@ pub fn xy_route(from: Ulb, to: Ulb) -> Vec<Ulb> {
 /// ```
 pub fn xy_channels(from: Ulb, to: Ulb) -> Vec<Channel> {
     let mut channels = Vec::with_capacity(from.manhattan_distance(to) as usize);
-    let mut prev = from;
-    for hop in xy_route(from, to) {
-        channels.push(Channel::between(prev, hop).expect("consecutive xy hops are adjacent"));
-        prev = hop;
-    }
+    xy_channels_into(from, to, &mut channels);
     channels
+}
+
+/// Fills `out` with the channels of the XY route from `from` to `to`, in
+/// order, clearing it first — the allocation-free form of
+/// [`xy_channels`] for hot loops that reuse one route buffer.
+pub fn xy_channels_into(from: Ulb, to: Ulb, out: &mut Vec<Channel>) {
+    out.clear();
+    out.reserve(from.manhattan_distance(to) as usize);
+    let mut prev = from;
+    let mut cur = from;
+    while cur.x != to.x {
+        cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        out.push(Channel::between(prev, cur).expect("consecutive xy hops are adjacent"));
+        prev = cur;
+    }
+    while cur.y != to.y {
+        cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        out.push(Channel::between(prev, cur).expect("consecutive xy hops are adjacent"));
+        prev = cur;
+    }
 }
 
 #[cfg(test)]
@@ -127,12 +143,28 @@ pub fn yx_route(from: Ulb, to: Ulb) -> Vec<Ulb> {
 /// The channels traversed by the YX route from `from` to `to`, in order.
 pub fn yx_channels(from: Ulb, to: Ulb) -> Vec<Channel> {
     let mut channels = Vec::with_capacity(from.manhattan_distance(to) as usize);
-    let mut prev = from;
-    for hop in yx_route(from, to) {
-        channels.push(Channel::between(prev, hop).expect("consecutive yx hops are adjacent"));
-        prev = hop;
-    }
+    yx_channels_into(from, to, &mut channels);
     channels
+}
+
+/// Fills `out` with the channels of the YX route from `from` to `to`, in
+/// order, clearing it first — the allocation-free form of
+/// [`yx_channels`].
+pub fn yx_channels_into(from: Ulb, to: Ulb, out: &mut Vec<Channel>) {
+    out.clear();
+    out.reserve(from.manhattan_distance(to) as usize);
+    let mut prev = from;
+    let mut cur = from;
+    while cur.y != to.y {
+        cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        out.push(Channel::between(prev, cur).expect("consecutive yx hops are adjacent"));
+        prev = cur;
+    }
+    while cur.x != to.x {
+        cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        out.push(Channel::between(prev, cur).expect("consecutive yx hops are adjacent"));
+        prev = cur;
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +199,20 @@ mod yx_tests {
             let from = Ulb::new(fx, fy);
             let to = Ulb::new(t, fy);
             prop_assert_eq!(xy_channels(from, to), yx_channels(from, to));
+        }
+
+        #[test]
+        fn into_variants_match_and_clear_stale_contents(
+            fx in 0u32..16, fy in 0u32..16, tx in 0u32..16, ty in 0u32..16
+        ) {
+            let from = Ulb::new(fx, fy);
+            let to = Ulb::new(tx, ty);
+            // Pre-soil the buffer: `_into` must clear before filling.
+            let mut buf = xy_channels(Ulb::new(9, 9), Ulb::new(0, 0));
+            xy_channels_into(from, to, &mut buf);
+            prop_assert_eq!(&buf, &xy_channels(from, to));
+            yx_channels_into(from, to, &mut buf);
+            prop_assert_eq!(&buf, &yx_channels(from, to));
         }
     }
 }

@@ -67,6 +67,27 @@ impl ChannelOccupancy {
         }
     }
 
+    /// Re-initializes the tracker for a fresh mapping run, reusing the
+    /// slot/head/load allocations whenever the new fabric needs no more
+    /// room — the zero-alloc path for repeated `map` calls.
+    ///
+    /// Equivalent to `*self = ChannelOccupancy::new(dims, capacity,
+    /// t_move)` except for allocator traffic.
+    pub fn reset(&mut self, dims: FabricDims, capacity: u32, t_move: Micros) {
+        let n = ChannelId::count(dims);
+        self.dims = dims;
+        self.capacity = capacity as usize;
+        self.t_move = t_move;
+        self.free_at.clear();
+        self.free_at.resize(n * capacity as usize, 0.0);
+        self.heads.clear();
+        self.heads.resize(n, 0);
+        self.load.clear();
+        self.load.resize(n, 0);
+        self.congestion_wait = 0.0;
+        self.traversals = 0;
+    }
+
     /// Sends a qubit through `channel` starting no earlier than `at`;
     /// returns the time it emerges on the far side.
     ///
@@ -186,6 +207,31 @@ mod tests {
             occ.traverse(ch, Micros::ZERO);
         }
         assert_eq!(occ.traversals(), 5);
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_new() {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let other_dims = FabricDims::new(6, 3).unwrap();
+        let ch = Channel::between(Ulb::new(1, 1), Ulb::new(2, 1)).unwrap();
+        let mut reused = ChannelOccupancy::new(dims, 3, Micros::new(50.0));
+        for _ in 0..7 {
+            reused.traverse(ch, Micros::ZERO);
+        }
+        // Reset across a different shape and capacity, then replay a
+        // booking pattern against a fresh tracker.
+        reused.reset(other_dims, 2, Micros::new(100.0));
+        let mut fresh = ChannelOccupancy::new(other_dims, 2, Micros::new(100.0));
+        let ch2 = Channel::between(Ulb::new(4, 1), Ulb::new(5, 1)).unwrap();
+        for &at in &[0.0, 0.0, 0.0, 250.0, 10.0] {
+            assert_eq!(
+                reused.traverse(ch2, Micros::new(at)),
+                fresh.traverse(ch2, Micros::new(at))
+            );
+        }
+        assert_eq!(reused.congestion_wait(), fresh.congestion_wait());
+        assert_eq!(reused.traversals(), fresh.traversals());
+        assert_eq!(reused.load(), fresh.load());
     }
 
     #[test]

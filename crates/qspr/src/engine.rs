@@ -1,9 +1,25 @@
 //! The mapping engine: list scheduling plus per-movement routing.
+//!
+//! # The zero-alloc hot path
+//!
+//! One mapping run needs a pile of working buffers — qubit positions,
+//! ready times, the CSR successor graph, the ready heap, route and
+//! channel-calendar storage. [`MapScratch`] owns all of them and is
+//! reusable across runs (any program, any fabric), so services that map
+//! repeatedly — `compare`/`map` endpoints, the bench suite — stop
+//! churning the allocator: after the first call on a thread, a run
+//! allocates only its outputs (placement, channel heatmap, optional
+//! trace). [`Mapper::map`] and [`Mapper::map_with_trace`] keep a
+//! thread-local scratch automatically; [`Mapper::map_with_scratch`]
+//! takes a caller-owned one. Scratch reuse is bit-identical to fresh
+//! buffers (pinned by `reused_scratch_is_bit_identical` below and the
+//! workspace differential tests).
 
+use std::cell::RefCell;
 use std::collections::BinaryHeap;
 
 use leqa_circuit::{FtOp, Iig, NodeId, Qodg, QodgNode};
-use leqa_fabric::{route, FabricDims, Micros, PhysicalParams, Ulb};
+use leqa_fabric::{route, Channel, FabricDims, Micros, PhysicalParams, Ulb};
 
 use crate::channels::ChannelOccupancy;
 use crate::placement::{initial_placement, PlacementStrategy};
@@ -104,8 +120,27 @@ impl Mapper {
     ///
     /// Returns [`MapError::FabricTooSmall`] if the program uses more
     /// logical qubits than the fabric has ULBs.
+    ///
+    /// Uses a thread-local [`MapScratch`], so repeated calls on one
+    /// thread reuse every working buffer.
     pub fn map(&self, qodg: &Qodg) -> Result<MappingResult, MapError> {
-        let (result, _) = self.map_impl(qodg, false)?;
+        let (result, _) = with_thread_scratch(|scratch| self.map_impl(qodg, false, scratch))?;
+        Ok(result)
+    }
+
+    /// Like [`map`](Self::map) with a caller-owned scratch — for callers
+    /// that manage their own reuse (e.g. a dedicated mapping thread).
+    /// Results are bit-identical to [`map`](Self::map).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`map`](Self::map).
+    pub fn map_with_scratch(
+        &self,
+        qodg: &Qodg,
+        scratch: &mut MapScratch,
+    ) -> Result<MappingResult, MapError> {
+        let (result, _) = self.map_impl(qodg, false, scratch)?;
         Ok(result)
     }
 
@@ -116,7 +151,7 @@ impl Mapper {
     ///
     /// Same as [`map`](Self::map).
     pub fn map_with_trace(&self, qodg: &Qodg) -> Result<(MappingResult, Trace), MapError> {
-        let (result, trace) = self.map_impl(qodg, true)?;
+        let (result, trace) = with_thread_scratch(|scratch| self.map_impl(qodg, true, scratch))?;
         Ok((result, trace.expect("trace requested")))
     }
 
@@ -124,6 +159,7 @@ impl Mapper {
         &self,
         qodg: &Qodg,
         want_trace: bool,
+        scratch: &mut MapScratch,
     ) -> Result<(MappingResult, Option<Trace>), MapError> {
         let dims = self.config.dims;
         let params = &self.config.params;
@@ -134,33 +170,83 @@ impl Mapper {
         let d_cnot = params.gate_delays().cnot();
         let shuttle = params.one_qubit_routing_latency(); // 2·T_move in/out
 
-        let mut channels = ChannelOccupancy::new(dims, params.channel_capacity(), t_move);
+        // Split the scratch into disjoint buffer borrows.
+        let MapScratch {
+            position,
+            residents,
+            qubit_ready,
+            ulb_free,
+            succ_offsets,
+            succ_cursor,
+            succ_edges,
+            remaining,
+            heap,
+            route: route_buf,
+            route_alt,
+            channels: channels_slot,
+        } = scratch;
+
+        let channels: &mut ChannelOccupancy = match channels_slot {
+            Some(c) => {
+                c.reset(dims, params.channel_capacity(), t_move);
+                c
+            }
+            None => channels_slot.insert(ChannelOccupancy::new(
+                dims,
+                params.channel_capacity(),
+                t_move,
+            )),
+        };
+
         // Current position of each logical qubit (fixed homes in the
         // home-based model, evolving under drift).
-        let mut position: Vec<Ulb> = placement.clone();
+        position.clear();
+        position.extend_from_slice(&placement);
         // Residents per ULB (drift model only; ≤ 1 by construction).
-        let mut residents: Vec<u32> = vec![0; dims.area() as usize];
-        for &p in &position {
+        residents.clear();
+        residents.resize(dims.area() as usize, 0);
+        for &p in position.iter() {
             residents[dims.index_of(p)] += 1;
         }
         // When each logical qubit is next free.
-        let mut qubit_ready: Vec<f64> = vec![0.0; qodg.num_qubits() as usize];
+        qubit_ready.clear();
+        qubit_ready.resize(qodg.num_qubits() as usize, 0.0);
         // When each ULB finishes its current operation.
-        let mut ulb_free: Vec<f64> = vec![0.0; dims.area() as usize];
+        ulb_free.clear();
+        ulb_free.resize(dims.area() as usize, 0.0);
 
-        // Successor lists and remaining-predecessor counters for the
-        // event-driven sweep.
+        // CSR successor graph and remaining-predecessor counters for the
+        // event-driven sweep: counts, prefix sums, then a fill pass — in
+        // the same (ascending node id) order the Vec-of-Vec build used,
+        // so the heap sees identical push order.
         let n = qodg.node_count();
-        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut remaining: Vec<u32> = vec![0; n];
+        succ_offsets.clear();
+        succ_offsets.resize(n + 1, 0);
+        remaining.clear();
+        remaining.resize(n, 0);
         for (i, slot) in remaining.iter_mut().enumerate() {
-            for &p in qodg.preds(NodeId(i)) {
-                succs[p.0].push(NodeId(i));
+            let preds = qodg.preds(NodeId(i));
+            *slot = preds.len() as u32;
+            for &p in preds {
+                succ_offsets[p.0 + 1] += 1;
             }
-            *slot = qodg.preds(NodeId(i)).len() as u32;
         }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        succ_cursor.clear();
+        succ_cursor.extend_from_slice(&succ_offsets[..n]);
+        succ_edges.clear();
+        succ_edges.resize(succ_offsets[n], NodeId(0));
+        for i in 0..n {
+            for &p in qodg.preds(NodeId(i)) {
+                succ_edges[succ_cursor[p.0]] = NodeId(i);
+                succ_cursor[p.0] += 1;
+            }
+        }
+        let succs = |node: NodeId| &succ_edges[succ_offsets[node.0]..succ_offsets[node.0 + 1]];
 
-        let mut heap: BinaryHeap<ReadyOp> = BinaryHeap::new();
+        heap.clear();
         let push_if_ready = |heap: &mut BinaryHeap<ReadyOp>, qubit_ready: &[f64], node: NodeId| {
             if let QodgNode::Op(op) = qodg.node(node) {
                 // Earliest resource use: the control's departure for a
@@ -176,10 +262,10 @@ impl Mapper {
         };
 
         // Seed: successors of `start`.
-        for &s in &succs[qodg.start().0] {
+        for &s in succs(qodg.start()) {
             remaining[s.0] -= 1;
             if remaining[s.0] == 0 {
-                push_if_ready(&mut heap, &qubit_ready, s);
+                push_if_ready(heap, qubit_ready, s);
             }
         }
 
@@ -225,10 +311,18 @@ impl Mapper {
                     // Outbound trip of the control qubit.
                     let depart = qubit_ready[control.index()];
                     let mut t = Micros::new(depart);
-                    let hops = pick_route(self.config.router, &channels, from, to, t);
-                    let distance = hops.len() as u64;
-                    for ch in &hops {
-                        t = channels.traverse(*ch, t);
+                    pick_route_into(
+                        self.config.router,
+                        channels,
+                        from,
+                        to,
+                        t,
+                        route_buf,
+                        route_alt,
+                    );
+                    let distance = route_buf.len() as u64;
+                    for &ch in route_buf.iter() {
+                        t = channels.traverse(ch, t);
                     }
                     let arrival = t.as_f64();
 
@@ -244,7 +338,16 @@ impl Mapper {
                     match self.config.movement {
                         MovementModel::HomeBased => {
                             let mut back = Micros::new(end);
-                            for ch in pick_route(self.config.router, &channels, to, from, back) {
+                            pick_route_into(
+                                self.config.router,
+                                channels,
+                                to,
+                                from,
+                                back,
+                                route_buf,
+                                route_alt,
+                            );
+                            for &ch in route_buf.iter() {
                                 back = channels.traverse(ch, back);
                             }
                             qubit_ready[control.index()] = back.as_f64();
@@ -261,7 +364,16 @@ impl Mapper {
                             residents[dims.index_of(settle)] += 1;
                             position[control.index()] = settle;
                             let mut back = Micros::new(end);
-                            for ch in pick_route(self.config.router, &channels, to, settle, back) {
+                            pick_route_into(
+                                self.config.router,
+                                channels,
+                                to,
+                                settle,
+                                back,
+                                route_buf,
+                                route_alt,
+                            );
+                            for &ch in route_buf.iter() {
                                 back = channels.traverse(ch, back);
                             }
                             qubit_ready[control.index()] = back.as_f64();
@@ -285,10 +397,10 @@ impl Mapper {
                 }
             }
 
-            for &s in &succs[node.0] {
+            for &s in succs(node) {
                 remaining[s.0] -= 1;
                 if remaining[s.0] == 0 {
-                    push_if_ready(&mut heap, &qubit_ready, s);
+                    push_if_ready(heap, qubit_ready, s);
                 }
             }
         }
@@ -302,7 +414,7 @@ impl Mapper {
             MappingResult {
                 latency: Micros::new(makespan),
                 placement,
-                channel_load: channels.into_load(),
+                channel_load: channels.load().to_vec(),
                 stats,
             },
             trace,
@@ -310,33 +422,78 @@ impl Mapper {
     }
 }
 
+/// Reusable working storage for [`Mapper`] runs (see the module docs):
+/// positions, ready times, the CSR successor graph, the ready heap, the
+/// route buffers and the channel calendars. One scratch serves any
+/// sequence of programs and fabrics; buffers grow to the high-water mark
+/// and stay.
+#[derive(Debug, Default)]
+pub struct MapScratch {
+    position: Vec<Ulb>,
+    residents: Vec<u32>,
+    qubit_ready: Vec<f64>,
+    ulb_free: Vec<f64>,
+    succ_offsets: Vec<usize>,
+    succ_cursor: Vec<usize>,
+    succ_edges: Vec<NodeId>,
+    remaining: Vec<u32>,
+    heap: BinaryHeap<ReadyOp>,
+    route: Vec<Channel>,
+    route_alt: Vec<Channel>,
+    channels: Option<ChannelOccupancy>,
+}
+
+impl MapScratch {
+    /// An empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        MapScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch behind [`Mapper::map`] / [`Mapper::map_with_trace`].
+    static THREAD_SCRATCH: RefCell<MapScratch> = RefCell::new(MapScratch::new());
+}
+
+/// Runs `f` with the thread-local scratch (falling back to a fresh one
+/// in the — currently impossible — reentrant case).
+fn with_thread_scratch<R>(f: impl FnOnce(&mut MapScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut MapScratch::new()),
+    })
+}
+
 /// Chooses the channel sequence for one transfer under the configured
-/// routing discipline.
-fn pick_route(
+/// routing discipline, filling `out` in place (`alt` is the comparison
+/// buffer the adaptive router probes against) — no allocation once the
+/// buffers reached the fabric diameter.
+fn pick_route_into(
     strategy: RouterStrategy,
     channels: &ChannelOccupancy,
     from: Ulb,
     to: Ulb,
     at: Micros,
-) -> Vec<leqa_fabric::Channel> {
+    out: &mut Vec<Channel>,
+    alt: &mut Vec<Channel>,
+) {
     match strategy {
-        RouterStrategy::Xy => route::xy_channels(from, to),
-        RouterStrategy::Yx => route::yx_channels(from, to),
+        RouterStrategy::Xy => route::xy_channels_into(from, to, out),
+        RouterStrategy::Yx => route::yx_channels_into(from, to, out),
         RouterStrategy::Adaptive => {
-            let xy = route::xy_channels(from, to);
-            let yx = route::yx_channels(from, to);
-            if xy == yx {
-                return xy; // straight line: no choice to make
+            route::xy_channels_into(from, to, out);
+            route::yx_channels_into(from, to, alt);
+            if out == alt {
+                return; // straight line: no choice to make
             }
-            let probe = |path: &[leqa_fabric::Channel]| -> f64 {
+            let probe = |path: &[Channel]| -> f64 {
                 path.iter()
                     .map(|ch| channels.peek_wait(*ch, at).as_f64())
                     .sum()
             };
-            if probe(&xy) <= probe(&yx) {
-                xy
-            } else {
-                yx
+            if probe(out) > probe(alt) {
+                std::mem::swap(out, alt);
             }
         }
     }
@@ -389,6 +546,10 @@ pub struct MappingResult {
 impl MappingResult {
     /// The `k` most-traversed channels as `(channel index, traversals)`,
     /// busiest first — where crossbar congestion concentrates.
+    ///
+    /// Partial selection: for small `k` over a big fabric's channel
+    /// vector this is `O(n + k log k)` rather than the full `O(n log n)`
+    /// sort it used to pay.
     pub fn hotspots(&self, k: usize) -> Vec<(usize, u64)> {
         let mut indexed: Vec<(usize, u64)> = self
             .channel_load
@@ -397,8 +558,15 @@ impl MappingResult {
             .enumerate()
             .filter(|&(_, load)| load > 0)
             .collect();
-        indexed.sort_by_key(|&(i, load)| (std::cmp::Reverse(load), i));
-        indexed.truncate(k);
+        if k == 0 || indexed.is_empty() {
+            return Vec::new();
+        }
+        let rank = |&(i, load): &(usize, u64)| (std::cmp::Reverse(load), i);
+        if k < indexed.len() {
+            indexed.select_nth_unstable_by_key(k - 1, rank);
+            indexed.truncate(k);
+        }
+        indexed.sort_unstable_by_key(rank);
         indexed
     }
 }
@@ -552,6 +720,58 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_is_bit_identical() {
+        // One scratch across different programs, fabrics, routers and
+        // movement models must reproduce fresh-buffer runs exactly —
+        // the zero-alloc contract.
+        let mut scratch = MapScratch::new();
+        let mut programs = Vec::new();
+        for n in [2u32, 7, 16] {
+            let mut ft = FtCircuit::new(n);
+            for i in 0..n - 1 {
+                ft.push_cnot(q(i), q(i + 1)).unwrap();
+                ft.push_one_qubit(OneQubitKind::H, q((i * 3) % n)).unwrap();
+            }
+            for i in 0..n / 2 {
+                ft.push_cnot(q(i), q(n - 1 - i)).unwrap();
+            }
+            programs.push(Qodg::from_ft_circuit(&ft));
+        }
+        for qodg in &programs {
+            for side in [5u32, 9, 12] {
+                for router in [
+                    RouterStrategy::Xy,
+                    RouterStrategy::Yx,
+                    RouterStrategy::Adaptive,
+                ] {
+                    for movement in [MovementModel::HomeBased, MovementModel::Drift] {
+                        let mapper = Mapper::with_config(MapperConfig {
+                            dims: FabricDims::new(side, side).unwrap(),
+                            params: PhysicalParams::dac13()
+                                .to_builder()
+                                .channel_capacity(1)
+                                .build()
+                                .unwrap(),
+                            placement: PlacementStrategy::RowMajor,
+                            router,
+                            movement,
+                            seed: 0,
+                        });
+                        let reused = mapper.map_with_scratch(qodg, &mut scratch).unwrap();
+                        let fresh = mapper
+                            .map_with_scratch(qodg, &mut MapScratch::new())
+                            .unwrap();
+                        assert_eq!(reused.latency, fresh.latency);
+                        assert_eq!(reused.stats, fresh.stats);
+                        assert_eq!(reused.placement, fresh.placement);
+                        assert_eq!(reused.channel_load, fresh.channel_load);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn empty_program_is_instant() {
         let ft = FtCircuit::new(3);
         let qodg = Qodg::from_ft_circuit(&ft);
@@ -632,6 +852,37 @@ mod trace_tests {
         let total: u64 = result.channel_load.iter().sum();
         assert_eq!(total, result.stats.channel_traversals);
         assert!(result.stats.max_channel_load >= 1);
+    }
+
+    #[test]
+    fn hotspots_partial_select_matches_full_sort() {
+        let qodg = congested_reference_qodg();
+        let mapper = Mapper::new(FabricDims::new(8, 8).unwrap(), PhysicalParams::dac13());
+        let result = mapper.map(&qodg).unwrap();
+        // Reference: full sort + truncate (the previous implementation).
+        let mut reference: Vec<(usize, u64)> = result
+            .channel_load
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, load)| load > 0)
+            .collect();
+        reference.sort_by_key(|&(i, load)| (std::cmp::Reverse(load), i));
+        for k in [0usize, 1, 2, 3, 5, reference.len(), reference.len() + 10] {
+            let mut want = reference.clone();
+            want.truncate(k);
+            assert_eq!(result.hotspots(k), want, "k = {k}");
+        }
+    }
+
+    fn congested_reference_qodg() -> Qodg {
+        let mut ft = FtCircuit::new(20);
+        for round in 0..3u32 {
+            for i in 0..10u32 {
+                ft.push_cnot(q(i), q(10 + ((i + round) % 10))).unwrap();
+            }
+        }
+        Qodg::from_ft_circuit(&ft)
     }
 
     #[test]

@@ -58,8 +58,8 @@ mod placement;
 pub mod trace;
 
 pub use engine::{
-    Mapper, MapperConfig, MappingResult, MappingStats, MovementModel, RouterStrategy,
+    MapScratch, Mapper, MapperConfig, MappingResult, MappingStats, MovementModel, RouterStrategy,
 };
 pub use error::MapError;
 pub use placement::{initial_placement, PlacementStrategy};
-pub use trace::{OpRecord, Trace};
+pub use trace::{OpRecord, Trace, TraceStats};

@@ -67,6 +67,20 @@ impl Trace {
         self.records.iter().map(|r| r.outbound_wait).sum()
     }
 
+    /// Aggregates the trace into summary statistics (one pass).
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        for r in &self.records {
+            stats.ops += 1;
+            if matches!(r.op, FtOp::Cnot { .. }) {
+                stats.cnot_ops += 1;
+                stats.total_cnot_distance += u64::from(r.distance);
+            }
+            stats.total_outbound_wait += r.outbound_wait;
+        }
+        stats
+    }
+
     /// Renders a fixed-width textual Gantt-style listing of the `limit`
     /// longest-running records (for human inspection).
     pub fn summary(&self, limit: usize) -> String {
@@ -92,6 +106,34 @@ impl Trace {
             );
         }
         out
+    }
+}
+
+/// Summary statistics of a [`Trace`], aggregated from its records.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Records in the trace (executed operations).
+    pub ops: u64,
+    /// CNOT records.
+    pub cnot_ops: u64,
+    /// Sum over CNOT records of the control→target Manhattan distance.
+    pub total_cnot_distance: u64,
+    /// Total time spent queueing at congested channels.
+    pub total_outbound_wait: Micros,
+}
+
+impl TraceStats {
+    /// Average control→target distance per CNOT, in ULB hops.
+    ///
+    /// Returns `0.0` (not NaN) for a CNOT-free trace, so downstream
+    /// arithmetic and JSON encoding stay finite.
+    #[must_use]
+    pub fn avg_cnot_distance(&self) -> f64 {
+        if self.cnot_ops == 0 {
+            0.0
+        } else {
+            self.total_cnot_distance as f64 / self.cnot_ops as f64
+        }
     }
 }
 
@@ -150,6 +192,54 @@ mod tests {
         let t = Trace::new();
         assert!(t.last_to_finish().is_none());
         assert_eq!(t.total_outbound_wait(), Micros::ZERO);
+    }
+
+    #[test]
+    fn cnot_free_trace_has_zero_avg_distance_not_nan() {
+        // Regression: `avg_cnot_distance` must not divide 0 by 0.
+        let mut t = Trace::new();
+        t.push(record(1, 0.0, 10.0)); // one-qubit op only
+        let stats = t.stats();
+        assert_eq!(stats.ops, 1);
+        assert_eq!(stats.cnot_ops, 0);
+        assert_eq!(stats.avg_cnot_distance(), 0.0);
+        assert!(stats.avg_cnot_distance().is_finite());
+        // The empty trace too.
+        assert_eq!(Trace::new().stats().avg_cnot_distance(), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate_cnot_distance_and_waits() {
+        let mut t = Trace::new();
+        t.push(record(1, 0.0, 10.0));
+        t.push(OpRecord {
+            node: NodeId(2),
+            op: FtOp::Cnot {
+                control: QubitId(0),
+                target: QubitId(1),
+            },
+            start: Micros::new(0.0),
+            end: Micros::new(5.0),
+            distance: 4,
+            outbound_wait: Micros::new(2.0),
+        });
+        t.push(OpRecord {
+            node: NodeId(3),
+            op: FtOp::Cnot {
+                control: QubitId(1),
+                target: QubitId(0),
+            },
+            start: Micros::new(5.0),
+            end: Micros::new(9.0),
+            distance: 2,
+            outbound_wait: Micros::new(0.5),
+        });
+        let stats = t.stats();
+        assert_eq!(stats.ops, 3);
+        assert_eq!(stats.cnot_ops, 2);
+        assert_eq!(stats.total_cnot_distance, 6);
+        assert_eq!(stats.avg_cnot_distance(), 3.0);
+        assert_eq!(stats.total_outbound_wait, t.total_outbound_wait());
     }
 }
 
