@@ -30,20 +30,20 @@ pub(crate) fn check_schema_version(value: &Json) -> Result<(), LeqaError> {
     }
 }
 
-fn field<'a>(value: &'a Json, key: &str, what: &str) -> Result<&'a Json, LeqaError> {
+pub(crate) fn field<'a>(value: &'a Json, key: &str, what: &str) -> Result<&'a Json, LeqaError> {
     value
         .get(key)
         .ok_or_else(|| LeqaError::new(ErrorKind::Json, format!("{what}: missing field `{key}`")))
 }
 
-fn str_field(value: &Json, key: &str, what: &str) -> Result<String, LeqaError> {
+pub(crate) fn str_field(value: &Json, key: &str, what: &str) -> Result<String, LeqaError> {
     field(value, key, what)?
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| LeqaError::new(ErrorKind::Json, format!("{what}: `{key}` must be a string")))
 }
 
-fn u64_field(value: &Json, key: &str, what: &str) -> Result<u64, LeqaError> {
+pub(crate) fn u64_field(value: &Json, key: &str, what: &str) -> Result<u64, LeqaError> {
     field(value, key, what)?.as_u64().ok_or_else(|| {
         LeqaError::new(
             ErrorKind::Json,
@@ -52,7 +52,7 @@ fn u64_field(value: &Json, key: &str, what: &str) -> Result<u64, LeqaError> {
     })
 }
 
-fn f64_field(value: &Json, key: &str, what: &str) -> Result<f64, LeqaError> {
+pub(crate) fn f64_field(value: &Json, key: &str, what: &str) -> Result<f64, LeqaError> {
     field(value, key, what)?
         .as_f64()
         .ok_or_else(|| LeqaError::new(ErrorKind::Json, format!("{what}: `{key}` must be a number")))
@@ -60,7 +60,7 @@ fn f64_field(value: &Json, key: &str, what: &str) -> Result<f64, LeqaError> {
 
 /// Optional number: absent or `null` is `None`; any other non-number is a
 /// typed error, exactly like the required-field accessors.
-fn opt_f64(value: &Json, key: &str, what: &str) -> Result<Option<f64>, LeqaError> {
+pub(crate) fn opt_f64(value: &Json, key: &str, what: &str) -> Result<Option<f64>, LeqaError> {
     match value.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => v.as_f64().map(Some).ok_or_else(|| {
@@ -72,7 +72,35 @@ fn opt_f64(value: &Json, key: &str, what: &str) -> Result<Option<f64>, LeqaError
     }
 }
 
-fn json_opt_num(v: Option<f64>) -> Json {
+/// Optional unsigned integer: absent or `null` is `None`; any other
+/// non-integer is a typed error, like the required-field accessors.
+pub(crate) fn opt_u64(value: &Json, key: &str, what: &str) -> Result<Option<u64>, LeqaError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            LeqaError::new(
+                ErrorKind::Json,
+                format!("{what}: `{key}` must be a non-negative integer or null"),
+            )
+        }),
+    }
+}
+
+/// Like [`opt_u64`], additionally requiring the value to fit in `u32`.
+pub(crate) fn opt_u32(value: &Json, key: &str, what: &str) -> Result<Option<u32>, LeqaError> {
+    opt_u64(value, key, what)?
+        .map(|n| {
+            u32::try_from(n).map_err(|_| {
+                LeqaError::new(
+                    ErrorKind::Json,
+                    format!("{what}: `{key}` out of range for u32"),
+                )
+            })
+        })
+        .transpose()
+}
+
+pub(crate) fn json_opt_num(v: Option<f64>) -> Json {
     v.map(Json::Num).unwrap_or(Json::Null)
 }
 
@@ -462,7 +490,7 @@ pub struct MapRequest {
     pub movement: MovementModel,
 }
 
-fn placement_name(p: PlacementStrategy) -> &'static str {
+pub(crate) fn placement_name(p: PlacementStrategy) -> &'static str {
     match p {
         PlacementStrategy::IigCluster => "cluster",
         PlacementStrategy::RowMajor => "rowmajor",
@@ -470,7 +498,7 @@ fn placement_name(p: PlacementStrategy) -> &'static str {
     }
 }
 
-fn placement_from_name(name: &str) -> Option<PlacementStrategy> {
+pub(crate) fn placement_from_name(name: &str) -> Option<PlacementStrategy> {
     Some(match name {
         "cluster" => PlacementStrategy::IigCluster,
         "rowmajor" => PlacementStrategy::RowMajor,
@@ -479,7 +507,7 @@ fn placement_from_name(name: &str) -> Option<PlacementStrategy> {
     })
 }
 
-fn router_name(r: RouterStrategy) -> &'static str {
+pub(crate) fn router_name(r: RouterStrategy) -> &'static str {
     match r {
         RouterStrategy::Xy => "xy",
         RouterStrategy::Yx => "yx",
@@ -487,7 +515,7 @@ fn router_name(r: RouterStrategy) -> &'static str {
     }
 }
 
-fn router_from_name(name: &str) -> Option<RouterStrategy> {
+pub(crate) fn router_from_name(name: &str) -> Option<RouterStrategy> {
     Some(match name {
         "xy" => RouterStrategy::Xy,
         "yx" => RouterStrategy::Yx,
@@ -496,14 +524,14 @@ fn router_from_name(name: &str) -> Option<RouterStrategy> {
     })
 }
 
-fn movement_name(m: MovementModel) -> &'static str {
+pub(crate) fn movement_name(m: MovementModel) -> &'static str {
     match m {
         MovementModel::HomeBased => "home",
         MovementModel::Drift => "drift",
     }
 }
 
-fn movement_from_name(name: &str) -> Option<MovementModel> {
+pub(crate) fn movement_from_name(name: &str) -> Option<MovementModel> {
     Some(match name {
         "home" => MovementModel::HomeBased,
         "drift" => MovementModel::Drift,

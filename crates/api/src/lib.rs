@@ -24,6 +24,13 @@
 //!   worker threads with the `parallel` feature.
 //! * [`LeqaError`] — the unified error taxonomy ([`ErrorKind`] + context
 //!   chain + stable exit codes) every layer's failures converge to.
+//! * [`experiment`] — the declarative design-space engine: a
+//!   [`ScenarioSpec`] declares a cartesian grid over workloads, fabric
+//!   sizes, physical-parameter variants and router/movement variants;
+//!   [`Session::batch_experiment`] (or the streaming
+//!   [`ExperimentRunner`]) executes it through the profile cache and the
+//!   sweep engine, emitting one byte-stable NDJSON row per cell plus a
+//!   summary record.
 //!
 //! The full wire schema, the error/exit-code table, and a migration
 //! guide from the old free functions live in `API.md` at the workspace
@@ -60,9 +67,15 @@
 
 mod dto;
 mod error;
+pub mod experiment;
 pub mod json;
 pub mod render;
 mod session;
+
+pub use experiment::{
+    AxisFilter, CellMetrics, CellRow, ExperimentMode, ExperimentPlan, ExperimentResponse,
+    ExperimentRunner, ExperimentSummary, FabricEntry, ParamVariant, ResultSelect, ScenarioSpec,
+};
 
 pub use dto::{
     BatchResponse, CompareRequest, CompareResponse, EstimateRequest, EstimateResponse, FabricSpec,

@@ -158,6 +158,87 @@ pub fn map_text(resp: &MapResponse) -> String {
     out
 }
 
+/// Renders the one-line grid description shared by the run header and
+/// the CLI's `--dry-run` output.
+#[must_use]
+pub fn experiment_plan_text(plan: &crate::ExperimentPlan) -> String {
+    format!(
+        "{} cells ({} workloads × {} params × {} routers × {} movements × {} sides), mode {}",
+        plan.cells,
+        plan.workloads.len(),
+        plan.params.len(),
+        plan.routers.len(),
+        plan.movements.len(),
+        plan.sides.len(),
+        plan.mode.name(),
+    )
+}
+
+/// Renders the table header of an experiment run, as `leqa experiment`
+/// prints it.
+#[must_use]
+pub fn experiment_header_text(plan: &crate::ExperimentPlan) -> String {
+    let mut out = format!("experiment: {}\n", experiment_plan_text(plan));
+    let _ = writeln!(
+        out,
+        "{:>5} {:<18} {:<10} {:>8} {:>5} {:>6} {:>14}",
+        "cell", "workload", "params", "router", "move", "side", "latency(s)"
+    );
+    out
+}
+
+/// Renders one experiment cell row, as `leqa experiment` prints it.
+#[must_use]
+pub fn experiment_cell_text(row: &crate::CellRow) -> String {
+    use crate::dto::{movement_name, router_name};
+    let latency = match row.metrics.primary_latency_us() {
+        Some(us) => format!("{:>14.6}", us / 1_000_000.0),
+        None => format!("{:>14}", "(too small)"),
+    };
+    format!(
+        "{:>5} {:<18} {:<10} {:>8} {:>5} {:>6} {latency}\n",
+        row.cell,
+        row.workload,
+        row.params,
+        router_name(row.router),
+        movement_name(row.movement),
+        row.side,
+    )
+}
+
+/// Renders the experiment summary block, as `leqa experiment` prints it.
+#[must_use]
+pub fn experiment_summary_text(summary: &crate::ExperimentSummary) -> String {
+    let mut out = format!(
+        "\nsummary: {} cells, {} fit\n",
+        summary.cells, summary.fit_cells
+    );
+    for w in &summary.workloads {
+        match (w.min_latency_us, w.max_latency_us, w.argmin_side) {
+            (Some(min), Some(max), Some(side)) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} min {:.6} s at {side}x{side}, max {:.6} s ({} fitting cells)",
+                    w.workload,
+                    min / 1_000_000.0,
+                    max / 1_000_000.0,
+                    w.fit_cells
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  {:<18} no fitting cells", w.workload);
+            }
+        }
+    }
+    let c = &summary.cache;
+    let _ = writeln!(
+        out,
+        "cache: {} loads ({} hits, {} misses), {} profiles built",
+        c.loads, c.cache_hits, c.cache_misses, c.profile_builds
+    );
+    out
+}
+
 /// Renders any response in its command's text layout.
 #[must_use]
 pub fn response_text(resp: &Response) -> String {

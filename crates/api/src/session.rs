@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use leqa::report::zone_report_from_iig;
-use leqa::sweep::sweep_profile;
+use leqa::sweep::sweep_profile_squares;
 use leqa::{Estimator, EstimatorOptions, ProfileData, ProgramProfile};
 use leqa_circuit::{decompose::lower_to_ft, parser, Circuit, Qodg};
 use leqa_fabric::{FabricDims, PhysicalParams};
@@ -159,6 +159,20 @@ impl Counters {
     fn record_miss(&self) {
         self.loads.fetch_add(1, Ordering::Release);
         self.misses.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Maps over the slice on the worker pool under `parallel`, serially
+/// otherwise (results identical by the pool's contract) — the one
+/// fan-out dispatcher shared by `batch` and the experiment engine.
+pub(crate) fn fan_out<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    #[cfg(feature = "parallel")]
+    {
+        leqa::exec::parallel_map(items, f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        items.iter().map(f).collect()
     }
 }
 
@@ -565,19 +579,6 @@ impl Session {
     /// order.
     #[must_use = "the batch response carries every per-request outcome"]
     pub fn batch(&self, requests: &[Request]) -> BatchResponse {
-        /// Maps over the slice on the pool under `parallel`, serially
-        /// otherwise (results identical by the pool's contract).
-        fn fan_out<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-            #[cfg(feature = "parallel")]
-            {
-                leqa::exec::parallel_map(items, f)
-            }
-            #[cfg(not(feature = "parallel"))]
-            {
-                items.iter().map(f).collect()
-            }
-        }
-
         // Phase 1 (concurrent, cache-untouched): resolve every request's
         // spec to canonical text + content key.
         let resolved: Vec<Result<ResolvedSpec, LeqaError>> =
@@ -757,12 +758,14 @@ impl Session {
         req: &SweepRequest,
         handle: &ProgramHandle,
     ) -> Result<SweepResponse, LeqaError> {
-        let mut candidates = Vec::with_capacity(req.sizes.len());
-        for &side in &req.sizes {
-            candidates.push(FabricDims::new(side, side).map_err(LeqaError::from)?);
-        }
         let profile = ProgramProfile::from_data(handle.qodg(), handle.profile_data());
-        let points = sweep_profile(&profile, &self.params, self.options, candidates);
+        let points = sweep_profile_squares(
+            &profile,
+            &self.params,
+            self.options,
+            req.sizes.iter().copied(),
+        )
+        .map_err(LeqaError::from)?;
 
         let mut optimal: Option<(u32, f64)> = None;
         let points: Vec<SweepPointDto> = points

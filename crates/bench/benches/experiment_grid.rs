@@ -1,0 +1,131 @@
+//! Experiment-grid throughput: the declarative engine
+//! ([`Session::batch_experiment`]) against the equivalent serial loop of
+//! single-cell `estimate` requests on the same grid.
+//!
+//! The engine's claim (PERF.md "The experiment-grid bench"): distinct
+//! programs are profiled once through the session cache, each
+//! (workload, params) group's fabric axis rides one census-bisection
+//! sweep, and router/movement variants replay the group's points — so a
+//! grid run beats the cell-by-cell loop ≥ 3× even single-threaded,
+//! while `crates/api/tests/experiment.rs` pins the rows bit-identical.
+//!
+//! `BENCH_JSON=$PWD/BENCH_throughput.json cargo bench -p leqa-bench
+//! --bench experiment_grid` appends one JSON line per measurement plus
+//! an `experiment/speedup` summary record. Set
+//! `EXPERIMENT_BENCH_SMOKE=1` for the reduced CI variant.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use leqa_api::{EstimateRequest, FabricEntry, ProgramSpec, ScenarioSpec, Session};
+
+fn smoke() -> bool {
+    std::env::var("EXPERIMENT_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn workloads() -> Vec<&'static str> {
+    if smoke() {
+        vec!["qft_8", "8bitadder"]
+    } else {
+        vec!["qft_8", "qft_16", "8bitadder"]
+    }
+}
+
+fn sides() -> Vec<u32> {
+    if smoke() {
+        (10..=50).step_by(10).collect()
+    } else {
+        (10..=55).step_by(5).collect()
+    }
+}
+
+/// The acceptance-shaped grid: workloads × sides × 2 routers.
+fn spec() -> ScenarioSpec {
+    let (min, max, step) = if smoke() { (10, 50, 10) } else { (10, 55, 5) };
+    ScenarioSpec::new(workloads(), [FabricEntry::Range { min, max, step }])
+        .with_routers([qspr::RouterStrategy::Xy, qspr::RouterStrategy::Yx])
+}
+
+/// The equivalent serial loop: one `estimate` request per cell, in the
+/// same cell order — what a user would hand-script without the engine.
+fn run_serial(session: &Session) -> usize {
+    let mut cells = 0;
+    for workload in workloads() {
+        for _router in ["xy", "yx"] {
+            for &side in &sides() {
+                session
+                    .estimate(
+                        &EstimateRequest::new(ProgramSpec::bench(workload)).with_fabric(side, side),
+                    )
+                    .expect("grid programs fit some fabric or report unfit");
+                cells += 1;
+            }
+        }
+    }
+    cells
+}
+
+fn bench_experiment_grid(c: &mut Criterion) {
+    let spec = spec();
+    let session = Session::builder().build().expect("default session");
+    // Warm the cache once: both sides then measure steady-state service
+    // behaviour rather than first-touch lowering.
+    session.batch_experiment(&spec).expect("grid runs");
+
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function(criterion::BenchmarkId::from_parameter("grid"), |b| {
+        b.iter(|| session.batch_experiment(&spec).expect("grid runs"))
+    });
+    group.bench_function(
+        criterion::BenchmarkId::from_parameter("serial_cells"),
+        |b| b.iter(|| run_serial(&session)),
+    );
+    group.finish();
+
+    // Headline: median-of-5 grid vs serial wall-clock on the warm session.
+    let median = |f: &dyn Fn()| -> f64 {
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            f();
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let grid_s = median(&|| {
+        std::hint::black_box(session.batch_experiment(&spec).expect("grid runs"));
+    });
+    let cells = run_serial(&session);
+    let serial_s = median(&|| {
+        std::hint::black_box(run_serial(&session));
+    });
+    let speedup = serial_s / grid_s;
+    let verdict = if speedup >= 3.0 { "MET" } else { "NOT MET" };
+    println!(
+        "experiment grid speedup: {speedup:.2}x (serial {:.2} ms vs grid {:.2} ms, {cells} cells) — amortisation target >= 3x: {verdict}",
+        serial_s * 1e3,
+        grid_s * 1e3,
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"experiment/speedup\",\"speedup\":{speedup:.4},\"serial_ms\":{:.4},\"grid_ms\":{:.4},\"cells\":{cells}}}",
+                serial_s * 1e3,
+                grid_s * 1e3,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_experiment_grid);
+criterion_main!(benches);

@@ -49,6 +49,10 @@ pub struct Options {
     pub sizes: Vec<u32>,
     /// Output encoding (`--format json|text`).
     pub format: OutputFormat,
+    /// Experiment spec file (`--spec FILE`).
+    pub spec: Option<String>,
+    /// Expand the experiment grid without running it (`--dry-run`).
+    pub dry_run: bool,
 }
 
 impl Default for Options {
@@ -66,6 +70,8 @@ impl Default for Options {
             filter: None,
             sizes: Vec::new(),
             format: OutputFormat::Text,
+            spec: None,
+            dry_run: false,
         }
     }
 }
@@ -91,6 +97,8 @@ pub enum Command {
     Dot(Options, crate::commands::dot::DotGraph),
     /// `leqa zones`.
     Zones(Options),
+    /// `leqa experiment`.
+    Experiment(Options),
 }
 
 /// Parses the argument vector (program name excluded).
@@ -204,6 +212,12 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     }
                 };
             }
+            "--spec" => {
+                opts.spec = Some(value(&rest, &mut i, "--spec")?.clone());
+            }
+            "--dry-run" => {
+                opts.dry_run = true;
+            }
             "--sizes" => {
                 let list = value(&rest, &mut i, "--sizes")?;
                 opts.sizes = list
@@ -272,6 +286,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "zones" => {
             need_input(&opts, "zones")?;
             Ok(Command::Zones(opts))
+        }
+        "experiment" => {
+            if opts.spec.is_none() {
+                return Err(LeqaError::usage(
+                    "`leqa experiment` needs --spec FILE (a JSON scenario; see API.md)",
+                ));
+            }
+            Ok(Command::Experiment(opts))
         }
         other => Err(LeqaError::usage(format!(
             "unknown command `{other}`; try `leqa help`"
@@ -368,6 +390,7 @@ mod tests {
             vec!["gen", "--bench", "ham15", "--format", "json"],
             vec!["dot", "c.qc", "--format", "json"],
             vec!["zones", "c.qc", "--format", "json"],
+            vec!["experiment", "--spec", "s.json", "--format", "json"],
         ] {
             let cmd = parse(&argv(&args)).unwrap();
             let opts = match &cmd {
@@ -378,11 +401,26 @@ mod tests {
                 | Command::Sweep(o)
                 | Command::Gen(o)
                 | Command::Dot(o, _)
-                | Command::Zones(o) => o,
+                | Command::Zones(o)
+                | Command::Experiment(o) => o,
                 Command::Help => panic!("wrong command"),
             };
             assert_eq!(opts.format, OutputFormat::Json, "{args:?}");
         }
+    }
+
+    #[test]
+    fn experiment_requires_spec_and_accepts_dry_run() {
+        let err = parse(&argv(&["experiment"])).unwrap_err();
+        assert_eq!(err.kind(), leqa_api::ErrorKind::Usage);
+        assert!(err.to_string().contains("--spec"));
+
+        let cmd = parse(&argv(&["experiment", "--spec", "grid.json", "--dry-run"])).unwrap();
+        let Command::Experiment(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.spec.as_deref(), Some("grid.json"));
+        assert!(opts.dry_run);
     }
 
     #[test]

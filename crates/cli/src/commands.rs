@@ -9,6 +9,7 @@
 pub mod compare;
 pub mod dot;
 pub mod estimate;
+pub mod experiment;
 pub mod gen;
 pub mod map;
 pub mod suite;

@@ -13,10 +13,12 @@
 //! leqa suite    [--filter SUBSTR] [--fabric AxB]
 //! leqa sweep    <circuit.qc> --sizes 20,40,60 [...]
 //! leqa gen      --bench NAME
+//! leqa experiment --spec FILE.json [--dry-run]
 //! ```
 //!
 //! Every subcommand accepts `--format json|text`; JSON output is one
-//! versioned envelope per invocation (schema in `API.md`). Failures exit
+//! versioned envelope per invocation (`experiment` streams NDJSON
+//! records instead; schema in `API.md`). Failures exit
 //! with the stable per-kind codes of
 //! [`LeqaError::exit_code`](leqa_api::LeqaError::exit_code).
 
@@ -44,11 +46,19 @@ USAGE:
   leqa gen      --bench NAME
   leqa dot      (<circuit.qc> | --bench NAME) [--graph qodg|iig]
   leqa zones    (<circuit.qc> | --bench NAME) [--trace N]
+  leqa experiment --spec FILE.json [--dry-run]
   leqa help
 
 Every command also accepts `--format json|text` (default text); JSON
-output is one versioned envelope per invocation — see API.md for the
-schema and the exit-code table.
+output is one versioned envelope per invocation — except `experiment`,
+which streams NDJSON (one record per grid cell, then a summary record).
+See API.md for the schema and the exit-code table.
+
+`experiment` runs a declarative design-space grid: the spec file
+declares workloads × fabric sizes × physical-parameter variants ×
+router/movement variants, with per-axis filters and a result selector
+(see the Experiments section of API.md and examples/experiment_small.json).
+`--dry-run` validates the spec and prints the expanded cell count.
 
 Circuits use the line-based text format shared by LEQA and QSPR
 (`.qubits N`, then one gate per line: h/t/tdg/s/sdg/x/y/z/cnot/toffoli/
@@ -80,6 +90,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Command::Gen(opts) => commands::gen::run(&opts, out),
         Command::Dot(opts, graph) => commands::dot::run(&opts, graph, out),
         Command::Zones(opts) => commands::zones::run(&opts, out),
+        Command::Experiment(opts) => commands::experiment::run(&opts, out),
     }
 }
 

@@ -117,3 +117,73 @@ fn oversized_program_reports_mapping_error() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot be placed"));
 }
+
+#[test]
+fn experiment_end_to_end_with_stable_exit_codes() {
+    let dir = std::env::temp_dir().join("leqa-cli-proc-experiment");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("grid.json");
+    std::fs::write(
+        &spec,
+        r#"{"schema_version":1,"op":"experiment",
+            "workloads":["qft_8"],"fabrics":[10,20]}"#,
+    )
+    .unwrap();
+    let spec = spec.to_str().unwrap();
+
+    // Dry run prints the plan and succeeds.
+    let out = leqa(&["experiment", "--spec", spec, "--dry-run"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("2 cells"));
+
+    // A real run streams NDJSON: 2 cell records + 1 summary record.
+    let out = leqa(&["experiment", "--spec", spec, "--format", "json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"op\":\"experiment_cell\""));
+    assert!(lines[2].contains("\"op\":\"experiment_summary\""));
+
+    // Stable exit codes: usage 2 (missing --spec / unknown workload),
+    // io 3 (unreadable spec), invalid 5 (empty axis), json 8 (bad json).
+    assert_eq!(leqa(&["experiment"]).status.code(), Some(2));
+    assert_eq!(
+        leqa(&["experiment", "--spec", "/nonexistent/spec.json"])
+            .status
+            .code(),
+        Some(3)
+    );
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{oops").unwrap();
+    assert_eq!(
+        leqa(&["experiment", "--spec", bad.to_str().unwrap()])
+            .status
+            .code(),
+        Some(8)
+    );
+    let unknown = dir.join("unknown.json");
+    std::fs::write(
+        &unknown,
+        r#"{"schema_version":1,"op":"experiment","workloads":["frob"],"fabrics":[10]}"#,
+    )
+    .unwrap();
+    assert_eq!(
+        leqa(&["experiment", "--spec", unknown.to_str().unwrap()])
+            .status
+            .code(),
+        Some(2)
+    );
+    let empty = dir.join("empty.json");
+    std::fs::write(
+        &empty,
+        r#"{"schema_version":1,"op":"experiment","workloads":["qft_8"],"fabrics":[]}"#,
+    )
+    .unwrap();
+    assert_eq!(
+        leqa(&["experiment", "--spec", empty.to_str().unwrap()])
+            .status
+            .code(),
+        Some(5)
+    );
+}

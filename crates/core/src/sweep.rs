@@ -88,6 +88,29 @@ pub fn sweep_profile(
     )
 }
 
+/// Square-fabric convenience over [`sweep_profile`]: one point per side,
+/// in input order — the reuse hook shared by the API's `sweep` endpoint
+/// and the experiment engine's fabric axis, so both ride the same
+/// census-bisection amortisation (and the same bit-identity contract).
+///
+/// # Errors
+///
+/// Returns the underlying [`FabricError`](leqa_fabric::FabricError) when a
+/// side is not a valid fabric dimension (zero); sides merely too small for
+/// the program still yield `estimate: None` points.
+pub fn sweep_profile_squares(
+    profile: &ProgramProfile<'_>,
+    params: &PhysicalParams,
+    options: EstimatorOptions,
+    sides: impl IntoIterator<Item = u32>,
+) -> Result<Vec<SweepPoint>, leqa_fabric::FabricError> {
+    let candidates = sides
+        .into_iter()
+        .map(|side| FabricDims::new(side, side))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(sweep_profile(profile, params, options, candidates))
+}
+
 /// Like [`sweep_fabrics`], forcing the per-candidate loop onto scoped
 /// worker threads (capped by the platform's available parallelism) even
 /// when the `parallel` feature is off.
@@ -477,6 +500,31 @@ mod tests {
             }
         }
         assert!(best_dims.area() >= 25);
+    }
+
+    #[test]
+    fn squares_hook_matches_explicit_candidates() {
+        let qodg = dense_qodg();
+        let params = PhysicalParams::dac13();
+        let opts = EstimatorOptions::default();
+        let profile = ProgramProfile::new(&qodg);
+        let from_sides = sweep_profile_squares(&profile, &params, opts, [4u32, 10, 20]).unwrap();
+        let explicit = sweep_profile(
+            &profile,
+            &params,
+            opts,
+            [4u32, 10, 20].map(|s| FabricDims::new(s, s).unwrap()),
+        );
+        assert_eq!(from_sides.len(), explicit.len());
+        for (a, b) in from_sides.iter().zip(&explicit) {
+            assert_eq!(a.dims, b.dims);
+            match (&a.estimate, &b.estimate) {
+                (Some(x), Some(y)) => assert_eq!(x.latency, y.latency),
+                (None, None) => {}
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+        assert!(sweep_profile_squares(&profile, &params, opts, [0u32]).is_err());
     }
 
     #[test]

@@ -46,11 +46,16 @@ use leqa_circuit::Circuit;
 
 /// Resolves a workload name to its circuit: either one of the 18 named
 /// suite benchmarks ([`Benchmark::by_name`]) or a parametric generator
-/// spelled inline:
+/// spelled inline (the grammar shared by `--bench`, the API's
+/// `{"bench": …}` program spec and experiment workload axes — see
+/// `WORKLOADS.md`):
 ///
 /// * `qft_N` — the approximate QFT on `N` qubits with the default
 ///   rotation cutoff (`min(N, 16)`, the Shor-extrapolation setting),
-/// * `qft_N_K` — the same with an explicit cutoff `K ≥ 2`.
+/// * `qft_N_K` — the same with an explicit cutoff `K ≥ 2`,
+/// * `random_Q_G` — a seeded random circuit on `Q ≥ 3` qubits with `G`
+///   gates (default mix: 25% Toffoli, 35% CNOT, seed 42),
+/// * `random_Q_G_S` — the same with an explicit RNG seed `S`.
 ///
 /// Returns `None` for unknown names or out-of-range parameters, so
 /// callers can produce their own "unknown benchmark" diagnostics.
@@ -62,23 +67,87 @@ use leqa_circuit::Circuit;
 ///
 /// assert_eq!(circuit_by_name("qft_64").unwrap().num_qubits(), 64);
 /// assert!(circuit_by_name("8bitadder").is_some());
+/// assert_eq!(circuit_by_name("random_12_200").unwrap().gates().len(), 200);
 /// assert!(circuit_by_name("nope").is_none());
 /// ```
 #[must_use]
 pub fn circuit_by_name(name: &str) -> Option<Circuit> {
+    Some(match parse_workload_name(name)? {
+        ParsedWorkload::Suite(bench) => bench.circuit(),
+        ParsedWorkload::Qft { n, max_k } => qft::qft(n, max_k),
+        ParsedWorkload::Random {
+            qubits,
+            gates,
+            seed,
+        } => random_circuit(RandomCircuitConfig {
+            qubits,
+            gates,
+            seed,
+            ..RandomCircuitConfig::default()
+        }),
+    })
+}
+
+/// Whether a name is in the [`circuit_by_name`] grammar, **without**
+/// generating the circuit — the cheap validator for dry-run paths
+/// (e.g. `leqa experiment --dry-run`) where building a huge parametric
+/// workload just to check its name would defeat the point.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_workloads::workload_name_is_known;
+///
+/// assert!(workload_name_is_known("qft_100000")); // no circuit built
+/// assert!(!workload_name_is_known("nope"));
+/// ```
+#[must_use]
+pub fn workload_name_is_known(name: &str) -> bool {
+    parse_workload_name(name).is_some()
+}
+
+/// A workload name resolved to its generator and parameters, before any
+/// circuit is built.
+enum ParsedWorkload {
+    Suite(&'static Benchmark),
+    Qft { n: u32, max_k: u32 },
+    Random { qubits: u32, gates: u64, seed: u64 },
+}
+
+fn parse_workload_name(name: &str) -> Option<ParsedWorkload> {
     if let Some(bench) = Benchmark::by_name(name) {
-        return Some(bench.circuit());
+        return Some(ParsedWorkload::Suite(bench));
     }
-    let mut parts = name.strip_prefix("qft_")?.split('_');
-    let n: u32 = parts.next()?.parse().ok()?;
-    let max_k: u32 = match parts.next() {
-        Some(k) => k.parse().ok()?,
-        None => n.min(16),
-    };
-    if parts.next().is_some() || n == 0 || max_k < 2 {
-        return None;
+    if let Some(rest) = name.strip_prefix("qft_") {
+        let mut parts = rest.split('_');
+        let n: u32 = parts.next()?.parse().ok()?;
+        let max_k: u32 = match parts.next() {
+            Some(k) => k.parse().ok()?,
+            None => n.min(16),
+        };
+        if parts.next().is_some() || n == 0 || max_k < 2 {
+            return None;
+        }
+        return Some(ParsedWorkload::Qft { n, max_k });
     }
-    Some(qft::qft(n, max_k))
+    if let Some(rest) = name.strip_prefix("random_") {
+        let mut parts = rest.split('_');
+        let qubits: u32 = parts.next()?.parse().ok()?;
+        let gates: u64 = parts.next()?.parse().ok()?;
+        let seed: u64 = match parts.next() {
+            Some(s) => s.parse().ok()?,
+            None => 42,
+        };
+        if parts.next().is_some() || qubits < 3 {
+            return None;
+        }
+        return Some(ParsedWorkload::Random {
+            qubits,
+            gates,
+            seed,
+        });
+    }
+    None
 }
 
 #[cfg(test)]
@@ -96,6 +165,63 @@ mod name_tests {
     #[test]
     fn malformed_parametric_names_are_rejected() {
         for bad in ["qft_", "qft_0", "qft_8_1", "qft_8_2_9", "qft_x", "qft_8_"] {
+            assert!(circuit_by_name(bad).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn random_names_resolve_with_and_without_seed() {
+        let default = circuit_by_name("random_12_200").unwrap();
+        let explicit = circuit_by_name("random_12_200_42").unwrap();
+        assert_eq!(default, explicit); // default seed is 42
+        assert_eq!(default.num_qubits(), 12);
+        assert_eq!(default.gates().len(), 200);
+        assert_ne!(circuit_by_name("random_12_200_7").unwrap(), default);
+    }
+
+    #[test]
+    fn random_names_are_deterministic() {
+        assert_eq!(
+            circuit_by_name("random_8_50_3"),
+            circuit_by_name("random_8_50_3")
+        );
+    }
+
+    #[test]
+    fn name_validator_agrees_with_the_generator() {
+        for name in [
+            "qft_8",
+            "qft_8_5",
+            "8bitadder",
+            "random_12_200",
+            "random_12_200_7",
+            "nope",
+            "qft_0",
+            "random_2_10",
+        ] {
+            assert_eq!(
+                workload_name_is_known(name),
+                circuit_by_name(name).is_some(),
+                "{name}"
+            );
+        }
+        // The validator's point: huge parametric names check in O(1).
+        assert!(workload_name_is_known("qft_1000000"));
+        assert!(workload_name_is_known("random_1000000_1000000000"));
+    }
+
+    #[test]
+    fn malformed_random_names_are_rejected() {
+        // Under 3 qubits the generator cannot place Toffolis; a malformed
+        // or out-of-range name must return None (never panic).
+        for bad in [
+            "random_",
+            "random_2_10",
+            "random_8",
+            "random_8_x",
+            "random_8_10_1_9",
+            "random_x_10",
+        ] {
             assert!(circuit_by_name(bad).is_none(), "{bad}");
         }
     }

@@ -6,15 +6,20 @@
 //! channels' traversal counts), alongside LEQA's model view of the same
 //! phenomenon (the congested fraction of `E[S_q]` mass).
 //!
+//! The heatmap needs per-channel traversal counts, which are deliberately
+//! not on the API surface — this is the kind of research probe API.md
+//! reserves the engine crates for. The LEQA side goes through the
+//! session like application code should.
+//!
 //! ```sh
 //! cargo run --release --example congestion_heatmap
 //! ```
 
-use leqa::Estimator;
-use leqa_circuit::{decompose::lower_to_ft, Qodg};
-use leqa_fabric::{Channel, FabricDims, PhysicalParams, Ulb};
-use leqa_workloads::Benchmark;
-use qspr::Mapper;
+use leqa_repro::api::{EstimateRequest, ProgramSpec, Session};
+use leqa_repro::leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_repro::leqa_fabric::{Channel, FabricDims, PhysicalParams, Ulb};
+use leqa_repro::leqa_workloads::Benchmark;
+use leqa_repro::qspr::Mapper;
 
 const SHADES: [char; 7] = [' ', '.', ':', '+', '*', '#', '@'];
 
@@ -61,8 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.stats.max_channel_load
     );
 
-    // LEQA's view: how much E[S_q] mass sits above the channel capacity.
-    let estimate = Estimator::new(dims, params.clone()).estimate(&qodg)?;
+    // LEQA's view, through the session: how much E[S_q] mass sits above
+    // the channel capacity on the same 30x30 fabric.
+    let session = Session::builder().fabric(dims).build()?;
+    let estimate = session.estimate(&EstimateRequest::new(ProgramSpec::bench(bench.name)))?;
     let total: f64 = estimate.esq.iter().sum();
     let congested: f64 = estimate
         .esq
@@ -76,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (drives L_CNOT = {:.0} µs)",
         100.0 * congested / total,
         params.channel_capacity(),
-        estimate.l_cnot_avg.as_f64()
+        estimate.l_cnot_avg_us
     );
     Ok(())
 }

@@ -1,71 +1,60 @@
 //! Estimator vs detailed mapper on the same program: the Table 2
 //! experiment in miniature, with the mapper's movement statistics shown
-//! next to LEQA's model quantities.
+//! next to LEQA's model quantities — all through the API session.
 //!
 //! ```sh
 //! cargo run --release --example estimator_vs_mapper
 //! ```
 
-use leqa::Estimator;
-use leqa_circuit::{decompose::lower_to_ft, Qodg};
-use leqa_fabric::{FabricDims, PhysicalParams};
-use leqa_workloads::Benchmark;
-use qspr::Mapper;
+use leqa_repro::api::{EstimateRequest, MapRequest, ProgramSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = Benchmark::by_name("ham15").expect("suite benchmark");
-    let ft = lower_to_ft(&bench.circuit())?;
-    let qodg = Qodg::from_ft_circuit(&ft);
-    let dims = FabricDims::dac13();
-    let params = PhysicalParams::dac13();
+    let session = Session::builder().build()?; // 60x60, Table 1 params
+    let program = ProgramSpec::bench("ham15");
 
-    let actual = Mapper::new(dims, params.clone()).map(&qodg)?;
-    let estimate = Estimator::new(dims, params).estimate(&qodg)?;
-
-    let err = 100.0 * (estimate.latency.as_secs() - actual.latency.as_secs()).abs()
-        / actual.latency.as_secs();
+    // One detailed mapping (the expensive part) and one estimate; the
+    // program is lowered once and the estimate hits the profile cache.
+    // (`session.compare` bundles both but keeps the mapper's movement
+    // statistics to itself — this example wants them printed.)
+    let mapped = session.map(&MapRequest::new(program.clone()))?;
+    let estimate = session.estimate(&EstimateRequest::new(program))?;
 
     println!(
         "benchmark: {} ({} qubits, {} ops)",
-        bench.name,
-        qodg.num_qubits(),
-        qodg.op_count()
+        mapped.program.label, mapped.program.qubits, mapped.program.ops
     );
     println!();
     println!("QSPR (detailed mapping)");
-    println!("  actual latency:        {:.4} s", actual.latency.as_secs());
-    println!("  CNOTs routed:          {}", actual.stats.cnot_ops);
+    println!("  actual latency:        {:.4} s", mapped.latency_us / 1e6);
+    println!("  CNOTs routed:          {}", mapped.cnot_ops);
     println!(
         "  avg CNOT distance:     {:.2} hops",
-        actual.stats.avg_cnot_distance()
+        mapped.avg_cnot_distance
     );
     println!(
-        "  channel traversals:    {}",
-        actual.stats.channel_traversals
+        "  busiest channel:       {} traversals",
+        mapped.max_channel_load
     );
     println!(
         "  congestion wait:       {:.4} s (summed over qubits)",
-        actual.stats.congestion_wait.as_secs()
+        mapped.congestion_wait_us / 1e6
     );
     println!();
     println!("LEQA (procedural estimate)");
     println!(
         "  estimated latency:     {:.4} s",
-        estimate.latency.as_secs()
+        estimate.latency_us / 1e6
     );
-    println!(
-        "  L_CNOT^avg:            {:.0} µs",
-        estimate.l_cnot_avg.as_f64()
-    );
-    println!(
-        "  d_uncong:              {:.0} µs",
-        estimate.d_uncong.as_f64()
-    );
+    println!("  L_CNOT^avg:            {:.0} µs", estimate.l_cnot_avg_us);
+    println!("  d_uncong:              {:.0} µs", estimate.d_uncong_us);
     println!(
         "  avg presence zone B:   {:.2} ULBs",
         estimate.avg_zone_area
     );
     println!();
-    println!("absolute error: {err:.2}% (paper's suite average: 2.11%)");
+    if mapped.latency_us > 0.0 {
+        let err = 100.0 * (estimate.latency_us - mapped.latency_us).abs() / mapped.latency_us;
+        println!("absolute error: {err:.2}% (paper's suite average: 2.11%)");
+    }
     Ok(())
 }

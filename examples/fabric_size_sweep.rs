@@ -2,69 +2,60 @@
 //! "Size of the fabric ... can be changed to find the optimal size for the
 //! fabric which results in the minimum delay."
 //!
-//! Sweeps square fabrics and prints the estimated latency of a benchmark
-//! on each, showing the congestion/area trade-off: a fabric barely larger
-//! than the qubit count suffers congested channels; past a point, extra
-//! area buys nothing.
+//! Sweeps square fabrics through the API session (the amortised sweep
+//! engine: the program profile is built once and shared by every
+//! candidate; per-size output is bit-identical to independent estimates)
+//! and prints the congestion/area trade-off: a fabric barely larger than
+//! the qubit count suffers congested channels; past a point, extra area
+//! buys nothing.
+//!
+//! For multi-axis studies (several workloads, parameter variants, router
+//! variants) see `leqa experiment --spec examples/experiment_small.json`.
 //!
 //! ```sh
 //! cargo run --release --example fabric_size_sweep
 //! ```
 
-use leqa::sweep::sweep_fabrics;
-use leqa::EstimatorOptions;
-use leqa_circuit::{decompose::lower_to_ft, Qodg};
-use leqa_fabric::{FabricDims, PhysicalParams};
-use leqa_workloads::Benchmark;
+use leqa_repro::api::{ProgramSpec, Session, SweepRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = Benchmark::by_name("hwb50ps").expect("suite benchmark");
-    let ft = lower_to_ft(&bench.circuit())?;
-    let qodg = Qodg::from_ft_circuit(&ft);
-    let params = PhysicalParams::dac13();
+    let session = Session::builder().build()?;
+    let sides = [20u32, 25, 30, 40, 50, 60, 80, 100, 140];
+    let response = session.sweep(&SweepRequest::new(ProgramSpec::bench("hwb50ps"), sides))?;
 
     println!(
         "fabric-size sweep for {} ({} logical qubits)",
-        bench.name,
-        qodg.num_qubits()
+        response.program.label, response.program.qubits
     );
     println!(
-        "{:>9} {:>8} {:>14} {:>14}",
-        "fabric", "ULBs", "L_CNOT (µs)", "latency (s)"
+        "{:>9} {:>14} {:>14}",
+        "fabric", "L_CNOT (µs)", "latency (s)"
     );
 
-    // One sweep call: the program profile (IIG, zone statistics,
-    // uncongested-delay terms) is built once and shared by every candidate.
-    let sides = [20u32, 25, 30, 40, 50, 60, 80, 100, 140];
-    let candidates = sides
-        .iter()
-        .map(|&s| FabricDims::new(s, s))
-        .collect::<Result<Vec<_>, _>>()?;
-
-    let mut best: Option<(u32, f64)> = None;
-    for point in sweep_fabrics(&qodg, &params, EstimatorOptions::default(), candidates) {
-        let side = point.dims.width();
-        let Some(estimate) = point.estimate else {
-            println!(
-                "{side:>6}x{side:<2} {:>8} (too small for the program)",
-                point.dims.area()
-            );
-            continue;
-        };
-        let latency = estimate.latency.as_secs();
-        println!(
-            "{side:>6}x{side:<2} {:>8} {:>14.0} {:>14.4}",
-            point.dims.area(),
-            estimate.l_cnot_avg.as_f64(),
-            latency
-        );
-        if best.is_none_or(|(_, l)| latency < l) {
-            best = Some((side, latency));
+    for point in &response.points {
+        let side = point.side;
+        match (point.l_cnot_avg_us, point.latency_us) {
+            (Some(l_cnot), Some(latency_us)) => {
+                println!(
+                    "{side:>6}x{side:<2} {l_cnot:>14.0} {:>14.4}",
+                    latency_us / 1e6
+                );
+            }
+            _ => println!("{side:>6}x{side:<2} (too small for the program)"),
         }
     }
 
-    if let Some((side, latency)) = best {
-        println!("\nminimum estimated delay: {latency:.4} s at {side}x{side}");
+    if let Some(side) = response.optimal_side {
+        let latency = response
+            .points
+            .iter()
+            .find(|p| p.side == side)
+            .and_then(|p| p.latency_us)
+            .expect("the optimal side has an estimate");
+        println!(
+            "\nminimum estimated delay: {:.4} s at {side}x{side}",
+            latency / 1e6
+        );
     }
     Ok(())
 }

@@ -8,20 +8,19 @@
 //! of magnitude slower, movement included), and a hypothetical
 //! magic-state-assisted code whose T gates cost the same as Cliffords.
 //!
+//! Each code is one API session built with its parameter set; the
+//! gate-delay table itself comes from the engine-level
+//! [`leqa_fabric::PhysicalParamsBuilder`] (delay-table overrides are
+//! deliberately not on the wire — see API.md).
+//!
 //! ```sh
 //! cargo run --release --example qecc_comparison
 //! ```
 
-use leqa::Estimator;
-use leqa_circuit::{decompose::lower_to_ft, Qodg};
-use leqa_fabric::{FabricDims, GateDelays, Micros, OneQubitKind, PhysicalParams};
-use leqa_workloads::Benchmark;
+use leqa_repro::api::{EstimateRequest, ProgramSpec, Session};
+use leqa_repro::leqa_fabric::{GateDelays, Micros, OneQubitKind, PhysicalParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = Benchmark::by_name("gf2^16mult").expect("suite benchmark");
-    let ft = lower_to_ft(&bench.circuit())?;
-    let qodg = Qodg::from_ft_circuit(&ft);
-    let dims = FabricDims::dac13();
     let steane1 = PhysicalParams::dac13();
 
     // Two-level Steane: each logical op expands ~10x in physical depth and
@@ -48,19 +47,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
         .build()?;
 
-    println!(
-        "QECC comparison on {} ({} FT ops; T-heavy Toffoli networks)",
-        bench.name,
-        qodg.op_count()
-    );
+    println!("QECC comparison on gf2^16mult (T-heavy Toffoli networks)");
     println!("{:<28} {:>14}", "code", "latency (s)");
     for (label, params) in [
         ("[[7,1,3]] Steane, 1 level", steane1.clone()),
         ("[[7,1,3]] Steane, 2 levels", steane2),
         ("magic-state (cheap T)", magic),
     ] {
-        let estimate = Estimator::new(dims, params).estimate(&qodg)?;
-        println!("{:<28} {:>14.4}", label, estimate.latency.as_secs());
+        let session = Session::builder().params(params).build()?;
+        let response = session.estimate(&EstimateRequest::new(ProgramSpec::bench("gf2^16mult")))?;
+        println!("{:<28} {:>14.4}", label, response.latency_us / 1e6);
     }
 
     println!(

@@ -1,16 +1,18 @@
-//! Quickstart: build a circuit, lower it, and estimate its latency.
+//! Quickstart: estimate a circuit's latency through the service façade.
+//!
+//! The [`leqa_repro::api::Session`] is the supported application entry
+//! point: it owns the fabric, the physical parameters and the program
+//! cache, and every endpoint takes a typed request (see API.md).
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use leqa::Estimator;
-use leqa_circuit::{decompose::lower_to_ft, parser, Qodg};
-use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_repro::api::{EstimateRequest, ProgramSpec, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Circuits can be built programmatically (see the other examples) or
-    // parsed from the shared text format.
+    // Circuits can be generated (see WORKLOADS.md), read from disk, or
+    // written inline in the shared `.qc` text format.
     let source = "\
 .name demo
 .qubits 5
@@ -21,48 +23,37 @@ cnot 4 0
 h 3
 t 3
 ";
-    let circuit = parser::parse(source)?;
 
-    // Lower to fault-tolerant operations ({H, T, T†, CNOT, ...}) and build
-    // the quantum operation dependency graph.
-    let ft = lower_to_ft(&circuit)?;
-    let qodg = Qodg::from_ft_circuit(&ft);
+    // One session: the paper's 60x60 ion-trap fabric, Table 1 parameters.
+    let session = Session::builder().build()?;
+    let response = session.estimate(&EstimateRequest::new(ProgramSpec::source(source)))?;
+
     println!(
-        "circuit `{}`: {} qubits, {} FT ops, {} QODG edges",
-        circuit.name().unwrap_or("?"),
-        ft.num_qubits(),
-        ft.ops().len(),
-        qodg.edge_count()
+        "circuit `{}`: {} qubits, {} FT ops",
+        response.program.label, response.program.qubits, response.program.ops
     );
-
-    // Estimate on the paper's 60x60 ion-trap fabric (Table 1 parameters).
-    let estimator = Estimator::new(FabricDims::dac13(), PhysicalParams::dac13());
-    let estimate = estimator.estimate(&qodg)?;
-
     println!(
         "estimated latency:       {:.4} s",
-        estimate.latency.as_secs()
+        response.latency_us / 1e6
     );
-    println!(
-        "  L_CNOT^avg:            {:.0} µs",
-        estimate.l_cnot_avg.as_f64()
-    );
-    println!(
-        "  L_g^avg:               {:.0} µs",
-        estimate.l_one_qubit_avg.as_f64()
-    );
-    println!(
-        "  d_uncong:              {:.0} µs",
-        estimate.d_uncong.as_f64()
-    );
+    println!("  L_CNOT^avg:            {:.0} µs", response.l_cnot_avg_us);
+    println!("  d_uncong:              {:.0} µs", response.d_uncong_us);
     println!(
         "  avg presence zone B:   {:.2} ULBs",
-        estimate.avg_zone_area
+        response.avg_zone_area
     );
     println!(
         "  critical path:         {} CNOTs + {} one-qubit ops",
-        estimate.critical.cnot_count,
-        estimate.critical.one_qubit_counts.iter().sum::<u64>()
+        response.critical_cnots, response.critical_one_qubit
     );
+
+    // The same program again: served from the session's profile cache.
+    let again = session.estimate(&EstimateRequest::new(ProgramSpec::source(source)))?;
+    assert!(again.profile_cached);
+    assert_eq!(again.latency_us, response.latency_us);
+    println!("second request: profile cache hit, identical result");
+
+    // Every response speaks versioned JSON (`--format json` in the CLI).
+    println!("\nwire form:\n{}", response.to_json().encode());
     Ok(())
 }

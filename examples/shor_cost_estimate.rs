@@ -1,7 +1,7 @@
 //! Shor-style cost estimation — the §4.2 story, run instead of argued:
 //! LEQA prices a (skeletonized) Shor inner loop in milliseconds where
 //! detailed mapping already takes noticeable time, and picks the
-//! latency-optimal fabric while at it.
+//! latency-optimal fabric while at it — all through the API session.
 //!
 //! ```sh
 //! cargo run --release --example shor_cost_estimate
@@ -9,69 +9,70 @@
 
 use std::time::Instant;
 
-use leqa::sweep::optimal_square_fabric;
-use leqa::{Estimator, EstimatorOptions};
-use leqa_circuit::{decompose::lower_to_ft, Qodg};
-use leqa_fabric::{FabricDims, PhysicalParams};
-use leqa_workloads::shor::shor_skeleton;
-use qspr::Mapper;
+use leqa_repro::api::{EstimateRequest, MapRequest, ProgramSpec, Session, SweepRequest};
+use leqa_repro::leqa_circuit::parser;
+use leqa_repro::leqa_workloads::shor::shor_skeleton;
+
+/// Generated circuits enter the API as inline `.qc` text (the canonical
+/// form the session's content-addressed cache hashes).
+fn spec(bits: u32, rounds: u32) -> ProgramSpec {
+    ProgramSpec::source(parser::write(&shor_skeleton(bits, rounds)))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = PhysicalParams::dac13();
+    let session = Session::builder().build()?;
 
     println!(
         "{:>5} {:>7} {:>9} {:>12} {:>12} {:>9}",
         "bits", "rounds", "ops", "LEQA (s)", "QSPR (s)", "speedup"
     );
     for (bits, rounds) in [(8u32, 4u32), (16, 8), (24, 12), (32, 16)] {
-        let circuit = shor_skeleton(bits, rounds);
-        let ft = lower_to_ft(&circuit)?;
-        let qodg = Qodg::from_ft_circuit(&ft);
+        let program = spec(bits, rounds);
 
         let t0 = Instant::now();
-        let estimate = Estimator::new(FabricDims::dac13(), params.clone()).estimate(&qodg)?;
+        let estimate = session.estimate(&EstimateRequest::new(program.clone()))?;
         let t_leqa = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let actual = Mapper::new(FabricDims::dac13(), params.clone()).map(&qodg)?;
+        let mapped = session.map(&MapRequest::new(program))?;
         let t_qspr = t0.elapsed().as_secs_f64();
 
         println!(
             "{bits:>5} {rounds:>7} {:>9} {:>12.5} {:>12.5} {:>9.1}",
-            qodg.op_count(),
+            estimate.program.ops,
             t_leqa,
             t_qspr,
             t_qspr / t_leqa
         );
-        let err = 100.0 * (estimate.latency.as_secs() - actual.latency.as_secs()).abs()
-            / actual.latency.as_secs();
+        let err = 100.0 * (estimate.latency_us - mapped.latency_us).abs() / mapped.latency_us;
         println!(
             "      estimated {:.2} s vs mapped {:.2} s ({err:.1}% error)",
-            estimate.latency.as_secs(),
-            actual.latency.as_secs()
+            estimate.latency_us / 1e6,
+            mapped.latency_us / 1e6
         );
     }
 
     // The co-design question LEQA makes cheap: what fabric should a
-    // Shor-32 inner loop run on?
-    let circuit = shor_skeleton(32, 16);
-    let ft = lower_to_ft(&circuit)?;
-    let qodg = Qodg::from_ft_circuit(&ft);
+    // Shor-32 inner loop run on? (The sweep endpoint amortises the
+    // program profile across every candidate.)
     let t0 = Instant::now();
-    let best = optimal_square_fabric(
-        &qodg,
-        &params,
-        EstimatorOptions::default(),
-        [12, 16, 20, 30, 40, 60, 90],
-    )
-    .expect("some candidate fits");
+    let sweep = session.sweep(&SweepRequest::new(
+        spec(32, 16),
+        [12u32, 16, 20, 30, 40, 60, 90],
+    ))?;
+    let side = sweep.optimal_side.expect("some candidate fits");
+    let latency = sweep
+        .points
+        .iter()
+        .find(|p| p.side == side)
+        .and_then(|p| p.latency_us)
+        .expect("the optimal side has an estimate");
     println!(
-        "\noptimal fabric for shor32x16 ({} qubits): {}x{} at {:.2} s \
-         (swept 7 fabrics in {:.0} ms)",
-        qodg.num_qubits(),
-        best.0.width(),
-        best.0.height(),
-        best.1.latency.as_secs(),
+        "\noptimal fabric for shor32x16 ({} qubits): {side}x{side} at {:.2} s \
+         (swept {} fabrics in {:.0} ms)",
+        sweep.program.qubits,
+        latency / 1e6,
+        sweep.points.len(),
         t0.elapsed().as_secs_f64() * 1e3
     );
     Ok(())
