@@ -1257,6 +1257,309 @@ impl BatchResponse {
     }
 }
 
+// ── Server frames ────────────────────────────────────────────────────────
+//
+// The persistent daemon (`crate::server`, wire reference in `SERVER.md`)
+// speaks newline-delimited JSON. Work frames reuse the [`Request`]
+// envelopes above plus the [`BatchRequest`] envelope; operators steer the
+// daemon with [`ControlFrame`] lines and read [`StatsResponse`] /
+// [`ShutdownAck`] / [`ErrorFrame`] replies.
+
+/// Request: execute a batch of requests as one wire frame
+/// (`{"op":"batch","requests":[…]}`); the reply is the
+/// [`BatchResponse`] envelope, byte-identical to a direct
+/// [`Session::batch`](crate::Session::batch) call.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct BatchRequest {
+    /// The requests, executed as one deduplicated batch.
+    pub requests: Vec<Request>,
+}
+
+impl BatchRequest {
+    /// Creates a batch frame.
+    #[must_use]
+    pub fn new(requests: impl IntoIterator<Item = Request>) -> Self {
+        BatchRequest {
+            requests: requests.into_iter().collect(),
+        }
+    }
+
+    /// Serializes the request envelope.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+            ("op", Json::str("batch")),
+            (
+                "requests",
+                Json::Arr(self.requests.iter().map(Request::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes a request envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Json`] on schema-version mismatch or shape errors.
+    pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        check_schema_version(value)?;
+        Ok(BatchRequest {
+            requests: field(value, "requests", "batch request")?
+                .as_arr()
+                .ok_or_else(|| {
+                    LeqaError::new(ErrorKind::Json, "batch `requests` must be an array")
+                })?
+                .iter()
+                .map(Request::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// An operator control line (`{"cmd":"…"}`): steers the daemon instead
+/// of running an estimator endpoint. Control frames carry no
+/// `schema_version` and bypass admission control — they must stay
+/// answerable when the service is saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlFrame {
+    /// `{"cmd":"stats"}` — reply with a [`StatsResponse`] snapshot.
+    Stats,
+    /// `{"cmd":"shutdown"}` — acknowledge with a [`ShutdownAck`], stop
+    /// accepting work, drain in-flight requests, and exit.
+    Shutdown,
+}
+
+impl ControlFrame {
+    /// The wire name of the command.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlFrame::Stats => "stats",
+            ControlFrame::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serializes the control line.
+    #[must_use]
+    pub fn to_json(self) -> Json {
+        Json::obj(vec![("cmd", Json::str(self.name()))])
+    }
+
+    /// Decodes a control line (any object with a `cmd` key).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Json`] when `cmd` is missing or names no known
+    /// command.
+    pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        match str_field(value, "cmd", "control frame")?.as_str() {
+            "stats" => Ok(ControlFrame::Stats),
+            "shutdown" => Ok(ControlFrame::Shutdown),
+            other => Err(LeqaError::new(
+                ErrorKind::Json,
+                format!("unknown control command `{other}` (stats|shutdown)"),
+            )),
+        }
+    }
+}
+
+/// Reply to `{"cmd":"stats"}`: the daemon's atomic counters. Every field
+/// is a monotone counter or an instantaneous gauge — deliberately no
+/// wall-clock timestamps, so scripted sessions stay byte-stable
+/// (`uptime_ticks` counts protocol lines processed instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct StatsResponse {
+    /// Connections accepted since startup (stdio counts as one).
+    pub connections: u64,
+    /// Connections currently open (gauge).
+    pub active_connections: u64,
+    /// Work frames currently executing (gauge; bounded by
+    /// `--max-inflight` when set).
+    pub inflight: u64,
+    /// `estimate` frames served.
+    pub estimate: u64,
+    /// `sweep` frames served.
+    pub sweep: u64,
+    /// `zones` frames served.
+    pub zones: u64,
+    /// `compare` frames served.
+    pub compare: u64,
+    /// `map` frames served.
+    pub map: u64,
+    /// `batch` frames served (each counts once, however many slots).
+    pub batch: u64,
+    /// `experiment` frames served.
+    pub experiment: u64,
+    /// Error frames written for reasons other than admission control.
+    pub errors: u64,
+    /// Admission-control refusals (`overloaded` kind): work frames
+    /// refused at the inflight cap or while draining, plus whole
+    /// connections refused at the connection cap.
+    pub overloaded: u64,
+    /// Session cache counters at snapshot time (see
+    /// [`CacheStats`](crate::CacheStats)).
+    pub cache: crate::session::CacheStats,
+    /// Protocol lines processed since startup — the daemon's monotone
+    /// clock (no wall time on the wire).
+    pub uptime_ticks: u64,
+}
+
+impl StatsResponse {
+    /// Serializes the stats envelope.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+            ("op", Json::str("stats")),
+            ("connections", Json::Num(self.connections as f64)),
+            (
+                "active_connections",
+                Json::Num(self.active_connections as f64),
+            ),
+            ("inflight", Json::Num(self.inflight as f64)),
+            (
+                "requests",
+                Json::obj(vec![
+                    ("estimate", Json::Num(self.estimate as f64)),
+                    ("sweep", Json::Num(self.sweep as f64)),
+                    ("zones", Json::Num(self.zones as f64)),
+                    ("compare", Json::Num(self.compare as f64)),
+                    ("map", Json::Num(self.map as f64)),
+                    ("batch", Json::Num(self.batch as f64)),
+                    ("experiment", Json::Num(self.experiment as f64)),
+                ]),
+            ),
+            ("errors", Json::Num(self.errors as f64)),
+            ("overloaded", Json::Num(self.overloaded as f64)),
+            (
+                "cache",
+                Json::obj(vec![
+                    (
+                        "profile_builds",
+                        Json::Num(self.cache.profile_builds as f64),
+                    ),
+                    ("cache_hits", Json::Num(self.cache.cache_hits as f64)),
+                    ("cache_misses", Json::Num(self.cache.cache_misses as f64)),
+                    ("loads", Json::Num(self.cache.loads as f64)),
+                ]),
+            ),
+            ("uptime_ticks", Json::Num(self.uptime_ticks as f64)),
+        ])
+    }
+
+    /// Decodes a stats envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Json`] on schema-version mismatch or shape errors.
+    pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        check_schema_version(value)?;
+        let what = "stats response";
+        let requests = field(value, "requests", what)?;
+        let cache = field(value, "cache", what)?;
+        Ok(StatsResponse {
+            connections: u64_field(value, "connections", what)?,
+            active_connections: u64_field(value, "active_connections", what)?,
+            inflight: u64_field(value, "inflight", what)?,
+            estimate: u64_field(requests, "estimate", what)?,
+            sweep: u64_field(requests, "sweep", what)?,
+            zones: u64_field(requests, "zones", what)?,
+            compare: u64_field(requests, "compare", what)?,
+            map: u64_field(requests, "map", what)?,
+            batch: u64_field(requests, "batch", what)?,
+            experiment: u64_field(requests, "experiment", what)?,
+            errors: u64_field(value, "errors", what)?,
+            overloaded: u64_field(value, "overloaded", what)?,
+            cache: crate::session::CacheStats {
+                profile_builds: u64_field(cache, "profile_builds", what)?,
+                cache_hits: u64_field(cache, "cache_hits", what)?,
+                cache_misses: u64_field(cache, "cache_misses", what)?,
+                loads: u64_field(cache, "loads", what)?,
+            },
+            uptime_ticks: u64_field(value, "uptime_ticks", what)?,
+        })
+    }
+}
+
+/// Reply to `{"cmd":"shutdown"}`: the daemon stopped accepting work and
+/// is draining in-flight requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct ShutdownAck;
+
+impl ShutdownAck {
+    /// Serializes the acknowledgement envelope.
+    #[must_use]
+    pub fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+            ("op", Json::str("shutdown")),
+            ("draining", Json::Bool(true)),
+        ])
+    }
+
+    /// Decodes an acknowledgement envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Json`] on schema-version mismatch or shape errors.
+    pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        check_schema_version(value)?;
+        match field(value, "op", "shutdown ack")?.as_str() {
+            Some("shutdown") => Ok(ShutdownAck),
+            _ => Err(LeqaError::new(
+                ErrorKind::Json,
+                "shutdown ack must carry op `shutdown`",
+            )),
+        }
+    }
+}
+
+/// A failed frame's reply: the one envelope the daemon writes when a
+/// line could not produce its normal response
+/// (`{"op":"error","error":{…}}`). The connection survives; only the
+/// failing line is answered with it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ErrorFrame {
+    /// What went wrong (kind + message + context chain).
+    pub error: LeqaError,
+}
+
+impl ErrorFrame {
+    /// Wraps an error for the wire.
+    #[must_use]
+    pub fn new(error: LeqaError) -> Self {
+        ErrorFrame { error }
+    }
+
+    /// Serializes the error envelope.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+            ("op", Json::str("error")),
+            ("error", self.error.to_json()),
+        ])
+    }
+
+    /// Decodes an error envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Json`] on schema-version mismatch or shape errors.
+    pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        check_schema_version(value)?;
+        Ok(ErrorFrame {
+            error: LeqaError::from_json(field(value, "error", "error frame")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1347,6 +1650,87 @@ mod tests {
         let doc = parse(r#"{"schema_version":1,"op":"frobnicate"}"#).unwrap();
         assert!(Request::from_json(&doc).is_err());
         assert!(Response::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn batch_request_round_trips() {
+        let req = BatchRequest::new([
+            Request::Estimate(EstimateRequest::new(ProgramSpec::bench("qft_8"))),
+            Request::Zones(ZonesRequest::new(ProgramSpec::source("x")).with_limit(3)),
+        ]);
+        let text = req.to_json().encode();
+        assert!(text.starts_with("{\"schema_version\":1,\"op\":\"batch\",\"requests\":["));
+        let back = BatchRequest::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn control_frames_round_trip_and_reject_unknown_commands() {
+        for frame in [ControlFrame::Stats, ControlFrame::Shutdown] {
+            let back = ControlFrame::from_json(&parse(&frame.to_json().encode()).unwrap()).unwrap();
+            assert_eq!(back, frame);
+        }
+        assert_eq!(
+            ControlFrame::from_json(&parse(r#"{"cmd":"stats"}"#).unwrap()).unwrap(),
+            ControlFrame::Stats
+        );
+        let err = ControlFrame::from_json(&parse(r#"{"cmd":"reboot"}"#).unwrap()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Json);
+    }
+
+    #[test]
+    fn stats_response_round_trips_byte_stably() {
+        let stats = StatsResponse {
+            connections: 3,
+            active_connections: 1,
+            inflight: 2,
+            estimate: 10,
+            sweep: 1,
+            zones: 2,
+            compare: 3,
+            map: 4,
+            batch: 5,
+            experiment: 6,
+            errors: 7,
+            overloaded: 8,
+            cache: crate::session::CacheStats {
+                profile_builds: 2,
+                cache_hits: 9,
+                cache_misses: 2,
+                loads: 11,
+            },
+            uptime_ticks: 42,
+        };
+        let text = stats.to_json().encode();
+        assert!(text.starts_with("{\"schema_version\":1,\"op\":\"stats\",\"connections\":3,"));
+        assert!(text.contains("\"requests\":{\"estimate\":10,"));
+        assert!(text.contains("\"cache\":{\"profile_builds\":2,"));
+        assert!(
+            !text.contains("timestamp") && !text.contains("wall"),
+            "no wall-clock on the wire: {text}"
+        );
+        let back = StatsResponse::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn shutdown_ack_and_error_frame_round_trip() {
+        let ack = ShutdownAck;
+        assert_eq!(
+            ack.to_json().encode(),
+            "{\"schema_version\":1,\"op\":\"shutdown\",\"draining\":true}"
+        );
+        ShutdownAck::from_json(&parse(&ack.to_json().encode()).unwrap()).unwrap();
+
+        let frame = ErrorFrame::new(
+            LeqaError::new(ErrorKind::Overloaded, "server at capacity").context("request 7"),
+        );
+        let text = frame.to_json().encode();
+        assert!(text.starts_with(
+            "{\"schema_version\":1,\"op\":\"error\",\"error\":{\"kind\":\"overloaded\""
+        ));
+        let back = ErrorFrame::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, frame);
     }
 
     proptest! {

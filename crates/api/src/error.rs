@@ -36,11 +36,30 @@ pub enum ErrorKind {
     /// A JSON request/response failed to decode or used an unsupported
     /// schema version.
     Json,
+    /// The service refused the request under admission control — the
+    /// connection or in-flight cap was reached, or the server is
+    /// draining for shutdown. Retryable: back off and resend.
+    Overloaded,
     /// A bug: an invariant the service relies on did not hold.
     Internal,
 }
 
 impl ErrorKind {
+    /// Every kind, in exit-code order — the canonical enumeration the
+    /// documentation-sync tests iterate (update this when adding a
+    /// kind, or the `error_table` test will fail the build).
+    pub const ALL: [ErrorKind; 9] = [
+        ErrorKind::Usage,
+        ErrorKind::Io,
+        ErrorKind::Parse,
+        ErrorKind::Invalid,
+        ErrorKind::Estimate,
+        ErrorKind::Map,
+        ErrorKind::Json,
+        ErrorKind::Overloaded,
+        ErrorKind::Internal,
+    ];
+
     /// The stable wire name of the kind (lowercase, used in JSON).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -52,6 +71,7 @@ impl ErrorKind {
             ErrorKind::Estimate => "estimate",
             ErrorKind::Map => "map",
             ErrorKind::Json => "json",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
         }
     }
@@ -67,6 +87,7 @@ impl ErrorKind {
             "estimate" => ErrorKind::Estimate,
             "map" => ErrorKind::Map,
             "json" => ErrorKind::Json,
+            "overloaded" => ErrorKind::Overloaded,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -142,6 +163,7 @@ impl LeqaError {
     /// | `estimate` | 6 |
     /// | `map` | 7 |
     /// | `json` | 8 |
+    /// | `overloaded` | 9 |
     /// | `internal` | 70 |
     ///
     /// (0 is success; 1 is reserved for failures outside the taxonomy,
@@ -156,6 +178,7 @@ impl LeqaError {
             ErrorKind::Estimate => 6,
             ErrorKind::Map => 7,
             ErrorKind::Json => 8,
+            ErrorKind::Overloaded => 9,
             ErrorKind::Internal => 70,
         }
     }
@@ -281,35 +304,16 @@ mod tests {
 
     #[test]
     fn exit_codes_are_stable_and_distinct() {
-        let kinds = [
-            ErrorKind::Usage,
-            ErrorKind::Io,
-            ErrorKind::Parse,
-            ErrorKind::Invalid,
-            ErrorKind::Estimate,
-            ErrorKind::Map,
-            ErrorKind::Json,
-            ErrorKind::Internal,
-        ];
-        let codes: Vec<u8> = kinds
+        let codes: Vec<u8> = ErrorKind::ALL
             .iter()
             .map(|&k| LeqaError::new(k, "x").exit_code())
             .collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 70]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9, 70]);
     }
 
     #[test]
     fn wire_names_round_trip() {
-        for kind in [
-            ErrorKind::Usage,
-            ErrorKind::Io,
-            ErrorKind::Parse,
-            ErrorKind::Invalid,
-            ErrorKind::Estimate,
-            ErrorKind::Map,
-            ErrorKind::Json,
-            ErrorKind::Internal,
-        ] {
+        for kind in ErrorKind::ALL {
             assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(ErrorKind::from_name("nope"), None);

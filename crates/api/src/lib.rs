@@ -31,6 +31,11 @@
 //!   [`ExperimentRunner`]) executes it through the profile cache and the
 //!   sweep engine, emitting one byte-stable NDJSON row per cell plus a
 //!   summary record.
+//! * [`server`] — the persistent service daemon behind `leqa serve`:
+//!   newline-delimited JSON over stdio or TCP, every connection sharing
+//!   one resident [`Session`] (warm cache, persistent worker pool),
+//!   with admission control, a `stats` control endpoint and graceful
+//!   shutdown. Wire reference in `SERVER.md`.
 //!
 //! The full wire schema, the error/exit-code table, and a migration
 //! guide from the old free functions live in `API.md` at the workspace
@@ -70,6 +75,7 @@ mod error;
 pub mod experiment;
 pub mod json;
 pub mod render;
+pub mod server;
 mod session;
 
 pub use experiment::{
@@ -78,9 +84,11 @@ pub use experiment::{
 };
 
 pub use dto::{
-    BatchResponse, CompareRequest, CompareResponse, EstimateRequest, EstimateResponse, FabricSpec,
-    MapRequest, MapResponse, ProgramSpec, ProgramSummary, Request, Response, SweepPointDto,
-    SweepRequest, SweepResponse, ZoneRowDto, ZonesRequest, ZonesResponse, SCHEMA_VERSION,
+    BatchRequest, BatchResponse, CompareRequest, CompareResponse, ControlFrame, ErrorFrame,
+    EstimateRequest, EstimateResponse, FabricSpec, MapRequest, MapResponse, ProgramSpec,
+    ProgramSummary, Request, Response, ShutdownAck, StatsResponse, SweepPointDto, SweepRequest,
+    SweepResponse, ZoneRowDto, ZonesRequest, ZonesResponse, SCHEMA_VERSION,
 };
 pub use error::{ErrorKind, LeqaError};
+pub use server::{BoundServer, Frame, Server, ServerConfig};
 pub use session::{CacheStats, ProgramHandle, Session, SessionBuilder};

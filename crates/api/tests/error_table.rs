@@ -1,0 +1,91 @@
+//! Keeps the human-facing error/exit-code tables in `API.md` and
+//! `SERVER.md` in sync with the canonical taxonomy ([`ErrorKind::ALL`]
+//! and [`LeqaError::exit_code`]): the markdown is parsed and compared
+//! row-for-row, so adding a kind without documenting it (or documenting
+//! a code the code base does not emit) fails the build.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use leqa_api::{ErrorKind, LeqaError};
+
+/// Extracts `(kind name, exit code)` rows from every markdown table in
+/// `text` whose first cell is a backticked word and whose last cell is
+/// an integer — exactly the shape of the error/exit-code tables.
+fn parse_error_rows(text: &str) -> BTreeMap<String, u8> {
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        let Some(first) = cells.first() else { continue };
+        let Some(last) = cells.last() else { continue };
+        let Some(name) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue;
+        };
+        let Ok(code) = last.parse::<u8>() else {
+            continue;
+        };
+        let previous = rows.insert(name.to_string(), code);
+        assert!(previous.is_none(), "duplicate error-table row for `{name}`");
+    }
+    rows
+}
+
+fn canonical() -> BTreeMap<String, u8> {
+    ErrorKind::ALL
+        .iter()
+        .map(|&kind| {
+            (
+                kind.name().to_string(),
+                LeqaError::new(kind, "x").exit_code(),
+            )
+        })
+        .collect()
+}
+
+fn doc(path: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(path);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn api_md_error_table_matches_the_taxonomy() {
+    let rows = parse_error_rows(&doc("API.md"));
+    assert_eq!(
+        rows,
+        canonical(),
+        "API.md's error/exit-code table drifted from ErrorKind::ALL"
+    );
+}
+
+#[test]
+fn server_md_error_table_matches_the_taxonomy() {
+    let rows = parse_error_rows(&doc("SERVER.md"));
+    assert_eq!(
+        rows,
+        canonical(),
+        "SERVER.md's error/exit-code table drifted from ErrorKind::ALL"
+    );
+}
+
+#[test]
+fn the_parser_sees_through_the_markdown_shape() {
+    // A regression guard for the parser itself: header rows, separator
+    // rows and non-error tables must not produce rows.
+    let sample = "\
+| kind | meaning | exit code |\n\
+|---|---|---|\n\
+| `usage` | malformed request | 2 |\n\
+| `io` | unreadable input | 3 |\n\
+| endpoint | runs |\n\
+| `batch` | everything | fan-out |\n";
+    let rows = parse_error_rows(sample);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows["usage"], 2);
+    assert_eq!(rows["io"], 3);
+}

@@ -53,6 +53,16 @@ pub struct Options {
     pub spec: Option<String>,
     /// Expand the experiment grid without running it (`--dry-run`).
     pub dry_run: bool,
+    /// Serve the NDJSON protocol over stdin/stdout (`--stdio`).
+    pub stdio: bool,
+    /// Serve the NDJSON protocol over TCP (`--listen ADDR`, e.g.
+    /// `127.0.0.1:0` to let the OS pick a port).
+    pub listen: Option<String>,
+    /// Connection cap for `serve` (`--max-connections N`, 0 = unlimited).
+    pub max_connections: u64,
+    /// In-flight work-frame cap for `serve` (`--max-inflight N`,
+    /// 0 = unlimited).
+    pub max_inflight: u64,
 }
 
 impl Default for Options {
@@ -72,6 +82,10 @@ impl Default for Options {
             format: OutputFormat::Text,
             spec: None,
             dry_run: false,
+            stdio: false,
+            listen: None,
+            max_connections: 0,
+            max_inflight: 0,
         }
     }
 }
@@ -99,6 +113,8 @@ pub enum Command {
     Zones(Options),
     /// `leqa experiment`.
     Experiment(Options),
+    /// `leqa serve`.
+    Serve(Options),
 }
 
 /// Parses the argument vector (program name excluded).
@@ -218,6 +234,25 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             "--dry-run" => {
                 opts.dry_run = true;
             }
+            "--stdio" => {
+                opts.stdio = true;
+            }
+            "--listen" => {
+                opts.listen = Some(value(&rest, &mut i, "--listen")?.clone());
+            }
+            "--max-connections" => {
+                opts.max_connections =
+                    value(&rest, &mut i, "--max-connections")?
+                        .parse()
+                        .map_err(|_| {
+                            LeqaError::usage("--max-connections needs a non-negative integer")
+                        })?;
+            }
+            "--max-inflight" => {
+                opts.max_inflight = value(&rest, &mut i, "--max-inflight")?
+                    .parse()
+                    .map_err(|_| LeqaError::usage("--max-inflight needs a non-negative integer"))?;
+            }
             "--sizes" => {
                 let list = value(&rest, &mut i, "--sizes")?;
                 opts.sizes = list
@@ -294,6 +329,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 ));
             }
             Ok(Command::Experiment(opts))
+        }
+        "serve" => {
+            if opts.stdio == opts.listen.is_some() {
+                return Err(LeqaError::usage(
+                    "`leqa serve` needs exactly one transport: --stdio or --listen ADDR",
+                ));
+            }
+            Ok(Command::Serve(opts))
         }
         other => Err(LeqaError::usage(format!(
             "unknown command `{other}`; try `leqa help`"
@@ -402,7 +445,8 @@ mod tests {
                 | Command::Gen(o)
                 | Command::Dot(o, _)
                 | Command::Zones(o)
-                | Command::Experiment(o) => o,
+                | Command::Experiment(o)
+                | Command::Serve(o) => o,
                 Command::Help => panic!("wrong command"),
             };
             assert_eq!(opts.format, OutputFormat::Json, "{args:?}");
@@ -421,6 +465,39 @@ mod tests {
         };
         assert_eq!(opts.spec.as_deref(), Some("grid.json"));
         assert!(opts.dry_run);
+    }
+
+    #[test]
+    fn serve_requires_exactly_one_transport() {
+        let err = parse(&argv(&["serve"])).unwrap_err();
+        assert_eq!(err.kind(), leqa_api::ErrorKind::Usage);
+        assert!(err.to_string().contains("--stdio or --listen"));
+        assert!(parse(&argv(&["serve", "--stdio", "--listen", "127.0.0.1:0"])).is_err());
+
+        let cmd = parse(&argv(&["serve", "--stdio"])).unwrap();
+        let Command::Serve(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert!(opts.stdio);
+
+        let cmd = parse(&argv(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--max-connections",
+            "8",
+            "--max-inflight",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Serve(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.max_connections, 8);
+        assert_eq!(opts.max_inflight, 4);
+
+        assert!(parse(&argv(&["serve", "--stdio", "--max-inflight", "lots"])).is_err());
     }
 
     #[test]

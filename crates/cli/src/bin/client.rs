@@ -1,0 +1,78 @@
+//! `leqa-client` — a minimal line-oriented TCP client for the `leqa
+//! serve` daemon, used by the CI smoke step and handy for manual poking.
+//!
+//! ```text
+//! leqa-client ADDR [LINE ...]    # send each LINE, print each reply line
+//! leqa-client ADDR -             # pipe stdin lines instead
+//! ```
+//!
+//! Exits 0 when every line got a reply; exit code 3 (`io`) when the
+//! connection fails; exit code 9 (`overloaded`) when any reply is an
+//! `overloaded` error frame, and the error frame's own code for other
+//! error replies — so shell pipelines can branch on the taxonomy
+//! without parsing JSON.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use leqa_api::{json, ErrorFrame};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((addr, lines)) = args.split_first() else {
+        eprintln!("usage: leqa-client ADDR [LINE ...] (or `-` to read lines from stdin)");
+        return ExitCode::from(2);
+    };
+    match run(addr, lines) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// Sends each line and prints each reply; returns the worst error-frame
+/// exit code seen (0 when every reply was a success envelope).
+fn run(addr: &str, lines: &[String]) -> std::io::Result<ExitCode> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut worst = 0u8;
+
+    let mut roundtrip = |line: &str, reader: &mut BufReader<TcpStream>| -> std::io::Result<()> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        writer.write_all(line.trim().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ));
+        }
+        print!("{reply}");
+        if let Ok(doc) = json::parse(reply.trim_end()) {
+            if let Ok(frame) = ErrorFrame::from_json(&doc) {
+                worst = worst.max(frame.error.exit_code());
+            }
+        }
+        Ok(())
+    };
+
+    if lines.len() == 1 && lines[0] == "-" {
+        for line in std::io::stdin().lock().lines() {
+            roundtrip(&line?, &mut reader)?;
+        }
+    } else {
+        for line in lines {
+            roundtrip(line, &mut reader)?;
+        }
+    }
+    Ok(ExitCode::from(worst))
+}

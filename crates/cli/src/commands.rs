@@ -12,6 +12,7 @@ pub mod estimate;
 pub mod experiment;
 pub mod gen;
 pub mod map;
+pub mod serve;
 pub mod suite;
 pub mod sweep;
 pub mod zones;

@@ -14,6 +14,7 @@
 //! leqa sweep    <circuit.qc> --sizes 20,40,60 [...]
 //! leqa gen      --bench NAME
 //! leqa experiment --spec FILE.json [--dry-run]
+//! leqa serve      (--stdio | --listen ADDR) [--max-connections N] [--max-inflight N]
 //! ```
 //!
 //! Every subcommand accepts `--format json|text`; JSON output is one
@@ -47,6 +48,7 @@ USAGE:
   leqa dot      (<circuit.qc> | --bench NAME) [--graph qodg|iig]
   leqa zones    (<circuit.qc> | --bench NAME) [--trace N]
   leqa experiment --spec FILE.json [--dry-run]
+  leqa serve    (--stdio | --listen ADDR) [--max-connections N] [--max-inflight N]
   leqa help
 
 Every command also accepts `--format json|text` (default text); JSON
@@ -59,6 +61,15 @@ declares workloads × fabric sizes × physical-parameter variants ×
 router/movement variants, with per-axis filters and a result selector
 (see the Experiments section of API.md and examples/experiment_small.json).
 `--dry-run` validates the spec and prints the expanded cell count.
+
+`serve` keeps one session resident and speaks newline-delimited JSON
+over stdin/stdout (`--stdio`) or TCP (`--listen 127.0.0.1:PORT`; port 0
+lets the OS pick — the bound address is announced as `listening on
+ADDR`). Caps are optional (0 = unlimited); over-cap work is refused
+with an `overloaded` error frame (exit/error code 9). Operators steer
+the daemon with `{\"cmd\":\"stats\"}` and `{\"cmd\":\"shutdown\"}`
+lines; the full wire reference is SERVER.md. `leqa-client ADDR [LINE...]` is a
+minimal line-oriented TCP client for smoke tests.
 
 Circuits use the line-based text format shared by LEQA and QSPR
 (`.qubits N`, then one gate per line: h/t/tdg/s/sdg/x/y/z/cnot/toffoli/
@@ -91,6 +102,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Command::Dot(opts, graph) => commands::dot::run(&opts, graph, out),
         Command::Zones(opts) => commands::zones::run(&opts, out),
         Command::Experiment(opts) => commands::experiment::run(&opts, out),
+        Command::Serve(opts) => commands::serve::run(&opts, out),
     }
 }
 

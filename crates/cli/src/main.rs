@@ -1,7 +1,7 @@
 //! The `leqa` command-line tool. All logic lives in [`leqa_cli`]; this
 //! binary only collects arguments and maps the unified error taxonomy to
 //! the stable exit codes documented in API.md (usage 2, io 3, parse 4,
-//! invalid 5, estimate 6, map 7, json 8, internal 70).
+//! invalid 5, estimate 6, map 7, json 8, overloaded 9, internal 70).
 
 use std::process::ExitCode;
 

@@ -1,0 +1,150 @@
+//! Process-level tests of `leqa serve`: the stdio transport driven as a
+//! real child process, the TCP transport driven through the bundled
+//! `leqa-client`, and the serve-specific exit codes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+use leqa_api::{ControlFrame, EstimateRequest, ProgramSpec, Request, Session};
+
+fn estimate_line(name: &str) -> String {
+    Request::Estimate(EstimateRequest::new(ProgramSpec::bench(name)))
+        .to_json()
+        .encode()
+}
+
+#[test]
+fn stdio_round_trip_is_byte_identical_and_exits_cleanly() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_leqa"))
+        .args(["serve", "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    let mut roundtrip = |line: &str| -> String {
+        writeln!(stdin, "{line}").expect("write request line");
+        stdin.flush().expect("flush");
+        let mut reply = String::new();
+        stdout.read_line(&mut reply).expect("read reply line");
+        reply.trim_end_matches('\n').to_string()
+    };
+
+    // Two estimates: the second must be served from the daemon's cache,
+    // byte-identical to the same sequence on a direct session.
+    let direct = Session::builder().build().unwrap();
+    let req = EstimateRequest::new(ProgramSpec::bench("qft_8"));
+    for _ in 0..2 {
+        let reply = roundtrip(&estimate_line("qft_8"));
+        let expected = direct.estimate(&req).unwrap().to_json().encode();
+        assert_eq!(reply, expected);
+    }
+
+    let stats = roundtrip(&ControlFrame::Stats.to_json().encode());
+    assert!(stats.contains("\"requests\":{\"estimate\":2,"), "{stats}");
+    assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+
+    let ack = roundtrip(&ControlFrame::Shutdown.to_json().encode());
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn stdio_daemon_exits_cleanly_on_pipe_close() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_leqa"))
+        .args(["serve", "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    writeln!(stdin, "{}", estimate_line("qft_8")).unwrap();
+    drop(stdin); // EOF: the supervisor hung up.
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"op\":\"estimate\""));
+}
+
+#[test]
+fn serve_without_a_transport_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa"))
+        .arg("serve")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stdio or --listen"));
+}
+
+/// Spawns `leqa serve --listen 127.0.0.1:0` and parses the announced
+/// address from its stdout.
+fn spawn_tcp_daemon() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_leqa"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announcement format")
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn tcp_daemon_serves_the_bundled_client_and_shuts_down() {
+    let (child, addr) = spawn_tcp_daemon();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args([
+            addr.as_str(),
+            &estimate_line("qft_8"),
+            &ControlFrame::Stats.to_json().encode(),
+        ])
+        .output()
+        .expect("client runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let replies = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = replies.lines().collect();
+    assert_eq!(lines.len(), 2, "{replies}");
+    assert!(lines[0].starts_with("{\"schema_version\":1,\"op\":\"estimate\""));
+    assert!(lines[1].starts_with("{\"schema_version\":1,\"op\":\"stats\""));
+
+    // An error reply maps to the client's exit code (usage 2 here).
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args([addr.as_str(), &estimate_line("no-such-bench")])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args([addr.as_str(), &ControlFrame::Shutdown.to_json().encode()])
+        .output()
+        .expect("client runs");
+    assert!(out.status.success());
+
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -171,6 +171,30 @@ impl Pool {
         self.workers
     }
 
+    /// Helper jobs currently sitting in the injector queue (claimed
+    /// slots a `map` call already reclaimed still count until a worker
+    /// pops them). A quiesced pool reports 0.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.queue.lock().expect("no poisoning").len()
+    }
+
+    /// Drains the injector queue on the calling thread: pops every
+    /// queued helper slot and runs it (already-reclaimed slots are
+    /// no-ops). Service daemons call this on graceful shutdown so the
+    /// pool is quiescent before the process reports a clean exit; since
+    /// [`map`](Self::map) is synchronous, a drain after all submitters
+    /// returned leaves nothing behind.
+    pub fn drain(&self) {
+        loop {
+            let slot = self.shared.queue.lock().expect("no poisoning").pop_front();
+            match slot {
+                Some(slot) => slot.run(),
+                None => return,
+            }
+        }
+    }
+
     /// Maps `f` over `items` on the pool, preserving order. Results are
     /// identical to `items.iter().map(f).collect()` — only wall-clock
     /// changes. The submitting thread participates, so the call
@@ -382,6 +406,21 @@ mod tests {
         assert!(result.is_err());
         // The pool survives a panicked map.
         assert_eq!(pool.map(&[1u64, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_leaves_the_queue_empty_and_the_pool_serviceable() {
+        let pool = Pool::with_workers(2);
+        for _ in 0..8 {
+            let items: Vec<u64> = (0..64).collect();
+            let _ = pool.map(&items, |&x| x + 1);
+        }
+        pool.drain();
+        assert_eq!(pool.queued_jobs(), 0);
+        // The pool still serves after a drain.
+        assert_eq!(pool.map(&[1u64, 2], |&x| x * 2), vec![2, 4]);
+        pool.drain();
+        assert_eq!(pool.queued_jobs(), 0);
     }
 
     #[test]
