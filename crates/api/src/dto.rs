@@ -1330,6 +1330,31 @@ pub enum ControlFrame {
     /// `{"cmd":"shutdown"}` — acknowledge with a [`ShutdownAck`], stop
     /// accepting work, drain in-flight requests, and exit.
     Shutdown,
+    /// `{"cmd":"upgrade","proto":"frame1"}` — acknowledge with an
+    /// [`UpgradeAck`] line, then switch this connection to the named
+    /// binary framing (see [`crate::frame`]). TCP connections only.
+    Upgrade(FrameProto),
+}
+
+/// Wire protocols a connection can upgrade to (see
+/// [`ControlFrame::Upgrade`]). Today there is exactly one; the enum
+/// keeps the negotiation forward-compatible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameProto {
+    /// `[u32 len][u32 tag][JSON payload]` little-endian framing
+    /// ([`crate::frame`]).
+    Frame1,
+}
+
+impl FrameProto {
+    /// The wire name of the protocol.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameProto::Frame1 => crate::frame::FRAME1,
+        }
+    }
 }
 
 impl ControlFrame {
@@ -1339,13 +1364,18 @@ impl ControlFrame {
         match self {
             ControlFrame::Stats => "stats",
             ControlFrame::Shutdown => "shutdown",
+            ControlFrame::Upgrade(_) => "upgrade",
         }
     }
 
     /// Serializes the control line.
     #[must_use]
     pub fn to_json(self) -> Json {
-        Json::obj(vec![("cmd", Json::str(self.name()))])
+        let mut entries = vec![("cmd", Json::str(self.name()))];
+        if let ControlFrame::Upgrade(proto) = self {
+            entries.push(("proto", Json::str(proto.name())));
+        }
+        Json::obj(entries)
     }
 
     /// Decodes a control line (any object with a `cmd` key).
@@ -1353,14 +1383,21 @@ impl ControlFrame {
     /// # Errors
     ///
     /// [`ErrorKind::Json`] when `cmd` is missing or names no known
-    /// command.
+    /// command, or when an `upgrade` names no known protocol.
     pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
         match str_field(value, "cmd", "control frame")?.as_str() {
             "stats" => Ok(ControlFrame::Stats),
             "shutdown" => Ok(ControlFrame::Shutdown),
+            "upgrade" => match str_field(value, "proto", "upgrade frame")?.as_str() {
+                crate::frame::FRAME1 => Ok(ControlFrame::Upgrade(FrameProto::Frame1)),
+                other => Err(LeqaError::new(
+                    ErrorKind::Json,
+                    format!("unknown upgrade protocol `{other}` (frame1)"),
+                )),
+            },
             other => Err(LeqaError::new(
                 ErrorKind::Json,
-                format!("unknown control command `{other}` (stats|shutdown)"),
+                format!("unknown control command `{other}` (stats|shutdown|upgrade)"),
             )),
         }
     }
@@ -1400,6 +1437,15 @@ pub struct StatsResponse {
     /// refused at the inflight cap or while draining, plus whole
     /// connections refused at the connection cap.
     pub overloaded: u64,
+    /// Transport bytes read from clients (NDJSON lines and binary
+    /// frames alike). Additive in schema v1: absent on pre-frame
+    /// daemons, decoded as 0.
+    pub bytes_in: u64,
+    /// Transport bytes written to clients (additive, see `bytes_in`).
+    pub bytes_out: u64,
+    /// Binary frames decoded but not yet answered (gauge; 0 on NDJSON
+    /// connections, where the line loop never holds more than one).
+    pub frames_in_flight: u64,
     /// Session cache counters at snapshot time (see
     /// [`CacheStats`](crate::CacheStats)).
     pub cache: crate::session::CacheStats,
@@ -1435,6 +1481,9 @@ impl StatsResponse {
             ),
             ("errors", Json::Num(self.errors as f64)),
             ("overloaded", Json::Num(self.overloaded as f64)),
+            ("bytes_in", Json::Num(self.bytes_in as f64)),
+            ("bytes_out", Json::Num(self.bytes_out as f64)),
+            ("frames_in_flight", Json::Num(self.frames_in_flight as f64)),
             (
                 "cache",
                 Json::obj(vec![
@@ -1474,6 +1523,10 @@ impl StatsResponse {
             experiment: u64_field(requests, "experiment", what)?,
             errors: u64_field(value, "errors", what)?,
             overloaded: u64_field(value, "overloaded", what)?,
+            // Additive in schema v1: pre-frame daemons omit these.
+            bytes_in: opt_u64(value, "bytes_in", what)?.unwrap_or(0),
+            bytes_out: opt_u64(value, "bytes_out", what)?.unwrap_or(0),
+            frames_in_flight: opt_u64(value, "frames_in_flight", what)?.unwrap_or(0),
             cache: crate::session::CacheStats {
                 profile_builds: u64_field(cache, "profile_builds", what)?,
                 cache_hits: u64_field(cache, "cache_hits", what)?,
@@ -1482,6 +1535,79 @@ impl StatsResponse {
             },
             uptime_ticks: u64_field(value, "uptime_ticks", what)?,
         })
+    }
+
+    /// Accumulates another snapshot into this one — the shard front-end
+    /// (`leqa shard`) answers `{"cmd":"stats"}` with the sum over its
+    /// replicas. Counters and gauges both add; a summed gauge reads as
+    /// "across the fleet".
+    pub fn merge(&mut self, other: &StatsResponse) {
+        self.connections += other.connections;
+        self.active_connections += other.active_connections;
+        self.inflight += other.inflight;
+        self.estimate += other.estimate;
+        self.sweep += other.sweep;
+        self.zones += other.zones;
+        self.compare += other.compare;
+        self.map += other.map;
+        self.batch += other.batch;
+        self.experiment += other.experiment;
+        self.errors += other.errors;
+        self.overloaded += other.overloaded;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frames_in_flight += other.frames_in_flight;
+        self.cache.profile_builds += other.cache.profile_builds;
+        self.cache.cache_hits += other.cache.cache_hits;
+        self.cache.cache_misses += other.cache.cache_misses;
+        self.cache.loads += other.cache.loads;
+        self.uptime_ticks += other.uptime_ticks;
+    }
+}
+
+/// Reply to `{"cmd":"upgrade","proto":…}`: the last NDJSON line on this
+/// connection — every byte after it speaks the acknowledged framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct UpgradeAck {
+    /// The protocol now in effect.
+    pub proto: FrameProto,
+}
+
+impl UpgradeAck {
+    /// Serializes the acknowledgement envelope.
+    #[must_use]
+    pub fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+            ("op", Json::str("upgrade")),
+            ("proto", Json::str(self.proto.name())),
+        ])
+    }
+
+    /// Decodes an acknowledgement envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Json`] on schema-version mismatch, a wrong `op`, or
+    /// an unknown protocol name.
+    pub fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        check_schema_version(value)?;
+        match field(value, "op", "upgrade ack")?.as_str() {
+            Some("upgrade") => match str_field(value, "proto", "upgrade ack")?.as_str() {
+                crate::frame::FRAME1 => Ok(UpgradeAck {
+                    proto: FrameProto::Frame1,
+                }),
+                other => Err(LeqaError::new(
+                    ErrorKind::Json,
+                    format!("unknown upgrade protocol `{other}` in ack"),
+                )),
+            },
+            _ => Err(LeqaError::new(
+                ErrorKind::Json,
+                "upgrade ack must carry op `upgrade`",
+            )),
+        }
     }
 }
 
@@ -1679,6 +1805,32 @@ mod tests {
     }
 
     #[test]
+    fn upgrade_control_frame_and_ack_round_trip() {
+        let frame = ControlFrame::Upgrade(FrameProto::Frame1);
+        let text = frame.to_json().encode();
+        assert_eq!(text, "{\"cmd\":\"upgrade\",\"proto\":\"frame1\"}");
+        assert_eq!(
+            ControlFrame::from_json(&parse(&text).unwrap()).unwrap(),
+            frame
+        );
+        let err = ControlFrame::from_json(&parse(r#"{"cmd":"upgrade","proto":"frame9"}"#).unwrap())
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Json);
+        // A bare upgrade without a protocol is malformed.
+        assert!(ControlFrame::from_json(&parse(r#"{"cmd":"upgrade"}"#).unwrap()).is_err());
+
+        let ack = UpgradeAck {
+            proto: FrameProto::Frame1,
+        };
+        let text = ack.to_json().encode();
+        assert_eq!(
+            text,
+            "{\"schema_version\":1,\"op\":\"upgrade\",\"proto\":\"frame1\"}"
+        );
+        assert_eq!(UpgradeAck::from_json(&parse(&text).unwrap()).unwrap(), ack);
+    }
+
+    #[test]
     fn stats_response_round_trips_byte_stably() {
         let stats = StatsResponse {
             connections: 3,
@@ -1693,6 +1845,9 @@ mod tests {
             experiment: 6,
             errors: 7,
             overloaded: 8,
+            bytes_in: 4096,
+            bytes_out: 8192,
+            frames_in_flight: 3,
             cache: crate::session::CacheStats {
                 profile_builds: 2,
                 cache_hits: 9,
@@ -1709,8 +1864,35 @@ mod tests {
             !text.contains("timestamp") && !text.contains("wall"),
             "no wall-clock on the wire: {text}"
         );
+        assert!(text.contains("\"bytes_in\":4096,\"bytes_out\":8192,\"frames_in_flight\":3,"));
         let back = StatsResponse::from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn stats_decode_tolerates_pre_frame_snapshots_and_merge_sums() {
+        // A PR-5-era daemon omits the byte counters; decode as zero.
+        let old = "{\"schema_version\":1,\"op\":\"stats\",\"connections\":1,\
+                   \"active_connections\":0,\"inflight\":0,\
+                   \"requests\":{\"estimate\":2,\"sweep\":0,\"zones\":0,\"compare\":0,\
+                   \"map\":0,\"batch\":0,\"experiment\":0},\
+                   \"errors\":0,\"overloaded\":0,\
+                   \"cache\":{\"profile_builds\":1,\"cache_hits\":1,\"cache_misses\":1,\"loads\":2},\
+                   \"uptime_ticks\":3}";
+        let a = StatsResponse::from_json(&parse(old).unwrap()).unwrap();
+        assert_eq!(a.bytes_in, 0);
+        assert_eq!(a.frames_in_flight, 0);
+
+        let mut total = a;
+        let mut b = a;
+        b.bytes_in = 100;
+        b.estimate = 5;
+        total.merge(&b);
+        assert_eq!(total.connections, 2);
+        assert_eq!(total.estimate, 7);
+        assert_eq!(total.bytes_in, 100);
+        assert_eq!(total.cache.loads, 4);
+        assert_eq!(total.uptime_ticks, 6);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The `frame1` binary framing codec: length-prefixed, tagged frames
+//! carrying the existing byte-stable JSON payloads.
+//!
+//! NDJSON (one JSON document per line) stays the daemon's default and
+//! debug wire format — and the golden-test anchor — but it forces one
+//! parse/serialize round trip per request *and* strict request/response
+//! alternation per connection. The `frame1` protocol removes only the
+//! transport constraint: a connection that sends
+//! `{"cmd":"upgrade","proto":"frame1"}` switches (after the NDJSON ack
+//! line) to length-prefixed binary frames
+//!
+//! ```text
+//! [u32 len (LE)] [u32 tag (LE)] [len bytes of payload]
+//! ```
+//!
+//! where the payload is exactly the JSON document that would have been
+//! one NDJSON line (no trailing newline). The `tag` is chosen freely by
+//! the client and echoed verbatim on the response frame; because every
+//! response carries its request's tag, the server may complete frames
+//! **out of order** and the client may keep many requests in flight.
+//! Payload bytes are byte-identical to NDJSON mode and to direct
+//! [`Session`](crate::Session) calls — only the transport changes.
+//!
+//! Framing violations (oversized length, truncated stream) are
+//! protocol-fatal: the server answers with one error frame and closes,
+//! mirroring the NDJSON invalid-line discipline. The length cap
+//! ([`MAX_FRAME_PAYLOAD`]) plays the same resource-bounding role as the
+//! JSON parser's depth cap: malformed or hostile input fails fast with a
+//! typed [`ErrorKind::Json`] error instead of an allocation blow-up.
+
+use std::io::Write;
+
+use crate::error::{ErrorKind, LeqaError};
+
+/// Protocol name clients pass in `{"cmd":"upgrade","proto":...}`.
+pub const FRAME1: &str = "frame1";
+
+/// Hard cap on a single frame's payload size (16 MiB). Larger `len`
+/// prefixes are rejected before any payload allocation — the framing
+/// analogue of the JSON depth cap.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+
+/// Bytes of `[len][tag]` prefix in front of every payload.
+pub const FRAME_HEADER: usize = 8;
+
+/// A framing-layer error: the typed error plus, when the offending
+/// frame's header was readable, the tag it carried (so error replies can
+/// be routed back to the right in-flight request).
+#[derive(Debug)]
+pub struct FrameError {
+    /// Tag of the offending frame, when the header was decodable.
+    pub tag: Option<u32>,
+    /// The underlying typed error (kind [`ErrorKind::Json`]).
+    pub error: LeqaError,
+}
+
+impl FrameError {
+    fn new(tag: Option<u32>, message: impl Into<String>) -> Self {
+        FrameError {
+            tag,
+            error: LeqaError::new(ErrorKind::Json, message),
+        }
+    }
+}
+
+/// Writes one `[len][tag][payload]` frame. The payload must fit
+/// [`MAX_FRAME_PAYLOAD`]; the daemon's own replies always do (they are
+/// single JSON documents), so an oversized write is a caller bug
+/// surfaced as [`ErrorKind::Internal`].
+///
+/// # Errors
+///
+/// I/O errors from `w`, or `Internal` if `payload` exceeds the cap.
+pub fn write_frame(w: &mut dyn Write, tag: u32, payload: &[u8]) -> Result<(), LeqaError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_PAYLOAD)
+        .ok_or_else(|| {
+            LeqaError::internal(format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte cap",
+                payload.len()
+            ))
+        })?;
+    let mut header = [0u8; FRAME_HEADER];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4..].copy_from_slice(&tag.to_le_bytes());
+    w.write_all(&header)
+        .and_then(|()| w.write_all(payload))
+        .map_err(|e| LeqaError::new(ErrorKind::Io, format!("writing frame: {e}")))
+}
+
+/// Incremental `frame1` decoder: feed raw bytes with [`push`], pop
+/// complete frames with [`next`], and call [`finish`] at EOF to turn a
+/// partial trailing frame into a typed error.
+///
+/// [`push`]: FrameDecoder::push
+/// [`next`]: FrameDecoder::next
+/// [`finish`]: FrameDecoder::finish
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Byte offset of the next undecoded frame in `buf` (consumed bytes
+    /// are compacted away once they outgrow the unread remainder).
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with empty buffer state.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw transport bytes to the decode buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: drop consumed bytes when they dominate
+        // the buffer so a long-lived connection doesn't accrete memory.
+        if self.pos > 0 && self.pos >= self.buf.len() - self.pos {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame as `(tag, payload)`, or `None` when
+    /// more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] (kind `json`) when the header announces a payload
+    /// over [`MAX_FRAME_PAYLOAD`]; the error carries the frame's tag so
+    /// the reply can be routed, and the decoder is poisoned for further
+    /// use (the stream position is no longer trustworthy).
+    // Not `Iterator`: the fallible `Result<Option<_>>` shape can't be.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(u32, Vec<u8>)>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        let tag = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::new(
+                Some(tag),
+                format!("frame length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"),
+            ));
+        }
+        let total = FRAME_HEADER + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER..total].to_vec();
+        self.pos += total;
+        Ok(Some((tag, payload)))
+    }
+
+    /// Call at EOF: a cleanly closed stream ends exactly on a frame
+    /// boundary, so leftover bytes are a truncated frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] (kind `json`) when bytes remain; carries the
+    /// partial frame's tag when at least the header arrived.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            return Ok(());
+        }
+        let tag = (avail.len() >= FRAME_HEADER)
+            .then(|| u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes")));
+        Err(FrameError::new(
+            tag,
+            format!(
+                "connection closed mid-frame with {} undecoded bytes",
+                avail.len()
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn decode_all(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
+        let mut dec = FrameDecoder::new();
+        dec.push(bytes);
+        let mut out = Vec::new();
+        while let Some(frame) = dec.next().expect("well-formed stream") {
+            out.push(frame);
+        }
+        dec.finish().expect("no trailing bytes");
+        out
+    }
+
+    #[test]
+    fn empty_payload_and_extreme_tags_round_trip() {
+        for tag in [0u32, 1, u32::MAX, u32::MAX - 1] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, tag, b"").unwrap();
+            assert_eq!(wire.len(), FRAME_HEADER);
+            assert_eq!(decode_all(&wire), vec![(tag, Vec::new())]);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_with_its_tag() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        wire.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let err = dec.next().unwrap_err();
+        assert_eq!(err.tag, Some(0xdead_beef));
+        assert_eq!(err.error.kind(), ErrorKind::Json);
+        assert!(err.error.message().contains("exceeds"), "{}", err.error);
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payloads() {
+        let payload = vec![0u8; MAX_FRAME_PAYLOAD as usize + 1];
+        let err = write_frame(&mut Vec::new(), 1, &payload).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Internal);
+    }
+
+    #[test]
+    fn truncated_header_reports_without_tag() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[1, 2, 3]);
+        assert!(dec.next().unwrap().is_none());
+        let err = dec.finish().unwrap_err();
+        assert_eq!(err.tag, None);
+        assert_eq!(err.error.kind(), ErrorKind::Json);
+    }
+
+    #[test]
+    fn truncated_payload_reports_the_tag() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 42, b"abcdef").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(dec.next().unwrap().is_none());
+        let err = dec.finish().unwrap_err();
+        assert_eq!(err.tag, Some(42));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn frames_round_trip_through_arbitrary_chunking(
+            seed in 0u64..u64::MAX,
+            frames in 1usize..8,
+            chunk in 1usize..64,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut wire = Vec::new();
+            let mut expect = Vec::new();
+            for _ in 0..frames {
+                let tag: u32 = rng.gen();
+                let len = rng.gen_range(0usize..2048);
+                let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                write_frame(&mut wire, tag, &payload).unwrap();
+                expect.push((tag, payload));
+            }
+            // One-shot decode and chunked decode must agree.
+            prop_assert_eq!(&decode_all(&wire), &expect);
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.push(piece);
+                while let Some(frame) = dec.next().expect("well-formed") {
+                    got.push(frame);
+                }
+            }
+            dec.finish().expect("stream ends on a boundary");
+            prop_assert_eq!(&got, &expect);
+        }
+
+        #[test]
+        fn truncation_at_any_byte_is_a_typed_error(
+            seed in 0u64..u64::MAX,
+            len in 0usize..256,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let tag: u32 = rng.gen();
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, tag, &payload).unwrap();
+            let cut = rng.gen_range(0..wire.len());
+            if cut == 0 {
+                return; // zero bytes at EOF is a clean close
+            }
+            let mut dec = FrameDecoder::new();
+            dec.push(&wire[..cut]);
+            prop_assert!(dec.next().expect("no complete frame yet").is_none());
+            let err = dec.finish().expect_err("truncated");
+            prop_assert_eq!(err.error.kind(), ErrorKind::Json);
+            if cut >= FRAME_HEADER {
+                prop_assert_eq!(err.tag, Some(tag));
+            }
+        }
+    }
+}

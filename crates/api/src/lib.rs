@@ -73,10 +73,12 @@
 mod dto;
 mod error;
 pub mod experiment;
+pub mod frame;
 pub mod json;
 pub mod render;
 pub mod server;
 mod session;
+pub mod shard;
 
 pub use experiment::{
     AxisFilter, CellMetrics, CellRow, ExperimentMode, ExperimentPlan, ExperimentResponse,
@@ -85,10 +87,13 @@ pub use experiment::{
 
 pub use dto::{
     BatchRequest, BatchResponse, CompareRequest, CompareResponse, ControlFrame, ErrorFrame,
-    EstimateRequest, EstimateResponse, FabricSpec, MapRequest, MapResponse, ProgramSpec,
-    ProgramSummary, Request, Response, ShutdownAck, StatsResponse, SweepPointDto, SweepRequest,
-    SweepResponse, ZoneRowDto, ZonesRequest, ZonesResponse, SCHEMA_VERSION,
+    EstimateRequest, EstimateResponse, FabricSpec, FrameProto, MapRequest, MapResponse,
+    ProgramSpec, ProgramSummary, Request, Response, ShutdownAck, StatsResponse, SweepPointDto,
+    SweepRequest, SweepResponse, UpgradeAck, ZoneRowDto, ZonesRequest, ZonesResponse,
+    SCHEMA_VERSION,
 };
 pub use error::{ErrorKind, LeqaError};
+pub use frame::{write_frame, FrameDecoder, FrameError, FRAME1, MAX_FRAME_PAYLOAD};
 pub use server::{BoundServer, Frame, Server, ServerConfig};
 pub use session::{CacheStats, ProgramHandle, Session, SessionBuilder};
+pub use shard::{BoundShard, Shard};

@@ -27,6 +27,13 @@
 //!   `{"cmd":"shutdown"}` ([`ShutdownAck`]). Control frames bypass
 //!   admission control so operators can always reach a saturated
 //!   daemon.
+//! * **Binary frame mode** — a TCP connection that sends
+//!   `{"cmd":"upgrade","proto":"frame1"}` switches (after the ack line)
+//!   to length-prefixed `[u32 len][u32 tag][payload]` frames
+//!   ([`crate::frame`]): payloads are the same byte-stable JSON
+//!   documents, but requests pipeline and responses complete **out of
+//!   order**, matched by tag. NDJSON stays the default and the
+//!   golden-test anchor.
 //!
 //! # Admission control and shutdown
 //!
@@ -54,14 +61,19 @@
 //! # }
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use crate::dto::{BatchRequest, ControlFrame, ErrorFrame, Request, ShutdownAck, StatsResponse};
+use crate::dto::{
+    BatchRequest, ControlFrame, ErrorFrame, FrameProto, Request, ShutdownAck, StatsResponse,
+    UpgradeAck,
+};
 use crate::experiment::ScenarioSpec;
+use crate::frame::{write_frame, FrameDecoder, FRAME_HEADER};
 use crate::json::{self, Json};
 use crate::{ErrorKind, LeqaError, Session};
 
@@ -140,6 +152,9 @@ struct Stats {
     experiment: AtomicU64,
     errors: AtomicU64,
     overloaded: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in_flight: AtomicU64,
     ticks: AtomicU64,
 }
 
@@ -201,14 +216,20 @@ impl Frame {
 }
 
 /// Decrements the inflight gauge when a work frame finishes (also on
-/// panic, so a poisoned request cannot leak permits).
-struct InflightPermit<'a> {
-    inflight: &'a AtomicU64,
+/// panic, so a poisoned request cannot leak permits). Owns a `Server`
+/// handle instead of a borrow so pipelined frame jobs can carry their
+/// permit into the `'static` worker-pool closure.
+struct InflightPermit {
+    server: Server,
 }
 
-impl Drop for InflightPermit<'_> {
+impl Drop for InflightPermit {
     fn drop(&mut self) {
-        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.server
+            .inner
+            .stats
+            .inflight
+            .fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -306,6 +327,9 @@ impl Server {
             experiment: s.experiment.load(Ordering::Relaxed),
             errors: s.errors.load(Ordering::Relaxed),
             overloaded: s.overloaded.load(Ordering::Relaxed),
+            bytes_in: s.bytes_in.load(Ordering::Relaxed),
+            bytes_out: s.bytes_out.load(Ordering::Relaxed),
+            frames_in_flight: s.frames_in_flight.load(Ordering::Relaxed),
             cache: self.inner.session.cache_stats(),
             uptime_ticks: s.ticks.load(Ordering::Relaxed),
         }
@@ -336,43 +360,50 @@ impl Server {
                 self.shutdown();
                 ack
             }
+            // The TCP transport intercepts upgrade lines before they
+            // reach the engine; seeing one here means the transport
+            // cannot switch framing (stdio, in-memory).
+            Frame::Control(ControlFrame::Upgrade(_)) => self.error_reply(LeqaError::new(
+                ErrorKind::Json,
+                "`upgrade` is only available on the TCP transport",
+            )),
+            work => match self.admit() {
+                Ok(permit) => self.execute_work(work, permit),
+                Err(e) => self.overloaded_reply(e),
+            },
+        })
+    }
+
+    /// Executes one already-admitted work frame, holding `permit` for
+    /// the duration. Shared by the NDJSON line engine and the pipelined
+    /// frame dispatcher, so both transports produce byte-identical
+    /// replies through one code path.
+    fn execute_work(&self, frame: Frame, permit: InflightPermit) -> String {
+        let reply = match frame {
             Frame::Single(req) => {
-                let permit = match self.admit() {
-                    Ok(permit) => permit,
-                    Err(e) => return Some(self.overloaded_reply(e)),
-                };
                 self.count_endpoint(&req);
-                let reply = match self.inner.session.execute(&req) {
+                match self.inner.session.execute(&req) {
                     Ok(resp) => resp.to_json().encode(),
                     Err(e) => self.error_reply(e),
-                };
-                drop(permit);
-                reply
+                }
             }
             Frame::Batch(batch) => {
-                let permit = match self.admit() {
-                    Ok(permit) => permit,
-                    Err(e) => return Some(self.overloaded_reply(e)),
-                };
                 self.inner.stats.batch.fetch_add(1, Ordering::Relaxed);
-                let reply = self.inner.session.batch(&batch.requests).to_json().encode();
-                drop(permit);
-                reply
+                self.inner.session.batch(&batch.requests).to_json().encode()
             }
             Frame::Experiment(spec) => {
-                let permit = match self.admit() {
-                    Ok(permit) => permit,
-                    Err(e) => return Some(self.overloaded_reply(e)),
-                };
                 self.inner.stats.experiment.fetch_add(1, Ordering::Relaxed);
-                let reply = match self.inner.session.batch_experiment(&spec) {
+                match self.inner.session.batch_experiment(&spec) {
                     Ok(resp) => resp.to_json().encode(),
                     Err(e) => self.error_reply(e),
-                };
-                drop(permit);
-                reply
+                }
             }
-        })
+            Frame::Control(_) => self.error_reply(LeqaError::internal(
+                "control frame routed to the work executor",
+            )),
+        };
+        drop(permit);
+        reply
     }
 
     /// Serves one already-open connection: read lines, write replies,
@@ -405,7 +436,12 @@ impl Server {
             line.clear();
             match reader.read_line(&mut line) {
                 Ok(0) => return Ok(()), // EOF: the client hung up.
-                Ok(_) => {}
+                Ok(n) => {
+                    self.inner
+                        .stats
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                     let reply = self
@@ -491,17 +527,27 @@ impl Server {
     /// clients see it promptly.
     fn write_reply(&self, writer: &mut dyn Write, line: &str) -> std::io::Result<()> {
         if let Some(reply) = self.process_line(line) {
-            writer.write_all(reply.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
+            self.write_line(writer, &reply)?;
         }
+        Ok(())
+    }
+
+    /// Writes one reply line (with newline + flush), counting the bytes.
+    fn write_line(&self, writer: &mut dyn Write, reply: &str) -> std::io::Result<()> {
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        self.inner
+            .stats
+            .bytes_out
+            .fetch_add(reply.len() as u64 + 1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Admission control for one work frame: refused while draining or
     /// at the inflight cap; otherwise the returned permit holds one
     /// inflight slot until dropped.
-    fn admit(&self) -> Result<InflightPermit<'_>, LeqaError> {
+    fn admit(&self) -> Result<InflightPermit, LeqaError> {
         if self.is_shutting_down() {
             return Err(LeqaError::new(
                 ErrorKind::Overloaded,
@@ -525,7 +571,9 @@ impl Server {
         } else {
             inflight.fetch_add(1, Ordering::AcqRel);
         }
-        Ok(InflightPermit { inflight })
+        Ok(InflightPermit {
+            server: self.clone(),
+        })
     }
 
     fn count_endpoint(&self, req: &Request) {
@@ -551,7 +599,10 @@ impl Server {
 
     /// One TCP connection: like [`serve_connection`](Self::serve_connection)
     /// but with a read timeout so a connection idling in `read` observes
-    /// the shutdown flag within [`READ_POLL`].
+    /// the shutdown flag within [`READ_POLL`]. An
+    /// `{"cmd":"upgrade","proto":"frame1"}` line switches the connection
+    /// to the pipelined binary framing ([`serve_frames`](Self::serve_frames))
+    /// after the NDJSON ack.
     fn serve_tcp_connection(&self, stream: TcpStream) -> std::io::Result<()> {
         let _guard = self.open_connection();
         stream.set_read_timeout(Some(READ_POLL))?;
@@ -564,7 +615,21 @@ impl Server {
         loop {
             match reader.read_line(&mut line) {
                 Ok(0) => return Ok(()), // EOF
-                Ok(_) => {
+                Ok(n) => {
+                    self.inner
+                        .stats
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    if let Some(proto) = upgrade_request(&line) {
+                        self.inner.stats.ticks.fetch_add(1, Ordering::Relaxed);
+                        self.write_line(&mut writer, &UpgradeAck { proto }.to_json().encode())?;
+                        // Bytes the client optimistically sent after its
+                        // upgrade line are sitting in the BufReader; hand
+                        // them to the frame decoder.
+                        let residual = reader.buffer().to_vec();
+                        drop(reader);
+                        return self.serve_frames(writer, residual);
+                    }
                     self.write_reply(&mut writer, &line)?;
                     line.clear();
                     if self.is_shutting_down() {
@@ -594,6 +659,193 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Serves one upgraded connection in `frame1` mode: a reader loop
+    /// (this thread) decodes `[len][tag][payload]` frames and submits
+    /// work to [`Pool::global`](leqa::pool::Pool::global) **without
+    /// waiting**; a writer thread drains the completion channel and
+    /// writes response frames as they finish. One pipelining client can
+    /// therefore keep the whole worker pool saturated, and responses
+    /// complete out of order — matched to requests by tag.
+    ///
+    /// `residual` is whatever the NDJSON reader had buffered past the
+    /// upgrade line (already read off the socket).
+    fn serve_frames(&self, stream: TcpStream, residual: Vec<u8>) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<(u32, String)>();
+        let writer_stream = stream.try_clone()?;
+        let server = self.clone();
+        let writer = std::thread::Builder::new()
+            .name("leqa-frame-writer".to_string())
+            .spawn(move || {
+                let mut w = BufWriter::new(writer_stream);
+                // Batch flushes: drain whatever is ready, flush once.
+                while let Ok(first) = rx.recv() {
+                    let mut pending = vec![first];
+                    pending.extend(rx.try_iter());
+                    for (tag, payload) in &pending {
+                        if write_frame(&mut w, *tag, payload.as_bytes()).is_err() {
+                            return; // client gone: drop the channel
+                        }
+                        server
+                            .inner
+                            .stats
+                            .bytes_out
+                            .fetch_add((payload.len() + FRAME_HEADER) as u64, Ordering::Relaxed);
+                    }
+                    if w.flush().is_err() {
+                        return;
+                    }
+                }
+            })?;
+
+        let mut decoder = FrameDecoder::new();
+        self.inner
+            .stats
+            .bytes_in
+            .fetch_add(residual.len() as u64, Ordering::Relaxed);
+        decoder.push(&residual);
+        let mut reader = stream;
+        let mut buf = [0u8; 16 * 1024];
+        let mut result = Ok(());
+        'conn: loop {
+            loop {
+                match decoder.next() {
+                    Ok(Some((tag, payload))) => self.dispatch_frame(tag, payload, &tx),
+                    Ok(None) => break,
+                    Err(fe) => {
+                        // Framing violation (oversized length): answer on
+                        // the offending tag and close — the stream can no
+                        // longer be trusted.
+                        let reply = self.error_reply(fe.error);
+                        let _ = tx.send((fe.tag.unwrap_or(0), reply));
+                        break 'conn;
+                    }
+                }
+            }
+            if self.is_shutting_down() {
+                break;
+            }
+            match reader.read(&mut buf) {
+                Ok(0) => {
+                    if let Err(fe) = decoder.finish() {
+                        let reply = self.error_reply(fe.error);
+                        let _ = tx.send((fe.tag.unwrap_or(0), reply));
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    self.inner
+                        .stats
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    decoder.push(&buf[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        // In-flight jobs hold sender clones; the writer exits once the
+        // last reply is sent (or the client is gone), so joining it
+        // drains this connection's pipeline.
+        drop(tx);
+        let _ = writer.join();
+        result
+    }
+
+    /// Routes one decoded frame: control frames answer inline (they
+    /// bypass admission, as on the NDJSON channel); work frames are
+    /// admitted here — so `overloaded` refusals carry the offending tag
+    /// immediately — then executed on the worker pool, completing out of
+    /// order through `tx`.
+    fn dispatch_frame(&self, tag: u32, payload: Vec<u8>, tx: &mpsc::Sender<(u32, String)>) {
+        self.inner.stats.ticks.fetch_add(1, Ordering::Relaxed);
+        let text = match String::from_utf8(payload) {
+            Ok(text) => text,
+            Err(_) => {
+                let reply =
+                    self.error_reply(LeqaError::new(ErrorKind::Json, "frame is not valid UTF-8"));
+                let _ = tx.send((tag, reply));
+                return;
+            }
+        };
+        let frame = match Frame::parse(text.trim()) {
+            Ok(frame) => frame,
+            Err(e) => {
+                let _ = tx.send((tag, self.error_reply(e)));
+                return;
+            }
+        };
+        match frame {
+            Frame::Control(ControlFrame::Stats) => {
+                let _ = tx.send((tag, self.stats().to_json().encode()));
+            }
+            Frame::Control(ControlFrame::Shutdown) => {
+                let ack = ShutdownAck.to_json().encode();
+                self.shutdown();
+                let _ = tx.send((tag, ack));
+            }
+            Frame::Control(ControlFrame::Upgrade(_)) => {
+                let reply = self.error_reply(LeqaError::new(
+                    ErrorKind::Json,
+                    "connection already upgraded to frame1",
+                ));
+                let _ = tx.send((tag, reply));
+            }
+            work => {
+                let permit = match self.admit() {
+                    Ok(permit) => permit,
+                    Err(e) => {
+                        let _ = tx.send((tag, self.overloaded_reply(e)));
+                        return;
+                    }
+                };
+                self.inner
+                    .stats
+                    .frames_in_flight
+                    .fetch_add(1, Ordering::AcqRel);
+                let server = self.clone();
+                let tx = tx.clone();
+                leqa::pool::Pool::global().submit(move || {
+                    // Catch panics so a poisoned request can't kill a
+                    // pool worker; the permit drops either way.
+                    let reply =
+                        catch_unwind(AssertUnwindSafe(|| server.execute_work(work, permit)))
+                            .unwrap_or_else(|_| {
+                                server.error_reply(LeqaError::internal(
+                                    "request panicked during execution",
+                                ))
+                            });
+                    server
+                        .inner
+                        .stats
+                        .frames_in_flight
+                        .fetch_sub(1, Ordering::AcqRel);
+                    let _ = tx.send((tag, reply));
+                });
+            }
+        }
+    }
+}
+
+/// Recognizes an `{"cmd":"upgrade",…}` line cheaply: the substring probe
+/// keeps the hot NDJSON path from re-parsing every line, the full parse
+/// confirms. Malformed upgrade lines return `None` and fall through to
+/// the line engine, which answers with a typed error frame.
+pub(crate) fn upgrade_request(line: &str) -> Option<FrameProto> {
+    let line = line.trim();
+    if line.is_empty() || !line.contains("\"upgrade\"") {
+        return None;
+    }
+    match Frame::parse(line) {
+        Ok(Frame::Control(ControlFrame::Upgrade(proto))) => Some(proto),
+        _ => None,
     }
 }
 
@@ -629,7 +881,7 @@ impl BoundServer {
     ///
     /// Accept errors never kill the daemon: transient conditions (a
     /// client resetting before `accept`, fd-limit pressure) are
-    /// retried, with a [`READ_POLL`] backoff for non-transient kinds so
+    /// retried, with a `READ_POLL` backoff for non-transient kinds so
     /// a persistently failing listener cannot busy-spin — the operator
     /// stays in control via `{"cmd":"shutdown"}` on open connections.
     ///

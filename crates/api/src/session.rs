@@ -889,7 +889,7 @@ impl Session {
 /// plenty for a cache key (lookups verify the source on hit, so a
 /// collision costs a rebuild, never a wrong answer). The same hash picks
 /// the cache shard (`key mod 16`).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

@@ -1,0 +1,1031 @@
+//! `leqa shard` — a sharded front-end over N daemon replicas.
+//!
+//! One listener accepts clients speaking the same wire protocols as a
+//! single daemon (NDJSON by default, `frame1` after upgrade — see
+//! [`crate::server`] and [`crate::frame`]); behind it, N replica daemons
+//! (spawned in-process or attached by address) do the work. The
+//! front-end:
+//!
+//! * **routes work frames by content**: the FNV-1a hash of the program's
+//!   identity text (bench name, path, or inline source — the same
+//!   content-hash discipline as the session profile cache) picks the
+//!   replica, so repeats of a program always land on the replica whose
+//!   cache is warm;
+//! * **broadcasts control frames**: `{"cmd":"stats"}` fans out to every
+//!   live replica and the [`StatsResponse`]s merge
+//!   ([`StatsResponse::merge`]) into one fleet-wide snapshot;
+//!   `{"cmd":"shutdown"}` stops the whole fleet, then the front-end;
+//! * **fails over**: a replica that drops its connection is marked dead
+//!   fleet-wide, its in-flight work frames re-route to the next live
+//!   replica (requests are pure computations, so a resend is safe), and
+//!   broadcasts complete without it. With no live replicas left,
+//!   requests answer with an `io`-kind error frame.
+//!
+//! Replica links always speak `frame1` (the front-end upgrades each link
+//! it opens), so one client connection pipelining frames keeps every
+//! replica busy concurrently. Replies stay **byte-identical** to a
+//! direct daemon: work replies are forwarded verbatim.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::dto::{ControlFrame, ErrorFrame, ShutdownAck, StatsResponse, UpgradeAck};
+use crate::frame::{write_frame, FrameDecoder};
+use crate::json;
+use crate::server::{upgrade_request, Frame, Server};
+use crate::session::fnv1a;
+use crate::{ErrorKind, LeqaError};
+
+/// Read-poll interval for shard sockets (mirrors the daemon's).
+const READ_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// One backend daemon the shard routes to.
+struct Replica {
+    addr: SocketAddr,
+    /// Cleared fleet-wide the first time any connection sees this
+    /// replica's link die; never set again.
+    alive: AtomicBool,
+    /// The in-process server for spawned replicas (used to stop and
+    /// join them on shutdown); `None` for attached replicas.
+    server: Option<Server>,
+}
+
+struct ShardInner {
+    replicas: Mutex<Vec<Arc<Replica>>>,
+    /// Join handles of in-process replica accept loops.
+    replica_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    shutdown: AtomicBool,
+    wake_addr: Mutex<Option<SocketAddr>>,
+}
+
+/// The sharded front-end (see the [module docs](self)). Cheaply
+/// cloneable (an `Arc` handle); clones share the replica set and
+/// shutdown flag.
+#[derive(Clone)]
+pub struct Shard {
+    inner: Arc<ShardInner>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("replicas", &self.replicas())
+            .field("shutdown", &self.is_shutting_down())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::new()
+    }
+}
+
+impl Shard {
+    /// An empty shard; add replicas with
+    /// [`spawn_replica`](Self::spawn_replica) /
+    /// [`attach_replica`](Self::attach_replica) before binding.
+    #[must_use]
+    pub fn new() -> Shard {
+        Shard {
+            inner: Arc::new(ShardInner {
+                replicas: Mutex::new(Vec::new()),
+                replica_threads: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+                wake_addr: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Spawns `server` as an in-process replica on a loopback port of
+    /// the OS's choosing and returns its address. The replica's accept
+    /// loop runs on its own thread; it is stopped and joined when the
+    /// shard shuts down.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] when the replica cannot bind or its accept
+    /// thread cannot be spawned.
+    pub fn spawn_replica(&self, server: Server) -> Result<SocketAddr, LeqaError> {
+        let bound = server.bind("127.0.0.1:0")?;
+        let addr = bound.local_addr();
+        let handle = std::thread::Builder::new()
+            .name("leqa-shard-replica".to_string())
+            .spawn(move || {
+                let _ = bound.run();
+            })
+            .map_err(LeqaError::from)?;
+        self.inner
+            .replica_threads
+            .lock()
+            .expect("no poisoning")
+            .push(handle);
+        self.push_replica(Replica {
+            addr,
+            alive: AtomicBool::new(true),
+            server: Some(server),
+        });
+        Ok(addr)
+    }
+
+    /// Attaches an already-running daemon at `addr` as a replica. The
+    /// shard forwards shutdown to it but does not own its lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Usage`] when `addr` is not a valid socket address.
+    pub fn attach_replica(&self, addr: &str) -> Result<SocketAddr, LeqaError> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|_| LeqaError::usage(format!("invalid replica address `{addr}`")))?;
+        self.push_replica(Replica {
+            addr,
+            alive: AtomicBool::new(true),
+            server: None,
+        });
+        Ok(addr)
+    }
+
+    /// Number of replicas (live or dead).
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.inner.replicas.lock().expect("no poisoning").len()
+    }
+
+    /// Whether shutdown was requested. Once set it never clears.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests graceful shutdown: the accept loop stops, client
+    /// connections drain, and spawned replicas are stopped and joined by
+    /// [`BoundShard::run`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let wake = *self.inner.wake_addr.lock().expect("no poisoning");
+        if let Some(addr) = wake {
+            // Wake a blocked `accept`; the loop re-checks the flag
+            // before serving whatever it accepted.
+            let _ = TcpStream::connect_timeout(&addr, READ_POLL);
+        }
+    }
+
+    /// Binds the front-end listener (port `0` lets the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] when the address cannot be bound.
+    pub fn bind(&self, addr: &str) -> Result<BoundShard, LeqaError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(LeqaError::from)
+            .map_err(|e| e.context(format!("binding `{addr}`")))?;
+        let local = listener.local_addr().map_err(LeqaError::from)?;
+        *self.inner.wake_addr.lock().expect("no poisoning") = Some(local);
+        Ok(BoundShard {
+            shard: self.clone(),
+            listener,
+            local,
+        })
+    }
+
+    fn push_replica(&self, replica: Replica) {
+        self.inner
+            .replicas
+            .lock()
+            .expect("no poisoning")
+            .push(Arc::new(replica));
+    }
+
+    fn replica_snapshot(&self) -> Vec<Arc<Replica>> {
+        self.inner.replicas.lock().expect("no poisoning").clone()
+    }
+}
+
+/// A [`Shard`] bound to its front-door address, ready to
+/// [`run`](Self::run).
+#[derive(Debug)]
+pub struct BoundShard {
+    shard: Shard,
+    listener: TcpListener,
+    local: SocketAddr,
+}
+
+impl BoundShard {
+    /// The actual bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// A handle to the shard (clone it to trigger [`Shard::shutdown`]
+    /// from a supervising thread).
+    #[must_use]
+    pub fn shard(&self) -> &Shard {
+        &self.shard
+    }
+
+    /// Accepts and serves clients until shutdown, then joins client
+    /// threads, stops spawned replicas and joins their accept loops.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] when a client thread cannot be spawned.
+    pub fn run(self) -> Result<(), LeqaError> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shard.is_shutting_down() {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    std::thread::sleep(READ_POLL);
+                    continue;
+                }
+            };
+            handles.retain(|h| !h.is_finished());
+            let shard = self.shard.clone();
+            let handle = std::thread::Builder::new()
+                .name("leqa-shard-conn".to_string())
+                .spawn(move || {
+                    let _ = serve_client(&shard, stream);
+                })
+                .map_err(LeqaError::from)?;
+            handles.push(handle);
+        }
+        drop(self.listener);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Stop spawned replicas (already draining when the shutdown came
+        // over the wire — `Server::shutdown` is idempotent) and join
+        // their accept loops.
+        for replica in self.shard.replica_snapshot() {
+            if let Some(server) = &replica.server {
+                server.shutdown();
+            }
+        }
+        let threads: Vec<_> = self
+            .shard
+            .inner
+            .replica_threads
+            .lock()
+            .expect("no poisoning")
+            .drain(..)
+            .collect();
+        for handle in threads {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+// ── Per-connection state ─────────────────────────────────────────────
+
+/// How a reply reaches the client.
+enum Deliver {
+    /// Frame-mode client: write a frame carrying this tag.
+    Tag(u32),
+    /// Line-mode client: rendezvous with the (serial) client loop.
+    Sync(mpsc::Sender<String>),
+}
+
+enum PendingKind {
+    /// Forward the replica's reply verbatim.
+    Work(Deliver),
+    /// Merge every replica's stats, deliver the sum.
+    Stats {
+        outstanding: Vec<usize>,
+        acc: StatsResponse,
+        deliver: Deliver,
+    },
+    /// Deliver one ack once every replica acked, then stop the shard.
+    Shutdown {
+        outstanding: Vec<usize>,
+        deliver: Deliver,
+    },
+}
+
+struct Pending {
+    /// Replica the frame was sent to (`usize::MAX` for broadcasts).
+    replica: usize,
+    /// Routing hash, for re-routing on failover.
+    hash: u64,
+    /// The frame payload, for re-sending on failover.
+    payload: String,
+    kind: PendingKind,
+}
+
+/// A replica link as seen by one client connection.
+enum Link {
+    /// Not opened yet (links open lazily on first routed frame).
+    Closed,
+    /// Upgraded to `frame1`; a reader thread is draining replies.
+    Up(TcpStream),
+    /// This connection saw the link die (the fleet-wide `alive` flag is
+    /// cleared at the same time).
+    Dead,
+}
+
+struct ClientWriter {
+    stream: TcpStream,
+    /// False until the client upgrades; selects line vs frame replies.
+    frame_mode: bool,
+}
+
+impl ClientWriter {
+    fn deliver(&mut self, tag: u32, reply: &str) -> std::io::Result<()> {
+        if self.frame_mode {
+            write_frame(&mut self.stream, tag, reply.as_bytes())
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        } else {
+            self.stream.write_all(reply.as_bytes())?;
+            self.stream.write_all(b"\n")?;
+        }
+        self.stream.flush()
+    }
+}
+
+struct ConnState {
+    shard: Shard,
+    /// Replica set snapshot (index-stable for this connection; the
+    /// `alive` flags inside are the shared fleet-wide ones).
+    replicas: Vec<Arc<Replica>>,
+    writer: Mutex<ClientWriter>,
+    links: Vec<Mutex<Link>>,
+    pending: Mutex<HashMap<u32, Pending>>,
+    /// Internal tags for line-mode requests.
+    next_tag: AtomicU32,
+    /// Set when the client loop exits; replica readers poll it.
+    closed: AtomicBool,
+}
+
+impl ConnState {
+    fn pending_is_empty(&self) -> bool {
+        self.pending.lock().expect("no poisoning").is_empty()
+    }
+}
+
+fn error_frame(kind: ErrorKind, message: impl Into<String>) -> String {
+    ErrorFrame::new(LeqaError::new(kind, message))
+        .to_json()
+        .encode()
+}
+
+/// Serves one client connection end to end (line mode, then frame mode
+/// after an upgrade).
+fn serve_client(shard: &Shard, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let replicas = shard.replica_snapshot();
+    let conn = Arc::new(ConnState {
+        shard: shard.clone(),
+        links: (0..replicas.len())
+            .map(|_| Mutex::new(Link::Closed))
+            .collect(),
+        replicas,
+        writer: Mutex::new(ClientWriter {
+            stream: stream.try_clone()?,
+            frame_mode: false,
+        }),
+        pending: Mutex::new(HashMap::new()),
+        next_tag: AtomicU32::new(0),
+        closed: AtomicBool::new(false),
+    });
+    let result = serve_client_lines(&conn, stream);
+    conn.closed.store(true, Ordering::Release);
+    result
+}
+
+/// Line-mode client loop: strict one-reply-per-line rendezvous, exactly
+/// like a single daemon's NDJSON engine. Hands off to
+/// [`serve_client_frames`] on upgrade.
+fn serve_client_lines(conn: &Arc<ConnState>, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                if let Some(proto) = upgrade_request(&line) {
+                    let ack = UpgradeAck { proto }.to_json().encode();
+                    {
+                        let mut writer = conn.writer.lock().expect("no poisoning");
+                        writer.deliver(0, &ack)?;
+                        writer.frame_mode = true;
+                    }
+                    let residual = reader.buffer().to_vec();
+                    return serve_client_frames(conn, reader.into_inner(), &residual);
+                }
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let reply = request_reply(conn, trimmed);
+                    conn.writer
+                        .lock()
+                        .expect("no poisoning")
+                        .deliver(0, &reply)?;
+                    if conn.shard.is_shutting_down() {
+                        return Ok(());
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if conn.shard.is_shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let reply = error_frame(ErrorKind::Json, "line is not valid UTF-8");
+                return conn.writer.lock().expect("no poisoning").deliver(0, &reply);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Frame-mode client loop: decode client frames, submit each with its
+/// tag; replica readers deliver replies directly (out of order).
+fn serve_client_frames(
+    conn: &Arc<ConnState>,
+    mut stream: TcpStream,
+    residual: &[u8],
+) -> std::io::Result<()> {
+    let mut decoder = FrameDecoder::new();
+    decoder.push(residual);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match decoder.next() {
+                Ok(Some((tag, payload))) => submit_client_frame(conn, tag, payload),
+                Ok(None) => break,
+                Err(fe) => {
+                    let reply = ErrorFrame::new(fe.error).to_json().encode();
+                    let _ = conn
+                        .writer
+                        .lock()
+                        .expect("no poisoning")
+                        .deliver(fe.tag.unwrap_or(0), &reply);
+                    return Ok(());
+                }
+            }
+        }
+        if conn.shard.is_shutting_down() && conn.pending_is_empty() {
+            return Ok(());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if let Err(fe) = decoder.finish() {
+                    let reply = ErrorFrame::new(fe.error).to_json().encode();
+                    let _ = conn
+                        .writer
+                        .lock()
+                        .expect("no poisoning")
+                        .deliver(fe.tag.unwrap_or(0), &reply);
+                }
+                // Let in-flight replies drain before tearing down the
+                // connection (replica readers deliver them directly).
+                while !conn.pending_is_empty() && !conn.shard.is_shutting_down() {
+                    std::thread::sleep(READ_POLL);
+                }
+                return Ok(());
+            }
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Line-mode request: submit under an internal tag and wait for the
+/// (single) reply, preserving the NDJSON one-reply-per-line-in-order
+/// contract.
+fn request_reply(conn: &Arc<ConnState>, text: &str) -> String {
+    let (tx, rx) = mpsc::channel();
+    let tag = conn.next_tag.fetch_add(1, Ordering::Relaxed);
+    submit(conn, tag, text.to_string(), Deliver::Sync(tx));
+    rx.recv()
+        .unwrap_or_else(|_| error_frame(ErrorKind::Internal, "reply channel dropped"))
+}
+
+/// Frame-mode request: the client's tag is the routing identity; a tag
+/// already in flight is refused (its reply could not be matched).
+fn submit_client_frame(conn: &Arc<ConnState>, tag: u32, payload: Vec<u8>) {
+    let text = match String::from_utf8(payload) {
+        Ok(text) => text,
+        Err(_) => {
+            let reply = error_frame(ErrorKind::Json, "frame payload is not valid UTF-8");
+            let _ = conn
+                .writer
+                .lock()
+                .expect("no poisoning")
+                .deliver(tag, &reply);
+            return;
+        }
+    };
+    if conn
+        .pending
+        .lock()
+        .expect("no poisoning")
+        .contains_key(&tag)
+    {
+        let reply = error_frame(
+            ErrorKind::Json,
+            format!("tag {tag} is already in flight on this connection"),
+        );
+        let _ = conn
+            .writer
+            .lock()
+            .expect("no poisoning")
+            .deliver(tag, &reply);
+        return;
+    }
+    submit(conn, tag, text, Deliver::Tag(tag));
+}
+
+/// Classifies and routes one request: work frames go to the replica
+/// owning the program's content hash; control frames broadcast.
+fn submit(conn: &Arc<ConnState>, tag: u32, text: String, deliver: Deliver) {
+    let frame = match Frame::parse(text.trim()) {
+        Ok(frame) => frame,
+        Err(e) => {
+            deliver_reply(conn, &deliver, &ErrorFrame::new(e).to_json().encode());
+            return;
+        }
+    };
+    match frame {
+        Frame::Control(ControlFrame::Upgrade(_)) => {
+            let reply = match deliver {
+                Deliver::Tag(_) => {
+                    error_frame(ErrorKind::Json, "connection already upgraded to frame1")
+                }
+                Deliver::Sync(_) => error_frame(
+                    ErrorKind::Json,
+                    "`upgrade` is only available on the TCP transport",
+                ),
+            };
+            deliver_reply(conn, &deliver, &reply);
+        }
+        Frame::Control(control) => broadcast(conn, tag, &text, control, deliver),
+        work => {
+            let hash = route_hash(&work, &text);
+            let Some(replica) = route(conn, hash) else {
+                deliver_reply(
+                    conn,
+                    &deliver,
+                    &error_frame(ErrorKind::Io, "no live replicas"),
+                );
+                return;
+            };
+            conn.pending.lock().expect("no poisoning").insert(
+                tag,
+                Pending {
+                    replica,
+                    hash,
+                    payload: text.clone(),
+                    kind: PendingKind::Work(deliver),
+                },
+            );
+            if !send_to_replica(conn, replica, tag, &text) {
+                fail_replica(conn, replica);
+            }
+        }
+    }
+}
+
+/// The routing hash: program identity text for single requests (cache
+/// affinity — every repeat of a program lands on the same replica),
+/// whole payload for batch/experiment envelopes.
+fn route_hash(frame: &Frame, text: &str) -> u64 {
+    match frame {
+        Frame::Single(req) => {
+            let identity = match req.program() {
+                crate::ProgramSpec::Bench { name } => name.as_str(),
+                crate::ProgramSpec::Path { path } => path.as_str(),
+                crate::ProgramSpec::Source { text } => text.as_str(),
+            };
+            fnv1a(identity.as_bytes())
+        }
+        _ => fnv1a(text.trim().as_bytes()),
+    }
+}
+
+/// First live replica scanning from `hash % n` (wraps around).
+fn route(conn: &Arc<ConnState>, hash: u64) -> Option<usize> {
+    let n = conn.replicas.len();
+    if n == 0 {
+        return None;
+    }
+    let start = usize::try_from(hash % n as u64).expect("mod n fits usize");
+    (0..n)
+        .map(|i| (start + i) % n)
+        .find(|&r| conn.replicas[r].alive.load(Ordering::Acquire))
+}
+
+/// Fans a control frame out to every live replica; the pending entry
+/// completes when the last outstanding replica answers (or dies).
+fn broadcast(conn: &Arc<ConnState>, tag: u32, text: &str, control: ControlFrame, deliver: Deliver) {
+    let targets: Vec<usize> = (0..conn.replicas.len())
+        .filter(|&r| conn.replicas[r].alive.load(Ordering::Acquire))
+        .collect();
+    if targets.is_empty() {
+        deliver_reply(
+            conn,
+            &deliver,
+            &error_frame(ErrorKind::Io, "no live replicas"),
+        );
+        return;
+    }
+    let kind = match control {
+        ControlFrame::Stats => PendingKind::Stats {
+            outstanding: targets.clone(),
+            acc: StatsResponse::default(),
+            deliver,
+        },
+        _ => PendingKind::Shutdown {
+            outstanding: targets.clone(),
+            deliver,
+        },
+    };
+    conn.pending.lock().expect("no poisoning").insert(
+        tag,
+        Pending {
+            replica: usize::MAX,
+            hash: 0,
+            payload: text.to_string(),
+            kind,
+        },
+    );
+    for r in targets {
+        if !send_to_replica(conn, r, tag, text) {
+            fail_replica(conn, r);
+        }
+    }
+}
+
+/// Writes one frame on replica `r`'s link, opening (and upgrading) the
+/// link first if needed. Returns false when the link is dead or the
+/// write failed — the caller runs failover.
+fn send_to_replica(conn: &Arc<ConnState>, r: usize, tag: u32, text: &str) -> bool {
+    let mut link = conn.links[r].lock().expect("no poisoning");
+    if matches!(*link, Link::Closed) {
+        match open_link(conn, r) {
+            Some(stream) => *link = Link::Up(stream),
+            None => {
+                *link = Link::Dead;
+                return false;
+            }
+        }
+    }
+    let Link::Up(stream) = &mut *link else {
+        return false;
+    };
+    if write_frame(stream, tag, text.trim().as_bytes()).is_err() || stream.flush().is_err() {
+        *link = Link::Dead;
+        return false;
+    }
+    true
+}
+
+/// Connects to replica `r`, performs the NDJSON → `frame1` upgrade
+/// handshake, and spawns the reply reader thread.
+fn open_link(conn: &Arc<ConnState>, r: usize) -> Option<TcpStream> {
+    let mut stream = TcpStream::connect(conn.replicas[r].addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let upgrade = ControlFrame::Upgrade(crate::FrameProto::Frame1)
+        .to_json()
+        .encode();
+    stream.write_all(upgrade.as_bytes()).ok()?;
+    stream.write_all(b"\n").ok()?;
+    stream.flush().ok()?;
+    let ack = read_line_raw(&mut stream)?;
+    UpgradeAck::from_json(&json::parse(ack.trim()).ok()?).ok()?;
+    stream.set_read_timeout(Some(READ_POLL)).ok()?;
+    let reader_stream = stream.try_clone().ok()?;
+    let conn = Arc::clone(conn);
+    std::thread::Builder::new()
+        .name("leqa-shard-link".to_string())
+        .spawn(move || replica_reader(&conn, r, reader_stream))
+        .ok()?;
+    Some(stream)
+}
+
+/// Reads one `\n`-terminated line byte by byte (used only for the
+/// once-per-link upgrade ack, where buffering past the line would
+/// swallow the start of the frame stream).
+fn read_line_raw(stream: &mut TcpStream) -> Option<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return None,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return String::from_utf8(line).ok();
+                }
+                line.push(byte[0]);
+                if line.len() > 4096 {
+                    return None; // not an ack line
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Drains reply frames from replica `r` and completes pending entries;
+/// EOF or a read error triggers failover.
+fn replica_reader(conn: &Arc<ConnState>, r: usize, mut stream: TcpStream) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if conn.closed.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                fail_replica(conn, r);
+                return;
+            }
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next() {
+                        Ok(Some((tag, payload))) => handle_replica_reply(conn, r, tag, &payload),
+                        Ok(None) => break,
+                        Err(_) => {
+                            fail_replica(conn, r);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                fail_replica(conn, r);
+                return;
+            }
+        }
+    }
+}
+
+/// Completes (or advances) the pending entry a replica reply belongs to.
+fn handle_replica_reply(conn: &Arc<ConnState>, r: usize, tag: u32, payload: &[u8]) {
+    let text = String::from_utf8_lossy(payload).into_owned();
+    let mut pending = conn.pending.lock().expect("no poisoning");
+    let done = match pending.get_mut(&tag) {
+        None => return, // stale (re-routed after this replica died)
+        Some(entry) => match &mut entry.kind {
+            PendingKind::Work(_) => true,
+            PendingKind::Stats {
+                outstanding, acc, ..
+            } => {
+                if let Ok(stats) = json::parse(&text)
+                    .map_err(LeqaError::from)
+                    .and_then(|doc| StatsResponse::from_json(&doc))
+                {
+                    acc.merge(&stats);
+                }
+                outstanding.retain(|&x| x != r);
+                outstanding.is_empty()
+            }
+            PendingKind::Shutdown { outstanding, .. } => {
+                outstanding.retain(|&x| x != r);
+                outstanding.is_empty()
+            }
+        },
+    };
+    if !done {
+        return;
+    }
+    let entry = pending.remove(&tag).expect("entry present");
+    drop(pending);
+    complete(conn, entry, Some(text));
+}
+
+/// Delivers a completed pending entry to the client.
+fn complete(conn: &Arc<ConnState>, entry: Pending, reply: Option<String>) {
+    match entry.kind {
+        PendingKind::Work(deliver) => {
+            let text =
+                reply.unwrap_or_else(|| error_frame(ErrorKind::Io, "replica connection lost"));
+            deliver_reply(conn, &deliver, &text);
+        }
+        PendingKind::Stats { acc, deliver, .. } => {
+            deliver_reply(conn, &deliver, &acc.to_json().encode());
+        }
+        PendingKind::Shutdown { deliver, .. } => {
+            deliver_reply(conn, &deliver, &ShutdownAck.to_json().encode());
+            conn.shard.shutdown();
+        }
+    }
+}
+
+fn deliver_reply(conn: &Arc<ConnState>, deliver: &Deliver, reply: &str) {
+    match deliver {
+        Deliver::Tag(tag) => {
+            let _ = conn
+                .writer
+                .lock()
+                .expect("no poisoning")
+                .deliver(*tag, reply);
+        }
+        Deliver::Sync(tx) => {
+            let _ = tx.send(reply.to_string());
+        }
+    }
+}
+
+/// Failover: marks replica `r` dead fleet-wide, re-routes its in-flight
+/// work frames to the next live replica (requests are pure computations,
+/// so a resend is safe), and completes broadcasts without it.
+fn fail_replica(conn: &Arc<ConnState>, r: usize) {
+    conn.replicas[r].alive.store(false, Ordering::Release);
+    *conn.links[r].lock().expect("no poisoning") = Link::Dead;
+    let mut resend: Vec<(u32, String, usize)> = Vec::new();
+    let mut completed: Vec<Pending> = Vec::new();
+    {
+        let mut pending = conn.pending.lock().expect("no poisoning");
+        let tags: Vec<u32> = pending.keys().copied().collect();
+        for tag in tags {
+            let entry = pending.get_mut(&tag).expect("tag present");
+            match &mut entry.kind {
+                PendingKind::Work(_) => {
+                    if entry.replica != r {
+                        continue;
+                    }
+                    match route(conn, entry.hash) {
+                        Some(next) => {
+                            entry.replica = next;
+                            resend.push((tag, entry.payload.clone(), next));
+                        }
+                        None => {
+                            completed.push(pending.remove(&tag).expect("tag present"));
+                        }
+                    }
+                }
+                PendingKind::Stats { outstanding, .. }
+                | PendingKind::Shutdown { outstanding, .. } => {
+                    outstanding.retain(|&x| x != r);
+                    if outstanding.is_empty() {
+                        completed.push(pending.remove(&tag).expect("tag present"));
+                    }
+                }
+            }
+        }
+    }
+    for entry in completed {
+        complete(conn, entry, None);
+    }
+    for (tag, payload, next) in resend {
+        if !send_to_replica(conn, next, tag, &payload) {
+            fail_replica(conn, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EstimateRequest, ProgramSpec, Request, Session};
+    use std::io::BufReader;
+
+    fn estimate_line(name: &str) -> String {
+        Request::Estimate(EstimateRequest::new(ProgramSpec::bench(name)))
+            .to_json()
+            .encode()
+    }
+
+    fn shard_with_replicas(n: usize) -> (Shard, Vec<Server>) {
+        let shard = Shard::new();
+        let servers: Vec<Server> = (0..n)
+            .map(|_| Server::new(Session::builder().build().expect("session")))
+            .collect();
+        for server in &servers {
+            shard.spawn_replica(server.clone()).expect("replica spawns");
+        }
+        (shard, servers)
+    }
+
+    fn run_shard(shard: &Shard) -> (SocketAddr, std::thread::JoinHandle<Result<(), LeqaError>>) {
+        let bound = shard.bind("127.0.0.1:0").expect("bind");
+        let addr = bound.local_addr();
+        let handle = std::thread::spawn(move || bound.run());
+        (addr, handle)
+    }
+
+    struct LineClient {
+        reader: BufReader<TcpStream>,
+        stream: TcpStream,
+    }
+
+    impl LineClient {
+        fn connect(addr: SocketAddr) -> LineClient {
+            let stream = TcpStream::connect(addr).expect("connect");
+            LineClient {
+                reader: BufReader::new(stream.try_clone().expect("clone")),
+                stream,
+            }
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            writeln!(self.stream, "{line}").expect("write");
+            self.stream.flush().expect("flush");
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).expect("read");
+            reply.trim_end_matches('\n').to_string()
+        }
+    }
+
+    #[test]
+    fn shard_routes_work_merges_stats_and_shuts_down() {
+        let (shard, _servers) = shard_with_replicas(2);
+        let (addr, handle) = run_shard(&shard);
+        let mut client = LineClient::connect(addr);
+
+        // Byte-identity with a direct session, cold then warm: the
+        // repeat must land on the same replica (cache affinity), so its
+        // reply carries `profile_cached: true` exactly like the direct
+        // session's second call.
+        let direct = Session::builder().build().unwrap();
+        let req = EstimateRequest::new(ProgramSpec::bench("qft_8"));
+        let cold = direct.estimate(&req).unwrap().to_json().encode();
+        let warm = direct.estimate(&req).unwrap().to_json().encode();
+        assert_eq!(client.roundtrip(&estimate_line("qft_8")), cold);
+        assert_eq!(client.roundtrip(&estimate_line("qft_8")), warm);
+
+        // Stats broadcast: merged across both replicas.
+        let stats_reply = client.roundtrip(r#"{"cmd":"stats"}"#);
+        let stats = StatsResponse::from_json(&json::parse(&stats_reply).unwrap()).unwrap();
+        assert_eq!(stats.estimate, 2, "{stats_reply}");
+        assert_eq!(stats.cache.cache_hits, 1, "affinity: {stats_reply}");
+        assert!(stats.connections >= 2, "both replicas: {stats_reply}");
+
+        let ack = client.roundtrip(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(ack, ShutdownAck.to_json().encode());
+        handle.join().expect("no panic").expect("clean exit");
+    }
+
+    #[test]
+    fn shard_fails_over_when_a_replica_dies_midstream() {
+        let (shard, servers) = shard_with_replicas(2);
+        let (addr, handle) = run_shard(&shard);
+        let mut client = LineClient::connect(addr);
+
+        let r1 = client.roundtrip(&estimate_line("qft_8"));
+        let r2 = client.roundtrip(&estimate_line("qft_16"));
+        assert!(r1.contains("\"op\":\"estimate\""), "{r1}");
+        assert!(r2.contains("\"op\":\"estimate\""), "{r2}");
+
+        // Kill replica 0 out from under the shard. Requests racing the
+        // replica's drain may see one `overloaded` refusal forwarded
+        // verbatim; once the dropped link is observed, work re-routes to
+        // the surviving replica.
+        servers[0].shutdown();
+        for name in ["qft_8", "qft_16", "qft_8"] {
+            let mut reply = String::new();
+            for _ in 0..100 {
+                reply = client.roundtrip(&estimate_line(name));
+                if reply.contains("\"op\":\"estimate\"") {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            assert!(
+                reply.contains("\"op\":\"estimate\""),
+                "after failover: {reply}"
+            );
+        }
+
+        let ack = client.roundtrip(r#"{"cmd":"shutdown"}"#);
+        assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+        handle.join().expect("no panic").expect("clean exit");
+    }
+
+    #[test]
+    fn attach_replica_validates_addresses() {
+        let shard = Shard::new();
+        assert!(shard.attach_replica("not-an-addr").is_err());
+        shard.attach_replica("127.0.0.1:9").expect("valid");
+        assert_eq!(shard.replicas(), 1);
+    }
+}

@@ -63,6 +63,11 @@ pub struct Options {
     /// In-flight work-frame cap for `serve` (`--max-inflight N`,
     /// 0 = unlimited).
     pub max_inflight: u64,
+    /// In-process daemon replicas for `shard` (`--replicas N`).
+    pub replicas: usize,
+    /// Already-running daemons for `shard` to route to
+    /// (`--attach ADDR1,ADDR2`).
+    pub attach: Vec<String>,
 }
 
 impl Default for Options {
@@ -86,6 +91,8 @@ impl Default for Options {
             listen: None,
             max_connections: 0,
             max_inflight: 0,
+            replicas: 0,
+            attach: Vec::new(),
         }
     }
 }
@@ -115,6 +122,8 @@ pub enum Command {
     Experiment(Options),
     /// `leqa serve`.
     Serve(Options),
+    /// `leqa shard`.
+    Shard(Options),
 }
 
 /// Parses the argument vector (program name excluded).
@@ -253,6 +262,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| LeqaError::usage("--max-inflight needs a non-negative integer"))?;
             }
+            "--replicas" => {
+                opts.replicas = value(&rest, &mut i, "--replicas")?
+                    .parse()
+                    .map_err(|_| LeqaError::usage("--replicas needs a non-negative integer"))?;
+            }
+            "--attach" => {
+                let list = value(&rest, &mut i, "--attach")?;
+                opts.attach = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
             "--sizes" => {
                 let list = value(&rest, &mut i, "--sizes")?;
                 opts.sizes = list
@@ -337,6 +359,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 ));
             }
             Ok(Command::Serve(opts))
+        }
+        "shard" => {
+            if opts.listen.is_none() {
+                return Err(LeqaError::usage("`leqa shard` needs --listen ADDR"));
+            }
+            if opts.replicas == 0 && opts.attach.is_empty() {
+                return Err(LeqaError::usage(
+                    "`leqa shard` needs replicas: --replicas N and/or --attach ADDR1,ADDR2",
+                ));
+            }
+            Ok(Command::Shard(opts))
         }
         other => Err(LeqaError::usage(format!(
             "unknown command `{other}`; try `leqa help`"
@@ -434,6 +467,15 @@ mod tests {
             vec!["dot", "c.qc", "--format", "json"],
             vec!["zones", "c.qc", "--format", "json"],
             vec!["experiment", "--spec", "s.json", "--format", "json"],
+            vec![
+                "shard",
+                "--listen",
+                "127.0.0.1:0",
+                "--replicas",
+                "1",
+                "--format",
+                "json",
+            ],
         ] {
             let cmd = parse(&argv(&args)).unwrap();
             let opts = match &cmd {
@@ -446,7 +488,8 @@ mod tests {
                 | Command::Dot(o, _)
                 | Command::Zones(o)
                 | Command::Experiment(o)
-                | Command::Serve(o) => o,
+                | Command::Serve(o)
+                | Command::Shard(o) => o,
                 Command::Help => panic!("wrong command"),
             };
             assert_eq!(opts.format, OutputFormat::Json, "{args:?}");
@@ -498,6 +541,30 @@ mod tests {
         assert_eq!(opts.max_inflight, 4);
 
         assert!(parse(&argv(&["serve", "--stdio", "--max-inflight", "lots"])).is_err());
+    }
+
+    #[test]
+    fn shard_requires_listen_and_replicas_or_attach() {
+        let err = parse(&argv(&["shard", "--replicas", "2"])).unwrap_err();
+        assert!(err.to_string().contains("--listen"), "{err}");
+        let err = parse(&argv(&["shard", "--listen", "127.0.0.1:0"])).unwrap_err();
+        assert!(err.to_string().contains("--replicas"), "{err}");
+
+        let cmd = parse(&argv(&[
+            "shard",
+            "--listen",
+            "127.0.0.1:0",
+            "--replicas",
+            "2",
+            "--attach",
+            "127.0.0.1:7001, 127.0.0.1:7002",
+        ]))
+        .unwrap();
+        let Command::Shard(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.replicas, 2);
+        assert_eq!(opts.attach, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
     }
 
     #[test]

@@ -1,30 +1,92 @@
-//! `leqa-client` — a minimal line-oriented TCP client for the `leqa
-//! serve` daemon, used by the CI smoke step and handy for manual poking.
+//! `leqa-client` — a minimal TCP client for the `leqa serve` daemon and
+//! the `leqa shard` front-end, used by the CI smoke step and handy for
+//! manual poking.
 //!
 //! ```text
-//! leqa-client ADDR [LINE ...]    # send each LINE, print each reply line
-//! leqa-client ADDR -             # pipe stdin lines instead
+//! leqa-client [FLAGS] ADDR [LINE ...]    # send each LINE, print each reply
+//! leqa-client [FLAGS] ADDR -             # pipe stdin lines instead
+//!
+//! --frame           upgrade to the frame1 binary protocol (serial)
+//! --pipeline DEPTH  frame1 with up to DEPTH requests in flight
+//! --retries N       retry `overloaded` refusals N times (default 4)
 //! ```
 //!
-//! Exits 0 when every line got a reply; exit code 3 (`io`) when the
-//! connection fails; exit code 9 (`overloaded`) when any reply is an
-//! `overloaded` error frame, and the error frame's own code for other
-//! error replies — so shell pipelines can branch on the taxonomy
-//! without parsing JSON.
+//! `--pipeline` implies `--frame`; replies may complete out of order on
+//! the wire but are always printed in input order. An `overloaded`
+//! refusal is retried with a deterministic attempt-counted backoff
+//! (sleep `2^attempt` ms — no wall-clock state on the wire), so a busy
+//! daemon sheds load without the client giving up on the first refusal.
+//!
+//! Exits 0 when every line got a success reply; exit code 3 (`io`) when
+//! the connection fails; otherwise the worst error-frame exit code seen
+//! after retries (e.g. 9 only when a request stayed `overloaded` through
+//! every retry) — so shell pipelines can branch on the taxonomy without
+//! parsing JSON.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 
-use leqa_api::{json, ErrorFrame};
+use leqa_api::{
+    json, write_frame, ControlFrame, ErrorFrame, ErrorKind, FrameDecoder, FrameProto, UpgradeAck,
+};
+
+struct Cli {
+    addr: String,
+    lines: Vec<String>,
+    frame: bool,
+    pipeline: usize,
+    retries: u32,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: leqa-client [--frame] [--pipeline DEPTH] [--retries N] ADDR [LINE ...] \
+         (or `-` to read lines from stdin)"
+    );
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((addr, lines)) = args.split_first() else {
-        eprintln!("usage: leqa-client ADDR [LINE ...] (or `-` to read lines from stdin)");
-        return ExitCode::from(2);
+    let mut cli = Cli {
+        addr: String::new(),
+        lines: Vec::new(),
+        frame: false,
+        pipeline: 1,
+        retries: 4,
     };
-    match run(addr, lines) {
+    let mut it = args.into_iter();
+    let mut positionals: Vec<String> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--frame" => cli.frame = true,
+            "--pipeline" => {
+                let Some(depth) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if depth == 0 {
+                    return usage();
+                }
+                cli.frame = true;
+                cli.pipeline = depth;
+            }
+            "--retries" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    return usage();
+                };
+                cli.retries = n;
+            }
+            _ => positionals.push(arg),
+        }
+    }
+    let Some((addr, lines)) = positionals.split_first() else {
+        return usage();
+    };
+    cli.addr = addr.clone();
+    cli.lines = lines.to_vec();
+
+    match run(&cli) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -33,46 +95,211 @@ fn main() -> ExitCode {
     }
 }
 
-/// Sends each line and prints each reply; returns the worst error-frame
-/// exit code seen (0 when every reply was a success envelope).
-fn run(addr: &str, lines: &[String]) -> std::io::Result<ExitCode> {
+/// The input lines, with `-` expanded to stdin and blanks dropped.
+fn input_lines(lines: &[String]) -> std::io::Result<Vec<String>> {
+    let raw: Vec<String> = if lines.len() == 1 && lines[0] == "-" {
+        std::io::stdin().lock().lines().collect::<Result<_, _>>()?
+    } else {
+        lines.to_vec()
+    };
+    Ok(raw
+        .into_iter()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+/// The error-frame exit code a reply carries, if it is an error frame;
+/// also flags whether it is specifically an `overloaded` refusal.
+fn reply_error(reply: &str) -> Option<(u8, bool)> {
+    let doc = json::parse(reply.trim_end()).ok()?;
+    let frame = ErrorFrame::from_json(&doc).ok()?;
+    Some((
+        frame.error.exit_code(),
+        frame.error.kind() == ErrorKind::Overloaded,
+    ))
+}
+
+/// Deterministic attempt-counted backoff: `2^attempt` milliseconds. No
+/// wall-clock state crosses the wire, so retried traffic stays
+/// byte-identical and replayable.
+fn backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1u64 << attempt.min(10))
+}
+
+fn run(cli: &Cli) -> std::io::Result<ExitCode> {
+    let lines = input_lines(&cli.lines)?;
+    if cli.frame {
+        run_frames(&cli.addr, &lines, cli.pipeline, cli.retries)
+    } else {
+        run_lines(&cli.addr, &lines, cli.retries)
+    }
+}
+
+/// NDJSON mode: strict request/reply alternation, one line at a time.
+fn run_lines(addr: &str, lines: &[String], retries: u32) -> std::io::Result<ExitCode> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut worst = 0u8;
 
-    let mut roundtrip = |line: &str, reader: &mut BufReader<TcpStream>| -> std::io::Result<()> {
-        if line.trim().is_empty() {
-            return Ok(());
-        }
-        writer.write_all(line.trim().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        let mut reply = String::new();
-        if reader.read_line(&mut reply)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before replying",
-            ));
-        }
-        print!("{reply}");
-        if let Ok(doc) = json::parse(reply.trim_end()) {
-            if let Ok(frame) = ErrorFrame::from_json(&doc) {
-                worst = worst.max(frame.error.exit_code());
+    for line in lines {
+        let mut attempt = 0u32;
+        loop {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            let mut reply = String::new();
+            if reader.read_line(&mut reply)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                ));
             }
-        }
-        Ok(())
-    };
-
-    if lines.len() == 1 && lines[0] == "-" {
-        for line in std::io::stdin().lock().lines() {
-            roundtrip(&line?, &mut reader)?;
-        }
-    } else {
-        for line in lines {
-            roundtrip(line, &mut reader)?;
+            match reply_error(&reply) {
+                Some((_, true)) if attempt < retries => {
+                    std::thread::sleep(backoff(attempt));
+                    attempt += 1;
+                }
+                code => {
+                    print!("{reply}");
+                    if let Some((exit, _)) = code {
+                        worst = worst.max(exit);
+                    }
+                    break;
+                }
+            }
         }
     }
     Ok(ExitCode::from(worst))
+}
+
+/// `frame1` mode: upgrade, then keep up to `depth` tagged requests in
+/// flight (the tag is the input-line index). Replies complete in any
+/// order; printing follows input order.
+fn run_frames(
+    addr: &str,
+    lines: &[String],
+    depth: usize,
+    retries: u32,
+) -> std::io::Result<ExitCode> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let upgrade = ControlFrame::Upgrade(FrameProto::Frame1).to_json().encode();
+    stream.write_all(upgrade.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let ack = read_ack_line(&mut stream)?;
+    json::parse(ack.trim())
+        .map_err(|e| std::io::Error::other(e.to_string()))
+        .and_then(|doc| {
+            UpgradeAck::from_json(&doc).map_err(|e| std::io::Error::other(e.to_string()))
+        })?;
+
+    let total = lines.len();
+    let mut decoder = FrameDecoder::new();
+    let mut results: Vec<Option<String>> = vec![None; total];
+    let mut attempts: Vec<u32> = vec![0; total];
+    let mut next_send = 0usize;
+    let mut next_print = 0usize;
+    let mut inflight = 0usize;
+    let mut done = 0usize;
+    let mut worst = 0u8;
+
+    while done < total {
+        while inflight < depth && next_send < total {
+            send(&mut stream, next_send, lines)?;
+            next_send += 1;
+            inflight += 1;
+        }
+        stream.flush()?;
+        let (tag, payload) = read_frame(&mut stream, &mut decoder)?;
+        let idx = tag as usize;
+        if idx >= total || results[idx].is_some() {
+            return Err(std::io::Error::other(format!(
+                "server replied with unknown tag {tag}"
+            )));
+        }
+        let reply = String::from_utf8_lossy(&payload).into_owned();
+        if let Some((_, true)) = reply_error(&reply) {
+            if attempts[idx] < retries {
+                std::thread::sleep(backoff(attempts[idx]));
+                attempts[idx] += 1;
+                send(&mut stream, idx, lines)?;
+                stream.flush()?;
+                continue;
+            }
+        }
+        results[idx] = Some(reply);
+        inflight -= 1;
+        done += 1;
+        while next_print < total {
+            let Some(reply) = &results[next_print] else {
+                break;
+            };
+            println!("{reply}");
+            if let Some((exit, _)) = reply_error(reply) {
+                worst = worst.max(exit);
+            }
+            next_print += 1;
+        }
+    }
+    Ok(ExitCode::from(worst))
+}
+
+fn send(stream: &mut TcpStream, idx: usize, lines: &[String]) -> std::io::Result<()> {
+    write_frame(
+        stream,
+        u32::try_from(idx).expect("line count fits u32"),
+        lines[idx].as_bytes(),
+    )
+    .map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+/// Reads the NDJSON upgrade-ack line byte by byte; a buffered reader
+/// here could swallow the start of the frame stream.
+fn read_ack_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection during the upgrade handshake",
+                ))
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    return String::from_utf8(line).map_err(std::io::Error::other);
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Blocks until one complete frame is decoded.
+fn read_frame(
+    stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
+) -> std::io::Result<(u32, Vec<u8>)> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if let Some(frame) = decoder
+            .next()
+            .map_err(|fe| std::io::Error::other(fe.error.to_string()))?
+        {
+            return Ok(frame);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-stream",
+            ));
+        }
+        decoder.push(&buf[..n]);
+    }
 }

@@ -13,6 +13,7 @@ pub mod experiment;
 pub mod gen;
 pub mod map;
 pub mod serve;
+pub mod shard;
 pub mod suite;
 pub mod sweep;
 pub mod zones;

@@ -1,0 +1,104 @@
+//! `leqa shard` — a sharded front-end over N daemon replicas.
+//!
+//! Spawns `--replicas N` in-process daemons (each with its own session
+//! and profile cache) and/or attaches already-running daemons
+//! (`--attach ADDR1,ADDR2`), then serves the daemon wire protocols on
+//! one listener, routing work by program content hash for cache
+//! affinity. Protocol and failover semantics: [`leqa_api::shard`] and
+//! `SERVER.md`.
+
+use std::io::Write;
+
+use leqa_api::{Server, ServerConfig, Shard};
+
+use super::session;
+use crate::{CliError, Options};
+
+/// Runs the shard front-end until `{"cmd":"shutdown"}` or a fatal
+/// transport error. The bound address is announced on `out` as
+/// `listening on ADDR` (bind port 0 to let the OS pick) before the
+/// accept loop starts; protocol traffic never touches `out`.
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let shard = Shard::new();
+    for _ in 0..opts.replicas {
+        let config = ServerConfig::new()
+            .max_connections(opts.max_connections)
+            .max_inflight(opts.max_inflight);
+        shard.spawn_replica(Server::with_config(session(opts)?, config))?;
+    }
+    for addr in &opts.attach {
+        shard.attach_replica(addr)?;
+    }
+    let addr = opts.listen.as_deref().expect("parser enforced --listen");
+    let bound = shard.bind(addr)?;
+    writeln!(out, "listening on {}", bound.local_addr())?;
+    out.flush()?;
+    bound.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn shard_announces_addr_answers_and_shuts_down() {
+        let opts = Options {
+            listen: Some("127.0.0.1:0".to_string()),
+            replicas: 2,
+            ..Default::default()
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let mut out = AnnounceCapture {
+                buffer: String::new(),
+                tx: Some(tx),
+            };
+            run(&opts, &mut out)
+        });
+        let addr: String = rx.recv().expect("shard announces its address");
+
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(
+                b"{\"schema_version\":1,\"op\":\"estimate\",\"program\":{\"bench\":\"qft_8\"}}\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("{\"schema_version\":1,\"op\":\"estimate\""));
+
+        stream.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"op\":\"shutdown\""));
+        handle.join().expect("no panic").expect("clean exit");
+    }
+
+    /// Captures the `listening on ADDR` announcement and forwards the
+    /// address to the test thread.
+    struct AnnounceCapture {
+        buffer: String,
+        tx: Option<std::sync::mpsc::Sender<String>>,
+    }
+
+    impl Write for AnnounceCapture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.buffer.push_str(&String::from_utf8_lossy(buf));
+            if self.buffer.contains('\n') {
+                if let Some(addr) = self.buffer.trim().strip_prefix("listening on ") {
+                    if let Some(tx) = self.tx.take() {
+                        let _ = tx.send(addr.to_string());
+                    }
+                }
+            }
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

@@ -49,6 +49,7 @@ USAGE:
   leqa zones    (<circuit.qc> | --bench NAME) [--trace N]
   leqa experiment --spec FILE.json [--dry-run]
   leqa serve    (--stdio | --listen ADDR) [--max-connections N] [--max-inflight N]
+  leqa shard    --listen ADDR (--replicas N | --attach ADDR1,ADDR2) [serve caps]
   leqa help
 
 Every command also accepts `--format json|text` (default text); JSON
@@ -68,8 +69,17 @@ lets the OS pick — the bound address is announced as `listening on
 ADDR`). Caps are optional (0 = unlimited); over-cap work is refused
 with an `overloaded` error frame (exit/error code 9). Operators steer
 the daemon with `{\"cmd\":\"stats\"}` and `{\"cmd\":\"shutdown\"}`
-lines; the full wire reference is SERVER.md. `leqa-client ADDR [LINE...]` is a
-minimal line-oriented TCP client for smoke tests.
+lines; the full wire reference is SERVER.md. A TCP connection can
+upgrade to the `frame1` binary protocol (length-prefixed tagged frames,
+pipelined out-of-order completion) with `{\"cmd\":\"upgrade\",
+\"proto\":\"frame1\"}`. `leqa-client ADDR [LINE...]` is a minimal TCP
+client for smoke tests (`--pipeline DEPTH` drives the frame protocol).
+
+`shard` serves the same wire protocols from one listener backed by N
+daemon replicas (spawned in-process with `--replicas N`, and/or
+already-running daemons via `--attach`). Work routes by a content hash
+of the program for cache affinity; `stats` merges across replicas;
+replicas that drop out are failed over automatically.
 
 Circuits use the line-based text format shared by LEQA and QSPR
 (`.qubits N`, then one gate per line: h/t/tdg/s/sdg/x/y/z/cnot/toffoli/
@@ -103,6 +113,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Command::Zones(opts) => commands::zones::run(&opts, out),
         Command::Experiment(opts) => commands::experiment::run(&opts, out),
         Command::Serve(opts) => commands::serve::run(&opts, out),
+        Command::Shard(opts) => commands::shard::run(&opts, out),
     }
 }
 

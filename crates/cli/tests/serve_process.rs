@@ -1,11 +1,12 @@
-//! Process-level tests of `leqa serve`: the stdio transport driven as a
-//! real child process, the TCP transport driven through the bundled
-//! `leqa-client`, and the serve-specific exit codes.
+//! Process-level tests of `leqa serve` and `leqa shard`: the stdio
+//! transport driven as a real child process, the TCP transport driven
+//! through the bundled `leqa-client` (line and pipelined frame modes,
+//! overload retries), and the serve-specific exit codes.
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
 
-use leqa_api::{ControlFrame, EstimateRequest, ProgramSpec, Request, Session};
+use leqa_api::{json, ControlFrame, EstimateRequest, ProgramSpec, Request, Session, StatsResponse};
 
 fn estimate_line(name: &str) -> String {
     Request::Estimate(EstimateRequest::new(ProgramSpec::bench(name)))
@@ -84,11 +85,12 @@ fn serve_without_a_transport_is_a_usage_error() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--stdio or --listen"));
 }
 
-/// Spawns `leqa serve --listen 127.0.0.1:0` and parses the announced
-/// address from its stdout.
-fn spawn_tcp_daemon() -> (Child, String) {
+/// Spawns a `leqa` daemon-style subcommand with `--listen 127.0.0.1:0`
+/// plus `extra` flags and parses the announced address from its stdout.
+fn spawn_listener(subcommand: &str, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_leqa"))
-        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args([subcommand, "--listen", "127.0.0.1:0"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
@@ -103,6 +105,10 @@ fn spawn_tcp_daemon() -> (Child, String) {
         .expect("announcement format")
         .to_string();
     (child, addr)
+}
+
+fn spawn_tcp_daemon() -> (Child, String) {
+    spawn_listener("serve", &[])
 }
 
 #[test]
@@ -147,4 +153,181 @@ fn tcp_daemon_serves_the_bundled_client_and_shuts_down() {
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+/// One line-mode roundtrip on a raw TCP connection.
+struct RawClient {
+    reader: BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl RawClient {
+    fn connect(addr: &str) -> RawClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        RawClient {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read");
+        reply.trim_end_matches('\n').to_string()
+    }
+}
+
+fn daemon_stats(probe: &mut RawClient) -> StatsResponse {
+    let reply = probe.roundtrip(&ControlFrame::Stats.to_json().encode());
+    StatsResponse::from_json(&json::parse(&reply).expect("stats json")).expect("stats frame")
+}
+
+/// Regression for the retry satellite: with `--retries 0` the client
+/// exits 9 on the first `overloaded` refusal (the old behaviour); with
+/// retries enabled it backs off and succeeds once the load drains. The
+/// refusal window is held open deterministically by a FIFO-gated hog.
+#[test]
+#[cfg(unix)]
+fn client_retries_overloaded_refusals_until_the_load_drains() {
+    let (child, addr) = spawn_listener("serve", &["--max-inflight", "1"]);
+
+    let dir = std::env::temp_dir().join(format!("leqa-client-retry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let fifo = dir.join("gate.qc");
+    let status = Command::new("mkfifo").arg(&fifo).status().expect("mkfifo");
+    assert!(status.success(), "mkfifo failed");
+
+    // The hog blocks inside its program load (reading the FIFO), holding
+    // the single inflight slot.
+    let hog_line = Request::Estimate(EstimateRequest::new(ProgramSpec::path(
+        fifo.to_str().expect("utf8 path"),
+    )))
+    .to_json()
+    .encode();
+    let hog_addr = addr.clone();
+    let hog = std::thread::spawn(move || RawClient::connect(&hog_addr).roundtrip(&hog_line));
+
+    let mut probe = RawClient::connect(&addr);
+    while daemon_stats(&mut probe).inflight < 1 {
+        std::thread::yield_now();
+    }
+
+    // Old behaviour, still reachable: first refusal is fatal.
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args(["--retries", "0", addr.as_str(), &estimate_line("qft_8")])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(9), "no-retry client exits 9");
+    let baseline = daemon_stats(&mut probe).overloaded;
+
+    // Retrying client: spawn it, *prove* it was refused at least once,
+    // then release the gate so a later retry lands.
+    let retrying = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args(["--retries", "12", addr.as_str(), &estimate_line("qft_8")])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("client starts");
+    while daemon_stats(&mut probe).overloaded <= baseline {
+        std::thread::yield_now();
+    }
+    std::fs::write(&fifo, ".qubits 2\ncnot 0 1\nh 0\n").expect("feed the fifo");
+
+    let hog_reply = hog.join().expect("hog client");
+    assert!(hog_reply.contains("\"op\":\"estimate\""), "{hog_reply}");
+    let out = retrying.wait_with_output().expect("client exits");
+    assert!(
+        out.status.success(),
+        "retrying client: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"op\":\"estimate\""),
+        "retried reply printed"
+    );
+
+    let ack = probe.roundtrip(&ControlFrame::Shutdown.to_json().encode());
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end tentpole smoke: a 2-replica `leqa shard` front-end serving
+/// the pipelined frame-mode client, replies printed in input order and
+/// unique-program replies byte-identical to a direct session.
+#[test]
+fn shard_serves_the_pipelined_client_end_to_end() {
+    let (child, addr) = spawn_listener("shard", &["--replicas", "2"]);
+
+    let lines = [
+        estimate_line("qft_8"),
+        estimate_line("qft_16"),
+        estimate_line("8bitadder"),
+        estimate_line("qft_8"),
+        estimate_line("qft_24"),
+    ];
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args(["--pipeline", "8", addr.as_str()])
+        .args(&lines)
+        .output()
+        .expect("client runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let replies: Vec<&str> = stdout.lines().collect();
+    assert_eq!(replies.len(), lines.len(), "{stdout}");
+
+    // Input order is preserved even though completion is out of order;
+    // unique programs must be byte-identical to a direct session. The
+    // repeated qft_8 raced its first send through the pipeline, so it
+    // may be the cold or the warm rendering — both are pinned.
+    let direct = Session::builder().build().unwrap();
+    let bytes = |name: &str| {
+        direct
+            .estimate(&EstimateRequest::new(ProgramSpec::bench(name)))
+            .unwrap()
+            .to_json()
+            .encode()
+    };
+    let qft8_cold = bytes("qft_8");
+    assert_eq!(replies[0], qft8_cold);
+    assert_eq!(replies[1], bytes("qft_16"));
+    assert_eq!(replies[2], bytes("8bitadder"));
+    let qft8_warm = bytes("qft_8");
+    assert!(
+        replies[3] == qft8_warm || replies[3] == qft8_cold,
+        "{}",
+        replies[3]
+    );
+    assert_eq!(replies[4], bytes("qft_24"));
+
+    // Merged stats across replicas account for all five estimates.
+    let mut probe = RawClient::connect(&addr);
+    let stats = daemon_stats(&mut probe);
+    assert_eq!(stats.estimate, 5);
+
+    let ack = probe.roundtrip(&ControlFrame::Shutdown.to_json().encode());
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    let out = child.wait_with_output().expect("shard exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn shard_without_replicas_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa"))
+        .args(["shard", "--listen", "127.0.0.1:0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--replicas"));
 }
