@@ -40,6 +40,9 @@ pub enum ErrorKind {
     /// connection or in-flight cap was reached, or the server is
     /// draining for shutdown. Retryable: back off and resend.
     Overloaded,
+    /// The fabric's defect map disconnects a required qubit transfer:
+    /// no defect-free route exists (dead cells/channels percolate).
+    Unroutable,
     /// A bug: an invariant the service relies on did not hold.
     Internal,
 }
@@ -48,7 +51,7 @@ impl ErrorKind {
     /// Every kind, in exit-code order — the canonical enumeration the
     /// documentation-sync tests iterate (update this when adding a
     /// kind, or the `error_table` test will fail the build).
-    pub const ALL: [ErrorKind; 9] = [
+    pub const ALL: [ErrorKind; 10] = [
         ErrorKind::Usage,
         ErrorKind::Io,
         ErrorKind::Parse,
@@ -57,6 +60,7 @@ impl ErrorKind {
         ErrorKind::Map,
         ErrorKind::Json,
         ErrorKind::Overloaded,
+        ErrorKind::Unroutable,
         ErrorKind::Internal,
     ];
 
@@ -72,6 +76,7 @@ impl ErrorKind {
             ErrorKind::Map => "map",
             ErrorKind::Json => "json",
             ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Unroutable => "unroutable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -88,6 +93,7 @@ impl ErrorKind {
             "map" => ErrorKind::Map,
             "json" => ErrorKind::Json,
             "overloaded" => ErrorKind::Overloaded,
+            "unroutable" => ErrorKind::Unroutable,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -164,6 +170,7 @@ impl LeqaError {
     /// | `map` | 7 |
     /// | `json` | 8 |
     /// | `overloaded` | 9 |
+    /// | `unroutable` | 10 |
     /// | `internal` | 70 |
     ///
     /// (0 is success; 1 is reserved for failures outside the taxonomy,
@@ -179,6 +186,7 @@ impl LeqaError {
             ErrorKind::Map => 7,
             ErrorKind::Json => 8,
             ErrorKind::Overloaded => 9,
+            ErrorKind::Unroutable => 10,
             ErrorKind::Internal => 70,
         }
     }
@@ -271,7 +279,11 @@ impl From<leqa::EstimateError> for LeqaError {
 
 impl From<qspr::MapError> for LeqaError {
     fn from(e: qspr::MapError) -> Self {
-        LeqaError::new(ErrorKind::Map, format!("mapping error: {e}"))
+        let kind = match &e {
+            qspr::MapError::Unroutable { .. } => ErrorKind::Unroutable,
+            _ => ErrorKind::Map,
+        };
+        LeqaError::new(kind, format!("mapping error: {e}"))
     }
 }
 
@@ -308,7 +320,7 @@ mod tests {
             .iter()
             .map(|&k| LeqaError::new(k, "x").exit_code())
             .collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9, 70]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 70]);
     }
 
     #[test]
@@ -346,5 +358,13 @@ mod tests {
         }
         .into();
         assert_eq!(map.kind(), ErrorKind::Map);
+
+        let unroutable: LeqaError = qspr::MapError::Unroutable {
+            from: leqa_fabric::Ulb::new(0, 0),
+            to: leqa_fabric::Ulb::new(3, 3),
+        }
+        .into();
+        assert_eq!(unroutable.kind(), ErrorKind::Unroutable);
+        assert_eq!(unroutable.exit_code(), 10);
     }
 }

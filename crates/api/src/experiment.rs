@@ -37,9 +37,11 @@
 //! is the CLI adapter; [`Session::batch_experiment`] is the collected
 //! API endpoint.
 
+use std::sync::Arc;
+
 use leqa::sweep::{sweep_profile_squares, SweepPoint};
 use leqa::{Estimator, ProgramProfile};
-use leqa_fabric::{FabricDims, Micros, PhysicalParams};
+use leqa_fabric::{FabricDims, FabricMap, Micros, PhysicalParams, SplitMix64};
 use qspr::{Mapper, MapperConfig, MovementModel, PlacementStrategy, RouterStrategy};
 
 use crate::dto::{
@@ -97,6 +99,12 @@ pub enum ExperimentMode {
     Map,
     /// QSPR mapping *and* the LEQA estimate per cell (Table 2 per cell).
     Compare,
+    /// The Monte Carlo percolation-yield study: every cell is expanded
+    /// into `densities × trials` seeded QSPR runs on randomly defective
+    /// fabrics (see [`MonteCarloSpec`]); the summary reports per-density
+    /// routability with a Wilson interval and the interpolated critical
+    /// defect density (the percolation knee, after arXiv:1307.2755).
+    MonteCarlo,
 }
 
 impl ExperimentMode {
@@ -107,6 +115,7 @@ impl ExperimentMode {
             ExperimentMode::Estimate => "estimate",
             ExperimentMode::Map => "map",
             ExperimentMode::Compare => "compare",
+            ExperimentMode::MonteCarlo => "montecarlo",
         }
     }
 
@@ -115,7 +124,71 @@ impl ExperimentMode {
             "estimate" => ExperimentMode::Estimate,
             "map" => ExperimentMode::Map,
             "compare" => ExperimentMode::Compare,
+            "montecarlo" => ExperimentMode::MonteCarlo,
             _ => return None,
+        })
+    }
+}
+
+/// The Monte Carlo axis of a `montecarlo`-mode spec: the defect-density
+/// sweep and the trial count per density.
+///
+/// Each (density, trial) pair of each cell draws an independent
+/// [`FabricMap::with_random_defects`] fabric — cells *and* channels are
+/// knocked out at the same density — with a per-trial seed derived from
+/// `seed` via [`SplitMix64::mix`], so a spec is exactly reproducible.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct MonteCarloSpec {
+    /// Defect densities to sweep (each in `[0, 1]`; order is preserved
+    /// in the rows, the summary sorts ascending for the knee scan).
+    pub densities: Vec<f64>,
+    /// Seeded trials per density (≥ 1).
+    pub trials: u32,
+    /// Base RNG seed for the whole study.
+    pub seed: u64,
+}
+
+impl MonteCarloSpec {
+    /// A study over the given densities with the given trial count.
+    #[must_use]
+    pub fn new(densities: impl IntoIterator<Item = f64>, trials: u32, seed: u64) -> Self {
+        MonteCarloSpec {
+            densities: densities.into_iter().collect(),
+            trials,
+            seed,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "densities",
+                Json::Arr(self.densities.iter().map(|&d| Json::Num(d)).collect()),
+            ),
+            ("trials", Json::num(self.trials)),
+            ("seed", Json::Num(self.seed as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        let what = "montecarlo section";
+        let densities = field(value, "densities", what)?
+            .as_arr()
+            .ok_or_else(|| LeqaError::new(ErrorKind::Json, "`densities` must be an array"))?
+            .iter()
+            .map(|d| {
+                d.as_f64().ok_or_else(|| {
+                    LeqaError::new(ErrorKind::Json, "montecarlo densities must be numbers")
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(MonteCarloSpec {
+            densities,
+            trials: u64_field(value, "trials", what)?
+                .try_into()
+                .map_err(|_| LeqaError::new(ErrorKind::Json, "montecarlo `trials` too large"))?,
+            seed: u64_field(value, "seed", what)?,
         })
     }
 }
@@ -402,6 +475,9 @@ pub struct ScenarioSpec {
     pub select: ResultSelect,
     /// Per-axis filters.
     pub filter: AxisFilter,
+    /// The Monte Carlo axis — required when (and only meaningful when)
+    /// `mode` is [`ExperimentMode::MonteCarlo`].
+    pub montecarlo: Option<MonteCarloSpec>,
 }
 
 impl ScenarioSpec {
@@ -422,6 +498,7 @@ impl ScenarioSpec {
             mode: ExperimentMode::Estimate,
             select: ResultSelect::Full,
             filter: AxisFilter::default(),
+            montecarlo: None,
         }
     }
 
@@ -467,6 +544,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the Monte Carlo axis and switches the spec into
+    /// [`ExperimentMode::MonteCarlo`].
+    #[must_use]
+    pub fn with_montecarlo(mut self, montecarlo: MonteCarloSpec) -> Self {
+        self.montecarlo = Some(montecarlo);
+        self.mode = ExperimentMode::MonteCarlo;
+        self
+    }
+
     /// Serializes the spec envelope.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -506,6 +592,13 @@ impl ScenarioSpec {
             ("mode", Json::str(self.mode.name())),
             ("select", Json::str(self.select.name())),
             ("filter", self.filter.to_json()),
+            (
+                "montecarlo",
+                self.montecarlo
+                    .as_ref()
+                    .map(MonteCarloSpec::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 
@@ -583,7 +676,7 @@ impl ScenarioSpec {
                 .ok_or_else(|| {
                     LeqaError::new(
                         ErrorKind::Json,
-                        "`mode` must be `estimate`, `map` or `compare`",
+                        "`mode` must be `estimate`, `map`, `compare` or `montecarlo`",
                     )
                 })?,
         };
@@ -600,6 +693,10 @@ impl ScenarioSpec {
             None | Some(Json::Null) => AxisFilter::default(),
             Some(v) => AxisFilter::from_json(v)?,
         };
+        let montecarlo = match value.get("montecarlo") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(MonteCarloSpec::from_json(v)?),
+        };
         Ok(ScenarioSpec {
             workloads,
             fabrics,
@@ -609,6 +706,7 @@ impl ScenarioSpec {
             mode,
             select,
             filter,
+            montecarlo,
         })
     }
 
@@ -672,10 +770,43 @@ impl ScenarioSpec {
         if self.movements.is_empty() {
             return Err(invalid("experiment movement axis is empty".into()));
         }
+        let montecarlo = match (self.mode, &self.montecarlo) {
+            (ExperimentMode::MonteCarlo, Some(mc)) => {
+                if mc.densities.is_empty() {
+                    return Err(invalid("montecarlo `densities` axis is empty".into()));
+                }
+                for &d in &mc.densities {
+                    if !(d.is_finite() && (0.0..=1.0).contains(&d)) {
+                        return Err(invalid(format!("montecarlo density {d} is outside [0, 1]")));
+                    }
+                }
+                if mc.trials == 0 {
+                    return Err(invalid("montecarlo `trials` must be positive".into()));
+                }
+                Some(mc.clone())
+            }
+            (ExperimentMode::MonteCarlo, None) => {
+                return Err(invalid(
+                    "montecarlo mode needs a `montecarlo` section \
+                     ({\"densities\": [..], \"trials\": N, \"seed\": S})"
+                        .into(),
+                ));
+            }
+            (_, Some(_)) => {
+                return Err(invalid(
+                    "a `montecarlo` section requires `mode`: `montecarlo`".into(),
+                ));
+            }
+            (_, None) => None,
+        };
+        let trials_per_cell = montecarlo
+            .as_ref()
+            .map_or(1, |mc| mc.densities.len() as u64 * u64::from(mc.trials));
         let cells_per_side = workloads.len() as u64
             * self.params.len() as u64
             * self.routers.len() as u64
-            * self.movements.len() as u64;
+            * self.movements.len() as u64
+            * trials_per_cell;
 
         // Fabric axis: expand ranges with the side-bound filters applied
         // inline, dedupe overlaps (first occurrence wins). The
@@ -786,6 +917,7 @@ impl ScenarioSpec {
             mode: self.mode,
             select: self.select,
             cells,
+            montecarlo,
         })
     }
 }
@@ -814,8 +946,11 @@ pub struct ExperimentPlan {
     pub mode: ExperimentMode,
     /// The row selector.
     pub select: ResultSelect,
-    /// Total cell count (product of the axis lengths).
+    /// Total cell count (product of the axis lengths; in `montecarlo`
+    /// mode this includes the `densities × trials` expansion).
     pub cells: u64,
+    /// The validated Monte Carlo axis (`montecarlo` mode only).
+    pub montecarlo: Option<MonteCarloSpec>,
 }
 
 impl ExperimentPlan {
@@ -833,6 +968,18 @@ impl ExperimentPlan {
             ("sides", Json::num(self.sides.len() as u32)),
             ("mode", Json::str(self.mode.name())),
             ("select", Json::str(self.select.name())),
+            (
+                "montecarlo",
+                self.montecarlo
+                    .as_ref()
+                    .map(|mc| {
+                        Json::obj(vec![
+                            ("densities", Json::num(mc.densities.len() as u32)),
+                            ("trials", Json::num(mc.trials)),
+                        ])
+                    })
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 }
@@ -884,6 +1031,27 @@ pub enum CellMetrics {
         /// `actual_us` is 0).
         error_pct: Option<f64>,
     },
+    /// `montecarlo` mode quantities: one seeded trial on one randomly
+    /// defective fabric.
+    MonteCarlo {
+        /// Defect density this trial was drawn at.
+        density: f64,
+        /// Zero-based trial index within the density.
+        trial: u32,
+        /// Whether every CNOT found a defect-free route (`None` when
+        /// the program did not fit the fabric's *live* cells — those
+        /// trials are `fit: false` rows and excluded from the
+        /// routability rate).
+        routable: Option<bool>,
+        /// The detailed schedule's latency (`None` unless routable).
+        latency_us: Option<f64>,
+        /// Congestion wait summed over qubits (`None` unless routable).
+        congestion_wait_us: Option<f64>,
+        /// Defective cells on this trial's fabric.
+        dead_cells: Option<u64>,
+        /// Defective channels on this trial's fabric.
+        dead_channels: Option<u64>,
+    },
 }
 
 impl CellMetrics {
@@ -892,15 +1060,21 @@ impl CellMetrics {
     #[must_use]
     pub fn primary_latency_us(&self) -> Option<f64> {
         match self {
-            CellMetrics::Estimate { latency_us, .. } | CellMetrics::Map { latency_us, .. } => {
-                *latency_us
-            }
+            CellMetrics::Estimate { latency_us, .. }
+            | CellMetrics::Map { latency_us, .. }
+            | CellMetrics::MonteCarlo { latency_us, .. } => *latency_us,
             CellMetrics::Compare { actual_us, .. } => *actual_us,
         }
     }
 
     fn fit(&self) -> bool {
-        self.primary_latency_us().is_some()
+        match self {
+            // An unroutable trial still *fit* the fabric — the placement
+            // succeeded; only the routing percolated. Unfit is reserved
+            // for programs larger than the live-cell count.
+            CellMetrics::MonteCarlo { routable, .. } => routable.is_some(),
+            _ => self.primary_latency_us().is_some(),
+        }
     }
 
     fn push_fields(&self, select: ResultSelect, pairs: &mut Vec<(&'static str, Json)>) {
@@ -961,6 +1135,35 @@ impl CellMetrics {
                     pairs.push(("error_pct", json_opt_num(*error_pct)));
                 }
             }
+            CellMetrics::MonteCarlo {
+                density,
+                trial,
+                routable,
+                latency_us,
+                congestion_wait_us,
+                dead_cells,
+                dead_channels,
+            } => {
+                pairs.push(("density", Json::Num(*density)));
+                pairs.push(("trial", Json::num(*trial)));
+                pairs.push(("routable", routable.map(Json::Bool).unwrap_or(Json::Null)));
+                pairs.push(("latency_us", json_opt_num(*latency_us)));
+                if select == ResultSelect::Full {
+                    pairs.push(("congestion_wait_us", json_opt_num(*congestion_wait_us)));
+                    pairs.push((
+                        "dead_cells",
+                        dead_cells
+                            .map(|n| Json::Num(n as f64))
+                            .unwrap_or(Json::Null),
+                    ));
+                    pairs.push((
+                        "dead_channels",
+                        dead_channels
+                            .map(|n| Json::Num(n as f64))
+                            .unwrap_or(Json::Null),
+                    ));
+                }
+            }
         }
     }
 
@@ -985,6 +1188,24 @@ impl CellMetrics {
                 actual_us: opt_f64(value, "actual_us", what)?,
                 estimated_us: opt_f64(value, "estimated_us", what)?,
                 error_pct: opt_f64(value, "error_pct", what)?,
+            },
+            ExperimentMode::MonteCarlo => CellMetrics::MonteCarlo {
+                density: field(value, "density", what)?.as_f64().ok_or_else(|| {
+                    LeqaError::new(ErrorKind::Json, "cell `density` must be a number")
+                })?,
+                trial: u64_field(value, "trial", what)?
+                    .try_into()
+                    .map_err(|_| LeqaError::new(ErrorKind::Json, "cell `trial` out of range"))?,
+                routable: match value.get("routable") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_bool().ok_or_else(|| {
+                        LeqaError::new(ErrorKind::Json, "cell `routable` must be a boolean")
+                    })?),
+                },
+                latency_us: opt_f64(value, "latency_us", what)?,
+                congestion_wait_us: opt_f64(value, "congestion_wait_us", what)?,
+                dead_cells: opt_u64(value, "dead_cells", what)?,
+                dead_channels: opt_u64(value, "dead_channels", what)?,
             },
         })
     }
@@ -1117,6 +1338,180 @@ impl WorkloadSummary {
     }
 }
 
+/// Per-density aggregate of a Monte Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct DensityStats {
+    /// The defect density.
+    pub density: f64,
+    /// Trials whose program fit the fabric's live cells.
+    pub trials: u64,
+    /// Fitting trials where every CNOT found a defect-free route.
+    pub routable: u64,
+    /// `routable / trials` (`None` when no trial fit).
+    pub routability: Option<f64>,
+    /// 95 % Wilson-interval lower bound on the routability.
+    pub ci_low: Option<f64>,
+    /// 95 % Wilson-interval upper bound on the routability.
+    pub ci_high: Option<f64>,
+    /// Median latency over routable trials, in microseconds.
+    pub p50_latency_us: Option<f64>,
+    /// 90th-percentile latency over routable trials, in microseconds.
+    pub p90_latency_us: Option<f64>,
+}
+
+impl DensityStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("density", Json::Num(self.density)),
+            ("trials", Json::Num(self.trials as f64)),
+            ("routable", Json::Num(self.routable as f64)),
+            ("routability", json_opt_num(self.routability)),
+            ("ci_low", json_opt_num(self.ci_low)),
+            ("ci_high", json_opt_num(self.ci_high)),
+            ("p50_latency_us", json_opt_num(self.p50_latency_us)),
+            ("p90_latency_us", json_opt_num(self.p90_latency_us)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        let what = "density stats";
+        Ok(DensityStats {
+            density: field(value, "density", what)?.as_f64().ok_or_else(|| {
+                LeqaError::new(ErrorKind::Json, "density stats `density` must be a number")
+            })?,
+            trials: u64_field(value, "trials", what)?,
+            routable: u64_field(value, "routable", what)?,
+            routability: opt_f64(value, "routability", what)?,
+            ci_low: opt_f64(value, "ci_low", what)?,
+            ci_high: opt_f64(value, "ci_high", what)?,
+            p50_latency_us: opt_f64(value, "p50_latency_us", what)?,
+            p90_latency_us: opt_f64(value, "p90_latency_us", what)?,
+        })
+    }
+}
+
+/// The Monte Carlo block of the summary record: per-density routability
+/// with Wilson intervals and the interpolated critical defect density
+/// (the percolation knee), with a confidence interval obtained by
+/// running the same crossing scan on the Wilson-bound curves — the
+/// finite-sampling treatment of percolation-threshold estimation
+/// (after arXiv:1307.2755).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct MonteCarloSummary {
+    /// One aggregate per swept density, sorted ascending by density.
+    pub densities: Vec<DensityStats>,
+    /// The density where the routability rate crosses 0.5, linearly
+    /// interpolated between the bracketing sweep points (`None` when
+    /// the sweep never crosses — every density routable, or none).
+    pub critical_density: Option<f64>,
+    /// Lower confidence bound on the critical density (the 0.5-crossing
+    /// of the Wilson *lower*-bound curve; routability falls with
+    /// density, so the pessimistic curve crosses earlier). Clamped to
+    /// the swept range.
+    pub critical_ci_low: Option<f64>,
+    /// Upper confidence bound on the critical density (crossing of the
+    /// Wilson upper-bound curve), clamped to the swept range.
+    pub critical_ci_high: Option<f64>,
+}
+
+impl MonteCarloSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "densities",
+                Json::Arr(self.densities.iter().map(DensityStats::to_json).collect()),
+            ),
+            ("critical_density", json_opt_num(self.critical_density)),
+            ("critical_ci_low", json_opt_num(self.critical_ci_low)),
+            ("critical_ci_high", json_opt_num(self.critical_ci_high)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, LeqaError> {
+        let what = "montecarlo summary";
+        Ok(MonteCarloSummary {
+            densities: field(value, "densities", what)?
+                .as_arr()
+                .ok_or_else(|| {
+                    LeqaError::new(ErrorKind::Json, "montecarlo `densities` must be an array")
+                })?
+                .iter()
+                .map(DensityStats::from_json)
+                .collect::<Result<_, _>>()?,
+            critical_density: opt_f64(value, "critical_density", what)?,
+            critical_ci_low: opt_f64(value, "critical_ci_low", what)?,
+            critical_ci_high: opt_f64(value, "critical_ci_high", what)?,
+        })
+    }
+}
+
+/// The 95 % Wilson score interval for `successes / trials` — the
+/// binomial interval that stays honest at the extremes (rate 0 or 1,
+/// small n), where the naive normal interval collapses.
+fn wilson_interval(successes: u64, trials: u64) -> Option<(f64, f64)> {
+    if trials == 0 {
+        return None;
+    }
+    let z = 1.96_f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // At the extremes the Wilson bound is exactly the rate; snap past
+    // the float noise so `lo ≤ p̂ ≤ hi` holds bit-for-bit.
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    Some((lo, hi))
+}
+
+/// Linear-interpolated quantile of an already-sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    match sorted {
+        [] => None,
+        [one] => Some(*one),
+        many => {
+            let pos = q * (many.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let frac = pos - lo as f64;
+            let hi = (lo + 1).min(many.len() - 1);
+            Some(many[lo] + frac * (many[hi] - many[lo]))
+        }
+    }
+}
+
+/// The density where a monotone-decreasing-ish rate curve crosses 0.5,
+/// linearly interpolated between the first bracketing pair. `points`
+/// must be sorted ascending by density; entries with no rate are
+/// skipped.
+fn crossing_density(points: &[(f64, Option<f64>)]) -> Option<f64> {
+    let known: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|&(d, r)| r.map(|r| (d, r)))
+        .collect();
+    for pair in known.windows(2) {
+        let (d0, r0) = pair[0];
+        let (d1, r1) = pair[1];
+        if r0 >= 0.5 && r1 < 0.5 {
+            // r0 == r1 cannot reach here (r0 >= 0.5 > r1), so the
+            // divisor is nonzero.
+            return Some(d0 + (r0 - 0.5) / (r0 - r1) * (d1 - d0));
+        }
+    }
+    None
+}
+
 /// The session cache-counter delta over one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
@@ -1172,6 +1567,8 @@ pub struct ExperimentSummary {
     pub fit_cells: u64,
     /// One aggregate per workload, in axis order.
     pub workloads: Vec<WorkloadSummary>,
+    /// Monte Carlo yield statistics (`Some` only in montecarlo mode).
+    pub montecarlo: Option<MonteCarloSummary>,
     /// Session cache-counter delta over the run.
     pub cache: CacheDelta,
 }
@@ -1180,7 +1577,7 @@ impl ExperimentSummary {
     /// Serializes the summary record.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema_version", Json::num(SCHEMA_VERSION as u32)),
             ("op", Json::str("experiment_summary")),
             ("cells", Json::Num(self.cells as f64)),
@@ -1194,8 +1591,14 @@ impl ExperimentSummary {
                         .collect(),
                 ),
             ),
-            ("cache", self.cache.to_json()),
-        ])
+        ];
+        // Emitted only in montecarlo mode: summaries of the other modes
+        // stay byte-identical to what they were before the key existed.
+        if let Some(mc) = &self.montecarlo {
+            fields.push(("montecarlo", mc.to_json()));
+        }
+        fields.push(("cache", self.cache.to_json()));
+        Json::obj(fields)
     }
 
     /// Decodes a summary record.
@@ -1217,6 +1620,10 @@ impl ExperimentSummary {
                 .iter()
                 .map(WorkloadSummary::from_json)
                 .collect::<Result<_, _>>()?,
+            montecarlo: match value.get("montecarlo") {
+                None | Some(Json::Null) => None,
+                Some(mc) => Some(MonteCarloSummary::from_json(mc)?),
+            },
             cache: CacheDelta::from_json(field(value, "cache", what)?)?,
         })
     }
@@ -1306,6 +1713,7 @@ struct SummaryAccumulator {
     workloads: Vec<WorkloadSummary>,
     cells: u64,
     fit_cells: u64,
+    montecarlo: Option<MonteCarloSummary>,
 }
 
 impl SummaryAccumulator {
@@ -1324,6 +1732,7 @@ impl SummaryAccumulator {
                 .collect(),
             cells: 0,
             fit_cells: 0,
+            montecarlo: None,
         }
     }
 
@@ -1350,6 +1759,7 @@ impl SummaryAccumulator {
             cells: self.cells,
             fit_cells: self.fit_cells,
             workloads: self.workloads,
+            montecarlo: self.montecarlo,
             cache,
         }
     }
@@ -1362,6 +1772,20 @@ struct MapCell {
     router: RouterStrategy,
     movement: MovementModel,
     side: u32,
+}
+
+/// A trial descriptor for the Monte Carlo fan-out phase. The seed is
+/// precomputed from the scenario seed and the cell's plan index so the
+/// fan-out order cannot influence which fabric a trial sees.
+struct McCell {
+    workload_index: usize,
+    param_index: usize,
+    router: RouterStrategy,
+    movement: MovementModel,
+    side: u32,
+    density: f64,
+    trial: u32,
+    seed: u64,
 }
 
 /// Executes a validated [`ScenarioSpec`] against a [`Session`],
@@ -1436,6 +1860,9 @@ impl<'s> ExperimentRunner<'s> {
             }
             ExperimentMode::Map | ExperimentMode::Compare => {
                 self.run_mapped(&handles, &variant_params, &mut acc, sink)?;
+            }
+            ExperimentMode::MonteCarlo => {
+                self.run_montecarlo(&handles, &variant_params, &mut acc, sink)?;
             }
         }
 
@@ -1605,8 +2032,216 @@ impl<'s> ExperimentRunner<'s> {
                     error_pct,
                 }
             }
-            ExperimentMode::Estimate => unreachable!("estimate cells use the sweep path"),
+            ExperimentMode::Estimate | ExperimentMode::MonteCarlo => {
+                unreachable!("estimate and montecarlo cells use their own paths")
+            }
         })
+    }
+
+    /// Monte Carlo mode: each cell is one seeded defect draw plus a QSPR
+    /// run on the defective fabric, fanned out over the worker pool.
+    /// Rows are emitted in plan order (density and trial are the two
+    /// innermost axes); the per-density yield statistics land on the
+    /// summary record.
+    fn run_montecarlo(
+        &self,
+        handles: &[ProgramHandle],
+        variant_params: &[PhysicalParams],
+        acc: &mut SummaryAccumulator,
+        sink: &mut dyn FnMut(&CellRow) -> Result<(), LeqaError>,
+    ) -> Result<(), LeqaError> {
+        let plan = &self.plan;
+        let mc = plan
+            .montecarlo
+            .as_ref()
+            .expect("plan() rejects montecarlo mode without a montecarlo section");
+
+        let mut cells: Vec<McCell> = Vec::with_capacity(plan.cells as usize);
+        for wi in 0..plan.workloads.len() {
+            for pi in 0..variant_params.len() {
+                for &router in &plan.routers {
+                    for &movement in &plan.movements {
+                        for &side in &plan.sides {
+                            for &density in &mc.densities {
+                                for trial in 0..mc.trials {
+                                    let index = cells.len() as u64;
+                                    cells.push(McCell {
+                                        workload_index: wi,
+                                        param_index: pi,
+                                        router,
+                                        movement,
+                                        side,
+                                        density,
+                                        trial,
+                                        seed: SplitMix64::mix(mc.seed, index),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let results: Vec<Result<CellMetrics, LeqaError>> = fan_out(&cells, |c| {
+            self.run_mc_cell(
+                c,
+                &handles[c.workload_index],
+                &variant_params[c.param_index],
+            )
+        });
+
+        // Per-density tallies, in spec order: (placed trials, routable
+        // trials, latencies of the routable ones).
+        let mut tallies: Vec<(u64, u64, Vec<f64>)> = vec![(0, 0, Vec::new()); mc.densities.len()];
+
+        for (i, (cell, metrics)) in cells.iter().zip(results).enumerate() {
+            let metrics = metrics?;
+            if let CellMetrics::MonteCarlo {
+                routable,
+                latency_us,
+                ..
+            } = &metrics
+            {
+                // Trial is the innermost axis, density the next one out.
+                let di = (i / mc.trials as usize) % mc.densities.len();
+                let tally = &mut tallies[di];
+                if let Some(routable) = routable {
+                    tally.0 += 1;
+                    if *routable {
+                        tally.1 += 1;
+                        if let Some(latency) = latency_us {
+                            tally.2.push(*latency);
+                        }
+                    }
+                }
+            }
+            let row = CellRow {
+                cell: i as u64,
+                workload: plan.workloads[cell.workload_index].clone(),
+                params: plan.params[cell.param_index].name.clone(),
+                router: cell.router,
+                movement: cell.movement,
+                side: cell.side,
+                fit: metrics.fit(),
+                metrics,
+            };
+            acc.observe(cell.workload_index, &row);
+            sink(&row)?;
+        }
+
+        acc.montecarlo = Some(montecarlo_summary(&mc.densities, tallies));
+        Ok(())
+    }
+
+    /// One Monte Carlo trial: draw the seeded defect mask, then map the
+    /// program around it. `Unroutable` is a *result* here (a dead
+    /// sample), not an error; `FabricTooSmall` (the live area shrank
+    /// below the program) is an unfit row, matching map mode.
+    fn run_mc_cell(
+        &self,
+        cell: &McCell,
+        handle: &ProgramHandle,
+        params: &PhysicalParams,
+    ) -> Result<CellMetrics, LeqaError> {
+        let dims = FabricDims::new(cell.side, cell.side).map_err(LeqaError::from)?;
+        let map = FabricMap::with_random_defects(dims, cell.density, cell.density, cell.seed)
+            .map_err(LeqaError::from)?;
+        let dead_cells = Some(map.dead_cells());
+        let dead_channels = Some(map.dead_channels());
+        let mapper = Mapper::with_config(MapperConfig {
+            dims,
+            params: params.clone(),
+            placement: PlacementStrategy::default(),
+            router: cell.router,
+            movement: cell.movement,
+            seed: 0,
+        })
+        .with_fabric_map(Arc::new(map));
+        Ok(match mapper.map(handle.qodg()) {
+            Ok(r) => CellMetrics::MonteCarlo {
+                density: cell.density,
+                trial: cell.trial,
+                routable: Some(true),
+                latency_us: Some(r.latency.as_f64()),
+                congestion_wait_us: Some(r.stats.congestion_wait.as_f64()),
+                dead_cells,
+                dead_channels,
+            },
+            Err(qspr::MapError::FabricTooSmall { .. }) => CellMetrics::MonteCarlo {
+                density: cell.density,
+                trial: cell.trial,
+                routable: None,
+                latency_us: None,
+                congestion_wait_us: None,
+                dead_cells,
+                dead_channels,
+            },
+            Err(qspr::MapError::Unroutable { .. }) => CellMetrics::MonteCarlo {
+                density: cell.density,
+                trial: cell.trial,
+                routable: Some(false),
+                latency_us: None,
+                congestion_wait_us: None,
+                dead_cells,
+                dead_channels,
+            },
+            Err(other) => return Err(LeqaError::from(other)),
+        })
+    }
+}
+
+/// Folds the per-density tallies (in spec order, paired with
+/// `densities`) into the summary block: Wilson intervals, latency
+/// quantiles, and the interpolated critical density with its
+/// confidence interval.
+fn montecarlo_summary(densities: &[f64], tallies: Vec<(u64, u64, Vec<f64>)>) -> MonteCarloSummary {
+    let mut stats: Vec<DensityStats> = densities
+        .iter()
+        .zip(tallies)
+        .map(|(&density, (trials, routable, mut latencies))| {
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            let interval = wilson_interval(routable, trials);
+            DensityStats {
+                density,
+                trials,
+                routable,
+                routability: (trials > 0).then(|| routable as f64 / trials as f64),
+                ci_low: interval.map(|(lo, _)| lo),
+                ci_high: interval.map(|(_, hi)| hi),
+                p50_latency_us: quantile(&latencies, 0.5),
+                p90_latency_us: quantile(&latencies, 0.9),
+            }
+        })
+        .collect();
+    stats.sort_by(|a, b| {
+        a.density
+            .partial_cmp(&b.density)
+            .expect("plan() rejects non-finite densities")
+    });
+
+    let rate: Vec<(f64, Option<f64>)> = stats.iter().map(|s| (s.density, s.routability)).collect();
+    let low: Vec<(f64, Option<f64>)> = stats.iter().map(|s| (s.density, s.ci_low)).collect();
+    let high: Vec<(f64, Option<f64>)> = stats.iter().map(|s| (s.density, s.ci_high)).collect();
+
+    let critical_density = crossing_density(&rate);
+    // Routability falls with density, so the pessimistic (Wilson-lower)
+    // curve crosses 0.5 at a smaller density than the optimistic one;
+    // a bound curve that never crosses clamps to the swept range.
+    let (critical_ci_low, critical_ci_high) = match (critical_density, stats.first(), stats.last())
+    {
+        (Some(_), Some(first), Some(last)) => (
+            Some(crossing_density(&low).unwrap_or(first.density)),
+            Some(crossing_density(&high).unwrap_or(last.density)),
+        ),
+        _ => (None, None),
+    };
+
+    MonteCarloSummary {
+        densities: stats,
+        critical_density,
+        critical_ci_low,
+        critical_ci_high,
     }
 }
 
@@ -2089,5 +2724,215 @@ mod tests {
         assert_eq!(second.summary.cache.profile_builds, 0);
         // The measurements themselves are unchanged.
         assert_eq!(first.rows, second.rows);
+    }
+
+    // ── Monte Carlo mode ─────────────────────────────────────────────
+
+    fn mc_spec(densities: impl IntoIterator<Item = f64>, trials: u32) -> ScenarioSpec {
+        ScenarioSpec::new(["qft_8"], [FabricEntry::Side(8)])
+            .with_montecarlo(MonteCarloSpec::new(densities, trials, 7))
+    }
+
+    #[test]
+    fn montecarlo_spec_round_trips_through_json() {
+        let spec = mc_spec([0.0, 0.1, 0.25], 4);
+        assert_eq!(spec.mode, ExperimentMode::MonteCarlo);
+        let back = ScenarioSpec::from_json(&parse(&spec.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn montecarlo_plan_multiplies_the_trial_axes() {
+        let plan = mc_spec([0.0, 0.1, 0.25], 4).plan().unwrap();
+        assert_eq!(plan.cells, 12); // 1 workload × 1 side × 3 densities × 4 trials
+        assert_eq!(plan.montecarlo.as_ref().unwrap().trials, 4);
+    }
+
+    #[test]
+    fn montecarlo_plan_rejects_malformed_sections() {
+        // montecarlo mode without the section.
+        let spec = ScenarioSpec::new(["qft_8"], [FabricEntry::Side(8)])
+            .with_mode(ExperimentMode::MonteCarlo);
+        let err = spec.plan().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Invalid);
+        assert!(err.to_string().contains("montecarlo"), "{err}");
+
+        // The section without montecarlo mode.
+        let mut spec = mc_spec([0.1], 2);
+        spec.mode = ExperimentMode::Map;
+        assert_eq!(spec.plan().unwrap_err().kind(), ErrorKind::Invalid);
+
+        // Out-of-range, non-finite, and empty densities; zero trials.
+        for bad in [
+            mc_spec([1.5], 2),
+            mc_spec([-0.1], 2),
+            mc_spec([f64::NAN], 2),
+            mc_spec(Vec::new(), 2),
+            mc_spec([0.1], 0),
+        ] {
+            assert_eq!(bad.plan().unwrap_err().kind(), ErrorKind::Invalid);
+        }
+    }
+
+    #[test]
+    fn zero_density_trials_match_plain_map_mode() {
+        // Density 0 draws a pristine mask: every trial must reproduce
+        // the defect-free map-mode latency bit for bit.
+        let session = Session::builder().build().unwrap();
+        let mc = session.batch_experiment(&mc_spec([0.0], 3)).unwrap();
+        let map = session
+            .batch_experiment(
+                &ScenarioSpec::new(["qft_8"], [FabricEntry::Side(8)])
+                    .with_mode(ExperimentMode::Map),
+            )
+            .unwrap();
+        let CellMetrics::Map { latency_us, .. } = &map.rows[0].metrics else {
+            panic!("map metrics expected");
+        };
+        let baseline = latency_us.unwrap();
+        assert_eq!(mc.rows.len(), 3);
+        for row in &mc.rows {
+            let CellMetrics::MonteCarlo {
+                routable,
+                latency_us,
+                dead_cells,
+                dead_channels,
+                ..
+            } = &row.metrics
+            else {
+                panic!("montecarlo metrics expected");
+            };
+            assert_eq!(*routable, Some(true));
+            assert_eq!(*dead_cells, Some(0));
+            assert_eq!(*dead_channels, Some(0));
+            assert_eq!(latency_us.unwrap().to_bits(), baseline.to_bits());
+        }
+        let mc_summary = mc.summary.montecarlo.as_ref().unwrap();
+        assert_eq!(mc_summary.densities[0].routability, Some(1.0));
+        assert_eq!(mc_summary.critical_density, None); // never crosses 0.5
+    }
+
+    #[test]
+    fn montecarlo_runs_report_yield_statistics() {
+        let session = Session::builder().build().unwrap();
+        let response = session
+            .batch_experiment(&mc_spec([0.0, 0.15, 0.45], 6))
+            .unwrap();
+        assert_eq!(response.rows.len(), 18);
+        let mc = response.summary.montecarlo.as_ref().unwrap();
+        assert_eq!(mc.densities.len(), 3);
+        // Sorted ascending, each with a Wilson interval around its rate.
+        for pair in mc.densities.windows(2) {
+            assert!(pair[0].density < pair[1].density);
+        }
+        for d in &mc.densities {
+            assert!(d.trials <= 6); // placed trials never exceed the sweep
+            assert!(d.routable <= d.trials);
+            if let (Some(rate), Some(lo), Some(hi)) = (d.routability, d.ci_low, d.ci_high) {
+                assert!((0.0..=1.0).contains(&rate));
+                assert!(lo <= rate && rate <= hi, "{lo} ≤ {rate} ≤ {hi}");
+            }
+        }
+        // The pristine end of the sweep is fully routable.
+        assert_eq!(mc.densities[0].routability, Some(1.0));
+        assert!(mc.densities[0].p50_latency_us.unwrap() > 0.0);
+        // Yield cannot improve as defects are added (seeded, so stable).
+        let rates: Vec<f64> = mc.densities.iter().filter_map(|d| d.routability).collect();
+        for pair in rates.windows(2) {
+            assert!(
+                pair[0] >= pair[1],
+                "routability rose with density: {rates:?}"
+            );
+        }
+
+        // The whole response (MC rows + summary block) round-trips.
+        let back =
+            ExperimentResponse::from_json(&parse(&response.to_json().encode()).unwrap()).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn montecarlo_ndjson_rows_have_stable_prefixes() {
+        let session = Session::builder().build().unwrap();
+        let response = session.batch_experiment(&mc_spec([0.0], 1)).unwrap();
+        let mut out = Vec::new();
+        write_ndjson(&response, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let row = text.lines().next().unwrap();
+        assert!(
+            row.starts_with(
+                "{\"schema_version\":1,\"op\":\"experiment_cell\",\"cell\":0,\
+                 \"workload\":\"qft_8\",\"params\":\"default\",\"router\":\"xy\",\
+                 \"movement\":\"home\",\"side\":8,\"fit\":true,\"density\":0,\
+                 \"trial\":0,\"routable\":true,\"latency_us\":"
+            ),
+            "{row}"
+        );
+        let summary = text.lines().last().unwrap();
+        assert!(
+            summary.contains("\"montecarlo\":{\"densities\":["),
+            "{summary}"
+        );
+        assert!(summary.contains("\"critical_density\":"), "{summary}");
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_rate_and_degrades_gracefully() {
+        assert_eq!(wilson_interval(1, 0), None);
+        let (lo, hi) = wilson_interval(8, 10).unwrap();
+        assert!(lo < 0.8 && 0.8 < hi);
+        let (lo, hi) = wilson_interval(0, 10).unwrap();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.5); // zero successes still admit doubt
+        let (lo, hi) = wilson_interval(10, 10).unwrap();
+        assert!(lo > 0.5 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[3.0], 0.9), Some(3.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.5), Some(2.5));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0], 0.0), Some(1.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0], 1.0), Some(3.0));
+    }
+
+    #[test]
+    fn critical_density_interpolates_the_half_yield_crossing() {
+        // Rate falls 1.0 → 0.25 between densities 0.2 and 0.4: the 0.5
+        // crossing sits two-thirds of the way across the bracket.
+        let points = [(0.0, Some(1.0)), (0.2, Some(1.0)), (0.4, Some(0.25))];
+        let crit = crossing_density(&points).unwrap();
+        assert!((crit - (0.2 + (0.5 / 0.75) * 0.2)).abs() < 1e-12, "{crit}");
+
+        // Unplaced densities are skipped, not treated as zero yield.
+        let gappy = [(0.0, Some(1.0)), (0.2, None), (0.4, Some(0.0))];
+        let crit = crossing_density(&gappy).unwrap();
+        assert!((crit - 0.2).abs() < 1e-12, "{crit}");
+
+        // No crossing when the sweep never drops below half.
+        assert_eq!(
+            crossing_density(&[(0.0, Some(1.0)), (0.5, Some(0.9))]),
+            None
+        );
+    }
+
+    #[test]
+    fn montecarlo_summary_clamps_the_confidence_interval_to_the_sweep() {
+        // One routable trial out of two at every density: the rate
+        // curve never crosses 0.5 cleanly... craft tallies instead so
+        // the crossing exists but the Wilson bounds straddle the range.
+        let densities = [0.0, 0.3];
+        let tallies = vec![(4, 4, vec![1.0, 2.0, 3.0, 4.0]), (4, 0, Vec::new())];
+        let mc = montecarlo_summary(&densities, tallies);
+        let crit = mc.critical_density.unwrap();
+        assert!(0.0 < crit && crit < 0.3, "{crit}");
+        let lo = mc.critical_ci_low.unwrap();
+        let hi = mc.critical_ci_high.unwrap();
+        assert!((0.0..=crit).contains(&lo), "{lo}");
+        assert!((crit..=0.3).contains(&hi), "{hi}");
+        assert_eq!(mc.densities[0].p50_latency_us, Some(2.5));
+        assert_eq!(mc.densities[0].p90_latency_us, Some(3.7));
     }
 }

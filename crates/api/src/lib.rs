@@ -73,6 +73,7 @@
 mod dto;
 mod error;
 pub mod experiment;
+pub mod fabricmap;
 pub mod frame;
 pub mod json;
 pub mod render;
@@ -81,9 +82,11 @@ mod session;
 pub mod shard;
 
 pub use experiment::{
-    AxisFilter, CellMetrics, CellRow, ExperimentMode, ExperimentPlan, ExperimentResponse,
-    ExperimentRunner, ExperimentSummary, FabricEntry, ParamVariant, ResultSelect, ScenarioSpec,
+    AxisFilter, CellMetrics, CellRow, DensityStats, ExperimentMode, ExperimentPlan,
+    ExperimentResponse, ExperimentRunner, ExperimentSummary, FabricEntry, MonteCarloSpec,
+    MonteCarloSummary, ParamVariant, ResultSelect, ScenarioSpec,
 };
+pub use fabricmap::{FabricMapSpec, OverlaySpec, RandomDefects};
 
 pub use dto::{
     BatchRequest, BatchResponse, CompareRequest, CompareResponse, ControlFrame, ErrorFrame,

@@ -162,7 +162,7 @@ pub fn map_text(resp: &MapResponse) -> String {
 /// the CLI's `--dry-run` output.
 #[must_use]
 pub fn experiment_plan_text(plan: &crate::ExperimentPlan) -> String {
-    format!(
+    let mut line = format!(
         "{} cells ({} workloads × {} params × {} routers × {} movements × {} sides), mode {}",
         plan.cells,
         plan.workloads.len(),
@@ -171,7 +171,16 @@ pub fn experiment_plan_text(plan: &crate::ExperimentPlan) -> String {
         plan.movements.len(),
         plan.sides.len(),
         plan.mode.name(),
-    )
+    );
+    if let Some(mc) = &plan.montecarlo {
+        let _ = write!(
+            line,
+            " ({} densities × {} trials)",
+            mc.densities.len(),
+            mc.trials
+        );
+    }
+    line
 }
 
 /// Renders the table header of an experiment run, as `leqa experiment`
@@ -193,6 +202,18 @@ pub fn experiment_cell_text(row: &crate::CellRow) -> String {
     use crate::dto::{movement_name, router_name};
     let latency = match row.metrics.primary_latency_us() {
         Some(us) => format!("{:>14.6}", us / 1_000_000.0),
+        // An unroutable Monte Carlo trial *fit* the fabric; the defects
+        // severed it. Everything else without a latency was too small.
+        None if matches!(
+            row.metrics,
+            crate::CellMetrics::MonteCarlo {
+                routable: Some(false),
+                ..
+            }
+        ) =>
+        {
+            format!("{:>14}", "(unroutable)")
+        }
         None => format!("{:>14}", "(too small)"),
     };
     format!(
@@ -227,6 +248,42 @@ pub fn experiment_summary_text(summary: &crate::ExperimentSummary) -> String {
             }
             _ => {
                 let _ = writeln!(out, "  {:<18} no fitting cells", w.workload);
+            }
+        }
+    }
+    if let Some(mc) = &summary.montecarlo {
+        let _ = writeln!(out, "yield:");
+        for d in &mc.densities {
+            let rate = match (d.routability, d.ci_low, d.ci_high) {
+                (Some(r), Some(lo), Some(hi)) => {
+                    format!(
+                        "{:>5.1}% routable (95% CI {:.1}%–{:.1}%)",
+                        100.0 * r,
+                        100.0 * lo,
+                        100.0 * hi
+                    )
+                }
+                _ => "no fitting trials".to_string(),
+            };
+            let p50 = match d.p50_latency_us {
+                Some(us) => format!(", p50 {:.6} s", us / 1_000_000.0),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  density {:<6} {rate}{p50}  ({} trials)",
+                d.density, d.trials
+            );
+        }
+        match (mc.critical_density, mc.critical_ci_low, mc.critical_ci_high) {
+            (Some(crit), Some(lo), Some(hi)) => {
+                let _ = writeln!(
+                    out,
+                    "critical density (50% routability): {crit:.4} (95% CI {lo:.4}–{hi:.4})"
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "critical density: not bracketed by the sweep");
             }
         }
     }

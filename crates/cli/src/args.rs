@@ -68,6 +68,14 @@ pub struct Options {
     /// Already-running daemons for `shard` to route to
     /// (`--attach ADDR1,ADDR2`).
     pub attach: Vec<String>,
+    /// Fabric mask file for `fabric` (`--mask FILE`, JSON; see
+    /// `WORKLOADS.md`).
+    pub mask: Option<String>,
+    /// Random defect density for `fabric` (`--density D`, in [0, 1],
+    /// applied to cells and channels alike).
+    pub density: Option<f64>,
+    /// Seed for random defect draws (`--seed N`).
+    pub seed: u64,
 }
 
 impl Default for Options {
@@ -93,6 +101,9 @@ impl Default for Options {
             max_inflight: 0,
             replicas: 0,
             attach: Vec::new(),
+            mask: None,
+            density: None,
+            seed: 0,
         }
     }
 }
@@ -124,6 +135,8 @@ pub enum Command {
     Serve(Options),
     /// `leqa shard`.
     Shard(Options),
+    /// `leqa fabric`.
+    Fabric(Options),
 }
 
 /// Parses the argument vector (program name excluded).
@@ -275,6 +288,24 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .filter(|s| !s.is_empty())
                     .collect();
             }
+            "--mask" => {
+                opts.mask = Some(value(&rest, &mut i, "--mask")?.clone());
+            }
+            "--density" => {
+                let raw = value(&rest, &mut i, "--density")?;
+                let d: f64 = raw
+                    .parse()
+                    .map_err(|_| LeqaError::usage(format!("bad density `{raw}`")))?;
+                if !d.is_finite() || !(0.0..=1.0).contains(&d) {
+                    return Err(LeqaError::usage("--density must be in [0, 1]"));
+                }
+                opts.density = Some(d);
+            }
+            "--seed" => {
+                opts.seed = value(&rest, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| LeqaError::usage("--seed needs a non-negative integer"))?;
+            }
             "--sizes" => {
                 let list = value(&rest, &mut i, "--sizes")?;
                 opts.sizes = list
@@ -370,6 +401,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 ));
             }
             Ok(Command::Shard(opts))
+        }
+        "fabric" => {
+            if opts.mask.is_some() && opts.density.is_some() {
+                return Err(LeqaError::usage(
+                    "`leqa fabric` takes --mask FILE or --density D, not both",
+                ));
+            }
+            Ok(Command::Fabric(opts))
         }
         other => Err(LeqaError::usage(format!(
             "unknown command `{other}`; try `leqa help`"
@@ -476,6 +515,7 @@ mod tests {
                 "--format",
                 "json",
             ],
+            vec!["fabric", "--density", "0.1", "--format", "json"],
         ] {
             let cmd = parse(&argv(&args)).unwrap();
             let opts = match &cmd {
@@ -489,7 +529,8 @@ mod tests {
                 | Command::Zones(o)
                 | Command::Experiment(o)
                 | Command::Serve(o)
-                | Command::Shard(o) => o,
+                | Command::Shard(o)
+                | Command::Fabric(o) => o,
                 Command::Help => panic!("wrong command"),
             };
             assert_eq!(opts.format, OutputFormat::Json, "{args:?}");
@@ -565,6 +606,38 @@ mod tests {
         };
         assert_eq!(opts.replicas, 2);
         assert_eq!(opts.attach, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+    }
+
+    #[test]
+    fn fabric_parses_defect_flags_and_rejects_conflicts() {
+        let cmd = parse(&argv(&[
+            "fabric",
+            "--fabric",
+            "12x10",
+            "--density",
+            "0.25",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let Command::Fabric(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!((opts.fabric.width(), opts.fabric.height()), (12, 10));
+        assert_eq!(opts.density, Some(0.25));
+        assert_eq!(opts.seed, 9);
+
+        let cmd = parse(&argv(&["fabric", "--mask", "m.json"])).unwrap();
+        let Command::Fabric(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.mask.as_deref(), Some("m.json"));
+
+        let err = parse(&argv(&["fabric", "--mask", "m.json", "--density", "0.1"])).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+        assert!(parse(&argv(&["fabric", "--density", "1.5"])).is_err());
+        assert!(parse(&argv(&["fabric", "--density", "nan"])).is_err());
+        assert!(parse(&argv(&["fabric", "--seed", "-3"])).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod compare;
 pub mod dot;
 pub mod estimate;
 pub mod experiment;
+pub mod fabric;
 pub mod gen;
 pub mod map;
 pub mod serve;

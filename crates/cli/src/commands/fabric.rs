@@ -1,0 +1,237 @@
+//! `leqa fabric` — render a fabric's defect map and overlays.
+//!
+//! Three sources, in priority order: `--mask FILE` (a JSON mask, grammar
+//! in `WORKLOADS.md`), `--density D` (a seeded random draw over
+//! `--fabric`), or neither (the pristine `--fabric`). Text output is an
+//! ASCII floor plan — `.` live cell, `X` dead cell, `-`/`|` live
+//! channels with gaps where channels are dead; JSON output enumerates
+//! the same facts machine-readably.
+
+use std::io::Write;
+
+use leqa_api::{json::Json, FabricMapSpec, LeqaError, SCHEMA_VERSION};
+use leqa_fabric::{Channel, FabricMap, Ulb};
+
+use super::emit;
+use crate::{CliError, Options};
+
+/// Builds the map the options describe and emits it.
+pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let map = build_map(opts)?;
+    emit(out, opts.format, || fabric_json(&map), || fabric_text(&map))
+}
+
+fn build_map(opts: &Options) -> Result<FabricMap, CliError> {
+    if let Some(path) = &opts.mask {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| LeqaError::from(e).context(format!("reading mask file `{path}`")))?;
+        let doc = leqa_api::json::parse(&text)
+            .map_err(|e| LeqaError::from(e).context(format!("parsing mask file `{path}`")))?;
+        return FabricMapSpec::from_json(&doc)?.build();
+    }
+    if let Some(density) = opts.density {
+        return FabricMap::with_random_defects(opts.fabric, density, density, opts.seed)
+            .map_err(LeqaError::from);
+    }
+    Ok(FabricMap::pristine(opts.fabric))
+}
+
+fn fabric_text(map: &FabricMap) -> String {
+    let dims = map.dims();
+    let (w, h) = (dims.width(), dims.height());
+    let mut out = format!(
+        "fabric {w}x{h}: {}/{} cells live ({} dead), {}/{} channels live ({} dead), {} overlays\n",
+        map.live_cells(),
+        u64::from(w) * u64::from(h),
+        map.dead_cells(),
+        map.live_channels(),
+        map.live_channels() + map.dead_channels(),
+        map.dead_channels(),
+        map.overlays().len(),
+    );
+    let channel_open = |a: Ulb, b: Ulb| {
+        let channel = Channel::between(a, b).expect("grid neighbours are adjacent");
+        map.channel_enabled(channel)
+    };
+    for y in 0..h {
+        // Cell row: cells interleaved with horizontal channels.
+        let mut line = String::new();
+        for x in 0..w {
+            let ulb = Ulb::new(x, y);
+            line.push(if map.cell_enabled(ulb) { '.' } else { 'X' });
+            if x + 1 < w {
+                line.push(' ');
+                line.push(if channel_open(ulb, Ulb::new(x + 1, y)) {
+                    '-'
+                } else {
+                    ' '
+                });
+                line.push(' ');
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        // Channel row: vertical channels under each cell column.
+        if y + 1 < h {
+            let mut line = String::new();
+            for x in 0..w {
+                line.push(if channel_open(Ulb::new(x, y), Ulb::new(x, y + 1)) {
+                    '|'
+                } else {
+                    ' '
+                });
+                if x + 1 < w {
+                    line.push_str("   ");
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+    }
+    for o in map.overlays() {
+        out.push_str(&format!(
+            "overlay ({}, {})..({}, {}):",
+            o.x0, o.y0, o.x1, o.y1
+        ));
+        if let Some(t) = o.t_move_us {
+            out.push_str(&format!(" t_move {t} us"));
+        }
+        if let Some(v) = o.qubit_speed {
+            out.push_str(&format!(" qubit_speed {v}"));
+        }
+        if let Some(c) = o.channel_capacity {
+            out.push_str(&format!(" channel_capacity {c}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn fabric_json(map: &FabricMap) -> Json {
+    let dims = map.dims();
+    let pair = |ulb: Ulb| Json::Arr(vec![Json::num(ulb.x), Json::num(ulb.y)]);
+    let dead_cells: Vec<Json> = (0..dims.height())
+        .flat_map(|y| (0..dims.width()).map(move |x| Ulb::new(x, y)))
+        .filter(|&ulb| !map.cell_enabled(ulb))
+        .map(pair)
+        .collect();
+    let dead_channels: Vec<Json> = map
+        .channels()
+        .filter(|&c| !map.channel_enabled(c))
+        .map(|c| Json::obj(vec![("from", pair(c.origin())), ("to", pair(c.far_end()))]))
+        .collect();
+    let overlays: Vec<Json> = map
+        .overlays()
+        .iter()
+        .map(|o| {
+            let opt_num = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+            Json::obj(vec![
+                ("x0", Json::num(o.x0)),
+                ("y0", Json::num(o.y0)),
+                ("x1", Json::num(o.x1)),
+                ("y1", Json::num(o.y1)),
+                ("t_move_us", opt_num(o.t_move_us)),
+                ("qubit_speed", opt_num(o.qubit_speed)),
+                (
+                    "channel_capacity",
+                    o.channel_capacity.map(Json::num).unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema_version", Json::num(SCHEMA_VERSION as u32)),
+        ("op", Json::str("fabric")),
+        ("width", Json::num(dims.width())),
+        ("height", Json::num(dims.height())),
+        ("live_cells", Json::num(map.live_cells() as u32)),
+        ("dead_cells", Json::Arr(dead_cells)),
+        ("live_channels", Json::num(map.live_channels() as u32)),
+        ("dead_channels", Json::Arr(dead_channels)),
+        ("overlays", Json::Arr(overlays)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_util::capture;
+    use crate::OutputFormat;
+    use leqa_fabric::FabricDims;
+
+    fn fabric_opts(w: u32, h: u32) -> Options {
+        Options {
+            fabric: FabricDims::new(w, h).unwrap(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pristine_fabric_renders_a_full_grid() {
+        let opts = fabric_opts(3, 2);
+        let text = capture(|out| run(&opts, out));
+        assert!(text.starts_with(
+            "fabric 3x2: 6/6 cells live (0 dead), 7/7 channels live (0 dead), 0 overlays\n"
+        ));
+        assert!(text.contains(". - . - .\n|   |   |\n. - . - ."), "{text}");
+    }
+
+    #[test]
+    fn random_defects_show_as_gaps() {
+        let mut opts = fabric_opts(6, 6);
+        opts.density = Some(0.5);
+        opts.seed = 3;
+        let text = capture(|out| run(&opts, out));
+        assert!(text.contains('X'), "{text}");
+        // Seeded draw: same flags, same picture.
+        assert_eq!(text, capture(|out| run(&opts, out)));
+    }
+
+    #[test]
+    fn mask_file_drives_the_rendering() {
+        let dir = std::env::temp_dir().join("leqa-fabric-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mask.json");
+        std::fs::write(
+            &path,
+            r#"{"width":3,"height":2,"dead_cells":[[1,0]],
+                "dead_channels":[{"from":[0,1],"to":[1,1]}],
+                "overlays":[{"x0":0,"y0":0,"x1":1,"y1":1,"t_move_us":99}]}"#,
+        )
+        .unwrap();
+        let mut opts = Options {
+            mask: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let text = capture(|out| run(&opts, out));
+        assert!(text.starts_with(
+            "fabric 3x2: 5/6 cells live (1 dead), 6/7 channels live (1 dead), 1 overlays\n"
+        ));
+        assert!(text.contains(". - X - ."), "{text}");
+        assert!(text.contains(".   . - ."), "{text}");
+        assert!(
+            text.contains("overlay (0, 0)..(1, 1): t_move 99 us"),
+            "{text}"
+        );
+
+        opts.format = OutputFormat::Json;
+        let json = capture(|out| run(&opts, out));
+        let doc = leqa_api::json::parse(json.trim_end()).unwrap();
+        assert_eq!(doc.get("op").unwrap().as_str(), Some("fabric"));
+        assert_eq!(doc.get("live_cells").unwrap().as_u64(), Some(5));
+        assert_eq!(doc.get("dead_cells").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(doc.get("dead_channels").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(doc.get("overlays").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bad_mask_files_surface_their_context() {
+        let opts = Options {
+            mask: Some("/nonexistent/mask.json".to_string()),
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        let err = run(&opts, &mut out).unwrap_err();
+        assert!(err.to_string().contains("mask file"), "{err}");
+    }
+}

@@ -50,6 +50,7 @@ USAGE:
   leqa experiment --spec FILE.json [--dry-run]
   leqa serve    (--stdio | --listen ADDR) [--max-connections N] [--max-inflight N]
   leqa shard    --listen ADDR (--replicas N | --attach ADDR1,ADDR2) [serve caps]
+  leqa fabric   [--fabric AxB] [--mask FILE.json | --density D [--seed N]]
   leqa help
 
 Every command also accepts `--format json|text` (default text); JSON
@@ -62,6 +63,16 @@ declares workloads × fabric sizes × physical-parameter variants ×
 router/movement variants, with per-axis filters and a result selector
 (see the Experiments section of API.md and examples/experiment_small.json).
 `--dry-run` validates the spec and prints the expanded cell count.
+With `\"mode\": \"montecarlo\"` the spec sweeps a defect-density grid
+over seeded random fabrics and reports per-density routability with
+confidence intervals plus the critical (percolation) density — see
+examples/experiment_montecarlo.json.
+
+`fabric` renders a fabric's defect map: an ASCII floor plan (`.` live
+cell, `X` dead cell, `-`/`|` live channels with gaps for dead ones)
+or a JSON inventory. `--mask FILE` loads an explicit mask (grammar in
+WORKLOADS.md); `--density D` draws seeded random defects over
+`--fabric`.
 
 `serve` keeps one session resident and speaks newline-delimited JSON
 over stdin/stdout (`--stdio`) or TCP (`--listen 127.0.0.1:PORT`; port 0
@@ -114,6 +125,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Command::Experiment(opts) => commands::experiment::run(&opts, out),
         Command::Serve(opts) => commands::serve::run(&opts, out),
         Command::Shard(opts) => commands::shard::run(&opts, out),
+        Command::Fabric(opts) => commands::fabric::run(&opts, out),
     }
 }
 

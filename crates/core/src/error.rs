@@ -20,6 +20,14 @@ pub enum EstimateError {
         /// Name of the offending option.
         name: &'static str,
     },
+    /// The estimator's [`FabricMap`](leqa_fabric::FabricMap) describes a
+    /// different fabric than the estimator's dimensions.
+    FabricMapMismatch {
+        /// Fabric width × height the estimator was configured with.
+        dims: (u32, u32),
+        /// Fabric width × height the map describes.
+        map_dims: (u32, u32),
+    },
 }
 
 impl fmt::Display for EstimateError {
@@ -32,6 +40,11 @@ impl fmt::Display for EstimateError {
             EstimateError::InvalidOption { name } => {
                 write!(f, "estimator option `{name}` is invalid")
             }
+            EstimateError::FabricMapMismatch { dims, map_dims } => write!(
+                f,
+                "fabric map describes a {}x{} fabric but the estimator is {}x{}",
+                map_dims.0, map_dims.1, dims.0, dims.1
+            ),
         }
     }
 }

@@ -7,9 +7,11 @@
 //! entry points produce bit-identical results (the sweep engine in
 //! [`crate::sweep`] relies on this).
 
+use std::sync::Arc;
+
 use leqa_circuit::FtOp;
 use leqa_circuit::{CriticalPath, CriticalPathScratch, Qodg, QodgNode};
-use leqa_fabric::{FabricDims, Micros, OneQubitKind, PhysicalParams};
+use leqa_fabric::{FabricDims, FabricMap, Micros, OneQubitKind, PhysicalParams};
 
 pub use crate::coverage::ZoneRounding;
 use crate::coverage::{CoverageHistogram, DEFAULT_MAX_TERMS};
@@ -51,6 +53,9 @@ pub struct Estimator {
     dims: FabricDims,
     params: PhysicalParams,
     options: EstimatorOptions,
+    /// Defect/heterogeneity overlay; `None` (or a pristine map) keeps the
+    /// legacy uniform-fabric arithmetic bit-identical.
+    fabric_map: Option<Arc<FabricMap>>,
 }
 
 impl Estimator {
@@ -60,6 +65,7 @@ impl Estimator {
             dims,
             params,
             options: EstimatorOptions::default(),
+            fabric_map: None,
         }
     }
 
@@ -73,7 +79,25 @@ impl Estimator {
             dims,
             params,
             options,
+            fabric_map: None,
         }
+    }
+
+    /// Attaches a fabric map: the Eq. 7 zone average is rescaled for the
+    /// lost cells (`B · A / A_live` — the survivors crowd onto less
+    /// fabric), Eq. 12 uses the live-cell mean qubit speed, the Eq. 8
+    /// congestion law uses the *mean* usable channel capacity (dead
+    /// channels count as zero), and `L_g^avg` uses the live-cell mean
+    /// `T_move`. A pristine map is equivalent to none.
+    #[must_use]
+    pub fn with_fabric_map(mut self, map: Arc<FabricMap>) -> Self {
+        self.fabric_map = Some(map);
+        self
+    }
+
+    /// The attached fabric map, if any.
+    pub fn fabric_map(&self) -> Option<&FabricMap> {
+        self.fabric_map.as_deref()
     }
 
     /// The fabric dimensions in use.
@@ -121,16 +145,53 @@ impl Estimator {
         &self,
         profile: &ProgramProfile<'_>,
     ) -> Result<Estimate, EstimateError> {
-        let quantities = self.routing_quantities(profile)?;
+        let correction = self.map_correction()?;
+        let quantities = self.routing_quantities_corrected(profile, correction.as_ref())?;
+        let params = correction.as_ref().map_or(&self.params, |c| &c.params);
         let mut scratch = CriticalPathScratch::new();
         let critical = routing_aware_critical_path(
-            &self.params,
+            params,
             &self.options,
             profile.qodg(),
             quantities.l_cnot_avg,
             &mut scratch,
         );
-        Ok(assemble_estimate(&self.params, quantities, critical))
+        Ok(assemble_estimate(params, quantities, critical))
+    }
+
+    /// Folds the attached fabric map (if any, and not pristine) into the
+    /// derived quantities the corrected estimate needs. `Ok(None)` means
+    /// the legacy uniform arithmetic applies unchanged.
+    fn map_correction(&self) -> Result<Option<MapCorrection>, EstimateError> {
+        let Some(map) = self.fabric_map.as_deref() else {
+            return Ok(None);
+        };
+        let md = map.dims();
+        if md != self.dims {
+            return Err(EstimateError::FabricMapMismatch {
+                dims: (self.dims.width(), self.dims.height()),
+                map_dims: (md.width(), md.height()),
+            });
+        }
+        if map.is_pristine() {
+            return Ok(None);
+        }
+        let usable = map.live_cells();
+        let params = self
+            .params
+            .to_builder()
+            .t_move(Micros::new(
+                map.mean_t_move_us(self.params.t_move().as_f64()),
+            ))
+            .qubit_speed(map.mean_qubit_speed(self.params.qubit_speed()))
+            .build()
+            .expect("live-cell means of valid parameters are valid");
+        Ok(Some(MapCorrection {
+            usable,
+            area_scale: self.dims.area() as f64 / usable.max(1) as f64,
+            capacity: map.mean_channel_capacity(self.params.channel_capacity()),
+            params,
+        }))
     }
 
     /// Lines 1–18 of Algorithm 1 for one fabric candidate: the congestion
@@ -141,38 +202,58 @@ impl Estimator {
         &self,
         profile: &ProgramProfile<'_>,
     ) -> Result<RoutingQuantities, EstimateError> {
+        let correction = self.map_correction()?;
+        self.routing_quantities_corrected(profile, correction.as_ref())
+    }
+
+    fn routing_quantities_corrected(
+        &self,
+        profile: &ProgramProfile<'_>,
+        correction: Option<&MapCorrection>,
+    ) -> Result<RoutingQuantities, EstimateError> {
         if self.options.max_esq_terms == 0 {
             return Err(EstimateError::InvalidOption {
                 name: "max_esq_terms",
             });
         }
         let qubit_count = profile.qubit_count();
-        if qubit_count > self.dims.area() {
+        let usable = correction.map_or(self.dims.area(), |c| c.usable);
+        if qubit_count > usable {
             return Err(EstimateError::FabricTooSmall {
                 qubits: qubit_count,
-                area: self.dims.area(),
+                area: usable,
             });
         }
+        let params = correction.map_or(&self.params, |c| &c.params);
 
         let avg_zone_area = profile.avg_zone_area();
-        let (l_cnot_avg, d_uncong, esq, zone_side) = match avg_zone_area {
+        let (l_cnot_avg, d_uncong, esq, zone_side, b_eff) = match avg_zone_area {
             // No two-qubit ops at all: no CNOT routing exists.
-            None => (Micros::ZERO, Micros::ZERO, Vec::new(), 0),
+            None => (Micros::ZERO, Micros::ZERO, Vec::new(), 0, 0.0),
             Some(b) => {
+                // Eq. 7 on a defective fabric: the survivors crowd onto
+                // `A_live` of the `A` cells, so zones dilate by `A/A_live`.
+                let b = b * correction.map_or(1.0, |c| c.area_scale);
                 // Lines 4–8: d_uncong (traversal prepaid by the profile).
                 let d_uncong = profile
-                    .uncongested_delay(self.params.qubit_speed())
+                    .uncongested_delay(params.qubit_speed())
                     .expect("interactions exist, so the average is defined");
                 // Lines 9–13: the P_{x,y} statistics, run-length compressed.
                 let hist = CoverageHistogram::new(self.dims, b, self.options.zone_rounding);
                 // Lines 14–17: E[S_q] and d_q.
                 let esq = hist.expected_surfaces(qubit_count, self.options.max_esq_terms);
-                // Line 18: L_CNOT^avg (Eq. 2).
+                // Line 18: L_CNOT^avg (Eq. 2). On a defective fabric the
+                // Eq. 8 capacity is the mean usable capacity per channel
+                // site (dead channels contribute zero), in general
+                // fractional.
                 let mut num = 0.0;
                 let mut den = 0.0;
                 for (k, &e) in esq.iter().enumerate() {
                     let q = (k + 1) as u64;
-                    let d_q = queue::routing_delay(q, self.params.channel_capacity(), d_uncong);
+                    let d_q = match correction {
+                        None => queue::routing_delay(q, self.params.channel_capacity(), d_uncong),
+                        Some(c) => queue::routing_delay_frac(q, c.capacity, d_uncong),
+                    };
                     num += e * d_q.as_f64();
                     den += e;
                 }
@@ -181,7 +262,7 @@ impl Estimator {
                 } else {
                     Micros::ZERO
                 };
-                (l, d_uncong, esq, hist.zone_side())
+                (l, d_uncong, esq, hist.zone_side(), b)
             }
         };
 
@@ -190,10 +271,26 @@ impl Estimator {
             d_uncong,
             esq,
             zone_side,
-            avg_zone_area: avg_zone_area.unwrap_or(0.0),
+            avg_zone_area: b_eff,
             qubit_count,
         })
     }
+}
+
+/// The fabric-map-derived correction terms of the estimate (see
+/// [`Estimator::with_fabric_map`]): computed once per estimate, absent on
+/// uniform fabrics.
+#[derive(Debug, Clone)]
+struct MapCorrection {
+    /// Live (usable) ULBs.
+    usable: u64,
+    /// `A / A_live ≥ 1`: the Eq. 7 zone dilation.
+    area_scale: f64,
+    /// Mean usable channel capacity (fractional; dead channels are zero).
+    capacity: f64,
+    /// Base parameters with `T_move` / qubit speed replaced by their
+    /// live-cell means.
+    params: PhysicalParams,
 }
 
 /// Line 19: the critical path with (or, per the options, without) the
@@ -459,5 +556,137 @@ mod tests {
         assert_eq!(e.dims().area(), 3600);
         assert_eq!(e.params().channel_capacity(), 5);
         assert_eq!(e.options().max_esq_terms, 20);
+    }
+
+    fn dense_qodg(n: u32) -> Qodg {
+        let mut ft = FtCircuit::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                ft.push_cnot(q(i), q(j)).unwrap();
+            }
+        }
+        Qodg::from_ft_circuit(&ft)
+    }
+
+    #[test]
+    fn pristine_map_estimate_is_bit_identical() {
+        let dims = FabricDims::new(12, 12).unwrap();
+        let qodg = dense_qodg(16);
+        let plain = Estimator::new(dims, PhysicalParams::dac13())
+            .estimate(&qodg)
+            .unwrap();
+        let mapped = Estimator::new(dims, PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(FabricMap::pristine(dims)))
+            .estimate(&qodg)
+            .unwrap();
+        assert_eq!(plain.latency, mapped.latency);
+        assert_eq!(plain.l_cnot_avg, mapped.l_cnot_avg);
+        assert_eq!(plain.d_uncong, mapped.d_uncong);
+        assert_eq!(plain.avg_zone_area, mapped.avg_zone_area);
+        assert_eq!(plain.esq, mapped.esq);
+    }
+
+    #[test]
+    fn dead_cells_dilate_zones_and_raise_the_estimate() {
+        let dims = FabricDims::new(8, 8).unwrap();
+        let qodg = dense_qodg(20);
+        let plain = Estimator::new(dims, PhysicalParams::dac13())
+            .estimate(&qodg)
+            .unwrap();
+        let mut map = FabricMap::pristine(dims);
+        // Kill a quarter of the fabric: zones dilate by 4/3.
+        for y in 0..4 {
+            for x in 0..4 {
+                map.disable_cell(leqa_fabric::Ulb::new(x, y)).unwrap();
+            }
+        }
+        let damaged = Estimator::new(dims, PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(map))
+            .estimate(&qodg)
+            .unwrap();
+        assert!(
+            damaged.avg_zone_area > plain.avg_zone_area,
+            "dead cells must dilate B: {} vs {}",
+            damaged.avg_zone_area,
+            plain.avg_zone_area
+        );
+        assert!((damaged.avg_zone_area / plain.avg_zone_area - 64.0 / 48.0).abs() < 1e-9);
+        assert!(damaged.latency >= plain.latency);
+    }
+
+    #[test]
+    fn dead_channels_lower_effective_capacity() {
+        let dims = FabricDims::new(8, 8).unwrap();
+        let qodg = dense_qodg(24);
+        let plain = Estimator::new(dims, PhysicalParams::dac13())
+            .estimate(&qodg)
+            .unwrap();
+        // Dead channels only: B and d_uncong are untouched, but the mean
+        // capacity (and so L_CNOT^avg) degrades.
+        let map = FabricMap::with_random_defects(dims, 0.0, 0.4, 3).unwrap();
+        assert!(map.dead_channels() > 0);
+        let damaged = Estimator::new(dims, PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(map))
+            .estimate(&qodg)
+            .unwrap();
+        assert_eq!(damaged.avg_zone_area, plain.avg_zone_area);
+        assert_eq!(damaged.d_uncong, plain.d_uncong);
+        assert!(
+            damaged.l_cnot_avg >= plain.l_cnot_avg,
+            "capacity loss cannot speed up routing: {} vs {}",
+            damaged.l_cnot_avg,
+            plain.l_cnot_avg
+        );
+    }
+
+    #[test]
+    fn overlay_t_move_raises_one_qubit_routing() {
+        let dims = FabricDims::new(6, 6).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        map.push_overlay(leqa_fabric::RegionOverlay {
+            x0: 0,
+            y0: 0,
+            x1: 5,
+            y1: 5,
+            t_move_us: Some(400.0), // 4x the dac13 base
+            qubit_speed: None,
+            channel_capacity: None,
+        })
+        .unwrap();
+        let est = Estimator::new(dims, PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(map))
+            .estimate(&small_qodg())
+            .unwrap();
+        assert_eq!(est.l_one_qubit_avg, Micros::new(800.0));
+    }
+
+    #[test]
+    fn map_fit_check_uses_live_cells() {
+        let dims = FabricDims::new(3, 3).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        map.disable_cell(leqa_fabric::Ulb::new(1, 1)).unwrap();
+        let mut ft = FtCircuit::new(9);
+        ft.push_cnot(q(0), q(1)).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let err = Estimator::new(dims, PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(map))
+            .estimate(&qodg)
+            .unwrap_err();
+        assert_eq!(err, EstimateError::FabricTooSmall { qubits: 9, area: 8 });
+    }
+
+    #[test]
+    fn mismatched_map_dims_is_an_error() {
+        let est = Estimator::new(FabricDims::new(5, 5).unwrap(), PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(FabricMap::pristine(
+                FabricDims::new(4, 4).unwrap(),
+            )));
+        assert_eq!(
+            est.estimate(&small_qodg()).unwrap_err(),
+            EstimateError::FabricMapMismatch {
+                dims: (5, 5),
+                map_dims: (4, 4)
+            }
+        );
     }
 }

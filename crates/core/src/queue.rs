@@ -35,6 +35,20 @@ pub fn routing_delay(q: u64, channel_capacity: u32, d_uncong: Micros) -> Micros 
     }
 }
 
+/// [`routing_delay`] with a fractional capacity: the *mean* usable
+/// capacity of a defective/heterogeneous fabric (dead channels count as
+/// zero; see [`FabricMap::mean_channel_capacity`]), which is generally
+/// not an integer. Identical to [`routing_delay`] at integral capacities.
+///
+/// [`FabricMap::mean_channel_capacity`]: leqa_fabric::FabricMap::mean_channel_capacity
+pub fn routing_delay_frac(q: u64, channel_capacity: f64, d_uncong: Micros) -> Micros {
+    if q as f64 <= channel_capacity {
+        d_uncong
+    } else {
+        d_uncong * ((1 + q) as f64 / channel_capacity)
+    }
+}
+
 /// The arrival rate `λ` implied by an average queue length of `q`
 /// (Eq. 10): `λ = q·N_c / ((1 + q)·d_uncong)`.
 pub fn arrival_rate(q: u64, channel_capacity: u32, d_uncong: Micros) -> f64 {
@@ -65,6 +79,26 @@ mod tests {
         for q in 0..=5 {
             assert_eq!(routing_delay(q, 5, D), D);
         }
+    }
+
+    #[test]
+    fn frac_matches_integer_at_integral_capacity() {
+        for q in 0..20u64 {
+            for nc in 1..8u32 {
+                assert_eq!(routing_delay_frac(q, nc as f64, D), routing_delay(q, nc, D));
+            }
+        }
+    }
+
+    #[test]
+    fn frac_capacity_interpolates() {
+        // Between N_c = 4 and N_c = 5 the congested delay lies between the
+        // two integer laws.
+        let q = 9;
+        let lo = routing_delay(q, 4, D).as_f64();
+        let hi = routing_delay(q, 5, D).as_f64();
+        let mid = routing_delay_frac(q, 4.5, D).as_f64();
+        assert!(hi < mid && mid < lo, "{hi} < {mid} < {lo}");
     }
 
     #[test]

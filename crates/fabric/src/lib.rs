@@ -9,6 +9,8 @@
 //! * [`Channel`] / [`ChannelId`] — the routing channels between adjacent
 //!   ULBs, with a dense index for occupancy bookkeeping,
 //! * [`route::xy_route`] — deterministic dimension-ordered (X-then-Y) paths,
+//! * [`FabricMap`] — defect/heterogeneity overlay (dead cells and
+//!   channels, per-region parameter overrides, defect-avoiding routing),
 //! * [`PhysicalParams`] / [`GateDelays`] — the physical parameter set of
 //!   Table 1 (\[\[7,1,3\]\] Steane code on an ion-trap fabric),
 //! * [`Micros`] — a newtype for latencies in microseconds.
@@ -38,6 +40,7 @@
 mod channel;
 mod error;
 mod grid;
+mod map;
 mod params;
 pub mod route;
 mod units;
@@ -45,5 +48,6 @@ mod units;
 pub use channel::{Channel, ChannelId, ChannelOrientation};
 pub use error::FabricError;
 pub use grid::{FabricDims, Ulb, UlbIter};
+pub use map::{CellOverrides, FabricMap, RegionOverlay, SplitMix64};
 pub use params::{GateDelays, OneQubitKind, PhysicalParams, PhysicalParamsBuilder};
 pub use units::Micros;

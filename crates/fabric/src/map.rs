@@ -1,0 +1,724 @@
+//! Defect and heterogeneity map over a fabric.
+//!
+//! The paper's model (and the rest of this crate) assumes a pristine,
+//! uniform grid: every ULB works, every channel works, and one set of
+//! [`PhysicalParams`](crate::PhysicalParams) holds everywhere. Real
+//! fabrics ship with dead cells, dead channels and regional parameter
+//! drift. A [`FabricMap`] records that reality:
+//!
+//! * **Disabled cells/channels** — either drawn from a seeded hand-rolled
+//!   RNG ([`FabricMap::with_random_defects`]) or marked one by one from an
+//!   explicit mask ([`FabricMap::disable_cell`] /
+//!   [`FabricMap::disable_channel`]; the JSON grammar lives in the API
+//!   layer, see `WORKLOADS.md`).
+//! * **Region overlays** — axis-aligned rectangles that override
+//!   `t_move`, `qubit_speed` and/or `channel_capacity` inside the region
+//!   ([`RegionOverlay`]); later overlays win where they overlap.
+//!
+//! A map with no defects and no overlays is *pristine*
+//! ([`FabricMap::is_pristine`]); consumers use that as the fast-path
+//! gate so defect-free runs stay bit-identical to the legacy uniform
+//! code paths.
+
+use crate::{Channel, ChannelId, FabricDims, FabricError, Ulb};
+
+/// A tiny, deterministic, hand-rolled PRNG (splitmix64).
+///
+/// Used for seeded defect generation and anywhere the workspace needs
+/// reproducible randomness without external crates. The sequence for a
+/// given seed is part of the defect-mask contract: the same seed always
+/// yields the same fabric.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_fabric::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Mixes a word into a fresh seed (for deriving per-trial streams).
+    #[must_use]
+    pub fn mix(seed: u64, word: u64) -> u64 {
+        let mut rng = SplitMix64::new(seed ^ word.wrapping_mul(0xA076_1D64_78BD_642F));
+        rng.next_u64()
+    }
+}
+
+/// An axis-aligned rectangular parameter override.
+///
+/// Coordinates are inclusive on both ends; the rectangle must lie on the
+/// fabric. Each field is optional — `None` leaves the base parameter in
+/// force. Where overlays overlap, the **last** one pushed wins, field by
+/// field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionOverlay {
+    /// Left column (inclusive).
+    pub x0: u32,
+    /// Top row (inclusive).
+    pub y0: u32,
+    /// Right column (inclusive).
+    pub x1: u32,
+    /// Bottom row (inclusive).
+    pub y1: u32,
+    /// Override for `T_move` in microseconds, if any.
+    pub t_move_us: Option<f64>,
+    /// Override for the qubit movement speed `v`, if any.
+    pub qubit_speed: Option<f64>,
+    /// Override for the channel capacity `N_c`, if any.
+    pub channel_capacity: Option<u32>,
+}
+
+impl RegionOverlay {
+    /// Whether the region covers a cell.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, ulb: Ulb) -> bool {
+        ulb.x >= self.x0 && ulb.x <= self.x1 && ulb.y >= self.y0 && ulb.y <= self.y1
+    }
+}
+
+/// The folded per-cell parameter overrides at one point of the fabric
+/// (see [`FabricMap::overrides_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellOverrides {
+    /// Effective `T_move` override in microseconds, if any overlay set one.
+    pub t_move_us: Option<f64>,
+    /// Effective qubit-speed override, if any overlay set one.
+    pub qubit_speed: Option<f64>,
+    /// Effective channel-capacity override, if any overlay set one.
+    pub channel_capacity: Option<u32>,
+}
+
+/// Defect and heterogeneity map over one fabric.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_fabric::{FabricDims, FabricMap, Ulb};
+///
+/// # fn main() -> Result<(), leqa_fabric::FabricError> {
+/// let dims = FabricDims::new(4, 3)?;
+/// let mut map = FabricMap::pristine(dims);
+/// assert!(map.is_pristine());
+///
+/// map.disable_cell(Ulb::new(1, 1))?;
+/// assert!(!map.cell_enabled(Ulb::new(1, 1)));
+/// assert_eq!(map.live_cells(), 11);
+///
+/// // Routing bends around the dead cell.
+/// let mut path = Vec::new();
+/// assert!(map.route_avoiding(Ulb::new(0, 1), Ulb::new(2, 1), &mut path));
+/// assert_eq!(path.len(), 4); // detour: 2 hops become 4
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricMap {
+    dims: FabricDims,
+    dead_cells: Vec<bool>,
+    dead_channels: Vec<bool>,
+    dead_cell_count: u64,
+    dead_channel_count: u64,
+    overlays: Vec<RegionOverlay>,
+}
+
+impl FabricMap {
+    /// A map with every cell and channel enabled and no overlays.
+    #[must_use]
+    pub fn pristine(dims: FabricDims) -> Self {
+        FabricMap {
+            dims,
+            dead_cells: vec![false; dims.area() as usize],
+            dead_channels: vec![false; ChannelId::count(dims)],
+            dead_cell_count: 0,
+            dead_channel_count: 0,
+            overlays: Vec::new(),
+        }
+    }
+
+    /// A map with cells and channels knocked out independently at the
+    /// given densities by the seeded hand-rolled RNG ([`SplitMix64`]).
+    ///
+    /// Cells are drawn first in row-major order, then channels in dense
+    /// [`ChannelId`] order, one uniform draw each — the exact sequence is
+    /// part of the mask contract (same seed ⇒ same fabric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::InvalidParameter`] unless both densities
+    /// are finite and in `[0, 1]`.
+    pub fn with_random_defects(
+        dims: FabricDims,
+        cell_density: f64,
+        channel_density: f64,
+        seed: u64,
+    ) -> Result<Self, FabricError> {
+        let check = |d: f64, name: &'static str| {
+            if d.is_finite() && (0.0..=1.0).contains(&d) {
+                Ok(())
+            } else {
+                Err(FabricError::InvalidParameter { name })
+            }
+        };
+        check(cell_density, "cell_density")?;
+        check(channel_density, "channel_density")?;
+        let mut map = FabricMap::pristine(dims);
+        let mut rng = SplitMix64::new(seed);
+        for i in 0..map.dead_cells.len() {
+            if rng.next_f64() < cell_density {
+                map.dead_cells[i] = true;
+                map.dead_cell_count += 1;
+            }
+        }
+        for i in 0..map.dead_channels.len() {
+            if rng.next_f64() < channel_density {
+                map.dead_channels[i] = true;
+                map.dead_channel_count += 1;
+            }
+        }
+        Ok(map)
+    }
+
+    /// The fabric this map describes.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> FabricDims {
+        self.dims
+    }
+
+    /// Marks a cell defective (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::OutOfBounds`] for coordinates off the
+    /// fabric.
+    pub fn disable_cell(&mut self, ulb: Ulb) -> Result<(), FabricError> {
+        self.dims.check(ulb)?;
+        let i = self.dims.index_of(ulb);
+        if !self.dead_cells[i] {
+            self.dead_cells[i] = true;
+            self.dead_cell_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Marks a channel defective (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::OutOfBounds`] when the channel's far end
+    /// is off this fabric.
+    pub fn disable_channel(&mut self, channel: Channel) -> Result<(), FabricError> {
+        self.dims.check(channel.origin())?;
+        self.dims.check(channel.far_end())?;
+        let i = channel.id(self.dims).0;
+        if !self.dead_channels[i] {
+            self.dead_channels[i] = true;
+            self.dead_channel_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Adds a parameter overlay (later overlays win where they overlap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::OutOfBounds`] when the rectangle leaves
+    /// the fabric and [`FabricError::InvalidParameter`] when a corner is
+    /// inverted or an override value is non-positive or non-finite.
+    pub fn push_overlay(&mut self, overlay: RegionOverlay) -> Result<(), FabricError> {
+        if overlay.x0 > overlay.x1 || overlay.y0 > overlay.y1 {
+            return Err(FabricError::InvalidParameter { name: "overlay" });
+        }
+        self.dims.check(Ulb::new(overlay.x1, overlay.y1))?;
+        if let Some(t) = overlay.t_move_us {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(FabricError::InvalidParameter { name: "t_move_us" });
+            }
+        }
+        if let Some(v) = overlay.qubit_speed {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(FabricError::InvalidParameter {
+                    name: "qubit_speed",
+                });
+            }
+        }
+        if overlay.channel_capacity == Some(0) {
+            return Err(FabricError::InvalidParameter {
+                name: "channel_capacity",
+            });
+        }
+        self.overlays.push(overlay);
+        Ok(())
+    }
+
+    /// Whether a cell is usable.
+    #[inline]
+    #[must_use]
+    pub fn cell_enabled(&self, ulb: Ulb) -> bool {
+        !self.dead_cells[self.dims.index_of(ulb)]
+    }
+
+    /// Whether a channel is usable.
+    #[inline]
+    #[must_use]
+    pub fn channel_enabled(&self, channel: Channel) -> bool {
+        !self.dead_channels[channel.id(self.dims).0]
+    }
+
+    /// Usable cells.
+    #[inline]
+    #[must_use]
+    pub fn live_cells(&self) -> u64 {
+        self.dims.area() - self.dead_cell_count
+    }
+
+    /// Defective cells.
+    #[inline]
+    #[must_use]
+    pub fn dead_cells(&self) -> u64 {
+        self.dead_cell_count
+    }
+
+    /// Usable channels.
+    #[inline]
+    #[must_use]
+    pub fn live_channels(&self) -> u64 {
+        ChannelId::count(self.dims) as u64 - self.dead_channel_count
+    }
+
+    /// Defective channels.
+    #[inline]
+    #[must_use]
+    pub fn dead_channels(&self) -> u64 {
+        self.dead_channel_count
+    }
+
+    /// The overlays in push order (the application order).
+    #[must_use]
+    pub fn overlays(&self) -> &[RegionOverlay] {
+        &self.overlays
+    }
+
+    /// Whether the map carries any defects at all.
+    #[inline]
+    #[must_use]
+    pub fn has_defects(&self) -> bool {
+        self.dead_cell_count > 0 || self.dead_channel_count > 0
+    }
+
+    /// Whether the map is indistinguishable from no map: no defects and
+    /// no overlays. Consumers branch on this to keep defect-free runs
+    /// bit-identical to the legacy uniform code paths.
+    #[inline]
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        !self.has_defects() && self.overlays.is_empty()
+    }
+
+    /// The folded overlay overrides at a cell (last overlay wins per
+    /// field; all `None` outside every overlay).
+    #[must_use]
+    pub fn overrides_at(&self, ulb: Ulb) -> CellOverrides {
+        let mut folded = CellOverrides::default();
+        for overlay in &self.overlays {
+            if overlay.contains(ulb) {
+                if overlay.t_move_us.is_some() {
+                    folded.t_move_us = overlay.t_move_us;
+                }
+                if overlay.qubit_speed.is_some() {
+                    folded.qubit_speed = overlay.qubit_speed;
+                }
+                if overlay.channel_capacity.is_some() {
+                    folded.channel_capacity = overlay.channel_capacity;
+                }
+            }
+        }
+        folded
+    }
+
+    /// Effective capacity of a channel: the overlay override at its
+    /// origin cell, or `base`.
+    #[must_use]
+    pub fn channel_capacity_at(&self, channel: Channel, base: u32) -> u32 {
+        self.overrides_at(channel.origin())
+            .channel_capacity
+            .unwrap_or(base)
+    }
+
+    /// Effective `T_move` of a channel in microseconds: the overlay
+    /// override at its origin cell, or `base_us`.
+    #[must_use]
+    pub fn channel_t_move_at(&self, channel: Channel, base_us: f64) -> f64 {
+        self.overrides_at(channel.origin())
+            .t_move_us
+            .unwrap_or(base_us)
+    }
+
+    /// Mean usable channel capacity per channel *site* (dead channels
+    /// count as zero capacity): the effective `N_c` the congestion model
+    /// should see on this fabric.
+    #[must_use]
+    pub fn mean_channel_capacity(&self, base: u32) -> f64 {
+        let total = ChannelId::count(self.dims);
+        if total == 0 {
+            return base as f64;
+        }
+        let mut sum = 0.0;
+        for channel in self.channels() {
+            if self.channel_enabled(channel) {
+                sum += self.channel_capacity_at(channel, base) as f64;
+            }
+        }
+        sum / total as f64
+    }
+
+    /// Mean qubit speed over the *live* cells (base speed where no
+    /// overlay applies). Falls back to `base` when every cell is dead.
+    #[must_use]
+    pub fn mean_qubit_speed(&self, base: f64) -> f64 {
+        self.mean_over_live_cells(base, |o| o.qubit_speed)
+    }
+
+    /// Mean `T_move` in microseconds over the *live* cells (base value
+    /// where no overlay applies). Falls back to `base_us` when every
+    /// cell is dead.
+    #[must_use]
+    pub fn mean_t_move_us(&self, base_us: f64) -> f64 {
+        self.mean_over_live_cells(base_us, |o| o.t_move_us)
+    }
+
+    fn mean_over_live_cells(&self, base: f64, pick: impl Fn(&CellOverrides) -> Option<f64>) -> f64 {
+        if self.live_cells() == 0 {
+            return base;
+        }
+        if self.overlays.is_empty() {
+            return base;
+        }
+        let mut sum = 0.0;
+        for ulb in self.dims.ulbs() {
+            if self.cell_enabled(ulb) {
+                sum += pick(&self.overrides_at(ulb)).unwrap_or(base);
+            }
+        }
+        sum / self.live_cells() as f64
+    }
+
+    /// Iterates every channel of the fabric in dense [`ChannelId`]
+    /// order (horizontal rows first, then vertical).
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        let dims = self.dims;
+        let (a, b) = (dims.width(), dims.height());
+        let horizontal = (0..b).flat_map(move |y| {
+            (0..a.saturating_sub(1)).map(move |x| {
+                Channel::between(Ulb::new(x, y), Ulb::new(x + 1, y))
+                    .expect("adjacent by construction")
+            })
+        });
+        let vertical = (0..b.saturating_sub(1)).flat_map(move |y| {
+            (0..a).map(move |x| {
+                Channel::between(Ulb::new(x, y), Ulb::new(x, y + 1))
+                    .expect("adjacent by construction")
+            })
+        });
+        horizontal.chain(vertical)
+    }
+
+    /// Shortest route between two cells that uses only enabled cells and
+    /// channels, via deterministic breadth-first search (neighbour order:
+    /// −x, +x, −y, +y; first-found parent wins, so ties resolve
+    /// identically on every run). Channels are appended to `out` in
+    /// travel order after clearing it.
+    ///
+    /// Returns `false` (leaving `out` empty) when either endpoint is
+    /// disabled or no defect-free path exists. `from == to` on an
+    /// enabled cell is trivially routable with an empty path.
+    pub fn route_avoiding(&self, from: Ulb, to: Ulb, out: &mut Vec<Channel>) -> bool {
+        out.clear();
+        if !self.cell_enabled(from) || !self.cell_enabled(to) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        let n = self.dims.area() as usize;
+        const NO_PARENT: u32 = u32::MAX;
+        let mut parent = vec![NO_PARENT; n];
+        let mut queue = std::collections::VecDeque::new();
+        let start = self.dims.index_of(from);
+        let goal = self.dims.index_of(to);
+        parent[start] = start as u32;
+        queue.push_back(start);
+        'search: while let Some(i) = queue.pop_front() {
+            let here = self.dims.ulb_at(i);
+            for next in self.dims.neighbors(here) {
+                let j = self.dims.index_of(next);
+                if parent[j] != NO_PARENT || !self.cell_enabled(next) {
+                    continue;
+                }
+                let channel = Channel::between(here, next).expect("neighbors are adjacent");
+                if !self.channel_enabled(channel) {
+                    continue;
+                }
+                parent[j] = i as u32;
+                if j == goal {
+                    break 'search;
+                }
+                queue.push_back(j);
+            }
+        }
+        if parent[goal] == NO_PARENT {
+            return false;
+        }
+        // Walk parents goal→start, emit channels, then reverse into
+        // travel order.
+        let mut i = goal;
+        while i != start {
+            let p = parent[i] as usize;
+            let channel = Channel::between(self.dims.ulb_at(p), self.dims.ulb_at(i))
+                .expect("parent steps are adjacent");
+            out.push(channel);
+            i = p;
+        }
+        out.reverse();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(w: u32, h: u32) -> FabricDims {
+        FabricDims::new(w, h).unwrap()
+    }
+
+    #[test]
+    fn pristine_map_is_pristine() {
+        let map = FabricMap::pristine(dims(5, 4));
+        assert!(map.is_pristine());
+        assert_eq!(map.live_cells(), 20);
+        assert_eq!(map.live_channels(), ChannelId::count(dims(5, 4)) as u64);
+        assert!(map.cell_enabled(Ulb::new(4, 3)));
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut rng = SplitMix64::new(42);
+        let draws: Vec<f64> = (0..1000).map(|_| rng.next_f64()).collect();
+        assert!(draws.iter().all(|&d| (0.0..1.0).contains(&d)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        let mut again = SplitMix64::new(42);
+        assert_eq!(again.next_f64(), draws[0]);
+    }
+
+    #[test]
+    fn random_defects_match_density_and_seed() {
+        let d = dims(20, 20);
+        let a = FabricMap::with_random_defects(d, 0.25, 0.25, 9).unwrap();
+        let b = FabricMap::with_random_defects(d, 0.25, 0.25, 9).unwrap();
+        assert_eq!(a, b);
+        let frac = a.dead_cells() as f64 / d.area() as f64;
+        assert!((0.1..0.4).contains(&frac), "cell defect fraction {frac}");
+        let c = FabricMap::with_random_defects(d, 0.25, 0.25, 10).unwrap();
+        assert_ne!(a, c);
+        assert!(FabricMap::with_random_defects(d, 0.0, 0.0, 1)
+            .unwrap()
+            .is_pristine());
+        assert!(FabricMap::with_random_defects(d, 1.5, 0.0, 1).is_err());
+        assert!(FabricMap::with_random_defects(d, 0.0, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn disable_checks_bounds_and_is_idempotent() {
+        let mut map = FabricMap::pristine(dims(3, 3));
+        assert!(map.disable_cell(Ulb::new(9, 0)).is_err());
+        map.disable_cell(Ulb::new(1, 1)).unwrap();
+        map.disable_cell(Ulb::new(1, 1)).unwrap();
+        assert_eq!(map.dead_cells(), 1);
+        let ch = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        map.disable_channel(ch).unwrap();
+        map.disable_channel(ch).unwrap();
+        assert_eq!(map.dead_channels(), 1);
+        assert!(!map.channel_enabled(ch));
+    }
+
+    #[test]
+    fn overlays_fold_last_wins() {
+        let mut map = FabricMap::pristine(dims(6, 6));
+        map.push_overlay(RegionOverlay {
+            x0: 0,
+            y0: 0,
+            x1: 3,
+            y1: 3,
+            t_move_us: Some(50.0),
+            qubit_speed: None,
+            channel_capacity: Some(2),
+        })
+        .unwrap();
+        map.push_overlay(RegionOverlay {
+            x0: 2,
+            y0: 2,
+            x1: 5,
+            y1: 5,
+            t_move_us: Some(200.0),
+            qubit_speed: Some(0.002),
+            channel_capacity: None,
+        })
+        .unwrap();
+        assert!(!map.is_pristine());
+        let at = |x, y| map.overrides_at(Ulb::new(x, y));
+        assert_eq!(at(1, 1).t_move_us, Some(50.0));
+        assert_eq!(at(2, 2).t_move_us, Some(200.0)); // overlap: last wins
+        assert_eq!(at(2, 2).channel_capacity, Some(2)); // field-wise fold
+        assert_eq!(at(5, 5).qubit_speed, Some(0.002));
+        assert_eq!(at(5, 0), CellOverrides::default());
+        let ch = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        assert_eq!(map.channel_capacity_at(ch, 5), 2);
+        assert_eq!(map.channel_t_move_at(ch, 100.0), 50.0);
+    }
+
+    #[test]
+    fn overlay_validation() {
+        let mut map = FabricMap::pristine(dims(4, 4));
+        let base = RegionOverlay {
+            x0: 1,
+            y0: 1,
+            x1: 2,
+            y1: 2,
+            t_move_us: None,
+            qubit_speed: None,
+            channel_capacity: None,
+        };
+        assert!(map
+            .push_overlay(RegionOverlay {
+                x1: 0,
+                ..base.clone()
+            })
+            .is_err());
+        assert!(map
+            .push_overlay(RegionOverlay {
+                x1: 4,
+                ..base.clone()
+            })
+            .is_err());
+        assert!(map
+            .push_overlay(RegionOverlay {
+                t_move_us: Some(-1.0),
+                ..base.clone()
+            })
+            .is_err());
+        assert!(map
+            .push_overlay(RegionOverlay {
+                channel_capacity: Some(0),
+                ..base.clone()
+            })
+            .is_err());
+        assert!(map.push_overlay(base).is_ok());
+    }
+
+    #[test]
+    fn mean_aggregates() {
+        let d = dims(4, 4);
+        let mut map = FabricMap::pristine(d);
+        assert_eq!(map.mean_channel_capacity(5), 5.0);
+        assert_eq!(map.mean_qubit_speed(0.001), 0.001);
+        // Kill one channel: mean capacity drops by 5/24.
+        let ch = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        map.disable_channel(ch).unwrap();
+        let total = ChannelId::count(d) as f64;
+        let expect = 5.0 * (total - 1.0) / total;
+        assert!((map.mean_channel_capacity(5) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channels_iterates_in_dense_id_order() {
+        let map = FabricMap::pristine(dims(4, 3));
+        let ids: Vec<usize> = map.channels().map(|c| c.id(map.dims()).0).collect();
+        let expect: Vec<usize> = (0..ChannelId::count(map.dims())).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_dead_cell() {
+        let mut map = FabricMap::pristine(dims(3, 3));
+        map.disable_cell(Ulb::new(1, 1)).unwrap();
+        let mut path = Vec::new();
+        assert!(map.route_avoiding(Ulb::new(0, 1), Ulb::new(2, 1), &mut path));
+        assert_eq!(path.len(), 4);
+        // Path is contiguous and avoids the dead cell.
+        for c in &path {
+            assert_ne!(c.origin(), Ulb::new(1, 1));
+            assert_ne!(c.far_end(), Ulb::new(1, 1));
+        }
+    }
+
+    #[test]
+    fn route_avoiding_dead_channel() {
+        let mut map = FabricMap::pristine(dims(2, 2));
+        let direct = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        map.disable_channel(direct).unwrap();
+        let mut path = Vec::new();
+        assert!(map.route_avoiding(Ulb::new(0, 0), Ulb::new(1, 0), &mut path));
+        assert_eq!(path.len(), 3);
+        assert!(path.iter().all(|&c| c != direct));
+    }
+
+    #[test]
+    fn route_avoiding_reports_disconnection() {
+        // Wall of dead cells splits a 3-wide fabric.
+        let mut map = FabricMap::pristine(dims(3, 3));
+        for y in 0..3 {
+            map.disable_cell(Ulb::new(1, y)).unwrap();
+        }
+        let mut path = Vec::new();
+        assert!(!map.route_avoiding(Ulb::new(0, 0), Ulb::new(2, 2), &mut path));
+        assert!(path.is_empty());
+        // Dead endpoints are unroutable too.
+        assert!(!map.route_avoiding(Ulb::new(1, 0), Ulb::new(0, 0), &mut path));
+        // Same-cell routing on a live cell is trivially fine.
+        assert!(map.route_avoiding(Ulb::new(0, 0), Ulb::new(0, 0), &mut path));
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn route_avoiding_matches_manhattan_on_pristine_fabric() {
+        let map = FabricMap::pristine(dims(7, 5));
+        let mut path = Vec::new();
+        for from in map.dims().ulbs() {
+            for to in [Ulb::new(0, 0), Ulb::new(6, 4), Ulb::new(3, 2)] {
+                assert!(map.route_avoiding(from, to, &mut path));
+                assert_eq!(path.len() as u32, from.manhattan_distance(to));
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the defect map: whatever the defect draw, a route
+//! reported by [`FabricMap::route_avoiding`] must be a real path over
+//! the *live* part of the fabric — every hop a live channel, every cell
+//! it touches a live cell, ending where it said it would.
+
+use leqa_fabric::{FabricDims, FabricMap, Ulb};
+use proptest::prelude::*;
+
+/// Walks a routed channel path from `from`, asserting each hop is a live
+/// adjacent channel into a live cell, and returns the final cell.
+fn walk_and_check(map: &FabricMap, from: Ulb, path: &[leqa_fabric::Channel]) -> Ulb {
+    let mut at = from;
+    assert!(map.cell_enabled(at), "route starts on a dead cell {at:?}");
+    for &channel in path {
+        assert!(
+            map.channel_enabled(channel),
+            "route uses dead channel {channel:?}"
+        );
+        let (a, b) = (channel.origin(), channel.far_end());
+        assert!(
+            at == a || at == b,
+            "channel {channel:?} does not touch the current cell {at:?}"
+        );
+        at = if at == a { b } else { a };
+        assert!(map.cell_enabled(at), "route enters dead cell {at:?}");
+    }
+    at
+}
+
+proptest! {
+    /// Routes around random defects never traverse a disabled cell or
+    /// channel, and arrive where they claim to.
+    #[test]
+    fn routes_avoid_every_disabled_cell_and_channel(
+        side in 4u32..12,
+        density in 0.0f64..0.45,
+        seed in 0u64..1000,
+        fx in 0u32..12, fy in 0u32..12, tx in 0u32..12, ty in 0u32..12,
+    ) {
+        let dims = FabricDims::new(side, side).unwrap();
+        let map = FabricMap::with_random_defects(dims, density, density, seed).unwrap();
+        let from = Ulb::new(fx % side, fy % side);
+        let to = Ulb::new(tx % side, ty % side);
+        // Dead endpoints cannot route by definition; skip those draws.
+        if map.cell_enabled(from) && map.cell_enabled(to) {
+            let mut path = Vec::new();
+            if map.route_avoiding(from, to, &mut path) {
+                let end = walk_and_check(&map, from, &path);
+                prop_assert_eq!(end, to);
+                // BFS routes are shortest over the live subgraph, so never
+                // shorter than the unobstructed Manhattan distance.
+                prop_assert!(path.len() as u32 >= from.manhattan_distance(to));
+            } else {
+                prop_assert!(path.is_empty(), "failed routes must clear the buffer");
+            }
+        }
+    }
+
+    /// On a pristine map every pair routes, at exactly the Manhattan
+    /// distance — defect avoidance degenerates to plain shortest paths.
+    #[test]
+    fn pristine_maps_route_everything_minimally(
+        side in 2u32..12,
+        fx in 0u32..12, fy in 0u32..12, tx in 0u32..12, ty in 0u32..12,
+    ) {
+        let dims = FabricDims::new(side, side).unwrap();
+        let map = FabricMap::pristine(dims);
+        let from = Ulb::new(fx % side, fy % side);
+        let to = Ulb::new(tx % side, ty % side);
+        let mut path = Vec::new();
+        prop_assert!(map.route_avoiding(from, to, &mut path));
+        prop_assert_eq!(path.len() as u32, from.manhattan_distance(to));
+        let end = walk_and_check(&map, from, &path);
+        prop_assert_eq!(end, to);
+    }
+
+    /// The defect draw is a pure function of (dims, densities, seed):
+    /// two draws with the same inputs agree cell for cell, channel for
+    /// channel — the contract the Monte Carlo engine's reproducibility
+    /// rests on.
+    #[test]
+    fn defect_draws_are_deterministic(
+        side in 2u32..10,
+        density in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let dims = FabricDims::new(side, side).unwrap();
+        let a = FabricMap::with_random_defects(dims, density, density, seed).unwrap();
+        let b = FabricMap::with_random_defects(dims, density, density, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

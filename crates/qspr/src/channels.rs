@@ -5,7 +5,21 @@
 //! arriving at a saturated channel waits for the earliest slot — the FCFS
 //! pipeline behaviour the paper abstracts as an M/M/1 queue (Fig. 5).
 
-use leqa_fabric::{Channel, ChannelId, FabricDims, Micros};
+use leqa_fabric::{Channel, ChannelId, FabricDims, FabricMap, Micros};
+
+/// Per-channel slot layout for heterogeneous fabrics: overlay-driven
+/// capacity and `T_move` overrides from a
+/// [`FabricMap`](leqa_fabric::FabricMap). Absent (the common case), every
+/// channel shares the uniform `capacity`/`t_move` and the flat slot
+/// arithmetic below stays bit-identical to the pre-overlay code.
+#[derive(Debug, Clone)]
+struct Hetero {
+    /// `n + 1` prefix sums: channel `i` owns slots
+    /// `offsets[i]..offsets[i+1]` of `free_at`.
+    offsets: Vec<usize>,
+    /// Effective traversal time per channel, in µs.
+    t_moves: Vec<f64>,
+}
 
 /// Occupancy calendars for every channel of a fabric.
 ///
@@ -49,6 +63,8 @@ pub struct ChannelOccupancy {
     congestion_wait: f64,
     /// Total traversals.
     traversals: u64,
+    /// Per-channel capacity/`T_move` overrides; `None` = uniform fabric.
+    hetero: Option<Hetero>,
 }
 
 impl ChannelOccupancy {
@@ -64,6 +80,66 @@ impl ChannelOccupancy {
             load: vec![0; n],
             congestion_wait: 0.0,
             traversals: 0,
+            hetero: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), but honouring a fabric map's per-region
+    /// channel-capacity / `T_move` overlays. With no overlays the layout
+    /// (and every booking) is identical to the uniform constructor.
+    pub fn new_with_map(dims: FabricDims, capacity: u32, t_move: Micros, map: &FabricMap) -> Self {
+        let mut occ = ChannelOccupancy::new(dims, capacity, t_move);
+        occ.apply_map(map);
+        occ
+    }
+
+    /// Like [`reset`](Self::reset), but honouring a fabric map's overlays
+    /// (see [`new_with_map`](Self::new_with_map)).
+    pub fn reset_with_map(
+        &mut self,
+        dims: FabricDims,
+        capacity: u32,
+        t_move: Micros,
+        map: &FabricMap,
+    ) {
+        self.reset(dims, capacity, t_move);
+        self.apply_map(map);
+    }
+
+    /// Builds the heterogeneous slot layout from `map`'s overlays. Dead
+    /// channels keep (at least one) slot so the arithmetic stays total —
+    /// the router never books them, so their calendars stay empty.
+    fn apply_map(&mut self, map: &FabricMap) {
+        if map.overlays().is_empty() {
+            return; // uniform layout already in place
+        }
+        let n = ChannelId::count(self.dims);
+        let base_cap = self.capacity as u32;
+        let base_t = self.t_move.as_f64();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut t_moves = Vec::with_capacity(n);
+        let mut total = 0usize;
+        offsets.push(0);
+        for channel in map.channels() {
+            total += map.channel_capacity_at(channel, base_cap).max(1) as usize;
+            offsets.push(total);
+            t_moves.push(map.channel_t_move_at(channel, base_t));
+        }
+        self.free_at.clear();
+        self.free_at.resize(total, 0.0);
+        self.hetero = Some(Hetero { offsets, t_moves });
+    }
+
+    /// The `free_at` range and traversal time of channel `id`.
+    #[inline]
+    fn slots_of(&self, id: usize) -> (usize, usize, f64) {
+        match &self.hetero {
+            Some(h) => (h.offsets[id], h.offsets[id + 1], h.t_moves[id]),
+            None => (
+                id * self.capacity,
+                (id + 1) * self.capacity,
+                self.t_move.as_f64(),
+            ),
         }
     }
 
@@ -86,6 +162,7 @@ impl ChannelOccupancy {
         self.load.resize(n, 0);
         self.congestion_wait = 0.0;
         self.traversals = 0;
+        self.hetero = None;
     }
 
     /// Sends a qubit through `channel` starting no earlier than `at`;
@@ -95,12 +172,13 @@ impl ChannelOccupancy {
     /// (FCFS), waiting if all are busy.
     pub fn traverse(&mut self, channel: Channel, at: Micros) -> Micros {
         let id = channel.id(self.dims).0;
-        let cap = self.capacity;
-        let slots = &mut self.free_at[id * cap..(id + 1) * cap];
+        let (lo, hi, t_move) = self.slots_of(id);
+        let cap = hi - lo;
+        let slots = &mut self.free_at[lo..hi];
         let head = self.heads[id] as usize;
 
         let start = at.as_f64().max(slots[head]);
-        let end = start + self.t_move.as_f64();
+        let end = start + t_move;
 
         // Rebook the head slot at `end` and rotate: the remaining window
         // (head+1 .. head+cap−1) is already sorted, and `end` usually
@@ -290,7 +368,8 @@ impl ChannelOccupancy {
     /// O(1): the rotating window keeps the earliest-free slot at the head.
     pub fn peek_wait(&self, channel: Channel, at: Micros) -> Micros {
         let id = channel.id(self.dims).0;
-        let earliest = self.free_at[id * self.capacity + self.heads[id] as usize];
+        let (lo, _, _) = self.slots_of(id);
+        let earliest = self.free_at[lo + self.heads[id] as usize];
         Micros::new((earliest - at.as_f64()).max(0.0))
     }
 }
@@ -310,6 +389,85 @@ mod peek_tests {
         assert_eq!(occ.peek_wait(ch, Micros::ZERO), Micros::new(100.0));
         assert_eq!(occ.peek_wait(ch, Micros::new(40.0)), Micros::new(60.0));
         assert_eq!(occ.peek_wait(ch, Micros::new(500.0)), Micros::ZERO);
+    }
+
+    #[test]
+    fn hetero_overlay_changes_capacity_and_t_move() {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        // The left half is a slow, narrow region: one slot, 250 µs hops.
+        map.push_overlay(leqa_fabric::RegionOverlay {
+            x0: 0,
+            y0: 0,
+            x1: 1,
+            y1: 3,
+            t_move_us: Some(250.0),
+            qubit_speed: None,
+            channel_capacity: Some(1),
+        })
+        .unwrap();
+        let mut occ = ChannelOccupancy::new_with_map(dims, 3, Micros::new(100.0), &map);
+
+        // Channel (0,0)->(1,0): origin inside the overlay.
+        let slow = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        assert_eq!(occ.traverse(slow, Micros::ZERO), Micros::new(250.0));
+        // Capacity 1 ⇒ the second qubit queues.
+        assert_eq!(occ.traverse(slow, Micros::ZERO), Micros::new(500.0));
+
+        // Channel (2,0)->(3,0): outside ⇒ base capacity 3, base 100 µs.
+        let fast = Channel::between(Ulb::new(2, 0), Ulb::new(3, 0)).unwrap();
+        for _ in 0..3 {
+            assert_eq!(occ.traverse(fast, Micros::ZERO), Micros::new(100.0));
+        }
+        assert_eq!(occ.traverse(fast, Micros::ZERO), Micros::new(200.0));
+    }
+
+    #[test]
+    fn overlay_free_map_is_bit_identical_to_uniform() {
+        let dims = FabricDims::new(5, 3).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        map.disable_cell(Ulb::new(4, 2)).unwrap(); // defects alone change nothing here
+        let mut plain = ChannelOccupancy::new(dims, 2, Micros::new(100.0));
+        let mut mapped = ChannelOccupancy::new_with_map(dims, 2, Micros::new(100.0), &map);
+        let ch = Channel::between(Ulb::new(1, 1), Ulb::new(2, 1)).unwrap();
+        for &at in &[0.0, 0.0, 35.0, 0.0, 900.0] {
+            assert_eq!(
+                plain.traverse(ch, Micros::new(at)),
+                mapped.traverse(ch, Micros::new(at))
+            );
+        }
+        assert_eq!(plain.congestion_wait(), mapped.congestion_wait());
+        assert_eq!(plain.load(), mapped.load());
+    }
+
+    #[test]
+    fn reset_with_map_matches_new_with_map() {
+        let dims = FabricDims::new(4, 4).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        map.push_overlay(leqa_fabric::RegionOverlay {
+            x0: 0,
+            y0: 0,
+            x1: 3,
+            y1: 1,
+            t_move_us: None,
+            qubit_speed: None,
+            channel_capacity: Some(2),
+        })
+        .unwrap();
+        let mut reused = ChannelOccupancy::new(dims, 5, Micros::new(100.0));
+        let ch = Channel::between(Ulb::new(0, 0), Ulb::new(1, 0)).unwrap();
+        for _ in 0..4 {
+            reused.traverse(ch, Micros::ZERO);
+        }
+        reused.reset_with_map(dims, 5, Micros::new(100.0), &map);
+        let mut fresh = ChannelOccupancy::new_with_map(dims, 5, Micros::new(100.0), &map);
+        for &at in &[0.0, 0.0, 0.0, 120.0] {
+            assert_eq!(
+                reused.traverse(ch, Micros::new(at)),
+                fresh.traverse(ch, Micros::new(at))
+            );
+        }
+        assert_eq!(reused.congestion_wait(), fresh.congestion_wait());
     }
 
     #[test]

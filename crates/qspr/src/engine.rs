@@ -17,9 +17,10 @@
 
 use std::cell::RefCell;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use leqa_circuit::{FtOp, Iig, NodeId, Qodg, QodgNode};
-use leqa_fabric::{route, Channel, FabricDims, Micros, PhysicalParams, Ulb};
+use leqa_fabric::{route, Channel, FabricDims, FabricMap, Micros, PhysicalParams, Ulb};
 
 use crate::channels::ChannelOccupancy;
 use crate::placement::{initial_placement, PlacementStrategy};
@@ -81,6 +82,9 @@ pub enum RouterStrategy {
 #[derive(Debug, Clone)]
 pub struct Mapper {
     config: MapperConfig,
+    /// Defect/heterogeneity overlay; `None` (or a pristine map) keeps the
+    /// uniform-fabric fast paths bit-identical.
+    fabric_map: Option<Arc<FabricMap>>,
 }
 
 impl Mapper {
@@ -95,12 +99,31 @@ impl Mapper {
                 movement: MovementModel::default(),
                 seed: 0,
             },
+            fabric_map: None,
         }
     }
 
     /// Creates a mapper from an explicit configuration.
     pub fn with_config(config: MapperConfig) -> Self {
-        Mapper { config }
+        Mapper {
+            config,
+            fabric_map: None,
+        }
+    }
+
+    /// Attaches a fabric map: placement avoids dead cells, routing detours
+    /// around dead cells/channels (or fails with
+    /// [`MapError::Unroutable`]), and channel calendars honour per-region
+    /// capacity/`T_move` overlays. A pristine map is equivalent to none.
+    #[must_use]
+    pub fn with_fabric_map(mut self, map: Arc<FabricMap>) -> Self {
+        self.fabric_map = Some(map);
+        self
+    }
+
+    /// The attached fabric map, if any.
+    pub fn fabric_map(&self) -> Option<&FabricMap> {
+        self.fabric_map.as_deref()
     }
 
     /// The configuration in use.
@@ -119,7 +142,10 @@ impl Mapper {
     /// # Errors
     ///
     /// Returns [`MapError::FabricTooSmall`] if the program uses more
-    /// logical qubits than the fabric has ULBs.
+    /// logical qubits than the fabric has usable ULBs,
+    /// [`MapError::Unroutable`] if an attached fabric map disconnects a
+    /// required transfer, and [`MapError::FabricMapMismatch`] if the map
+    /// describes different dimensions than the mapper.
     ///
     /// Uses a thread-local [`MapScratch`], so repeated calls on one
     /// thread reuse every working buffer.
@@ -163,8 +189,22 @@ impl Mapper {
     ) -> Result<(MappingResult, Option<Trace>), MapError> {
         let dims = self.config.dims;
         let params = &self.config.params;
+        if let Some(map) = self.fabric_map.as_deref() {
+            let md = map.dims();
+            if md != dims {
+                return Err(MapError::FabricMapMismatch {
+                    dims: (dims.width(), dims.height()),
+                    map_dims: (md.width(), md.height()),
+                });
+            }
+        }
+        // A pristine map is indistinguishable from no map; dropping it here
+        // keeps defect-free runs on the legacy code paths, bit-identically.
+        let fmap = self.fabric_map.as_deref().filter(|m| !m.is_pristine());
+        let defects = fmap.filter(|m| m.has_defects());
         let iig = Iig::from_qodg(qodg);
-        let placement = initial_placement(&iig, dims, self.config.placement, self.config.seed)?;
+        let placement =
+            initial_placement(&iig, dims, self.config.placement, self.config.seed, fmap)?;
 
         let t_move = params.t_move();
         let d_cnot = params.gate_delays().cnot();
@@ -188,14 +228,18 @@ impl Mapper {
 
         let channels: &mut ChannelOccupancy = match channels_slot {
             Some(c) => {
-                c.reset(dims, params.channel_capacity(), t_move);
+                match fmap {
+                    Some(map) => c.reset_with_map(dims, params.channel_capacity(), t_move, map),
+                    None => c.reset(dims, params.channel_capacity(), t_move),
+                }
                 c
             }
-            None => channels_slot.insert(ChannelOccupancy::new(
-                dims,
-                params.channel_capacity(),
-                t_move,
-            )),
+            None => channels_slot.insert(match fmap {
+                Some(map) => {
+                    ChannelOccupancy::new_with_map(dims, params.channel_capacity(), t_move, map)
+                }
+                None => ChannelOccupancy::new(dims, params.channel_capacity(), t_move),
+            }),
         };
 
         // Current position of each logical qubit (fixed homes in the
@@ -311,15 +355,16 @@ impl Mapper {
                     // Outbound trip of the control qubit.
                     let depart = qubit_ready[control.index()];
                     let mut t = Micros::new(depart);
-                    pick_route_into(
+                    route_transfer(
                         self.config.router,
+                        defects,
                         channels,
                         from,
                         to,
                         t,
                         route_buf,
                         route_alt,
-                    );
+                    )?;
                     let distance = route_buf.len() as u64;
                     for &ch in route_buf.iter() {
                         t = channels.traverse(ch, t);
@@ -338,15 +383,16 @@ impl Mapper {
                     match self.config.movement {
                         MovementModel::HomeBased => {
                             let mut back = Micros::new(end);
-                            pick_route_into(
+                            route_transfer(
                                 self.config.router,
+                                defects,
                                 channels,
                                 to,
                                 from,
                                 back,
                                 route_buf,
                                 route_alt,
-                            );
+                            )?;
                             for &ch in route_buf.iter() {
                                 back = channels.traverse(ch, back);
                             }
@@ -355,24 +401,29 @@ impl Mapper {
                         }
                         MovementModel::Drift => {
                             // Vacate the old site, settle at the nearest
-                            // free ULB around the interaction site.
+                            // free (and live) ULB around the interaction
+                            // site.
                             residents[dims.index_of(from)] -= 1;
                             let settle = dims
                                 .rings(to)
-                                .find(|u| residents[dims.index_of(*u)] == 0)
-                                .expect("Q <= A guarantees a free ULB");
+                                .find(|u| {
+                                    residents[dims.index_of(*u)] == 0
+                                        && defects.is_none_or(|m| m.cell_enabled(*u))
+                                })
+                                .expect("Q <= usable ULBs guarantees a free one");
                             residents[dims.index_of(settle)] += 1;
                             position[control.index()] = settle;
                             let mut back = Micros::new(end);
-                            pick_route_into(
+                            route_transfer(
                                 self.config.router,
+                                defects,
                                 channels,
                                 to,
                                 settle,
                                 back,
                                 route_buf,
                                 route_alt,
-                            );
+                            )?;
                             for &ch in route_buf.iter() {
                                 back = channels.traverse(ch, back);
                             }
@@ -497,6 +548,124 @@ fn pick_route_into(
             }
         }
     }
+}
+
+/// Routes one transfer, honouring a defect map when present: without
+/// defects this is exactly [`pick_route_into`]; with defects, the minimal
+/// dimension-ordered candidates are validated against the map and a BFS
+/// detour is taken when both are blocked.
+///
+/// # Errors
+///
+/// [`MapError::Unroutable`] when the defect map disconnects `from` and
+/// `to`.
+#[allow(clippy::too_many_arguments)]
+fn route_transfer(
+    strategy: RouterStrategy,
+    defects: Option<&FabricMap>,
+    channels: &ChannelOccupancy,
+    from: Ulb,
+    to: Ulb,
+    at: Micros,
+    out: &mut Vec<Channel>,
+    alt: &mut Vec<Channel>,
+) -> Result<(), MapError> {
+    match defects {
+        None => {
+            pick_route_into(strategy, channels, from, to, at, out, alt);
+            Ok(())
+        }
+        Some(map) => defect_route_into(strategy, map, channels, from, to, at, out, alt),
+    }
+}
+
+/// Defect-aware route choice: prefer the strategy's minimal path, fall
+/// back to the other dimension order, then to a BFS detour over the live
+/// fabric ([`FabricMap::route_avoiding`]).
+#[allow(clippy::too_many_arguments)]
+fn defect_route_into(
+    strategy: RouterStrategy,
+    map: &FabricMap,
+    channels: &ChannelOccupancy,
+    from: Ulb,
+    to: Ulb,
+    at: Micros,
+    out: &mut Vec<Channel>,
+    alt: &mut Vec<Channel>,
+) -> Result<(), MapError> {
+    match strategy {
+        RouterStrategy::Xy => {
+            route::xy_channels_into(from, to, out);
+            if path_ok(map, from, out) {
+                return Ok(());
+            }
+            route::yx_channels_into(from, to, out);
+            if path_ok(map, from, out) {
+                return Ok(());
+            }
+        }
+        RouterStrategy::Yx => {
+            route::yx_channels_into(from, to, out);
+            if path_ok(map, from, out) {
+                return Ok(());
+            }
+            route::xy_channels_into(from, to, out);
+            if path_ok(map, from, out) {
+                return Ok(());
+            }
+        }
+        RouterStrategy::Adaptive => {
+            route::xy_channels_into(from, to, out);
+            route::yx_channels_into(from, to, alt);
+            match (path_ok(map, from, out), path_ok(map, from, alt)) {
+                (true, true) => {
+                    if out != alt {
+                        let probe = |path: &[Channel]| -> f64 {
+                            path.iter()
+                                .map(|ch| channels.peek_wait(*ch, at).as_f64())
+                                .sum()
+                        };
+                        if probe(out) > probe(alt) {
+                            std::mem::swap(out, alt);
+                        }
+                    }
+                    return Ok(());
+                }
+                (true, false) => return Ok(()),
+                (false, true) => {
+                    std::mem::swap(out, alt);
+                    return Ok(());
+                }
+                (false, false) => {}
+            }
+        }
+    }
+    if map.route_avoiding(from, to, out) {
+        Ok(())
+    } else {
+        Err(MapError::Unroutable { from, to })
+    }
+}
+
+/// Whether a channel path starting at `from` stays on live channels and
+/// cells (every cell it enters, intermediate or final, must be enabled;
+/// `from` itself is a placement/settle site and is live by construction).
+fn path_ok(map: &FabricMap, from: Ulb, path: &[Channel]) -> bool {
+    let mut here = from;
+    for &ch in path {
+        if !map.channel_enabled(ch) {
+            return false;
+        }
+        here = if ch.origin() == here {
+            ch.far_end()
+        } else {
+            ch.origin()
+        };
+        if !map.cell_enabled(here) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Heap entry: an op whose predecessors all completed, ordered by earliest
@@ -980,6 +1149,236 @@ mod router_tests {
             latency_with(RouterStrategy::Adaptive),
             latency_with(RouterStrategy::Adaptive)
         );
+    }
+}
+
+#[cfg(test)]
+mod defect_tests {
+    use super::*;
+    use leqa_circuit::{FtCircuit, QubitId};
+    use leqa_fabric::ChannelId;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn dense_qodg(n: u32, rounds: u32) -> Qodg {
+        let mut ft = FtCircuit::new(n);
+        for round in 0..rounds {
+            for i in 0..n / 2 {
+                ft.push_cnot(q(i), q(n / 2 + ((i + round) % (n / 2))))
+                    .unwrap();
+            }
+        }
+        Qodg::from_ft_circuit(&ft)
+    }
+
+    fn mapper_on(map: FabricMap, router: RouterStrategy, movement: MovementModel) -> Mapper {
+        let dims = map.dims();
+        Mapper::with_config(MapperConfig {
+            dims,
+            params: PhysicalParams::dac13()
+                .to_builder()
+                .channel_capacity(1)
+                .build()
+                .unwrap(),
+            placement: PlacementStrategy::RowMajor,
+            router,
+            movement,
+            seed: 0,
+        })
+        .with_fabric_map(Arc::new(map))
+    }
+
+    /// Every channel whose use the map forbids — disabled outright, or
+    /// only reachable by entering a dead cell — must end the run with
+    /// zero traversals.
+    fn assert_forbidden_channels_unused(map: &FabricMap, load: &[u64]) {
+        let dims = map.dims();
+        for ch in map.channels() {
+            let forbidden = !map.channel_enabled(ch)
+                || !map.cell_enabled(ch.origin())
+                || !map.cell_enabled(ch.far_end());
+            if forbidden {
+                assert_eq!(load[ch.id(dims).0], 0, "forbidden channel {ch:?} was used");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_never_uses_dead_cells_or_channels() {
+        let dims = FabricDims::new(6, 6).unwrap();
+        let qodg = dense_qodg(16, 3);
+        for seed in 0..8u64 {
+            let map = FabricMap::with_random_defects(dims, 0.12, 0.12, seed).unwrap();
+            for router in [
+                RouterStrategy::Xy,
+                RouterStrategy::Yx,
+                RouterStrategy::Adaptive,
+            ] {
+                for movement in [MovementModel::HomeBased, MovementModel::Drift] {
+                    let mapper = mapper_on(map.clone(), router, movement);
+                    match mapper.map(&qodg) {
+                        Ok(r) => {
+                            assert_forbidden_channels_unused(&map, &r.channel_load);
+                            assert!(r.latency.is_valid());
+                        }
+                        // A dense defect draw may disconnect the fabric —
+                        // that must surface as the typed error, not a
+                        // panic or a route through a defect.
+                        Err(MapError::Unroutable { .. } | MapError::FabricTooSmall { .. }) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_fabric_is_unroutable() {
+        // A full column of dead cells splits the fabric in two.
+        let dims = FabricDims::new(5, 3).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        for y in 0..3 {
+            map.disable_cell(Ulb::new(2, y)).unwrap();
+        }
+        let mut ft = FtCircuit::new(12);
+        for i in 0..11 {
+            ft.push_cnot(q(i), q(i + 1)).unwrap();
+        }
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let err = mapper_on(map, RouterStrategy::Xy, MovementModel::HomeBased)
+            .map(&qodg)
+            .unwrap_err();
+        assert!(matches!(err, MapError::Unroutable { .. }), "got {err}");
+    }
+
+    #[test]
+    fn detour_pays_extra_hops() {
+        // Dead cell directly between two interacting qubits on a 3x1-ish
+        // line: the route must go around (4 hops instead of 2).
+        let dims = FabricDims::new(3, 2).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        map.disable_cell(Ulb::new(1, 0)).unwrap();
+        let mut ft = FtCircuit::new(2);
+        ft.push_cnot(q(0), q(1)).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        // RowMajor on live cells: q0 -> (0,0), q1 -> (2,0).
+        let r = mapper_on(map.clone(), RouterStrategy::Xy, MovementModel::HomeBased)
+            .map(&qodg)
+            .unwrap();
+        assert_eq!(r.placement, vec![Ulb::new(0, 0), Ulb::new(2, 0)]);
+        assert_eq!(r.stats.total_cnot_distance, 4, "detour through y=1");
+        assert_forbidden_channels_unused(&map, &r.channel_load);
+    }
+
+    #[test]
+    fn pristine_map_is_bit_identical_to_no_map() {
+        let dims = FabricDims::new(6, 6).unwrap();
+        let qodg = dense_qodg(16, 3);
+        for router in [
+            RouterStrategy::Xy,
+            RouterStrategy::Yx,
+            RouterStrategy::Adaptive,
+        ] {
+            for movement in [MovementModel::HomeBased, MovementModel::Drift] {
+                let config = MapperConfig {
+                    dims,
+                    params: PhysicalParams::dac13(),
+                    placement: PlacementStrategy::IigCluster,
+                    router,
+                    movement,
+                    seed: 0,
+                };
+                let plain = Mapper::with_config(config.clone()).map(&qodg).unwrap();
+                let mapped = Mapper::with_config(config)
+                    .with_fabric_map(Arc::new(FabricMap::pristine(dims)))
+                    .map(&qodg)
+                    .unwrap();
+                assert_eq!(plain.latency, mapped.latency);
+                assert_eq!(plain.stats, mapped.stats);
+                assert_eq!(plain.placement, mapped.placement);
+                assert_eq!(plain.channel_load, mapped.channel_load);
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_capacity_increases_congestion_wait() {
+        // Choking every channel to capacity 1 via an overlay must produce
+        // at least as much queueing as the uniform capacity-5 fabric.
+        let dims = FabricDims::new(6, 6).unwrap();
+        let qodg = dense_qodg(16, 4);
+        let mut map = FabricMap::pristine(dims);
+        map.push_overlay(leqa_fabric::RegionOverlay {
+            x0: 0,
+            y0: 0,
+            x1: 5,
+            y1: 5,
+            t_move_us: None,
+            qubit_speed: None,
+            channel_capacity: Some(1),
+        })
+        .unwrap();
+        let config = MapperConfig {
+            dims,
+            params: PhysicalParams::dac13(),
+            placement: PlacementStrategy::RowMajor,
+            router: RouterStrategy::Xy,
+            movement: MovementModel::HomeBased,
+            seed: 0,
+        };
+        let wide = Mapper::with_config(config.clone()).map(&qodg).unwrap();
+        let choked = Mapper::with_config(config)
+            .with_fabric_map(Arc::new(map))
+            .map(&qodg)
+            .unwrap();
+        assert!(
+            choked.stats.congestion_wait >= wide.stats.congestion_wait,
+            "choked {:?} vs wide {:?}",
+            choked.stats.congestion_wait,
+            wide.stats.congestion_wait
+        );
+        assert!(choked.latency >= wide.latency);
+    }
+
+    #[test]
+    fn mismatched_map_dims_is_an_error() {
+        let qodg = dense_qodg(4, 1);
+        let mapper = Mapper::new(FabricDims::new(5, 5).unwrap(), PhysicalParams::dac13())
+            .with_fabric_map(Arc::new(FabricMap::pristine(
+                FabricDims::new(4, 4).unwrap(),
+            )));
+        assert_eq!(
+            mapper.map(&qodg).unwrap_err(),
+            MapError::FabricMapMismatch {
+                dims: (5, 5),
+                map_dims: (4, 4)
+            }
+        );
+    }
+
+    #[test]
+    fn defective_runs_are_deterministic() {
+        let dims = FabricDims::new(6, 6).unwrap();
+        let map = FabricMap::with_random_defects(dims, 0.1, 0.1, 42).unwrap();
+        let qodg = dense_qodg(12, 2);
+        let run = || {
+            mapper_on(map.clone(), RouterStrategy::Adaptive, MovementModel::Drift)
+                .map(&qodg)
+                .map(|r| (r.latency, r.stats.clone(), r.channel_load.clone()))
+        };
+        assert_eq!(run().unwrap(), run().unwrap());
+    }
+
+    #[test]
+    fn channel_load_length_matches_channel_count() {
+        let dims = FabricDims::new(4, 3).unwrap();
+        let map = FabricMap::with_random_defects(dims, 0.05, 0.05, 1).unwrap();
+        let qodg = dense_qodg(6, 1);
+        if let Ok(r) = mapper_on(map, RouterStrategy::Xy, MovementModel::HomeBased).map(&qodg) {
+            assert_eq!(r.channel_load.len(), ChannelId::count(dims));
+        }
     }
 }
 

@@ -3,16 +3,36 @@
 use std::error::Error;
 use std::fmt;
 
+use leqa_fabric::Ulb;
+
 /// Errors produced by [`Mapper::map`](crate::Mapper::map).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MapError {
-    /// More logical qubits than ULBs: no placement exists.
+    /// More logical qubits than usable ULBs: no placement exists. On a
+    /// defective fabric `area` counts only the *live* cells.
     FabricTooSmall {
         /// Logical qubits in the program.
         qubits: u64,
-        /// ULBs on the fabric.
+        /// Usable ULBs on the fabric.
         area: u64,
+    },
+    /// A required qubit transfer has no defect-free path: the fabric's
+    /// dead cells/channels disconnect the two ULBs (see
+    /// [`FabricMap`](leqa_fabric::FabricMap)).
+    Unroutable {
+        /// Where the transfer starts.
+        from: Ulb,
+        /// Where it needs to go.
+        to: Ulb,
+    },
+    /// The mapper's [`FabricMap`](leqa_fabric::FabricMap) describes a
+    /// different fabric than the mapper's dimensions.
+    FabricMapMismatch {
+        /// Fabric width × height the mapper was configured with.
+        dims: (u32, u32),
+        /// Fabric width × height the map describes.
+        map_dims: (u32, u32),
     },
 }
 
@@ -22,6 +42,15 @@ impl fmt::Display for MapError {
             MapError::FabricTooSmall { qubits, area } => write!(
                 f,
                 "{qubits} logical qubits cannot be placed on a {area}-ulb fabric"
+            ),
+            MapError::Unroutable { from, to } => write!(
+                f,
+                "no defect-free route from {from} to {to}: the fabric map disconnects them"
+            ),
+            MapError::FabricMapMismatch { dims, map_dims } => write!(
+                f,
+                "fabric map describes a {}x{} fabric but the mapper is {}x{}",
+                map_dims.0, map_dims.1, dims.0, dims.1
             ),
         }
     }
@@ -42,6 +71,22 @@ mod tests {
             }
             .to_string(),
             "10 logical qubits cannot be placed on a 4-ulb fabric"
+        );
+        assert_eq!(
+            MapError::Unroutable {
+                from: Ulb::new(0, 1),
+                to: Ulb::new(2, 2)
+            }
+            .to_string(),
+            "no defect-free route from (0, 1) to (2, 2): the fabric map disconnects them"
+        );
+        assert_eq!(
+            MapError::FabricMapMismatch {
+                dims: (5, 5),
+                map_dims: (4, 4)
+            }
+            .to_string(),
+            "fabric map describes a 4x4 fabric but the mapper is 5x5"
         );
     }
 

@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use leqa_circuit::{Iig, QubitId};
-use leqa_fabric::{FabricDims, Ulb};
+use leqa_fabric::{FabricDims, FabricMap, Ulb};
 
 use crate::MapError;
 
@@ -32,21 +32,27 @@ pub enum PlacementStrategy {
 
 /// Computes a home ULB for every logical qubit.
 ///
+/// With a [`FabricMap`], qubits only get homes on *live* cells and the
+/// fit check compares against the live-cell count; without one (or with a
+/// defect-free map) the behaviour is bit-identical to the uniform path.
+///
 /// # Errors
 ///
-/// Returns [`MapError::FabricTooSmall`] if the IIG has more qubits than the
-/// fabric has ULBs.
+/// Returns [`MapError::FabricTooSmall`] if the IIG has more qubits than
+/// the fabric has usable ULBs.
 pub fn initial_placement(
     iig: &Iig,
     dims: FabricDims,
     strategy: PlacementStrategy,
     seed: u64,
+    map: Option<&FabricMap>,
 ) -> Result<Vec<Ulb>, MapError> {
     let q = iig.num_qubits() as u64;
-    if q > dims.area() {
+    let usable = map.map_or(dims.area(), FabricMap::live_cells);
+    if q > usable {
         return Err(MapError::FabricTooSmall {
             qubits: q,
-            area: dims.area(),
+            area: usable,
         });
     }
 
@@ -60,10 +66,13 @@ pub fn initial_placement(
         PlacementStrategy::IigCluster => bfs_order(iig),
     };
 
-    let sites: Vec<Ulb> = match strategy {
+    let mut sites: Vec<Ulb> = match strategy {
         PlacementStrategy::RowMajor | PlacementStrategy::Random => dims.ulbs().collect(),
         PlacementStrategy::IigCluster => spiral_sites(dims),
     };
+    if let Some(map) = map.filter(|m| m.has_defects()) {
+        sites.retain(|u| map.cell_enabled(*u));
+    }
 
     let mut placement = vec![Ulb::new(0, 0); iig.num_qubits() as usize];
     for (rank, qubit) in order.iter().enumerate() {
@@ -157,7 +166,7 @@ mod tests {
             PlacementStrategy::RowMajor,
             PlacementStrategy::Random,
         ] {
-            let p = initial_placement(&iig, dims, strategy, 7).unwrap();
+            let p = initial_placement(&iig, dims, strategy, 7, None).unwrap();
             assert_eq!(p.len(), 10);
             assert!(all_distinct(&p), "{strategy:?} must not share ULBs");
             for u in &p {
@@ -170,8 +179,9 @@ mod tests {
     fn cluster_placement_keeps_chain_neighbors_close() {
         let iig = chain_iig(16);
         let dims = FabricDims::new(8, 8).unwrap();
-        let cluster = initial_placement(&iig, dims, PlacementStrategy::IigCluster, 0).unwrap();
-        let random = initial_placement(&iig, dims, PlacementStrategy::Random, 0).unwrap();
+        let cluster =
+            initial_placement(&iig, dims, PlacementStrategy::IigCluster, 0, None).unwrap();
+        let random = initial_placement(&iig, dims, PlacementStrategy::Random, 0, None).unwrap();
 
         let avg_dist = |p: &[Ulb]| -> f64 {
             (0..15)
@@ -194,7 +204,7 @@ mod tests {
         let iig = chain_iig(10);
         let dims = FabricDims::new(3, 3).unwrap();
         assert!(matches!(
-            initial_placement(&iig, dims, PlacementStrategy::RowMajor, 0),
+            initial_placement(&iig, dims, PlacementStrategy::RowMajor, 0, None),
             Err(MapError::FabricTooSmall {
                 qubits: 10,
                 area: 9
@@ -206,9 +216,9 @@ mod tests {
     fn random_is_seed_deterministic() {
         let iig = chain_iig(12);
         let dims = FabricDims::new(6, 6).unwrap();
-        let a = initial_placement(&iig, dims, PlacementStrategy::Random, 3).unwrap();
-        let b = initial_placement(&iig, dims, PlacementStrategy::Random, 3).unwrap();
-        let c = initial_placement(&iig, dims, PlacementStrategy::Random, 4).unwrap();
+        let a = initial_placement(&iig, dims, PlacementStrategy::Random, 3, None).unwrap();
+        let b = initial_placement(&iig, dims, PlacementStrategy::Random, 3, None).unwrap();
+        let c = initial_placement(&iig, dims, PlacementStrategy::Random, 4, None).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -220,9 +230,56 @@ mod tests {
         ft.push_cnot(q(0), q(1)).unwrap();
         let iig = Iig::from_ft_circuit(&ft);
         let dims = FabricDims::new(3, 3).unwrap();
-        let p = initial_placement(&iig, dims, PlacementStrategy::IigCluster, 0).unwrap();
+        let p = initial_placement(&iig, dims, PlacementStrategy::IigCluster, 0, None).unwrap();
         assert_eq!(p.len(), 6);
         assert!(all_distinct(&p));
+    }
+
+    #[test]
+    fn defective_fabric_placement_avoids_dead_cells() {
+        let iig = chain_iig(10);
+        let dims = FabricDims::new(4, 4).unwrap();
+        let mut map = FabricMap::pristine(dims);
+        for u in [Ulb::new(0, 0), Ulb::new(2, 2), Ulb::new(3, 1)] {
+            map.disable_cell(u).unwrap();
+        }
+        for strategy in [
+            PlacementStrategy::IigCluster,
+            PlacementStrategy::RowMajor,
+            PlacementStrategy::Random,
+        ] {
+            let p = initial_placement(&iig, dims, strategy, 7, Some(&map)).unwrap();
+            assert!(all_distinct(&p));
+            for u in &p {
+                assert!(map.cell_enabled(*u), "{strategy:?} placed on a dead cell");
+            }
+        }
+        // Fit check compares against live cells: 13 live < 14 qubits.
+        let big = chain_iig(14);
+        assert!(matches!(
+            initial_placement(&big, dims, PlacementStrategy::RowMajor, 0, Some(&map)),
+            Err(MapError::FabricTooSmall {
+                qubits: 14,
+                area: 13
+            })
+        ));
+    }
+
+    #[test]
+    fn pristine_map_placement_is_identical_to_no_map() {
+        let iig = chain_iig(12);
+        let dims = FabricDims::new(6, 6).unwrap();
+        let map = FabricMap::pristine(dims);
+        for strategy in [
+            PlacementStrategy::IigCluster,
+            PlacementStrategy::RowMajor,
+            PlacementStrategy::Random,
+        ] {
+            assert_eq!(
+                initial_placement(&iig, dims, strategy, 5, None).unwrap(),
+                initial_placement(&iig, dims, strategy, 5, Some(&map)).unwrap()
+            );
+        }
     }
 
     #[test]
