@@ -1446,6 +1446,16 @@ pub struct StatsResponse {
     /// Binary frames decoded but not yet answered (gauge; 0 on NDJSON
     /// connections, where the line loop never holds more than one).
     pub frames_in_flight: u64,
+    /// Profiles served from the on-disk snapshot store instead of being
+    /// rebuilt (`--cache-dir`; additive in schema v1 — absent on older
+    /// daemons, decoded as 0).
+    pub store_hits: u64,
+    /// Snapshot-store lookups that missed (no file, stale, or corrupt)
+    /// and fell back to a rebuild (additive, see `store_hits`).
+    pub store_misses: u64,
+    /// Dead replicas the shard front-end's supervisor restarted
+    /// (additive; always 0 on a plain daemon).
+    pub replicas_restarted: u64,
     /// Session cache counters at snapshot time (see
     /// [`CacheStats`](crate::CacheStats)).
     pub cache: crate::session::CacheStats,
@@ -1484,6 +1494,12 @@ impl StatsResponse {
             ("bytes_in", Json::Num(self.bytes_in as f64)),
             ("bytes_out", Json::Num(self.bytes_out as f64)),
             ("frames_in_flight", Json::Num(self.frames_in_flight as f64)),
+            ("store_hits", Json::Num(self.store_hits as f64)),
+            ("store_misses", Json::Num(self.store_misses as f64)),
+            (
+                "replicas_restarted",
+                Json::Num(self.replicas_restarted as f64),
+            ),
             (
                 "cache",
                 Json::obj(vec![
@@ -1527,6 +1543,9 @@ impl StatsResponse {
             bytes_in: opt_u64(value, "bytes_in", what)?.unwrap_or(0),
             bytes_out: opt_u64(value, "bytes_out", what)?.unwrap_or(0),
             frames_in_flight: opt_u64(value, "frames_in_flight", what)?.unwrap_or(0),
+            store_hits: opt_u64(value, "store_hits", what)?.unwrap_or(0),
+            store_misses: opt_u64(value, "store_misses", what)?.unwrap_or(0),
+            replicas_restarted: opt_u64(value, "replicas_restarted", what)?.unwrap_or(0),
             cache: crate::session::CacheStats {
                 profile_builds: u64_field(cache, "profile_builds", what)?,
                 cache_hits: u64_field(cache, "cache_hits", what)?,
@@ -1557,6 +1576,9 @@ impl StatsResponse {
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
         self.frames_in_flight += other.frames_in_flight;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.replicas_restarted += other.replicas_restarted;
         self.cache.profile_builds += other.cache.profile_builds;
         self.cache.cache_hits += other.cache.cache_hits;
         self.cache.cache_misses += other.cache.cache_misses;
@@ -1848,6 +1870,9 @@ mod tests {
             bytes_in: 4096,
             bytes_out: 8192,
             frames_in_flight: 3,
+            store_hits: 4,
+            store_misses: 1,
+            replicas_restarted: 2,
             cache: crate::session::CacheStats {
                 profile_builds: 2,
                 cache_hits: 9,
@@ -1865,6 +1890,10 @@ mod tests {
             "no wall-clock on the wire: {text}"
         );
         assert!(text.contains("\"bytes_in\":4096,\"bytes_out\":8192,\"frames_in_flight\":3,"));
+        assert!(text.contains(
+            "\"frames_in_flight\":3,\"store_hits\":4,\"store_misses\":1,\
+             \"replicas_restarted\":2,\"cache\":{"
+        ));
         let back = StatsResponse::from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(back, stats);
     }

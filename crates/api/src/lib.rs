@@ -74,12 +74,14 @@ mod dto;
 mod error;
 pub mod experiment;
 pub mod fabricmap;
+pub mod faults;
 pub mod frame;
 pub mod json;
 pub mod render;
 pub mod server;
 mod session;
 pub mod shard;
+pub mod store;
 
 pub use experiment::{
     AxisFilter, CellMetrics, CellRow, DensityStats, ExperimentMode, ExperimentPlan,
@@ -96,7 +98,9 @@ pub use dto::{
     SCHEMA_VERSION,
 };
 pub use error::{ErrorKind, LeqaError};
+pub use faults::{FaultAction, FaultDecision, FaultInjector, FaultPlan};
 pub use frame::{write_frame, FrameDecoder, FrameError, FRAME1, MAX_FRAME_PAYLOAD};
 pub use server::{BoundServer, Frame, Server, ServerConfig};
-pub use session::{CacheStats, ProgramHandle, Session, SessionBuilder};
+pub use session::{CacheStats, ProgramHandle, Session, SessionBuilder, StoreStats};
 pub use shard::{BoundShard, Shard};
+pub use store::{ProfileStore, SnapshotError};

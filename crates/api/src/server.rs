@@ -66,20 +66,26 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::dto::{
     BatchRequest, ControlFrame, ErrorFrame, FrameProto, Request, ShutdownAck, StatsResponse,
     UpgradeAck,
 };
 use crate::experiment::ScenarioSpec;
+use crate::faults::{FaultAction, FaultInjector, FaultPlan};
 use crate::frame::{write_frame, FrameDecoder, FRAME_HEADER};
 use crate::json::{self, Json};
 use crate::{ErrorKind, LeqaError, Session};
 
-/// How often a TCP connection thread wakes from a blocked read to check
-/// the shutdown flag — bounds drain latency for idle connections.
-const READ_POLL: Duration = Duration::from_millis(100);
+/// Default read-poll period, milliseconds: how often a TCP connection
+/// thread wakes from a blocked read to check the shutdown flag — bounds
+/// drain latency for idle connections. The shard front-end derives its
+/// health-probe pacing from the same knob
+/// ([`ServerConfig::read_poll_ms`]), so one setting tunes both how fast
+/// a daemon drains and how fast a fleet notices a dead replica (see the
+/// operations section of `SERVER.md`).
+pub const DEFAULT_READ_POLL_MS: u64 = 100;
 
 /// Service limits for a [`Server`]. `0` means unlimited (the default):
 /// start permissive, then tune `max_inflight` to roughly 2× your core
@@ -100,6 +106,7 @@ const READ_POLL: Duration = Duration::from_millis(100);
 pub struct ServerConfig {
     max_connections: u64,
     max_inflight: u64,
+    read_poll_ms: u64,
 }
 
 impl ServerConfig {
@@ -135,6 +142,28 @@ impl ServerConfig {
     pub fn max_inflight_cap(&self) -> u64 {
         self.max_inflight
     }
+
+    /// Sets the read-poll period in milliseconds (`0` = the default,
+    /// [`DEFAULT_READ_POLL_MS`]): how often blocked TCP reads wake to
+    /// check the shutdown flag, and the base period for the shard
+    /// front-end's replica health probes. Smaller values drain and
+    /// detect faster at the cost of more idle wakeups.
+    pub fn read_poll_ms(mut self, ms: u64) -> Self {
+        self.read_poll_ms = ms;
+        self
+    }
+
+    /// The effective read-poll period ([`DEFAULT_READ_POLL_MS`] when
+    /// unset).
+    #[must_use]
+    pub fn read_poll(&self) -> Duration {
+        let ms = if self.read_poll_ms == 0 {
+            DEFAULT_READ_POLL_MS
+        } else {
+            self.read_poll_ms
+        };
+        Duration::from_millis(ms)
+    }
 }
 
 /// The daemon's atomic counters (snapshot shape: [`StatsResponse`]).
@@ -166,6 +195,10 @@ struct Inner {
     /// Set by [`Server::bind`]; `shutdown` pokes it with a loopback
     /// connection so a blocked `accept` wakes and observes the flag.
     wake_addr: Mutex<Option<SocketAddr>>,
+    /// Opt-in deterministic fault injection (`leqa serve --chaos`),
+    /// applied at the TCP reply-write layer only — `None` in every
+    /// production configuration.
+    faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for Inner {
@@ -202,17 +235,40 @@ impl Frame {
     /// decoders' errors pass through).
     pub fn parse(line: &str) -> Result<Frame, LeqaError> {
         let doc = json::parse(line).map_err(LeqaError::from)?;
+        Frame::from_doc(&doc)
+    }
+
+    /// Classifies an already-parsed document (shared with the engine's
+    /// one-parse path, which also peeks the request deadline).
+    fn from_doc(doc: &Json) -> Result<Frame, LeqaError> {
         if doc.get("cmd").is_some() {
-            return ControlFrame::from_json(&doc).map(Frame::Control);
+            return ControlFrame::from_json(doc).map(Frame::Control);
         }
         match doc.get("op").and_then(Json::as_str) {
-            Some("batch") => BatchRequest::from_json(&doc).map(Frame::Batch),
+            Some("batch") => BatchRequest::from_json(doc).map(Frame::Batch),
             Some("experiment") => {
-                ScenarioSpec::from_json(&doc).map(|spec| Frame::Experiment(Box::new(spec)))
+                ScenarioSpec::from_json(doc).map(|spec| Frame::Experiment(Box::new(spec)))
             }
-            _ => Request::from_json(&doc).map(Frame::Single),
+            _ => Request::from_json(doc).map(Frame::Single),
         }
     }
+}
+
+/// Parses one line and peeks the optional per-request `timeout_ms`
+/// budget from the envelope (any work frame may carry it; it is not part
+/// of any endpoint's schema, so direct [`Session`] calls never see it).
+fn classify_line(line: &str) -> Result<(Frame, Option<u64>), LeqaError> {
+    let doc = json::parse(line).map_err(LeqaError::from)?;
+    let timeout_ms = match doc.get("timeout_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            LeqaError::new(
+                ErrorKind::Json,
+                "`timeout_ms` must be a non-negative integer (milliseconds)",
+            )
+        })?),
+    };
+    Ok((Frame::from_doc(&doc)?, timeout_ms))
 }
 
 /// Decrements the inflight gauge when a work frame finishes (also on
@@ -230,6 +286,32 @@ impl Drop for InflightPermit {
             .stats
             .inflight
             .fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// What a chaotic reply write decided about the connection's future.
+enum ChaosOutcome {
+    /// The connection keeps serving.
+    Continue,
+    /// The injector consumed the reply (drop / torn write / replica
+    /// kill): close the connection now.
+    CloseConnection,
+}
+
+/// Flips the high bit of `bytes[at % len]`. On the ASCII JSON this
+/// protocol emits, a high-bit flip yields an invalid UTF-8 sequence, so
+/// the corruption is always *detectable* by the client (it models line
+/// noise a checksum would catch, not a silent digit swap no transport
+/// could recover from). Steers away from producing `\n` so a corrupted
+/// NDJSON reply stays one garbled line.
+fn flip_byte(bytes: &mut [u8], at: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    let i = at % bytes.len();
+    bytes[i] ^= 0x80;
+    if bytes[i] == b'\n' {
+        bytes[i] ^= 0x01;
     }
 }
 
@@ -272,8 +354,37 @@ impl Server {
                 stats: Stats::default(),
                 shutdown: AtomicBool::new(false),
                 wake_addr: Mutex::new(None),
+                faults: None,
             }),
         }
+    }
+
+    /// Wraps a session with explicit limits **and** a deterministic
+    /// fault-injection plan (`leqa serve --chaos SPEC`): replies on the
+    /// TCP transports are delayed, dropped, torn, corrupted or traded
+    /// for a whole-replica kill exactly as the seeded plan dictates (see
+    /// [`crate::faults`]). The engine underneath still computes correct
+    /// replies — chaos lives purely at the write layer — so a retrying
+    /// client must converge on byte-identical answers.
+    #[must_use]
+    pub fn with_chaos(session: Session, config: ServerConfig, plan: FaultPlan) -> Server {
+        Server {
+            inner: Arc::new(Inner {
+                session,
+                config,
+                stats: Stats::default(),
+                shutdown: AtomicBool::new(false),
+                wake_addr: Mutex::new(None),
+                faults: Some(FaultInjector::new(plan)),
+            }),
+        }
+    }
+
+    /// The fault injector, when this server was built with
+    /// [`with_chaos`](Self::with_chaos).
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.inner.faults.as_ref()
     }
 
     /// The shared session (e.g. to pre-warm the program cache before
@@ -305,7 +416,7 @@ impl Server {
         if let Some(addr) = wake {
             // Wake a blocked `accept`; the loop re-checks the flag before
             // serving whatever it accepted.
-            let _ = TcpStream::connect_timeout(&addr, READ_POLL);
+            let _ = TcpStream::connect_timeout(&addr, self.inner.config.read_poll());
         }
     }
 
@@ -314,6 +425,7 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> StatsResponse {
         let s = &self.inner.stats;
+        let store = self.inner.session.store_stats();
         StatsResponse {
             connections: s.connections.load(Ordering::Relaxed),
             active_connections: s.active_connections.load(Ordering::Relaxed),
@@ -330,6 +442,9 @@ impl Server {
             bytes_in: s.bytes_in.load(Ordering::Relaxed),
             bytes_out: s.bytes_out.load(Ordering::Relaxed),
             frames_in_flight: s.frames_in_flight.load(Ordering::Relaxed),
+            store_hits: store.store_hits,
+            store_misses: store.store_misses,
+            replicas_restarted: 0,
             cache: self.inner.session.cache_stats(),
             uptime_ticks: s.ticks.load(Ordering::Relaxed),
         }
@@ -348,9 +463,10 @@ impl Server {
         if line.is_empty() {
             return None;
         }
+        let arrived = Instant::now();
         self.inner.stats.ticks.fetch_add(1, Ordering::Relaxed);
-        let frame = match Frame::parse(line) {
-            Ok(frame) => frame,
+        let (frame, timeout_ms) = match classify_line(line) {
+            Ok(classified) => classified,
             Err(e) => return Some(self.error_reply(e)),
         };
         Some(match frame {
@@ -368,10 +484,47 @@ impl Server {
                 "`upgrade` is only available on the TCP transport",
             )),
             work => match self.admit() {
-                Ok(permit) => self.execute_work(work, permit),
+                Ok(permit) => self.execute_deadlined(work, permit, timeout_ms, arrived),
                 Err(e) => self.overloaded_reply(e),
             },
         })
+    }
+
+    /// Executes one admitted work frame under an optional `timeout_ms`
+    /// budget measured from `arrived` (when the line was read). The
+    /// budget is checked before execution (a request that aged out in a
+    /// queue is not run at all — `timeout_ms:0` deterministically takes
+    /// this path) and again after, so a reply that would arrive past the
+    /// client's deadline is replaced by a
+    /// [`ErrorKind::DeadlineExceeded`] frame instead of wasting its
+    /// wire bytes.
+    fn execute_deadlined(
+        &self,
+        frame: Frame,
+        permit: InflightPermit,
+        timeout_ms: Option<u64>,
+        arrived: Instant,
+    ) -> String {
+        let Some(budget_ms) = timeout_ms else {
+            return self.execute_work(frame, permit);
+        };
+        let budget = Duration::from_millis(budget_ms);
+        if arrived.elapsed() >= budget {
+            drop(permit);
+            return self.deadline_reply(budget_ms);
+        }
+        let reply = self.execute_work(frame, permit);
+        if arrived.elapsed() >= budget {
+            return self.deadline_reply(budget_ms);
+        }
+        reply
+    }
+
+    fn deadline_reply(&self, budget_ms: u64) -> String {
+        self.error_reply(LeqaError::new(
+            ErrorKind::DeadlineExceeded,
+            format!("request deadline of {budget_ms} ms elapsed before a reply"),
+        ))
     }
 
     /// Executes one already-admitted work frame, holding `permit` for
@@ -532,6 +685,62 @@ impl Server {
         Ok(())
     }
 
+    /// Writes one NDJSON reply line through the fault injector: without
+    /// one this is exactly [`write_line`](Self::write_line); with one,
+    /// the injector's per-event decision may delay the write, swallow
+    /// the reply and close the connection, write a torn prefix, flip one
+    /// payload byte, or trade the reply for a whole-replica kill.
+    fn write_chaotic_line(
+        &self,
+        writer: &mut dyn Write,
+        reply: &str,
+    ) -> std::io::Result<ChaosOutcome> {
+        let Some(injector) = &self.inner.faults else {
+            self.write_line(writer, reply)?;
+            return Ok(ChaosOutcome::Continue);
+        };
+        let decision = injector.next_decision();
+        if let Some(delay) = decision.delay {
+            std::thread::sleep(delay);
+        }
+        match decision.action {
+            FaultAction::Deliver => {
+                self.write_line(writer, reply)?;
+                Ok(ChaosOutcome::Continue)
+            }
+            FaultAction::DropConnection => Ok(ChaosOutcome::CloseConnection),
+            FaultAction::KillReplica => {
+                self.shutdown();
+                Ok(ChaosOutcome::CloseConnection)
+            }
+            FaultAction::Truncate => {
+                // A torn write, as a crash mid-flush would leave: half
+                // the line, no newline, then the connection closes.
+                let bytes = reply.as_bytes();
+                let cut = bytes.len() / 2;
+                writer.write_all(&bytes[..cut])?;
+                writer.flush()?;
+                self.inner
+                    .stats
+                    .bytes_out
+                    .fetch_add(cut as u64, Ordering::Relaxed);
+                Ok(ChaosOutcome::CloseConnection)
+            }
+            FaultAction::FlipByte(at) => {
+                let mut bytes = reply.as_bytes().to_vec();
+                flip_byte(&mut bytes, at);
+                writer.write_all(&bytes)?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                self.inner
+                    .stats
+                    .bytes_out
+                    .fetch_add(bytes.len() as u64 + 1, Ordering::Relaxed);
+                Ok(ChaosOutcome::Continue)
+            }
+        }
+    }
+
     /// Writes one reply line (with newline + flush), counting the bytes.
     fn write_line(&self, writer: &mut dyn Write, reply: &str) -> std::io::Result<()> {
         writer.write_all(reply.as_bytes())?;
@@ -599,13 +808,14 @@ impl Server {
 
     /// One TCP connection: like [`serve_connection`](Self::serve_connection)
     /// but with a read timeout so a connection idling in `read` observes
-    /// the shutdown flag within [`READ_POLL`]. An
+    /// the shutdown flag within the configured read-poll period
+    /// ([`ServerConfig::read_poll_ms`]). An
     /// `{"cmd":"upgrade","proto":"frame1"}` line switches the connection
     /// to the pipelined binary framing ([`serve_frames`](Self::serve_frames))
     /// after the NDJSON ack.
     fn serve_tcp_connection(&self, stream: TcpStream) -> std::io::Result<()> {
         let _guard = self.open_connection();
-        stream.set_read_timeout(Some(READ_POLL))?;
+        stream.set_read_timeout(Some(self.inner.config.read_poll()))?;
         // Replies are small and flushed per line; without NODELAY,
         // Nagle + delayed-ACK adds tens of ms to every round trip.
         stream.set_nodelay(true)?;
@@ -630,8 +840,14 @@ impl Server {
                         drop(reader);
                         return self.serve_frames(writer, residual);
                     }
-                    self.write_reply(&mut writer, &line)?;
+                    let reply = self.process_line(&line);
                     line.clear();
+                    if let Some(reply) = reply {
+                        match self.write_chaotic_line(&mut writer, &reply)? {
+                            ChaosOutcome::Continue => {}
+                            ChaosOutcome::CloseConnection => return Ok(()),
+                        }
+                    }
                     if self.is_shutting_down() {
                         return Ok(());
                     }
@@ -684,14 +900,17 @@ impl Server {
                     let mut pending = vec![first];
                     pending.extend(rx.try_iter());
                     for (tag, payload) in &pending {
-                        if write_frame(&mut w, *tag, payload.as_bytes()).is_err() {
-                            return; // client gone: drop the channel
+                        match server.write_chaotic_frame(&mut w, *tag, payload) {
+                            Ok(ChaosOutcome::Continue) => {}
+                            Ok(ChaosOutcome::CloseConnection) => {
+                                // Chaotic drop/kill/torn write: tear the
+                                // socket down so the reader loop ends too.
+                                let _ = w.flush();
+                                let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+                                return;
+                            }
+                            Err(_) => return, // client gone: drop the channel
                         }
-                        server
-                            .inner
-                            .stats
-                            .bytes_out
-                            .fetch_add((payload.len() + FRAME_HEADER) as u64, Ordering::Relaxed);
                     }
                     if w.flush().is_err() {
                         return;
@@ -759,12 +978,72 @@ impl Server {
         result
     }
 
+    /// Frame-mode twin of [`write_chaotic_line`](Self::write_chaotic_line):
+    /// one `[len][tag][payload]` reply frame through the fault injector
+    /// (byte-counting included); without an injector it is a plain
+    /// [`write_frame`].
+    fn write_chaotic_frame(
+        &self,
+        w: &mut BufWriter<TcpStream>,
+        tag: u32,
+        payload: &str,
+    ) -> Result<ChaosOutcome, LeqaError> {
+        let deliver = |w: &mut BufWriter<TcpStream>, bytes: &[u8]| -> Result<(), LeqaError> {
+            write_frame(w, tag, bytes)?;
+            self.inner
+                .stats
+                .bytes_out
+                .fetch_add((bytes.len() + FRAME_HEADER) as u64, Ordering::Relaxed);
+            Ok(())
+        };
+        let Some(injector) = &self.inner.faults else {
+            deliver(w, payload.as_bytes())?;
+            return Ok(ChaosOutcome::Continue);
+        };
+        let decision = injector.next_decision();
+        if let Some(delay) = decision.delay {
+            std::thread::sleep(delay);
+        }
+        match decision.action {
+            FaultAction::Deliver => {
+                deliver(w, payload.as_bytes())?;
+                Ok(ChaosOutcome::Continue)
+            }
+            FaultAction::DropConnection => Ok(ChaosOutcome::CloseConnection),
+            FaultAction::KillReplica => {
+                self.shutdown();
+                Ok(ChaosOutcome::CloseConnection)
+            }
+            FaultAction::Truncate => {
+                // A torn frame: encode the full [len][tag][payload] then
+                // put only half of it on the wire before closing.
+                let mut framed = Vec::with_capacity(payload.len() + FRAME_HEADER);
+                write_frame(&mut framed, tag, payload.as_bytes())?;
+                let cut = framed.len() / 2;
+                w.write_all(&framed[..cut]).map_err(LeqaError::from)?;
+                w.flush().map_err(LeqaError::from)?;
+                self.inner
+                    .stats
+                    .bytes_out
+                    .fetch_add(cut as u64, Ordering::Relaxed);
+                Ok(ChaosOutcome::CloseConnection)
+            }
+            FaultAction::FlipByte(at) => {
+                let mut bytes = payload.as_bytes().to_vec();
+                flip_byte(&mut bytes, at);
+                deliver(w, &bytes)?;
+                Ok(ChaosOutcome::Continue)
+            }
+        }
+    }
+
     /// Routes one decoded frame: control frames answer inline (they
     /// bypass admission, as on the NDJSON channel); work frames are
     /// admitted here — so `overloaded` refusals carry the offending tag
     /// immediately — then executed on the worker pool, completing out of
     /// order through `tx`.
     fn dispatch_frame(&self, tag: u32, payload: Vec<u8>, tx: &mpsc::Sender<(u32, String)>) {
+        let arrived = Instant::now();
         self.inner.stats.ticks.fetch_add(1, Ordering::Relaxed);
         let text = match String::from_utf8(payload) {
             Ok(text) => text,
@@ -775,8 +1054,8 @@ impl Server {
                 return;
             }
         };
-        let frame = match Frame::parse(text.trim()) {
-            Ok(frame) => frame,
+        let (frame, timeout_ms) = match classify_line(text.trim()) {
+            Ok(classified) => classified,
             Err(e) => {
                 let _ = tx.send((tag, self.error_reply(e)));
                 return;
@@ -815,13 +1094,12 @@ impl Server {
                 leqa::pool::Pool::global().submit(move || {
                     // Catch panics so a poisoned request can't kill a
                     // pool worker; the permit drops either way.
-                    let reply =
-                        catch_unwind(AssertUnwindSafe(|| server.execute_work(work, permit)))
-                            .unwrap_or_else(|_| {
-                                server.error_reply(LeqaError::internal(
-                                    "request panicked during execution",
-                                ))
-                            });
+                    let reply = catch_unwind(AssertUnwindSafe(|| {
+                        server.execute_deadlined(work, permit, timeout_ms, arrived)
+                    }))
+                    .unwrap_or_else(|_| {
+                        server.error_reply(LeqaError::internal("request panicked during execution"))
+                    });
                     server
                         .inner
                         .stats
@@ -881,7 +1159,7 @@ impl BoundServer {
     ///
     /// Accept errors never kill the daemon: transient conditions (a
     /// client resetting before `accept`, fd-limit pressure) are
-    /// retried, with a `READ_POLL` backoff for non-transient kinds so
+    /// retried, with a read-poll-period backoff for non-transient kinds so
     /// a persistently failing listener cannot busy-spin — the operator
     /// stays in control via `{"cmd":"shutdown"}` on open connections.
     ///
@@ -910,7 +1188,7 @@ impl BoundServer {
                 Err(_) => {
                     // EMFILE and friends: back off instead of dying or
                     // spinning; the shutdown check above ends the loop.
-                    std::thread::sleep(READ_POLL);
+                    std::thread::sleep(self.server.inner.config.read_poll());
                     continue;
                 }
             };
@@ -1022,6 +1300,33 @@ mod tests {
             .process_line(&estimate_line("qft_8"))
             .unwrap()
             .starts_with("{\"schema_version\":1,\"op\":\"estimate\""));
+    }
+
+    #[test]
+    fn request_deadlines_expire_deterministically_and_pass_when_generous() {
+        let server = server();
+        // `timeout_ms: 0` expires before execution ever starts — the
+        // deterministic pin of the deadline path.
+        let line =
+            r#"{"schema_version":1,"op":"estimate","program":{"bench":"qft_8"},"timeout_ms":0}"#;
+        let reply = server.process_line(line).unwrap();
+        let frame = ErrorFrame::from_json(&json::parse(&reply).unwrap()).unwrap();
+        assert_eq!(frame.error.kind(), ErrorKind::DeadlineExceeded);
+        assert!(frame.error.to_string().contains("0 ms"), "{reply}");
+
+        // A generous deadline changes nothing about the reply bytes
+        // (both warm, so the cache flag matches).
+        let deadlined = r#"{"schema_version":1,"op":"estimate","program":{"bench":"qft_8"},"timeout_ms":60000}"#;
+        let _cold = server.process_line(&estimate_line("qft_8")).unwrap();
+        let warm = server.process_line(&estimate_line("qft_8")).unwrap();
+        assert_eq!(server.process_line(deadlined).unwrap(), warm);
+
+        // A malformed deadline is a JSON-kind usage problem, not a crash.
+        let bad =
+            r#"{"schema_version":1,"op":"estimate","program":{"bench":"qft_8"},"timeout_ms":-5}"#;
+        let reply = server.process_line(bad).unwrap();
+        let frame = ErrorFrame::from_json(&json::parse(&reply).unwrap()).unwrap();
+        assert_eq!(frame.error.kind(), ErrorKind::Json);
     }
 
     #[test]

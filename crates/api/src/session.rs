@@ -44,6 +44,7 @@ use crate::dto::{
     SweepResponse, ZoneRowDto, ZonesRequest, ZonesResponse,
 };
 use crate::error::{ErrorKind, LeqaError};
+use crate::store::ProfileStore;
 use crate::BatchResponse;
 
 /// The cached, spec-independent part of a loaded program: canonical
@@ -68,6 +69,7 @@ pub struct ProgramHandle {
     label: String,
     shared: Arc<ProgramData>,
     counters: Arc<Counters>,
+    store: Option<Arc<ProfileStore>>,
 }
 
 impl ProgramHandle {
@@ -93,11 +95,36 @@ impl ProgramHandle {
 
     /// The program profile data, computed on first use and cached for
     /// every later request naming the same content.
+    ///
+    /// When the session has a snapshot store ([`SessionBuilder::cache_dir`])
+    /// the first use consults it before computing: a verified snapshot
+    /// skips the profile passes entirely (`store_hits`), while a missing,
+    /// corrupt or stale snapshot is silently recomputed and re-saved
+    /// (`store_misses`) — never a crash, never wrong bytes.
     #[must_use]
     pub fn profile_data(&self) -> &ProfileData {
         self.shared.profile.get_or_init(|| {
+            if let Some(store) = &self.store {
+                match store.load(&self.shared.source) {
+                    Ok(data) => {
+                        self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return data;
+                    }
+                    Err(_) => {
+                        // Missing, corrupt or stale: recompute below and
+                        // overwrite the snapshot.
+                        self.counters.store_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             self.counters.profile_builds.fetch_add(1, Ordering::Relaxed);
-            ProfileData::new(&self.shared.qodg)
+            let data = ProfileData::new(&self.shared.qodg);
+            if let Some(store) = &self.store {
+                // Best-effort: a failed save costs the next restart a
+                // rebuild, never this request.
+                let _ = store.save(&self.shared.source, &data);
+            }
+            data
         })
     }
 
@@ -133,6 +160,22 @@ pub struct CacheStats {
     pub loads: u64,
 }
 
+/// Snapshot-store counters, exposed for observability and asserted by
+/// the warm-restart tests: `store_hits` counts profiles served from a
+/// verified on-disk snapshot (skipping the profile passes entirely),
+/// `store_misses` counts first-use profiles the store could *not* serve
+/// — missing, corrupt or stale snapshots alike — which were recomputed
+/// and re-saved. Both stay zero on sessions without a
+/// [`SessionBuilder::cache_dir`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreStats {
+    /// Profiles loaded from a verified snapshot.
+    pub store_hits: u64,
+    /// Profiles the store could not serve (recomputed and re-saved).
+    pub store_misses: u64,
+}
+
 /// The session's atomic counters, shared with every [`ProgramHandle`] so
 /// lazy profile computation counts no matter which handle forces it.
 #[derive(Debug, Default)]
@@ -141,6 +184,8 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     loads: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
 }
 
 impl Counters {
@@ -247,6 +292,7 @@ pub struct SessionBuilder {
     fabric: Option<FabricDims>,
     params: Option<PhysicalParams>,
     options: Option<EstimatorOptions>,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 impl SessionBuilder {
@@ -268,12 +314,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the disk-backed profile snapshot store rooted at `dir`
+    /// (created if absent): first-use profiles are loaded from verified
+    /// snapshots when possible and persisted otherwise, so a restarted
+    /// process comes up warm. See [`crate::store`] for the codec and
+    /// the corruption discipline.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Errors
     ///
     /// Returns [`ErrorKind::Invalid`] when the estimator options are out
-    /// of range (currently: zero `E[S_q]` terms).
+    /// of range (currently: zero `E[S_q]` terms), or [`ErrorKind::Io`]
+    /// when a [`cache_dir`](Self::cache_dir) cannot be created.
     pub fn build(self) -> Result<Session, LeqaError> {
         let options = self.options.unwrap_or_default();
         if options.max_esq_terms == 0 {
@@ -282,12 +339,21 @@ impl SessionBuilder {
                 "estimator option `max_esq_terms` must be positive",
             ));
         }
+        let store = match self.cache_dir {
+            None => None,
+            Some(dir) => Some(Arc::new(
+                ProfileStore::open(dir)
+                    .map_err(LeqaError::from)
+                    .map_err(|e| e.context("opening the profile snapshot store"))?,
+            )),
+        };
         Ok(Session {
             fabric: self.fabric.unwrap_or_else(FabricDims::dac13),
             params: self.params.unwrap_or_else(PhysicalParams::dac13),
             options,
             cache: ShardedCache::default(),
             counters: Arc::new(Counters::default()),
+            store,
         })
     }
 }
@@ -305,6 +371,7 @@ pub struct Session {
     options: EstimatorOptions,
     cache: ShardedCache,
     counters: Arc<Counters>,
+    store: Option<Arc<ProfileStore>>,
 }
 
 /// The `Send + Sync` contract is part of the public API (concurrent
@@ -371,7 +438,18 @@ impl Session {
         }
     }
 
-    /// Drops every cached program.
+    /// The snapshot-store counters (zero on sessions without a
+    /// [`SessionBuilder::cache_dir`]).
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            store_hits: self.counters.store_hits.load(Ordering::Relaxed),
+            store_misses: self.counters.store_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached program (in-memory only; disk snapshots, if
+    /// configured, survive and re-warm the next loads).
     pub fn clear_cache(&self) {
         self.cache.clear();
     }
@@ -445,6 +523,7 @@ impl Session {
             label,
             shared,
             counters: Arc::clone(&self.counters),
+            store: self.store.clone(),
         }
     }
 

@@ -19,7 +19,18 @@
 //!   fleet-wide, its in-flight work frames re-route to the next live
 //!   replica (requests are pure computations, so a resend is safe), and
 //!   broadcasts complete without it. With no live replicas left,
-//!   requests answer with an `io`-kind error frame.
+//!   requests answer with a retryable `unavailable` error frame.
+//! * **supervises the fleet**: [`BoundShard::run`] probes every live
+//!   replica with a deadline-bounded `{"cmd":"stats"}` ping; a replica
+//!   that stops answering is marked dead even if no request has touched
+//!   it. When a restart factory is registered
+//!   ([`Shard::supervise`]), dead in-process replicas are relaunched on
+//!   a fresh port (re-warmed from the profile snapshot store when the
+//!   factory builds its sessions with a `cache_dir`) under a **bounded
+//!   restart budget** — once the budget is spent the fleet stays down
+//!   and clients keep getting `unavailable`. Replica incarnations carry
+//!   a generation counter, so a stale link dying cannot kill a freshly
+//!   restarted replica.
 //!
 //! Replica links always speak `frame1` (the front-end upgrades each link
 //! it opens), so one client connection pipelining frames keeps every
@@ -29,28 +40,48 @@
 use std::collections::HashMap;
 use std::io::{BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::dto::{ControlFrame, ErrorFrame, ShutdownAck, StatsResponse, UpgradeAck};
 use crate::frame::{write_frame, FrameDecoder};
 use crate::json;
-use crate::server::{upgrade_request, Frame, Server};
+use crate::server::{upgrade_request, Frame, Server, DEFAULT_READ_POLL_MS};
 use crate::session::fnv1a;
 use crate::{ErrorKind, LeqaError};
 
-/// Read-poll interval for shard sockets (mirrors the daemon's).
-const READ_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+/// A factory the supervisor calls to build each replacement replica
+/// (typically `Session::builder().cache_dir(…)` + `Server::new`, so the
+/// replacement starts warm from the snapshot store).
+pub type ReplicaFactory = dyn Fn() -> Result<Server, LeqaError> + Send + Sync;
 
 /// One backend daemon the shard routes to.
 struct Replica {
-    addr: SocketAddr,
-    /// Cleared fleet-wide the first time any connection sees this
-    /// replica's link die; never set again.
+    /// Current address — replaced when the supervisor restarts an
+    /// in-process replica on a fresh port.
+    addr: Mutex<SocketAddr>,
+    /// Cleared fleet-wide when any connection (or the supervisor's
+    /// probe) sees this replica die; set again only by a supervised
+    /// restart.
     alive: AtomicBool,
+    /// Incarnation counter, bumped on every restart. Links remember the
+    /// generation they opened against, so a stale link dying cannot
+    /// mark a freshly restarted replica dead.
+    generation: AtomicU64,
     /// The in-process server for spawned replicas (used to stop and
-    /// join them on shutdown); `None` for attached replicas.
-    server: Option<Server>,
+    /// join them on shutdown, replaced on restart); `None` for attached
+    /// replicas.
+    server: Mutex<Option<Server>>,
+    /// Whether the supervisor may restart this replica (in-process
+    /// spawns only; attached replicas have an external owner).
+    supervised: bool,
+}
+
+impl Replica {
+    fn addr(&self) -> SocketAddr {
+        *self.addr.lock().expect("no poisoning")
+    }
 }
 
 struct ShardInner {
@@ -59,6 +90,18 @@ struct ShardInner {
     replica_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shutdown: AtomicBool,
     wake_addr: Mutex<Option<SocketAddr>>,
+    /// Builds replacement replicas ([`Shard::supervise`]); `None` means
+    /// dead replicas stay dead.
+    factory: Mutex<Option<Arc<ReplicaFactory>>>,
+    /// Remaining supervised restarts — the bounded give-up.
+    restart_budget: AtomicU64,
+    /// Replicas the supervisor has restarted (surfaced in merged
+    /// `{"cmd":"stats"}` replies as `replicas_restarted`).
+    replicas_restarted: AtomicU64,
+    /// Read-poll period, ms (`0` = [`DEFAULT_READ_POLL_MS`]): socket
+    /// poll granularity, and the base for the supervisor's probe pacing
+    /// (probe period = 2× this, probe deadline = 4× this).
+    read_poll_ms: AtomicU64,
 }
 
 /// The sharded front-end (see the [module docs](self)). Cheaply
@@ -96,8 +139,53 @@ impl Shard {
                 replica_threads: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
                 wake_addr: Mutex::new(None),
+                factory: Mutex::new(None),
+                restart_budget: AtomicU64::new(0),
+                replicas_restarted: AtomicU64::new(0),
+                read_poll_ms: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Registers a restart factory and a bounded restart budget: the
+    /// supervisor inside [`BoundShard::run`] replaces each dead
+    /// in-process replica with `factory()` bound to a fresh port, at
+    /// most `budget` times fleet-wide. Build the factory's sessions with
+    /// [`SessionBuilder::cache_dir`](crate::SessionBuilder::cache_dir)
+    /// and replacements start warm from the profile snapshot store.
+    /// Once the budget is spent, dead replicas stay dead and clients
+    /// keep receiving retryable `unavailable` errors — the bounded
+    /// give-up.
+    pub fn supervise(
+        &self,
+        factory: impl Fn() -> Result<Server, LeqaError> + Send + Sync + 'static,
+        budget: u64,
+    ) {
+        *self.inner.factory.lock().expect("no poisoning") = Some(Arc::new(factory));
+        self.inner.restart_budget.store(budget, Ordering::Release);
+    }
+
+    /// Sets the read-poll period in milliseconds (`0` = the default,
+    /// [`DEFAULT_READ_POLL_MS`]) — socket poll granularity and the base
+    /// of the supervisor's probe pacing; pass the same value as the
+    /// replicas' [`ServerConfig::read_poll_ms`](crate::ServerConfig::read_poll_ms)
+    /// so one knob tunes the whole deployment.
+    pub fn set_read_poll_ms(&self, ms: u64) {
+        self.inner.read_poll_ms.store(ms, Ordering::Release);
+    }
+
+    /// Replicas the supervisor has restarted so far.
+    #[must_use]
+    pub fn replicas_restarted(&self) -> u64 {
+        self.inner.replicas_restarted.load(Ordering::Relaxed)
+    }
+
+    fn read_poll(&self) -> Duration {
+        let ms = match self.inner.read_poll_ms.load(Ordering::Acquire) {
+            0 => DEFAULT_READ_POLL_MS,
+            ms => ms,
+        };
+        Duration::from_millis(ms)
     }
 
     /// Spawns `server` as an in-process replica on a loopback port of
@@ -124,9 +212,11 @@ impl Shard {
             .expect("no poisoning")
             .push(handle);
         self.push_replica(Replica {
-            addr,
+            addr: Mutex::new(addr),
             alive: AtomicBool::new(true),
-            server: Some(server),
+            generation: AtomicU64::new(0),
+            server: Mutex::new(Some(server)),
+            supervised: true,
         });
         Ok(addr)
     }
@@ -142,9 +232,11 @@ impl Shard {
             .parse()
             .map_err(|_| LeqaError::usage(format!("invalid replica address `{addr}`")))?;
         self.push_replica(Replica {
-            addr,
+            addr: Mutex::new(addr),
             alive: AtomicBool::new(true),
-            server: None,
+            generation: AtomicU64::new(0),
+            server: Mutex::new(None),
+            supervised: false,
         });
         Ok(addr)
     }
@@ -170,7 +262,7 @@ impl Shard {
         if let Some(addr) = wake {
             // Wake a blocked `accept`; the loop re-checks the flag
             // before serving whatever it accepted.
-            let _ = TcpStream::connect_timeout(&addr, READ_POLL);
+            let _ = TcpStream::connect_timeout(&addr, self.read_poll());
         }
     }
 
@@ -203,6 +295,114 @@ impl Shard {
     fn replica_snapshot(&self) -> Vec<Arc<Replica>> {
         self.inner.replicas.lock().expect("no poisoning").clone()
     }
+
+    /// One supervisor pass: probe live replicas (deadline-bounded stats
+    /// ping), restart dead supervised ones while the budget lasts.
+    fn supervise_once(&self) {
+        let deadline = self.read_poll() * 4;
+        for replica in self.replica_snapshot() {
+            if self.is_shutting_down() {
+                return;
+            }
+            if replica.alive.load(Ordering::Acquire) {
+                if !probe_replica(&replica, deadline) {
+                    replica.alive.store(false, Ordering::Release);
+                }
+            } else if replica.supervised {
+                self.try_restart(&replica);
+            }
+        }
+    }
+
+    /// Replaces a dead in-process replica with a fresh one from the
+    /// restart factory, spending one unit of the bounded budget (a
+    /// factory or bind failure still spends it — a persistently failing
+    /// environment must converge on give-up, not loop forever).
+    fn try_restart(&self, replica: &Arc<Replica>) {
+        let factory = self.inner.factory.lock().expect("no poisoning").clone();
+        let Some(factory) = factory else {
+            return;
+        };
+        let budget_left = self
+            .inner
+            .restart_budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok();
+        if !budget_left {
+            return;
+        }
+        let Ok(server) = factory() else {
+            return;
+        };
+        let Ok(bound) = server.bind("127.0.0.1:0") else {
+            return;
+        };
+        let addr = bound.local_addr();
+        let Ok(handle) = std::thread::Builder::new()
+            .name("leqa-shard-replica".to_string())
+            .spawn(move || {
+                let _ = bound.run();
+            })
+        else {
+            return;
+        };
+        self.inner
+            .replica_threads
+            .lock()
+            .expect("no poisoning")
+            .push(handle);
+        {
+            let mut slot = replica.server.lock().expect("no poisoning");
+            // The old incarnation may be half-dead rather than gone;
+            // make sure it is fully draining before it is dropped.
+            if let Some(old) = slot.take() {
+                old.shutdown();
+            }
+            *slot = Some(server);
+        }
+        *replica.addr.lock().expect("no poisoning") = addr;
+        // Publish the new address *before* the generation bump: a link
+        // that observes the new generation must connect to the new port.
+        replica.generation.fetch_add(1, Ordering::AcqRel);
+        replica.alive.store(true, Ordering::Release);
+        self.inner
+            .replicas_restarted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Deadline-bounded health probe: connect, send `{"cmd":"stats"}`, and
+/// require at least one full reply line back within the deadline.
+fn probe_replica(replica: &Replica, deadline: Duration) -> bool {
+    let addr = replica.addr();
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, deadline) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(deadline)).is_err()
+        || stream.set_write_timeout(Some(deadline)).is_err()
+        || stream.write_all(b"{\"cmd\":\"stats\"}\n").is_err()
+        || stream.flush().is_err()
+    {
+        return false;
+    }
+    let start = Instant::now();
+    let mut buf = [0u8; 1024];
+    loop {
+        if start.elapsed() > deadline {
+            return false;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                if buf[..n].contains(&b'\n') {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // WouldBlock/TimedOut: the read timeout is the deadline.
+            Err(_) => return false,
+        }
+    }
 }
 
 /// A [`Shard`] bound to its front-door address, ready to
@@ -228,13 +428,33 @@ impl BoundShard {
         &self.shard
     }
 
-    /// Accepts and serves clients until shutdown, then joins client
-    /// threads, stops spawned replicas and joins their accept loops.
+    /// Accepts and serves clients until shutdown, supervising the fleet
+    /// the whole time (health probes + bounded restarts — see
+    /// [`Shard::supervise`]); then joins client threads, stops spawned
+    /// replicas and joins their accept loops.
     ///
     /// # Errors
     ///
     /// [`ErrorKind::Io`] when a client thread cannot be spawned.
     pub fn run(self) -> Result<(), LeqaError> {
+        let supervisor = {
+            let shard = self.shard.clone();
+            std::thread::Builder::new()
+                .name("leqa-shard-supervisor".to_string())
+                .spawn(move || {
+                    // Probe at 2× the read-poll period: fast enough that
+                    // a dead replica is noticed within a few poll ticks,
+                    // slow enough that probes stay background noise.
+                    while !shard.is_shutting_down() {
+                        std::thread::sleep(shard.read_poll() * 2);
+                        if shard.is_shutting_down() {
+                            break;
+                        }
+                        shard.supervise_once();
+                    }
+                })
+                .map_err(LeqaError::from)?
+        };
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shard.is_shutting_down() {
@@ -244,7 +464,7 @@ impl BoundShard {
                 Ok(stream) => stream,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    std::thread::sleep(READ_POLL);
+                    std::thread::sleep(self.shard.read_poll());
                     continue;
                 }
             };
@@ -262,11 +482,12 @@ impl BoundShard {
         for handle in handles {
             let _ = handle.join();
         }
+        let _ = supervisor.join();
         // Stop spawned replicas (already draining when the shutdown came
         // over the wire — `Server::shutdown` is idempotent) and join
         // their accept loops.
         for replica in self.shard.replica_snapshot() {
-            if let Some(server) = &replica.server {
+            if let Some(server) = replica.server.lock().expect("no poisoning").as_ref() {
                 server.shutdown();
             }
         }
@@ -321,15 +542,17 @@ struct Pending {
     kind: PendingKind,
 }
 
-/// A replica link as seen by one client connection.
+/// A replica link as seen by one client connection. Each open/dead link
+/// remembers the replica *generation* it belongs to, so links to a dead
+/// incarnation are replaced (and their late failures ignored) once the
+/// supervisor restarts the replica.
 enum Link {
     /// Not opened yet (links open lazily on first routed frame).
     Closed,
     /// Upgraded to `frame1`; a reader thread is draining replies.
-    Up(TcpStream),
-    /// This connection saw the link die (the fleet-wide `alive` flag is
-    /// cleared at the same time).
-    Dead,
+    Up { stream: TcpStream, generation: u64 },
+    /// This connection saw the link for that generation die.
+    Dead { generation: u64 },
 }
 
 struct ClientWriter {
@@ -380,7 +603,7 @@ fn error_frame(kind: ErrorKind, message: impl Into<String>) -> String {
 /// Serves one client connection end to end (line mode, then frame mode
 /// after an upgrade).
 fn serve_client(shard: &Shard, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_read_timeout(Some(shard.read_poll()))?;
     stream.set_nodelay(true)?;
     let replicas = shard.replica_snapshot();
     let conn = Arc::new(ConnState {
@@ -495,7 +718,7 @@ fn serve_client_frames(
                 // Let in-flight replies drain before tearing down the
                 // connection (replica readers deliver them directly).
                 while !conn.pending_is_empty() && !conn.shard.is_shutting_down() {
-                    std::thread::sleep(READ_POLL);
+                    std::thread::sleep(conn.shard.read_poll());
                 }
                 return Ok(());
             }
@@ -585,7 +808,10 @@ fn submit(conn: &Arc<ConnState>, tag: u32, text: String, deliver: Deliver) {
                 deliver_reply(
                     conn,
                     &deliver,
-                    &error_frame(ErrorKind::Io, "no live replicas"),
+                    &error_frame(
+                        ErrorKind::Unavailable,
+                        "no live replicas (fleet dead or restarting); retry",
+                    ),
                 );
                 return;
             };
@@ -599,7 +825,7 @@ fn submit(conn: &Arc<ConnState>, tag: u32, text: String, deliver: Deliver) {
                 },
             );
             if !send_to_replica(conn, replica, tag, &text) {
-                fail_replica(conn, replica);
+                fail_current(conn, replica);
             }
         }
     }
@@ -644,7 +870,10 @@ fn broadcast(conn: &Arc<ConnState>, tag: u32, text: &str, control: ControlFrame,
         deliver_reply(
             conn,
             &deliver,
-            &error_frame(ErrorKind::Io, "no live replicas"),
+            &error_frame(
+                ErrorKind::Unavailable,
+                "no live replicas (fleet dead or restarting); retry",
+            ),
         );
         return;
     }
@@ -670,39 +899,60 @@ fn broadcast(conn: &Arc<ConnState>, tag: u32, text: &str, control: ControlFrame,
     );
     for r in targets {
         if !send_to_replica(conn, r, tag, text) {
-            fail_replica(conn, r);
+            fail_current(conn, r);
         }
     }
 }
 
 /// Writes one frame on replica `r`'s link, opening (and upgrading) the
-/// link first if needed. Returns false when the link is dead or the
+/// link first if needed — including *re*-opening a link whose replica
+/// has been restarted since this connection last saw it (newer
+/// generation, alive again). Returns false when the link is dead or the
 /// write failed — the caller runs failover.
 fn send_to_replica(conn: &Arc<ConnState>, r: usize, tag: u32, text: &str) -> bool {
+    let replica = &conn.replicas[r];
     let mut link = conn.links[r].lock().expect("no poisoning");
-    if matches!(*link, Link::Closed) {
-        match open_link(conn, r) {
-            Some(stream) => *link = Link::Up(stream),
+    let current = replica.generation.load(Ordering::Acquire);
+    let reopen = match &*link {
+        Link::Closed => true,
+        // A link to an older incarnation: dead or not, the stream (if
+        // any) points at a stale port — reconnect to the restarted
+        // replica.
+        Link::Up { generation, .. } | Link::Dead { generation } => *generation < current,
+    };
+    if reopen && replica.alive.load(Ordering::Acquire) {
+        match open_link(conn, r, current) {
+            Some(stream) => {
+                *link = Link::Up {
+                    stream,
+                    generation: current,
+                }
+            }
             None => {
-                *link = Link::Dead;
+                *link = Link::Dead {
+                    generation: current,
+                };
                 return false;
             }
         }
     }
-    let Link::Up(stream) = &mut *link else {
+    let Link::Up { stream, .. } = &mut *link else {
         return false;
     };
     if write_frame(stream, tag, text.trim().as_bytes()).is_err() || stream.flush().is_err() {
-        *link = Link::Dead;
+        *link = Link::Dead {
+            generation: current,
+        };
         return false;
     }
     true
 }
 
-/// Connects to replica `r`, performs the NDJSON → `frame1` upgrade
-/// handshake, and spawns the reply reader thread.
-fn open_link(conn: &Arc<ConnState>, r: usize) -> Option<TcpStream> {
-    let mut stream = TcpStream::connect(conn.replicas[r].addr).ok()?;
+/// Connects to replica `r` (generation `generation`), performs the
+/// NDJSON → `frame1` upgrade handshake, and spawns the reply reader
+/// thread.
+fn open_link(conn: &Arc<ConnState>, r: usize, generation: u64) -> Option<TcpStream> {
+    let mut stream = TcpStream::connect(conn.replicas[r].addr()).ok()?;
     stream.set_nodelay(true).ok()?;
     let upgrade = ControlFrame::Upgrade(crate::FrameProto::Frame1)
         .to_json()
@@ -712,12 +962,12 @@ fn open_link(conn: &Arc<ConnState>, r: usize) -> Option<TcpStream> {
     stream.flush().ok()?;
     let ack = read_line_raw(&mut stream)?;
     UpgradeAck::from_json(&json::parse(ack.trim()).ok()?).ok()?;
-    stream.set_read_timeout(Some(READ_POLL)).ok()?;
+    stream.set_read_timeout(Some(conn.shard.read_poll())).ok()?;
     let reader_stream = stream.try_clone().ok()?;
     let conn = Arc::clone(conn);
     std::thread::Builder::new()
         .name("leqa-shard-link".to_string())
-        .spawn(move || replica_reader(&conn, r, reader_stream))
+        .spawn(move || replica_reader(&conn, r, generation, reader_stream))
         .ok()?;
     Some(stream)
 }
@@ -749,9 +999,10 @@ fn read_line_raw(stream: &mut TcpStream) -> Option<String> {
     }
 }
 
-/// Drains reply frames from replica `r` and completes pending entries;
-/// EOF or a read error triggers failover.
-fn replica_reader(conn: &Arc<ConnState>, r: usize, mut stream: TcpStream) {
+/// Drains reply frames from replica `r` (generation `generation`) and
+/// completes pending entries; EOF or a read error triggers failover for
+/// that generation.
+fn replica_reader(conn: &Arc<ConnState>, r: usize, generation: u64, mut stream: TcpStream) {
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     loop {
@@ -760,7 +1011,7 @@ fn replica_reader(conn: &Arc<ConnState>, r: usize, mut stream: TcpStream) {
         }
         match stream.read(&mut buf) {
             Ok(0) => {
-                fail_replica(conn, r);
+                fail_replica(conn, r, generation);
                 return;
             }
             Ok(n) => {
@@ -770,7 +1021,7 @@ fn replica_reader(conn: &Arc<ConnState>, r: usize, mut stream: TcpStream) {
                         Ok(Some((tag, payload))) => handle_replica_reply(conn, r, tag, &payload),
                         Ok(None) => break,
                         Err(_) => {
-                            fail_replica(conn, r);
+                            fail_replica(conn, r, generation);
                             return;
                         }
                     }
@@ -781,7 +1032,7 @@ fn replica_reader(conn: &Arc<ConnState>, r: usize, mut stream: TcpStream) {
                     || e.kind() == std::io::ErrorKind::TimedOut
                     || e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
-                fail_replica(conn, r);
+                fail_replica(conn, r, generation);
                 return;
             }
         }
@@ -790,7 +1041,16 @@ fn replica_reader(conn: &Arc<ConnState>, r: usize, mut stream: TcpStream) {
 
 /// Completes (or advances) the pending entry a replica reply belongs to.
 fn handle_replica_reply(conn: &Arc<ConnState>, r: usize, tag: u32, payload: &[u8]) {
-    let text = String::from_utf8_lossy(payload).into_owned();
+    let text = match String::from_utf8(payload.to_vec()) {
+        Ok(text) => text,
+        Err(_) => {
+            // The protocol is ASCII JSON, so a non-UTF-8 reply can only
+            // be transport corruption (e.g. injected byte flips):
+            // resend the request instead of forwarding garbage.
+            resend_pending(conn, r, tag);
+            return;
+        }
+    };
     let mut pending = conn.pending.lock().expect("no poisoning");
     let done = match pending.get_mut(&tag) {
         None => return, // stale (re-routed after this replica died)
@@ -826,11 +1086,20 @@ fn handle_replica_reply(conn: &Arc<ConnState>, r: usize, tag: u32, payload: &[u8
 fn complete(conn: &Arc<ConnState>, entry: Pending, reply: Option<String>) {
     match entry.kind {
         PendingKind::Work(deliver) => {
-            let text =
-                reply.unwrap_or_else(|| error_frame(ErrorKind::Io, "replica connection lost"));
+            let text = reply.unwrap_or_else(|| {
+                error_frame(
+                    ErrorKind::Unavailable,
+                    "replica connection lost with no live replica to fail over to; retry",
+                )
+            });
             deliver_reply(conn, &deliver, &text);
         }
-        PendingKind::Stats { acc, deliver, .. } => {
+        PendingKind::Stats {
+            mut acc, deliver, ..
+        } => {
+            // The replicas each report 0 restarts (the supervisor lives
+            // here, not there); the fleet-wide count is the shard's.
+            acc.replicas_restarted += conn.shard.replicas_restarted();
             deliver_reply(conn, &deliver, &acc.to_json().encode());
         }
         PendingKind::Shutdown { deliver, .. } => {
@@ -855,12 +1124,28 @@ fn deliver_reply(conn: &Arc<ConnState>, deliver: &Deliver, reply: &str) {
     }
 }
 
-/// Failover: marks replica `r` dead fleet-wide, re-routes its in-flight
-/// work frames to the next live replica (requests are pure computations,
-/// so a resend is safe), and completes broadcasts without it.
-fn fail_replica(conn: &Arc<ConnState>, r: usize) {
-    conn.replicas[r].alive.store(false, Ordering::Release);
-    *conn.links[r].lock().expect("no poisoning") = Link::Dead;
+/// Failover: marks replica `r` dead fleet-wide (only when the failing
+/// link belongs to its *current* incarnation — a stale link dying says
+/// nothing about a restarted replica), re-routes its in-flight work
+/// frames to the next live replica (requests are pure computations, so a
+/// resend is safe), and completes broadcasts without it.
+fn fail_replica(conn: &Arc<ConnState>, r: usize, generation: u64) {
+    let replica = &conn.replicas[r];
+    if replica.generation.load(Ordering::Acquire) == generation {
+        replica.alive.store(false, Ordering::Release);
+    }
+    {
+        let mut link = conn.links[r].lock().expect("no poisoning");
+        // Never clobber a link that has already moved on to a newer
+        // incarnation.
+        let stale = match &*link {
+            Link::Closed => true,
+            Link::Up { generation: g, .. } | Link::Dead { generation: g } => *g <= generation,
+        };
+        if stale {
+            *link = Link::Dead { generation };
+        }
+    }
     let mut resend: Vec<(u32, String, usize)> = Vec::new();
     let mut completed: Vec<Pending> = Vec::new();
     {
@@ -898,7 +1183,35 @@ fn fail_replica(conn: &Arc<ConnState>, r: usize) {
     }
     for (tag, payload, next) in resend {
         if !send_to_replica(conn, next, tag, &payload) {
-            fail_replica(conn, next);
+            fail_current(conn, next);
+        }
+    }
+}
+
+/// Fails replica `r`'s *current* incarnation (used where the failure was
+/// observed on a just-attempted send rather than an existing link).
+fn fail_current(conn: &Arc<ConnState>, r: usize) {
+    let generation = conn.replicas[r].generation.load(Ordering::Acquire);
+    fail_replica(conn, r, generation);
+}
+
+/// Resends a pending entry's payload to replica `r` after a corrupt
+/// reply (the request is a pure computation, so re-execution is safe).
+/// Work entries resend only if they are still routed to `r`; broadcast
+/// entries resend whenever `r` is still outstanding.
+fn resend_pending(conn: &Arc<ConnState>, r: usize, tag: u32) {
+    let payload = {
+        let pending = conn.pending.lock().expect("no poisoning");
+        pending.get(&tag).and_then(|entry| match &entry.kind {
+            PendingKind::Work(_) => (entry.replica == r).then(|| entry.payload.clone()),
+            PendingKind::Stats { outstanding, .. } | PendingKind::Shutdown { outstanding, .. } => {
+                outstanding.contains(&r).then(|| entry.payload.clone())
+            }
+        })
+    };
+    if let Some(payload) = payload {
+        if !send_to_replica(conn, r, tag, &payload) {
+            fail_current(conn, r);
         }
     }
 }
@@ -1018,6 +1331,95 @@ mod tests {
 
         let ack = client.roundtrip(r#"{"cmd":"shutdown"}"#);
         assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+        handle.join().expect("no panic").expect("clean exit");
+    }
+
+    #[test]
+    fn supervisor_restarts_dead_replicas_warm_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("leqa-shard-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shard = Shard::new();
+        shard.set_read_poll_ms(10); // fast probes so the test converges quickly
+        let server = Server::new(
+            Session::builder()
+                .cache_dir(&dir)
+                .build()
+                .expect("session with store"),
+        );
+        shard.spawn_replica(server.clone()).expect("replica spawns");
+        let factory_dir = dir.clone();
+        shard.supervise(
+            move || {
+                Ok(Server::new(
+                    Session::builder().cache_dir(&factory_dir).build()?,
+                ))
+            },
+            4,
+        );
+        let (addr, handle) = run_shard(&shard);
+        let mut client = LineClient::connect(addr);
+
+        // Warm the snapshot store through the first incarnation, and pin
+        // the byte-stable direct replies for later comparison.
+        let direct = Session::builder().build().unwrap();
+        let req = EstimateRequest::new(ProgramSpec::bench("qft_8"));
+        let cold = direct.estimate(&req).unwrap().to_json().encode();
+        let warm = direct.estimate(&req).unwrap().to_json().encode();
+        assert_eq!(client.roundtrip(&estimate_line("qft_8")), cold);
+
+        // Kill the only replica out from under the shard; the supervisor
+        // must notice (probe failure or link death) and restart it.
+        server.shutdown();
+        let mut reply = String::new();
+        for _ in 0..500 {
+            reply = client.roundtrip(&estimate_line("qft_8"));
+            if reply.contains("\"op\":\"estimate\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            reply == cold || reply == warm,
+            "restarted replica answers byte-identically: {reply}"
+        );
+
+        // The replacement came up warm from the snapshot store: it
+        // served a seen program without building a single profile.
+        let stats_reply = client.roundtrip(r#"{"cmd":"stats"}"#);
+        let stats = StatsResponse::from_json(&json::parse(&stats_reply).unwrap()).unwrap();
+        assert!(stats.replicas_restarted >= 1, "{stats_reply}");
+        assert_eq!(stats.replicas_restarted, shard.replicas_restarted());
+        assert!(stats.store_hits >= 1, "warm from store: {stats_reply}");
+        assert_eq!(
+            stats.cache.profile_builds, 0,
+            "no rebuilds after restart: {stats_reply}"
+        );
+
+        let ack = client.roundtrip(r#"{"cmd":"shutdown"}"#);
+        assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+        handle.join().expect("no panic").expect("clean exit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_fleet_without_a_factory_answers_unavailable() {
+        let shard = Shard::new();
+        shard.set_read_poll_ms(5);
+        // Port 9 (discard) on loopback: nothing listens, connects are
+        // refused immediately — a permanently dead attached replica.
+        shard.attach_replica("127.0.0.1:9").expect("valid address");
+        let (addr, handle) = run_shard(&shard);
+        let mut client = LineClient::connect(addr);
+        let reply = client.roundtrip(&estimate_line("qft_8"));
+        let frame = ErrorFrame::from_json(&json::parse(&reply).unwrap()).unwrap();
+        assert_eq!(frame.error.kind(), ErrorKind::Unavailable, "{reply}");
+        // Unavailable is the retryable give-up: it stays Unavailable, it
+        // never escalates or crashes the front-end.
+        let again = client.roundtrip(&estimate_line("qft_8"));
+        let frame = ErrorFrame::from_json(&json::parse(&again).unwrap()).unwrap();
+        assert_eq!(frame.error.kind(), ErrorKind::Unavailable, "{again}");
+        drop(client);
+        shard.shutdown();
         handle.join().expect("no panic").expect("clean exit");
     }
 

@@ -1,0 +1,237 @@
+//! Chaos soak: a retrying client drives hundreds of requests through a
+//! three-replica shard whose replicas misbehave under a deterministic
+//! fault plan (delays, dropped connections, torn frames, flipped bytes,
+//! periodic replica kills). The supervisor restarts killed replicas
+//! warm from a shared profile snapshot store. The client — modelled on
+//! `leqa-client`'s retry loop: transient-kind retries, deadline-bounded
+//! reads, seeded-jitter exponential backoff — must converge on every
+//! request with a reply **byte-identical** to a direct [`Session`],
+//! with zero client-visible failures.
+//!
+//! `zones` and `sweep` are used because their replies carry no
+//! cache-dependent fields, so byte-identity is strict however the work
+//! lands across cold, warm and restarted replicas.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use leqa_api::{
+    json, ErrorFrame, ErrorKind, FaultPlan, ProgramSpec, Request, Server, ServerConfig, Session,
+    Shard, SweepRequest, ZonesRequest,
+};
+use leqa_fabric::SplitMix64;
+
+const BENCHES: [&str; 4] = ["qft_4", "qft_8", "random_6_40", "random_5_30"];
+const REQUESTS: usize = 520;
+const MAX_ATTEMPTS: usize = 40;
+
+fn request_line(i: usize) -> String {
+    let bench = BENCHES[i % BENCHES.len()];
+    let req = if i.is_multiple_of(2) {
+        Request::Zones(ZonesRequest::new(ProgramSpec::bench(bench)).with_limit(4))
+    } else {
+        Request::Sweep(SweepRequest::new(ProgramSpec::bench(bench), [20, 40]))
+    };
+    req.to_json().encode()
+}
+
+fn expected_replies(session: &Session) -> Vec<String> {
+    (0..REQUESTS)
+        .map(|i| {
+            let line = request_line(i);
+            let req = Request::from_json(&json::parse(&line).unwrap()).unwrap();
+            session.execute(&req).unwrap().to_json().encode()
+        })
+        .collect()
+}
+
+/// A line-mode client with `leqa-client`-style robustness: reconnects on
+/// transport failures, rejects corrupt (unparseable) replies, retries
+/// retryable error kinds, and backs off with seeded deterministic
+/// jitter.
+struct RetryClient {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    rng: SplitMix64,
+    deadline: Duration,
+}
+
+enum Attempt {
+    Reply(String),
+    Retry(&'static str),
+}
+
+impl RetryClient {
+    fn new(addr: SocketAddr, seed: u64) -> RetryClient {
+        RetryClient {
+            addr,
+            conn: None,
+            rng: SplitMix64::new(seed),
+            deadline: Duration::from_secs(10),
+        }
+    }
+
+    /// One attempt: write the line, read one reply line under the
+    /// deadline, classify it. The connection is taken out of `self` and
+    /// only put back if the attempt ends with it in a reusable state.
+    fn attempt(&mut self, line: &str) -> Attempt {
+        let mut conn = match self.conn.take() {
+            Some(conn) => conn,
+            None => {
+                let Ok(stream) = TcpStream::connect_timeout(&self.addr, self.deadline) else {
+                    return Attempt::Retry("connect failed");
+                };
+                if stream.set_nodelay(true).is_err()
+                    || stream
+                        .set_read_timeout(Some(Duration::from_millis(50)))
+                        .is_err()
+                {
+                    return Attempt::Retry("socket setup failed");
+                }
+                BufReader::new(stream)
+            }
+        };
+        let stream = conn.get_mut();
+        if stream.write_all(line.as_bytes()).is_err()
+            || stream.write_all(b"\n").is_err()
+            || stream.flush().is_err()
+        {
+            return Attempt::Retry("write failed");
+        }
+        // Deadline-bounded read of one reply line, tolerating the read
+        // timeout ticks the poll-style socket produces.
+        let start = Instant::now();
+        let mut reply = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            if start.elapsed() > self.deadline {
+                return Attempt::Retry("deadline exceeded");
+            }
+            match conn.read(&mut byte) {
+                Ok(0) => {
+                    // EOF: dropped connection, torn line, or a replica
+                    // kill mid-reply.
+                    return Attempt::Retry("connection lost");
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    reply.push(byte[0]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    return Attempt::Retry("read failed");
+                }
+            }
+        }
+        // Corrupt replies (flipped bytes are invalid UTF-8; torn lines
+        // are unparseable) are indistinguishable from line-framing
+        // damage: drop the connection and retry.
+        let Ok(text) = String::from_utf8(reply) else {
+            return Attempt::Retry("corrupt reply (not UTF-8)");
+        };
+        let Ok(doc) = json::parse(&text) else {
+            return Attempt::Retry("corrupt reply (not JSON)");
+        };
+        if let Ok(frame) = ErrorFrame::from_json(&doc) {
+            let kind = frame.error.kind();
+            if matches!(kind, ErrorKind::Unavailable | ErrorKind::Overloaded) {
+                // The line was fully framed, so the connection is
+                // reusable; the fleet just needs a moment.
+                self.conn = Some(conn);
+                return Attempt::Retry("retryable error frame");
+            }
+        }
+        self.conn = Some(conn);
+        Attempt::Reply(text)
+    }
+
+    /// Jittered exponential backoff before retry `attempt` (0-based),
+    /// seeded so the soak is reproducible.
+    fn backoff(&mut self, attempt: usize) {
+        let base = 2u64.saturating_pow(attempt.min(6) as u32);
+        let jitter = (self.rng.next_f64() * 4.0) as u64;
+        std::thread::sleep(Duration::from_millis((base + jitter).min(200)));
+    }
+}
+
+#[test]
+fn chaos_soak_converges_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("leqa-chaos-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServerConfig::new().read_poll_ms(10);
+    let store_dir = dir.clone();
+    let chaotic_server = move |seed: u64| -> Server {
+        let plan = FaultPlan::parse(&format!(
+            "seed={seed},delay=1:0.05,drop=0.03,truncate=0.03,flip=0.03,kill=150"
+        ))
+        .expect("valid plan");
+        let session = Session::builder()
+            .cache_dir(&store_dir)
+            .build()
+            .expect("chaotic session");
+        Server::with_chaos(session, config, plan)
+    };
+
+    let shard = Shard::new();
+    shard.set_read_poll_ms(10);
+    for seed in 1..=3u64 {
+        shard
+            .spawn_replica(chaotic_server(seed))
+            .expect("replica spawns");
+    }
+    // Restarted replicas are chaotic too (fresh seeds), warm from the
+    // shared snapshot store; the budget comfortably covers the planned
+    // kill schedule but is still bounded.
+    let restarts = std::sync::atomic::AtomicU64::new(100);
+    shard.supervise(
+        move || {
+            let seed = restarts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(chaotic_server(seed))
+        },
+        64,
+    );
+
+    let bound = shard.bind("127.0.0.1:0").expect("bind");
+    let addr = bound.local_addr();
+    let handle = std::thread::spawn(move || bound.run());
+
+    let direct = Session::builder().build().expect("direct session");
+    let expected = expected_replies(&direct);
+
+    let mut client = RetryClient::new(addr, 0xC0FFEE);
+    let mut retried = 0usize;
+    for (i, want) in expected.iter().enumerate() {
+        let line = request_line(i);
+        let mut attempts_used = 1;
+        let got = loop {
+            match client.attempt(&line) {
+                Attempt::Reply(reply) => break reply,
+                Attempt::Retry(why) => {
+                    retried += 1;
+                    attempts_used += 1;
+                    assert!(
+                        attempts_used <= MAX_ATTEMPTS,
+                        "request {i} did not converge (last: {why})"
+                    );
+                    client.backoff(attempts_used - 2);
+                }
+            }
+        };
+        assert_eq!(&got, want, "request {i} must be byte-identical");
+    }
+    assert!(
+        retried > 0,
+        "the fault plan should have forced at least one retry across {REQUESTS} requests"
+    );
+
+    shard.shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}

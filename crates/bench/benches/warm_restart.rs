@@ -1,0 +1,118 @@
+//! Warm-restart bench: daemon **startup-to-first-reply**, cold versus
+//! store-warmed.
+//!
+//! The cold path pays the profile pass (IIG + Eq. 7/12 terms) on the
+//! first request after every restart; a daemon restarted with
+//! `--cache-dir` loads the verified snapshot instead
+//! (`leqa_api::store`), so the first reply only pays deserialization.
+//! Each sample measures the whole restart: build the session, bind a
+//! loopback listener, connect, send one estimate, read the reply.
+//! Workload generation and QODG lowering run on both paths, so the
+//! ratio hovers near 1x with the profile pass as the margin — the
+//! headline bar is *no regression* (a store-backed restart must never
+//! be slower than a cold one), and `scripts/perf_gate.sh` pins the
+//! trajectory against the committed baseline.
+//!
+//! `BENCH_JSON=BENCH_throughput.json cargo bench -p leqa-bench --bench
+//! warm_restart` appends a `serve/warm_restart` line (speedup +
+//! startup-to-first-reply medians) gated by `scripts/perf_gate.sh`.
+//! Set `WARM_RESTART_BENCH_SMOKE=1` for the reduced CI variant.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Instant;
+
+use leqa_api::{EstimateRequest, ProgramSpec, Request, Server, Session};
+
+fn smoke() -> bool {
+    std::env::var("WARM_RESTART_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// One full restart: fresh session (optionally store-backed), fresh
+/// listener, one estimate round-trip, graceful shutdown.
+fn startup_to_first_reply(cache_dir: Option<&Path>, line: &str) {
+    let mut builder = Session::builder();
+    if let Some(dir) = cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let session = builder.build().expect("session builds");
+    let server = Server::new(session);
+    let bound = server.bind("127.0.0.1:0").expect("bind loopback");
+    let addr = bound.local_addr();
+    let handle = std::thread::spawn(move || bound.run());
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writeln!(writer, "{line}").expect("send request");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(
+        reply.starts_with("{\"schema_version\":1,\"op\":\"estimate\""),
+        "{reply}"
+    );
+    writeln!(writer, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
+    writer.flush().expect("flush");
+    reply.clear();
+    reader.read_line(&mut reply).expect("read ack");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+fn main() {
+    let bench = "random_16_60000";
+    let line = Request::Estimate(EstimateRequest::new(ProgramSpec::bench(bench)))
+        .to_json()
+        .encode();
+    let dir = std::env::temp_dir().join(format!("leqa-warm-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Populate the store once, untimed: the first store-backed run
+    // computes the profile and snapshots it.
+    startup_to_first_reply(Some(&dir), &line);
+
+    // Interleave cold/warm pairs so clock drift and background load hit
+    // both sides equally, then compare medians.
+    let rounds = if smoke() { 3 } else { 7 };
+    let mut cold_times = Vec::with_capacity(rounds);
+    let mut warm_times = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        startup_to_first_reply(None, &line);
+        cold_times.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        startup_to_first_reply(Some(&dir), &line);
+        warm_times.push(t0.elapsed().as_secs_f64());
+    }
+    let median = |times: &mut Vec<f64>| -> f64 {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let cold_s = median(&mut cold_times);
+    let warm_s = median(&mut warm_times);
+    let speedup = cold_s / warm_s;
+    let cold_ms = cold_s * 1e3;
+    let warm_ms = warm_s * 1e3;
+
+    let verdict = if speedup >= 0.95 { "MET" } else { "NOT MET" };
+    println!(
+        "warm restart: {speedup:.2}x ({warm_ms:.1} ms store-warmed startup-to-first-reply vs \
+         {cold_ms:.1} ms cold, {bench}) — no-regression bar >= 0.95x: {verdict}",
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"serve/warm_restart\",\"speedup\":{speedup:.4},\"cold_ms\":{cold_ms:.2},\"warm_ms\":{warm_ms:.2},\"bench\":\"{bench}\"}}",
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

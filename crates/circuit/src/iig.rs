@@ -80,21 +80,81 @@ impl Iig {
     /// sort + run-length dedup (two passes over the sorted pairs, no
     /// per-node allocation).
     fn from_pairs(num_qubits: u32, mut pairs: Vec<(u32, u32)>) -> Self {
-        let total_weight = pairs.len() as u64;
         pairs.sort_unstable();
-
-        // Pass 1 over unique runs: per-qubit degrees.
-        let mut degrees = vec![0u32; num_qubits as usize];
-        let mut unique_edges = 0usize;
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
         let mut i = 0;
         while i < pairs.len() {
             let (a, b) = pairs[i];
-            degrees[a as usize] += 1;
-            degrees[b as usize] += 1;
-            unique_edges += 1;
+            let start = i;
             while i < pairs.len() && pairs[i] == (a, b) {
                 i += 1;
             }
+            edges.push((a, b, (i - start) as u64));
+        }
+        Iig::from_sorted_edges(num_qubits, edges)
+    }
+
+    /// Rebuilds an IIG from its unique weighted edge list — the inverse
+    /// of iterating [`neighbors`](Self::neighbors) and keeping each edge
+    /// once. Edges may arrive in any order and with either endpoint
+    /// first; duplicates merge by summing weights. Zero-weight entries
+    /// and self-loops are rejected, as are endpoints outside
+    /// `0..num_qubits`.
+    ///
+    /// The result is *bit-identical* to the IIG the original circuit
+    /// built (same CSR layout, same totals) — the property the snapshot
+    /// store in `leqa-api` relies on to round-trip cached profiles.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::QubitOutOfRange`](crate::CircuitError::QubitOutOfRange)
+    /// when an endpoint is out of range,
+    /// [`CircuitError::DuplicateOperand`](crate::CircuitError::DuplicateOperand)
+    /// for a self-loop edge. Zero-weight entries are dropped silently
+    /// (they carry no information).
+    pub fn from_weighted_edges(
+        num_qubits: u32,
+        edges: impl IntoIterator<Item = (u32, u32, u64)>,
+    ) -> Result<Self, crate::CircuitError> {
+        let mut normalized: Vec<(u32, u32, u64)> = Vec::new();
+        for (a, b, w) in edges {
+            if a >= num_qubits || b >= num_qubits {
+                return Err(crate::CircuitError::QubitOutOfRange {
+                    qubit: QubitId(a.max(b)),
+                    num_qubits,
+                });
+            }
+            if a == b {
+                return Err(crate::CircuitError::DuplicateOperand { qubit: QubitId(a) });
+            }
+            if w == 0 {
+                continue;
+            }
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            normalized.push((lo, hi, w));
+        }
+        normalized.sort_unstable();
+        // Merge duplicate (lo, hi) entries by summing weights.
+        let mut merged: Vec<(u32, u32, u64)> = Vec::with_capacity(normalized.len());
+        for (a, b, w) in normalized {
+            match merged.last_mut() {
+                Some((la, lb, lw)) if *la == a && *lb == b => *lw += w,
+                _ => merged.push((a, b, w)),
+            }
+        }
+        Ok(Iig::from_sorted_edges(num_qubits, merged))
+    }
+
+    /// The shared CSR builder: `edges` holds the unique weighted edges,
+    /// sorted by `(lo, hi)` with `lo < hi`.
+    fn from_sorted_edges(num_qubits: u32, edges: Vec<(u32, u32, u64)>) -> Self {
+        let total_weight = edges.iter().map(|&(_, _, w)| w).sum();
+
+        // Pass 1: per-qubit degrees.
+        let mut degrees = vec![0u32; num_qubits as usize];
+        for &(a, b, _) in &edges {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
         }
 
         // Prefix-sum the offsets; keep per-qubit write cursors.
@@ -105,9 +165,9 @@ impl Iig {
             running += d;
             offsets.push(running);
         }
-        debug_assert_eq!(running as usize, 2 * unique_edges);
+        debug_assert_eq!(running as usize, 2 * edges.len());
 
-        // Pass 2: fill both directed half-edges. Pairs are sorted by
+        // Pass 2: fill both directed half-edges. Edges are sorted by
         // (lo, hi), so each endpoint's run comes out sorted by neighbour:
         // the `lo` side sees increasing `hi`, and for a fixed `hi` the `lo`
         // values arrive in increasing order too.
@@ -115,14 +175,7 @@ impl Iig {
         let mut neighbors = vec![QubitId(0); running as usize];
         let mut weights = vec![0u64; running as usize];
         let mut strengths = vec![0u64; num_qubits as usize];
-        let mut i = 0;
-        while i < pairs.len() {
-            let (a, b) = pairs[i];
-            let start = i;
-            while i < pairs.len() && pairs[i] == (a, b) {
-                i += 1;
-            }
-            let w = (i - start) as u64;
+        for &(a, b, w) in &edges {
             let ca = cursors[a as usize] as usize;
             neighbors[ca] = QubitId(b);
             weights[ca] = w;
@@ -143,6 +196,18 @@ impl Iig {
             strengths,
             total_weight,
         }
+    }
+
+    /// Iterates over every unique edge once as `(lo, hi, weight)` with
+    /// `lo < hi`, in ascending `(lo, hi)` order — the exact list
+    /// [`from_weighted_edges`](Self::from_weighted_edges) reconstructs
+    /// from.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        (0..self.num_qubits).flat_map(move |i| {
+            self.neighbors(QubitId(i))
+                .filter(move |(n, _)| n.0 > i)
+                .map(move |(n, w)| (i, n.0, w))
+        })
     }
 
     /// The bounds of qubit `i`'s run in the arenas.
@@ -312,6 +377,59 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(ids, sorted, "run of q{i} must be sorted");
         }
+    }
+
+    #[test]
+    fn weighted_edges_round_trip_bit_identically() {
+        let mut ft = FtCircuit::new(6);
+        for (a, b) in [
+            (4, 1),
+            (0, 5),
+            (2, 5),
+            (1, 3),
+            (5, 1),
+            (0, 2),
+            (3, 0),
+            (1, 4),
+        ] {
+            ft.push_cnot(q(a), q(b)).unwrap();
+        }
+        let original = Iig::from_ft_circuit(&ft);
+        let edges: Vec<(u32, u32, u64)> = original.edges().collect();
+        let rebuilt = Iig::from_weighted_edges(original.num_qubits(), edges.clone()).unwrap();
+        assert_eq!(rebuilt.num_qubits(), original.num_qubits());
+        assert_eq!(rebuilt.total_weight(), original.total_weight());
+        assert_eq!(rebuilt.edge_count(), original.edge_count());
+        for i in 0..6 {
+            let a: Vec<_> = original.neighbors(q(i)).collect();
+            let b: Vec<_> = rebuilt.neighbors(q(i)).collect();
+            assert_eq!(a, b, "run of q{i} must match");
+            assert_eq!(original.strength(q(i)), rebuilt.strength(q(i)));
+        }
+        assert_eq!(rebuilt.edges().collect::<Vec<_>>(), edges);
+    }
+
+    #[test]
+    fn weighted_edges_normalize_order_and_merge_duplicates() {
+        // Reversed endpoints and split weights collapse to one edge.
+        let iig =
+            Iig::from_weighted_edges(3, vec![(1, 0, 2), (0, 1, 1), (2, 1, 1), (0, 2, 0)]).unwrap();
+        assert_eq!(iig.weight(q(0), q(1)), 3);
+        assert_eq!(iig.weight(q(1), q(2)), 1);
+        assert_eq!(iig.weight(q(0), q(2)), 0, "zero-weight entry dropped");
+        assert_eq!(iig.total_weight(), 4);
+    }
+
+    #[test]
+    fn weighted_edges_reject_bad_endpoints() {
+        assert!(matches!(
+            Iig::from_weighted_edges(2, vec![(0, 2, 1)]),
+            Err(crate::CircuitError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Iig::from_weighted_edges(2, vec![(1, 1, 1)]),
+            Err(crate::CircuitError::DuplicateOperand { .. })
+        ));
     }
 
     #[test]

@@ -68,6 +68,17 @@ pub struct Options {
     /// Already-running daemons for `shard` to route to
     /// (`--attach ADDR1,ADDR2`).
     pub attach: Vec<String>,
+    /// Profile snapshot store directory for `serve`/`shard`
+    /// (`--cache-dir DIR`): restarts come up warm (see SERVER.md).
+    pub cache_dir: Option<String>,
+    /// Deterministic fault-injection plan for `serve`/`shard` replicas
+    /// (`--chaos SPEC`, e.g. `seed=7,drop=0.05,kill=200`; grammar in
+    /// SERVER.md). Testing aid — faults are injected on the wire.
+    pub chaos: Option<String>,
+    /// Server read-poll interval in ms for `serve`/`shard`
+    /// (`--read-poll-ms N`, 0 = default 100ms); also paces the shard's
+    /// replica health probes.
+    pub read_poll_ms: u64,
     /// Fabric mask file for `fabric` (`--mask FILE`, JSON; see
     /// `WORKLOADS.md`).
     pub mask: Option<String>,
@@ -101,6 +112,9 @@ impl Default for Options {
             max_inflight: 0,
             replicas: 0,
             attach: Vec::new(),
+            cache_dir: None,
+            chaos: None,
+            read_poll_ms: 0,
             mask: None,
             density: None,
             seed: 0,
@@ -287,6 +301,21 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .map(|s| s.trim().to_string())
                     .filter(|s| !s.is_empty())
                     .collect();
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(value(&rest, &mut i, "--cache-dir")?.clone());
+            }
+            "--chaos" => {
+                let spec = value(&rest, &mut i, "--chaos")?;
+                // Validate eagerly so a typo fails at startup, not when
+                // the first fault would fire.
+                leqa_api::FaultPlan::parse(spec)?;
+                opts.chaos = Some(spec.clone());
+            }
+            "--read-poll-ms" => {
+                opts.read_poll_ms = value(&rest, &mut i, "--read-poll-ms")?
+                    .parse()
+                    .map_err(|_| LeqaError::usage("--read-poll-ms needs a non-negative integer"))?;
             }
             "--mask" => {
                 opts.mask = Some(value(&rest, &mut i, "--mask")?.clone());
@@ -606,6 +635,32 @@ mod tests {
         };
         assert_eq!(opts.replicas, 2);
         assert_eq!(opts.attach, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+    }
+
+    #[test]
+    fn serve_parses_robustness_flags_and_rejects_bad_chaos() {
+        let cmd = parse(&argv(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--cache-dir",
+            "/tmp/leqa-cache",
+            "--chaos",
+            "seed=7,drop=0.05,kill=200",
+            "--read-poll-ms",
+            "25",
+        ]))
+        .unwrap();
+        let Command::Serve(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/leqa-cache"));
+        assert_eq!(opts.chaos.as_deref(), Some("seed=7,drop=0.05,kill=200"));
+        assert_eq!(opts.read_poll_ms, 25);
+
+        let err = parse(&argv(&["serve", "--stdio", "--chaos", "drop=2.0"])).unwrap_err();
+        assert_eq!(err.kind(), leqa_api::ErrorKind::Usage);
+        assert!(parse(&argv(&["serve", "--stdio", "--read-poll-ms", "soon"])).is_err());
     }
 
     #[test]

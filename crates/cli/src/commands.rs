@@ -37,14 +37,17 @@ pub(crate) fn program_spec(opts: &Options) -> ProgramSpec {
 
 /// Builds the session the options describe (fabric, terms, rounding).
 pub(crate) fn session(opts: &Options) -> Result<Session, CliError> {
-    Session::builder()
+    let mut builder = Session::builder()
         .fabric(opts.fabric)
         .options(EstimatorOptions {
             max_esq_terms: opts.terms,
             zone_rounding: opts.rounding,
             update_critical_path: true,
-        })
-        .build()
+        });
+    if let Some(dir) = &opts.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    builder.build()
 }
 
 /// Writes either the JSON envelope (with a trailing newline) or the text

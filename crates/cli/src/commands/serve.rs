@@ -7,20 +7,46 @@
 
 use std::io::Write;
 
-use leqa_api::{Server, ServerConfig};
+use leqa_api::{FaultPlan, Server, ServerConfig};
 
 use super::session;
 use crate::{CliError, Options};
+
+/// Builds one daemon server from the shared serve/shard flags:
+/// connection caps, read-poll interval, warm store (via [`session`])
+/// and the optional `--chaos` fault plan.
+pub(crate) fn build_server(opts: &Options) -> Result<Server, CliError> {
+    build_replica(opts, 0)
+}
+
+/// Like [`build_server`] with the `--chaos` decision seed offset by
+/// `replica`. A fleet that handed every replica the *same* plan would
+/// fail in lockstep — identical seeds kill all replicas at the same
+/// write count, leaving "no live replicas" windows no retry can beat —
+/// so each replica (and each supervised restart) replays its own
+/// deterministic fault sequence instead.
+pub(crate) fn build_replica(opts: &Options, replica: u64) -> Result<Server, CliError> {
+    let config = ServerConfig::new()
+        .max_connections(opts.max_connections)
+        .max_inflight(opts.max_inflight)
+        .read_poll_ms(opts.read_poll_ms);
+    let session = session(opts)?;
+    Ok(match &opts.chaos {
+        Some(spec) => {
+            let mut plan = FaultPlan::parse(spec)?;
+            plan.seed = plan.seed.wrapping_add(replica);
+            Server::with_chaos(session, config, plan)
+        }
+        None => Server::with_config(session, config),
+    })
+}
 
 /// Runs the daemon until EOF (stdio), `{"cmd":"shutdown"}`, or a fatal
 /// transport error. In TCP mode the bound address is announced on `out`
 /// as `listening on ADDR` (bind port 0 to let the OS pick) before the
 /// accept loop starts; protocol traffic never touches `out`.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let config = ServerConfig::new()
-        .max_connections(opts.max_connections)
-        .max_inflight(opts.max_inflight);
-    let server = Server::with_config(session(opts)?, config);
+    let server = build_server(opts)?;
     if opts.stdio {
         return server.serve_stdio();
     }

@@ -9,10 +9,15 @@
 
 use std::io::Write;
 
-use leqa_api::{Server, ServerConfig, Shard};
+use leqa_api::Shard;
 
-use super::session;
+use super::serve::build_replica;
 use crate::{CliError, Options};
+
+/// Restart budget for the supervisor: dead in-process replicas are
+/// restarted (warm from `--cache-dir` when set) at most this many times
+/// in total before the fleet gives up and answers `unavailable`.
+const RESTART_BUDGET: u64 = 64;
 
 /// Runs the shard front-end until `{"cmd":"shutdown"}` or a fatal
 /// transport error. The bound address is announced on `out` as
@@ -20,11 +25,22 @@ use crate::{CliError, Options};
 /// accept loop starts; protocol traffic never touches `out`.
 pub fn run(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let shard = Shard::new();
-    for _ in 0..opts.replicas {
-        let config = ServerConfig::new()
-            .max_connections(opts.max_connections)
-            .max_inflight(opts.max_inflight);
-        shard.spawn_replica(Server::with_config(session(opts)?, config))?;
+    shard.set_read_poll_ms(opts.read_poll_ms);
+    for i in 0..opts.replicas {
+        shard.spawn_replica(build_replica(opts, i as u64)?)?;
+    }
+    if opts.replicas > 0 {
+        // Restarts continue the per-replica chaos seed sequence so no
+        // two fleet members ever replay the same fault schedule.
+        let factory_opts = opts.clone();
+        let next_seed = std::sync::atomic::AtomicU64::new(opts.replicas as u64);
+        shard.supervise(
+            move || {
+                let bump = next_seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                build_replica(&factory_opts, bump)
+            },
+            RESTART_BUDGET,
+        );
     }
     for addr in &opts.attach {
         shard.attach_replica(addr)?;

@@ -322,6 +322,181 @@ fn shard_serves_the_pipelined_client_end_to_end() {
     );
 }
 
+/// Retry satellite, transport path: against a daemon whose replies are
+/// dropped by a deterministic fault plan, the retrying client reconnects
+/// and converges with correct bytes; with retries disabled the same
+/// fault is fatal with the `io` exit code (the give-up path).
+#[test]
+fn client_rides_out_chaotic_connection_drops_and_gives_up_without_retries() {
+    let (child, addr) = spawn_listener("serve", &["--chaos", "seed=5,drop=0.4"]);
+
+    let lines = [
+        estimate_line("qft_8"),
+        estimate_line("qft_16"),
+        estimate_line("8bitadder"),
+        estimate_line("qft_8"),
+        estimate_line("qft_16"),
+        estimate_line("8bitadder"),
+    ];
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args(["--retries", "30", "--deadline-ms", "3000", addr.as_str()])
+        .args(&lines)
+        .output()
+        .expect("client runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let replies: Vec<&str> = stdout.lines().collect();
+    assert_eq!(replies.len(), lines.len(), "{stdout}");
+
+    // A dropped reply still warmed the daemon's cache, so a retried
+    // request may legitimately see the warm rendering: pin cold-or-warm.
+    let direct = Session::builder().build().unwrap();
+    for (i, name) in [
+        "qft_8",
+        "qft_16",
+        "8bitadder",
+        "qft_8",
+        "qft_16",
+        "8bitadder",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let req = EstimateRequest::new(ProgramSpec::bench(*name));
+        let cold = direct.estimate(&req).unwrap().to_json().encode();
+        let warm = direct.estimate(&req).unwrap().to_json().encode();
+        assert!(
+            replies[i] == cold || replies[i] == warm,
+            "request {i}: {}",
+            replies[i]
+        );
+    }
+
+    // Give-up path: with every reply dropped and no retry budget, the
+    // transport failure surfaces as exit 3 (`io`).
+    let (mut drop_all, drop_addr) = spawn_listener("serve", &["--chaos", "seed=5,drop=1.0"]);
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args([
+            "--retries",
+            "0",
+            drop_addr.as_str(),
+            &estimate_line("qft_8"),
+        ])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(3), "no-retry client exits io");
+
+    // Both daemons drop every shutdown ack too; reap them directly.
+    drop_all.kill().expect("kill drop-all daemon");
+    let mut chaotic = child;
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args([
+            "--retries",
+            "30",
+            "--deadline-ms",
+            "3000",
+            addr.as_str(),
+            &ControlFrame::Shutdown.to_json().encode(),
+        ])
+        .output()
+        .expect("client runs");
+    if !out.status.success() {
+        chaotic.kill().expect("kill chaotic daemon");
+    }
+    let _ = chaotic.wait();
+    let _ = drop_all.wait();
+}
+
+/// Retry satellite, `unavailable` path: a shard whose only replica is a
+/// dead attached address answers every request with the retryable
+/// `unavailable` kind; after the retry budget is spent the client exits
+/// with its stable code 11 (the give-up path).
+#[test]
+fn client_gives_up_on_a_dead_fleet_with_the_unavailable_exit_code() {
+    // Port 9 (discard) on loopback is a dead replica: nothing listens.
+    let (mut child, addr) = spawn_listener("shard", &["--attach", "127.0.0.1:9"]);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_leqa-client"))
+        .args([
+            "--retries",
+            "2",
+            "--deadline-ms",
+            "2000",
+            addr.as_str(),
+            &estimate_line("qft_8"),
+        ])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(11), "unavailable after retries");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"kind\":\"unavailable\""), "{stdout}");
+
+    // The fleet is dead, so a shutdown broadcast cannot ack; reap it.
+    child.kill().expect("kill shard");
+    let _ = child.wait();
+}
+
+/// Warm-restart acceptance: a daemon restarted with the same
+/// `--cache-dir` serves previously-seen programs from the snapshot
+/// store (`store_hits > 0`, `profile_builds == 0`), and a deliberately
+/// corrupted snapshot is detected and recomputed without crashing.
+#[test]
+fn daemon_restarts_warm_from_the_cache_dir_and_survives_corruption() {
+    let dir = std::env::temp_dir().join(format!("leqa-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_flag = dir.to_str().expect("utf8 path").to_string();
+    let run_once = || -> (String, StatsResponse) {
+        let (child, addr) = spawn_listener("serve", &["--cache-dir", &dir_flag]);
+        let mut probe = RawClient::connect(&addr);
+        let reply = probe.roundtrip(&estimate_line("qft_8"));
+        let stats = daemon_stats(&mut probe);
+        let ack = probe.roundtrip(&ControlFrame::Shutdown.to_json().encode());
+        assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+        assert!(child
+            .wait_with_output()
+            .expect("daemon exits")
+            .status
+            .success());
+        (reply, stats)
+    };
+
+    // Cold: the profile is built and snapshotted.
+    let (cold_reply, cold_stats) = run_once();
+    assert!(cold_reply.contains("\"op\":\"estimate\""), "{cold_reply}");
+    assert_eq!(cold_stats.cache.profile_builds, 1, "{cold_stats:?}");
+    assert_eq!(cold_stats.store_misses, 1, "{cold_stats:?}");
+
+    // Warm restart: served from the store, no profile pass at all.
+    let (warm_reply, warm_stats) = run_once();
+    assert_eq!(warm_reply, cold_reply, "byte-identical across restart");
+    assert_eq!(warm_stats.cache.profile_builds, 0, "{warm_stats:?}");
+    assert!(warm_stats.store_hits > 0, "{warm_stats:?}");
+
+    // Corrupt every snapshot byte-flip-style: the store must reject the
+    // damage and the daemon must recompute, never crash or serve junk.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).expect("store dir") {
+        let path = entry.expect("dir entry").path();
+        let mut bytes = std::fs::read(&path).expect("snapshot bytes");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite snapshot");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "the store should hold at least one snapshot");
+
+    let (fixed_reply, fixed_stats) = run_once();
+    assert_eq!(fixed_reply, cold_reply, "recomputed reply is identical");
+    assert_eq!(fixed_stats.cache.profile_builds, 1, "{fixed_stats:?}");
+    assert_eq!(fixed_stats.store_misses, 1, "{fixed_stats:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shard_without_replicas_is_a_usage_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_leqa"))
