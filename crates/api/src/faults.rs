@@ -29,11 +29,19 @@
 //!                   detectably, as invalid UTF-8), then deliver
 //! kill=N            every Nth reply event kills the whole replica
 //!                   (graceful-shutdown path, as a crash would)
+//! rdrop=RATE        swallow a *request read* and close the connection
+//!                   before the engine ever sees the line
+//! rtruncate=RATE    read only a torn prefix of a request (the rest of
+//!                   the line is lost with the connection)
+//! rflip=RATE        corrupt one inbound request byte (high-bit flip)
 //! ```
 //!
 //! Example: `seed=7,delay=5:0.2,drop=0.05,truncate=0.05,flip=0.05,kill=100`.
 //! The `drop`/`truncate`/`flip` rates partition one uniform draw, so
-//! their sum must stay ≤ 1.
+//! their sum must stay ≤ 1; the read-side `rdrop`/`rtruncate`/`rflip`
+//! rates partition a second, independent draw with the same ≤ 1 rule.
+//! Read-side decisions are salted so the inbound fault sequence is
+//! independent of the reply-side one under the same seed.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,6 +70,14 @@ pub struct FaultPlan {
     pub flip_rate: f64,
     /// Kill the replica on every Nth reply event (`0` = never).
     pub kill_every: u64,
+    /// Probability a request read is swallowed and the connection closed
+    /// before the engine sees the line.
+    pub rdrop_rate: f64,
+    /// Probability a request line is read as a torn prefix, the rest
+    /// lost with the connection.
+    pub rtruncate_rate: f64,
+    /// Probability one inbound request byte is flipped.
+    pub rflip_rate: f64,
 }
 
 impl Default for FaultPlan {
@@ -74,6 +90,9 @@ impl Default for FaultPlan {
             truncate_rate: 0.0,
             flip_rate: 0.0,
             kill_every: 0,
+            rdrop_rate: 0.0,
+            rtruncate_rate: 0.0,
+            rflip_rate: 0.0,
         }
     }
 }
@@ -112,9 +131,13 @@ impl FaultPlan {
                 "drop" => plan.drop_rate = parse_rate(key, value)?,
                 "truncate" => plan.truncate_rate = parse_rate(key, value)?,
                 "flip" => plan.flip_rate = parse_rate(key, value)?,
+                "rdrop" => plan.rdrop_rate = parse_rate(key, value)?,
+                "rtruncate" => plan.rtruncate_rate = parse_rate(key, value)?,
+                "rflip" => plan.rflip_rate = parse_rate(key, value)?,
                 other => {
                     return Err(LeqaError::usage(format!(
-                        "unknown chaos key `{other}` (seed|delay|drop|truncate|flip|kill)"
+                        "unknown chaos key `{other}` \
+                         (seed|delay|drop|truncate|flip|kill|rdrop|rtruncate|rflip)"
                     )))
                 }
             }
@@ -122,6 +145,11 @@ impl FaultPlan {
         if plan.drop_rate + plan.truncate_rate + plan.flip_rate > 1.0 {
             return Err(LeqaError::usage(
                 "chaos rates drop+truncate+flip must sum to at most 1",
+            ));
+        }
+        if plan.rdrop_rate + plan.rtruncate_rate + plan.rflip_rate > 1.0 {
+            return Err(LeqaError::usage(
+                "chaos rates rdrop+rtruncate+rflip must sum to at most 1",
             ));
         }
         Ok(plan)
@@ -146,6 +174,15 @@ impl FaultPlan {
         }
         if self.kill_every > 0 {
             parts.push(format!("kill={}", self.kill_every));
+        }
+        if self.rdrop_rate > 0.0 {
+            parts.push(format!("rdrop={}", self.rdrop_rate));
+        }
+        if self.rtruncate_rate > 0.0 {
+            parts.push(format!("rtruncate={}", self.rtruncate_rate));
+        }
+        if self.rflip_rate > 0.0 {
+            parts.push(format!("rflip={}", self.rflip_rate));
         }
         parts.join(",")
     }
@@ -199,6 +236,25 @@ pub enum FaultAction {
     KillReplica,
 }
 
+/// What the injector decided for one *request read* event — corruption
+/// on the inbound half of the wire, before the engine sees the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadFaultAction {
+    /// Hand the request to the engine unharmed.
+    Deliver,
+    /// Swallow the request and close the connection (the engine never
+    /// sees it; the client observes a lost connection and must retry).
+    DropRequest,
+    /// Read only a torn prefix of the request line; the rest is lost
+    /// with the connection, as a peer crash mid-write would leave.
+    Truncate,
+    /// Flip the high bit of the inbound byte at the given index (mod
+    /// line length). On the protocol's ASCII JSON the result is invalid
+    /// UTF-8, so the damage is detectable at the framing layer.
+    FlipByte(usize),
+}
+
 /// One reply event's complete decision: an optional injected delay plus
 /// the delivery action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,15 +284,23 @@ impl FaultDecision {
 pub struct FaultInjector {
     plan: FaultPlan,
     events: AtomicU64,
+    reads: AtomicU64,
 }
 
+/// Salt folded into the plan seed for read-side decisions, so the
+/// inbound fault sequence is independent of the reply-side one under the
+/// same seed (the two counters advance independently anyway; the salt
+/// keeps even event `n`'s draws uncorrelated).
+const READ_SALT: u64 = 0x5245_4144_5245_4144; // "READREAD"
+
 impl FaultInjector {
-    /// Binds a plan to a fresh event counter.
+    /// Binds a plan to fresh event counters.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             plan,
             events: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -284,6 +348,38 @@ impl FaultInjector {
             FaultAction::Deliver
         };
         FaultDecision { delay, action }
+    }
+
+    /// Request-read events decided so far.
+    #[must_use]
+    pub fn read_events(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Draws the next request-read event's decision (advances the read
+    /// counter, which is independent of the reply counter).
+    #[must_use]
+    pub fn next_read_decision(&self) -> ReadFaultAction {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        self.read_decision_for(n)
+    }
+
+    /// The read decision for event `n` (1-based) — pure, like
+    /// [`decision_for`](Self::decision_for).
+    #[must_use]
+    pub fn read_decision_for(&self, n: u64) -> ReadFaultAction {
+        let plan = &self.plan;
+        let mut rng = SplitMix64::new(SplitMix64::mix(plan.seed ^ READ_SALT, n));
+        let draw = rng.next_f64();
+        if draw < plan.rdrop_rate {
+            ReadFaultAction::DropRequest
+        } else if draw < plan.rdrop_rate + plan.rtruncate_rate {
+            ReadFaultAction::Truncate
+        } else if draw < plan.rdrop_rate + plan.rtruncate_rate + plan.rflip_rate {
+            ReadFaultAction::FlipByte(rng.next_u64() as usize)
+        } else {
+            ReadFaultAction::Deliver
+        }
     }
 }
 
@@ -363,6 +459,62 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(injector.next_decision(), FaultDecision::deliver());
         }
+    }
+
+    #[test]
+    fn read_spec_round_trips_and_validates() {
+        let plan = FaultPlan::parse("seed=3,rdrop=0.1,rtruncate=0.2,rflip=0.3").unwrap();
+        assert_eq!(plan.rdrop_rate, 0.1);
+        assert_eq!(plan.rtruncate_rate, 0.2);
+        assert_eq!(plan.rflip_rate, 0.3);
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        // The read rates partition their own draw, separately from the
+        // write rates: each sum is validated on its own.
+        assert!(FaultPlan::parse("rdrop=0.5,rtruncate=0.4,rflip=0.2").is_err());
+        assert!(FaultPlan::parse("drop=0.9,rdrop=0.9").is_ok());
+    }
+
+    #[test]
+    fn read_decisions_are_deterministic_and_independent_of_writes() {
+        // Symmetric rates, same seed: the read sequence must replay
+        // exactly, and must NOT mirror the write sequence (the salt
+        // decorrelates the two draws).
+        let plan = FaultPlan::parse(
+            "seed=1,drop=0.2,truncate=0.2,flip=0.2,rdrop=0.2,rtruncate=0.2,rflip=0.2",
+        )
+        .unwrap();
+        let injector = FaultInjector::new(plan);
+        let replay = FaultInjector::new(plan);
+        let reads: Vec<ReadFaultAction> = (1..=64).map(|n| injector.read_decision_for(n)).collect();
+        let again: Vec<ReadFaultAction> = (1..=64).map(|n| replay.read_decision_for(n)).collect();
+        assert_eq!(reads, again, "same seed, same read sequence");
+
+        let mirrored = (1..=64u64).all(|n| {
+            let w = injector.decision_for(n).action;
+            let r = injector.read_decision_for(n);
+            matches!(
+                (w, r),
+                (FaultAction::Deliver, ReadFaultAction::Deliver)
+                    | (FaultAction::DropConnection, ReadFaultAction::DropRequest)
+                    | (FaultAction::Truncate, ReadFaultAction::Truncate)
+                    | (FaultAction::FlipByte(_), ReadFaultAction::FlipByte(_))
+            )
+        });
+        assert!(!mirrored, "read decisions must not mirror write decisions");
+    }
+
+    #[test]
+    fn default_plan_never_faults_reads() {
+        let injector = FaultInjector::new(FaultPlan::default());
+        for _ in 0..32 {
+            assert_eq!(injector.next_read_decision(), ReadFaultAction::Deliver);
+        }
+        assert_eq!(injector.read_events(), 32);
+        assert_eq!(
+            injector.events(),
+            0,
+            "read draws never consume reply events"
+        );
     }
 
     #[test]

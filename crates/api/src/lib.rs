@@ -101,6 +101,8 @@ pub use error::{ErrorKind, LeqaError};
 pub use faults::{FaultAction, FaultDecision, FaultInjector, FaultPlan};
 pub use frame::{write_frame, FrameDecoder, FrameError, FRAME1, MAX_FRAME_PAYLOAD};
 pub use server::{BoundServer, Frame, Server, ServerConfig};
-pub use session::{CacheStats, ProgramHandle, Session, SessionBuilder, StoreStats};
+pub use session::{
+    CacheStats, ProgramHandle, Session, SessionBuilder, StoreStats, DEFAULT_STREAMING_THRESHOLD,
+};
 pub use shard::{BoundShard, Shard};
 pub use store::{ProfileStore, SnapshotError};

@@ -73,7 +73,7 @@ use crate::dto::{
     UpgradeAck,
 };
 use crate::experiment::ScenarioSpec;
-use crate::faults::{FaultAction, FaultInjector, FaultPlan};
+use crate::faults::{FaultAction, FaultInjector, FaultPlan, ReadFaultAction};
 use crate::frame::{write_frame, FrameDecoder, FRAME_HEADER};
 use crate::json::{self, Json};
 use crate::{ErrorKind, LeqaError, Session};
@@ -296,6 +296,18 @@ enum ChaosOutcome {
     /// The injector consumed the reply (drop / torn write / replica
     /// kill): close the connection now.
     CloseConnection,
+}
+
+/// What a chaotic *request read* decided about the inbound line.
+enum ReadChaosOutcome {
+    /// Hand the (possibly garbled-but-decodable) line to the engine.
+    Proceed,
+    /// The request was lost mid-read: close without replying, exactly as
+    /// a peer crash would look.
+    CloseSilently,
+    /// The damage is detectable at the framing layer: write this reply,
+    /// then close (the byte stream can no longer be framed).
+    ReplyAndClose(String),
 }
 
 /// Flips the high bit of `bytes[at % len]`. On the ASCII JSON this
@@ -741,6 +753,55 @@ impl Server {
         }
     }
 
+    /// Applies the fault injector's request-read decision to one inbound
+    /// line, mutating it in place when the damage leaves something to
+    /// deliver. Without an injector this is a no-op `Proceed` — the
+    /// byte-stable production path.
+    fn read_chaotic_line(&self, line: &mut String) -> ReadChaosOutcome {
+        let Some(injector) = &self.inner.faults else {
+            return ReadChaosOutcome::Proceed;
+        };
+        match injector.next_read_decision() {
+            ReadFaultAction::Deliver => ReadChaosOutcome::Proceed,
+            ReadFaultAction::DropRequest => ReadChaosOutcome::CloseSilently,
+            ReadFaultAction::Truncate => {
+                // A torn read: the engine sees only the prefix that made
+                // it; the remainder died with the peer. The torn prefix
+                // of a JSON document cannot parse, so the reply (if the
+                // prefix is non-blank) is a typed `json` error frame.
+                let mut cut = line.len() / 2;
+                while !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                line.truncate(cut);
+                match self.process_line(line) {
+                    Some(reply) => ReadChaosOutcome::ReplyAndClose(reply),
+                    None => ReadChaosOutcome::CloseSilently,
+                }
+            }
+            ReadFaultAction::FlipByte(at) => {
+                let mut bytes = line.clone().into_bytes();
+                flip_byte(&mut bytes, at);
+                match String::from_utf8(bytes) {
+                    // ASCII JSON + high-bit flip ⇒ invalid UTF-8: the
+                    // same typed answer the UTF-8 read guard gives.
+                    Err(_) => {
+                        ReadChaosOutcome::ReplyAndClose(self.error_reply(LeqaError::new(
+                            ErrorKind::Json,
+                            "frame is not valid UTF-8",
+                        )))
+                    }
+                    // A non-ASCII byte flipped back into ASCII: still a
+                    // garbled line, deliver it and let the engine answer.
+                    Ok(garbled) => {
+                        *line = garbled;
+                        ReadChaosOutcome::Proceed
+                    }
+                }
+            }
+        }
+    }
+
     /// Writes one reply line (with newline + flush), counting the bytes.
     fn write_line(&self, writer: &mut dyn Write, reply: &str) -> std::io::Result<()> {
         writer.write_all(reply.as_bytes())?;
@@ -830,6 +891,18 @@ impl Server {
                         .stats
                         .bytes_in
                         .fetch_add(n as u64, Ordering::Relaxed);
+                    // Read-side chaos strikes the raw inbound bytes,
+                    // before the line is interpreted at all (an upgrade
+                    // request can be corrupted like any other).
+                    match self.read_chaotic_line(&mut line) {
+                        ReadChaosOutcome::Proceed => {}
+                        ReadChaosOutcome::CloseSilently => return Ok(()),
+                        ReadChaosOutcome::ReplyAndClose(reply) => {
+                            writer.write_all(reply.as_bytes())?;
+                            writer.write_all(b"\n")?;
+                            return writer.flush();
+                        }
+                    }
                     if let Some(proto) = upgrade_request(&line) {
                         self.inner.stats.ticks.fetch_add(1, Ordering::Relaxed);
                         self.write_line(&mut writer, &UpgradeAck { proto }.to_json().encode())?;

@@ -33,9 +33,10 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 use leqa::report::zone_report_from_iig;
 use leqa::sweep::sweep_profile_squares;
-use leqa::{Estimator, EstimatorOptions, ProfileData, ProgramProfile};
+use leqa::{Estimator, EstimatorOptions, ProfileData, ProgramProfile, StreamingProfileBuilder};
 use leqa_circuit::{decompose::lower_to_ft, parser, Circuit, Qodg};
 use leqa_fabric::{FabricDims, PhysicalParams};
+use leqa_workloads::shor::ShorStream;
 use qspr::{Mapper, MapperConfig};
 
 use crate::dto::{
@@ -58,6 +59,17 @@ struct ProgramData {
     /// sweep, zones, compare, `dot --graph iig`) — `map` and `gen` never
     /// pay the IIG/zone passes. `OnceLock` guarantees exactly one
     /// initialization even when threads race on the same program.
+    profile: OnceLock<ProfileData>,
+}
+
+/// A generator-backed program on the streaming path: the session never
+/// materializes its op list or QODG. Cached by canonical stream name; the
+/// profile is computed once per session (or loaded from the snapshot
+/// store under a `stream:`-prefixed pseudo-source), exactly like
+/// materialized programs.
+#[derive(Debug)]
+struct StreamedProgram {
+    stream: ShorStream,
     profile: OnceLock<ProfileData>,
 }
 
@@ -293,7 +305,15 @@ pub struct SessionBuilder {
     params: Option<PhysicalParams>,
     options: Option<EstimatorOptions>,
     cache_dir: Option<std::path::PathBuf>,
+    streaming_threshold: Option<u64>,
 }
+
+/// Default op-count threshold above which [`Session::estimate`] switches
+/// generator-backed workloads to the streaming pipeline: one million
+/// lowered ops is roughly where materializing the QODG starts to dominate
+/// a request's memory footprint while the streamed answer stays
+/// bit-identical.
+pub const DEFAULT_STREAMING_THRESHOLD: u64 = 1_000_000;
 
 impl SessionBuilder {
     /// Sets the session fabric (default: the paper's 60×60).
@@ -321,6 +341,18 @@ impl SessionBuilder {
     /// the corruption discipline.
     pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the op-count threshold at which [`Session::estimate`] routes
+    /// generator-backed workloads (currently the `shor_N` family) through
+    /// the memory-bounded streaming pipeline instead of materializing
+    /// them (default: [`DEFAULT_STREAMING_THRESHOLD`]). Streamed
+    /// estimates are bit-identical to materialized ones; only the memory
+    /// profile changes. `0` streams every streamable workload,
+    /// `u64::MAX` effectively disables streaming.
+    pub fn streaming_threshold(mut self, ops: u64) -> Self {
+        self.streaming_threshold = Some(ops);
         self
     }
 
@@ -352,6 +384,10 @@ impl SessionBuilder {
             params: self.params.unwrap_or_else(PhysicalParams::dac13),
             options,
             cache: ShardedCache::default(),
+            streams: RwLock::new(HashMap::new()),
+            streaming_threshold: self
+                .streaming_threshold
+                .unwrap_or(DEFAULT_STREAMING_THRESHOLD),
             counters: Arc::new(Counters::default()),
             store,
         })
@@ -370,6 +406,11 @@ pub struct Session {
     params: PhysicalParams,
     options: EstimatorOptions,
     cache: ShardedCache,
+    /// Streamed programs, keyed by canonical stream name. A single map
+    /// (not sharded): entries are a handful of generator descriptors, and
+    /// the hot path is a read lock.
+    streams: RwLock<HashMap<String, Arc<StreamedProgram>>>,
+    streaming_threshold: u64,
     counters: Arc<Counters>,
     store: Option<Arc<ProfileStore>>,
 }
@@ -419,6 +460,14 @@ impl Session {
         &self.options
     }
 
+    /// The op-count threshold at which [`estimate`](Self::estimate)
+    /// streams generator-backed workloads (see
+    /// [`SessionBuilder::streaming_threshold`]).
+    #[must_use]
+    pub fn streaming_threshold(&self) -> u64 {
+        self.streaming_threshold
+    }
+
     /// The cache counters (atomic snapshots; under concurrent load each
     /// counter is exact and monotone). At quiescence
     /// `cache_hits + cache_misses == loads`; a snapshot taken while
@@ -452,6 +501,7 @@ impl Session {
     /// configured, survive and re-warm the next loads).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.streams.write().expect("no poisoning").clear();
     }
 
     /// Loads (or fetches from cache) the program a spec names.
@@ -475,10 +525,18 @@ impl Session {
         let (label, circuit) = match spec {
             ProgramSpec::Bench { name } => {
                 let circuit = leqa_workloads::circuit_by_name(name).ok_or_else(|| {
-                    LeqaError::usage(format!(
-                        "unknown benchmark `{name}`; names follow Table 3 (e.g. gf2^16mult) \
-                         or the parametric forms (e.g. qft_64)"
-                    ))
+                    match leqa_workloads::check_workload_name(name) {
+                        // A recognized parametric family with out-of-range
+                        // parameters (`shor_0`, an overflowing width…) is a
+                        // *invalid* request, not an unknown name.
+                        Err(leqa_workloads::WorkloadNameError::Invalid { reason }) => {
+                            LeqaError::new(ErrorKind::Invalid, reason)
+                        }
+                        _ => LeqaError::usage(format!(
+                            "unknown benchmark `{name}`; names follow Table 3 (e.g. gf2^16mult) \
+                             or the parametric forms (e.g. qft_64)"
+                        )),
+                    }
                 })?;
                 (name.clone(), circuit)
             }
@@ -573,6 +631,17 @@ impl Session {
     /// [`ErrorKind::Estimate`] when the program does not fit the fabric.
     #[must_use = "the response (or its error) is the entire point of the call"]
     pub fn estimate(&self, req: &EstimateRequest) -> Result<EstimateResponse, LeqaError> {
+        // Size axis: a generator-backed workload at or above the
+        // streaming threshold never materializes — its profile and
+        // critical path are computed from the gate stream in bounded
+        // memory, bit-identical to the materialized pipeline.
+        if let ProgramSpec::Bench { name } = &req.program {
+            if let Some(stream) = leqa_workloads::stream_by_name(name) {
+                if stream.ft_op_count() >= self.streaming_threshold {
+                    return self.run_estimate_streamed(req, name, stream);
+                }
+            }
+        }
         let (handle, cached) = self.load_tracking(&req.program)?;
         self.run_estimate(req, &handle, cached)
     }
@@ -804,6 +873,105 @@ impl Session {
             Request::Compare(r) => self.run_compare(r, handle).map(Response::Compare),
             Request::Map(r) => self.run_map(r, handle).map(Response::Map),
         }
+    }
+
+    /// The streaming counterpart of [`run_estimate`](Self::run_estimate):
+    /// profile from the [`StreamingProfileBuilder`], critical path from a
+    /// second pass over the stream, QODG never built. Cache accounting
+    /// mirrors the materialized path — a session-resident stream entry is
+    /// a hit, the snapshot store is consulted under a `stream:`-prefixed
+    /// pseudo-source, and `profile_builds` counts streaming builds too.
+    fn run_estimate_streamed(
+        &self,
+        req: &EstimateRequest,
+        label: &str,
+        stream: ShorStream,
+    ) -> Result<EstimateResponse, LeqaError> {
+        let dims = self.resolve_fabric(req.fabric)?;
+        let key = stream.name();
+        let (entry, cached) = {
+            let resident = self
+                .streams
+                .read()
+                .expect("no poisoning")
+                .get(&key)
+                .map(Arc::clone);
+            match resident {
+                Some(entry) => {
+                    self.counters.record_hit();
+                    (entry, true)
+                }
+                None => match self.streams.write().expect("no poisoning").entry(key) {
+                    Entry::Occupied(existing) => {
+                        // Another thread won the race; adopt its entry so
+                        // the profile stays exactly-once.
+                        self.counters.record_hit();
+                        (Arc::clone(existing.get()), true)
+                    }
+                    Entry::Vacant(slot) => {
+                        let entry = Arc::new(StreamedProgram {
+                            stream,
+                            profile: OnceLock::new(),
+                        });
+                        slot.insert(Arc::clone(&entry));
+                        self.counters.record_miss();
+                        (entry, false)
+                    }
+                },
+            }
+        };
+
+        let source = format!("stream:{}", entry.stream.name());
+        let data = entry.profile.get_or_init(|| {
+            if let Some(store) = &self.store {
+                match store.load(&source) {
+                    Ok(data) => {
+                        self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return data;
+                    }
+                    Err(_) => {
+                        self.counters.store_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            self.counters.profile_builds.fetch_add(1, Ordering::Relaxed);
+            let mut builder = StreamingProfileBuilder::new(entry.stream.num_qubits());
+            for op in entry.stream.ops() {
+                builder.push(op);
+            }
+            let data = builder
+                .finish()
+                .expect("generated shor streams are well-formed");
+            if let Some(store) = &self.store {
+                let _ = store.save(&source, &data);
+            }
+            data
+        });
+
+        let estimator = Estimator::with_options(dims, self.params.clone(), self.options);
+        let estimate = estimator.estimate_stream_with_data(
+            entry.stream.num_qubits(),
+            data,
+            entry.stream.ops(),
+        )?;
+        Ok(EstimateResponse {
+            program: ProgramSummary {
+                label: label.to_string(),
+                qubits: u64::from(entry.stream.num_qubits()),
+                ops: entry.stream.ft_op_count(),
+            },
+            fabric: FabricSpec::new(dims.width(), dims.height()),
+            latency_us: estimate.latency.as_f64(),
+            l_cnot_avg_us: estimate.l_cnot_avg.as_f64(),
+            l_one_qubit_avg_us: estimate.l_one_qubit_avg.as_f64(),
+            d_uncong_us: estimate.d_uncong.as_f64(),
+            avg_zone_area: estimate.avg_zone_area,
+            zone_side: estimate.zone_side,
+            esq: estimate.esq,
+            critical_cnots: estimate.critical.cnot_count,
+            critical_one_qubit: estimate.critical.one_qubit_counts.iter().sum(),
+            profile_cached: cached,
+        })
     }
 
     fn run_estimate(

@@ -1,7 +1,9 @@
 //! Chaos soak: a retrying client drives hundreds of requests through a
 //! three-replica shard whose replicas misbehave under a deterministic
 //! fault plan (delays, dropped connections, torn frames, flipped bytes,
-//! periodic replica kills). The supervisor restarts killed replicas
+//! periodic replica kills — and, on the read side, requests that are
+//! swallowed, torn or corrupted before the engine sees them). The
+//! supervisor restarts killed replicas
 //! warm from a shared profile snapshot store. The client — modelled on
 //! `leqa-client`'s retry loop: transient-kind retries, deadline-bounded
 //! reads, seeded-jitter exponential backoff — must converge on every
@@ -146,6 +148,13 @@ impl RetryClient {
                 self.conn = Some(conn);
                 return Attempt::Retry("retryable error frame");
             }
+            if kind == ErrorKind::Json {
+                // Every request this soak sends is valid JSON, so a
+                // `json`-kind frame means the *request* was torn or
+                // corrupted on the wire (read-side chaos). The server
+                // closes after answering one; reconnect and retry.
+                return Attempt::Retry("request corrupted in flight");
+            }
         }
         self.conn = Some(conn);
         Attempt::Reply(text)
@@ -169,7 +178,8 @@ fn chaos_soak_converges_byte_identically() {
     let store_dir = dir.clone();
     let chaotic_server = move |seed: u64| -> Server {
         let plan = FaultPlan::parse(&format!(
-            "seed={seed},delay=1:0.05,drop=0.03,truncate=0.03,flip=0.03,kill=150"
+            "seed={seed},delay=1:0.05,drop=0.03,truncate=0.03,flip=0.03,kill=150,\
+             rdrop=0.03,rtruncate=0.03,rflip=0.03"
         ))
         .expect("valid plan");
         let session = Session::builder()

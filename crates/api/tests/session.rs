@@ -293,3 +293,91 @@ fn clear_cache_forces_a_rebuild() {
     assert!(!resp.profile_cached);
     assert_eq!(s.cache_stats().profile_builds, 2);
 }
+
+// ── Streaming path ───────────────────────────────────────────────────────
+
+/// A threshold-0 session streams every streamable workload; the response
+/// must be byte-identical to the materialized one (same floats, same
+/// summary), because the paper's numbers cannot depend on *how* they were
+/// computed.
+#[test]
+fn streamed_estimate_is_byte_identical_to_materialized() {
+    let streaming = Session::builder().streaming_threshold(0).build().unwrap();
+    let materialized = session();
+    assert_eq!(materialized.streaming_threshold(), 1_000_000);
+
+    let req = EstimateRequest::new(ProgramSpec::bench("shor_16_2"));
+    let streamed = streaming.estimate(&req).unwrap();
+    let direct = materialized.estimate(&req).unwrap();
+
+    assert_eq!(streamed.latency_us, direct.latency_us);
+    assert_eq!(streamed.l_cnot_avg_us, direct.l_cnot_avg_us);
+    assert_eq!(streamed.l_one_qubit_avg_us, direct.l_one_qubit_avg_us);
+    assert_eq!(streamed.d_uncong_us, direct.d_uncong_us);
+    assert_eq!(streamed.avg_zone_area, direct.avg_zone_area);
+    assert_eq!(streamed.zone_side, direct.zone_side);
+    assert_eq!(streamed.esq, direct.esq);
+    assert_eq!(streamed.critical_cnots, direct.critical_cnots);
+    assert_eq!(streamed.critical_one_qubit, direct.critical_one_qubit);
+    assert_eq!(streamed.program.label, direct.program.label);
+    assert_eq!(streamed.program.qubits, direct.program.qubits);
+    assert_eq!(streamed.program.ops, direct.program.ops);
+}
+
+/// Streamed programs get the same cache accounting as materialized ones:
+/// first request misses and builds, the repeat hits without a rebuild,
+/// and `clear_cache` evicts the stream entry too.
+#[test]
+fn streamed_estimates_share_the_cache_discipline() {
+    let s = Session::builder().streaming_threshold(0).build().unwrap();
+    let req = EstimateRequest::new(ProgramSpec::bench("shor_12_2"));
+
+    let first = s.estimate(&req).unwrap();
+    let second = s.estimate(&req).unwrap();
+    assert!(!first.profile_cached);
+    assert!(second.profile_cached);
+    assert_eq!(first.latency_us, second.latency_us);
+    assert_eq!(s.cache_stats().profile_builds, 1);
+    assert_eq!(s.cache_stats().cache_hits, 1);
+    assert_eq!(s.cache_stats().cache_misses, 1);
+
+    s.clear_cache();
+    let third = s.estimate(&req).unwrap();
+    assert!(!third.profile_cached);
+    assert_eq!(s.cache_stats().profile_builds, 2);
+}
+
+/// Below the threshold the materialized path serves streamable names —
+/// the default-session behavior for every small `shor_N`.
+#[test]
+fn small_streams_stay_on_the_materialized_path() {
+    let s = Session::builder()
+        .streaming_threshold(u64::MAX)
+        .build()
+        .unwrap();
+    let resp = s
+        .estimate(&EstimateRequest::new(ProgramSpec::bench("shor_8")))
+        .unwrap();
+    // The materialized path loads through the sharded program cache.
+    assert!(!resp.profile_cached);
+    assert_eq!(s.cache_stats().cache_misses, 1);
+}
+
+/// `shor_0` and parameter overflows are *invalid* requests (a recognized
+/// family with out-of-range parameters), not unknown names — the typed
+/// distinction clients branch on.
+#[test]
+fn invalid_shor_parameters_get_a_typed_error() {
+    let s = session();
+    for name in ["shor_0", &format!("shor_{}_{}", u32::MAX, u32::MAX)] {
+        let err = s
+            .estimate(&EstimateRequest::new(ProgramSpec::bench(name)))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Invalid, "{name}: {err}");
+    }
+    // Out-of-grammar spellings stay Usage ("unknown benchmark").
+    let err = s
+        .estimate(&EstimateRequest::new(ProgramSpec::bench("shor_x")))
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Usage, "{err}");
+}

@@ -11,9 +11,11 @@
 //! The result is an [`FtCircuit`] whose op count is the paper's
 //! "operation count" and whose width (`Q`) includes the added ancillas.
 
+use std::collections::VecDeque;
+
 use leqa_fabric::OneQubitKind;
 
-use crate::{Circuit, CircuitError, FtCircuit, Gate, QubitId};
+use crate::{Circuit, CircuitError, FtCircuit, FtOp, Gate, QubitId};
 
 /// Number of FT ops a single 3-input Toffoli lowers to.
 pub const FT_OPS_PER_TOFFOLI: usize = 15;
@@ -190,30 +192,132 @@ fn uncompute_controls(_controls: &[QubitId], computed: Vec<SimpleGate>, out: &mu
 }
 
 /// The Shende–Markov 15-gate Toffoli network over `{H, T, T†, CNOT}`
-/// (Fig. 2a of the paper; \[21\]).
+/// (Fig. 2a of the paper; \[21\]), as a fixed op array shared by the
+/// materialized and streaming lowerings.
+fn toffoli_ft_ops(a: QubitId, b: QubitId, t: QubitId) -> [FtOp; FT_OPS_PER_TOFFOLI] {
+    use OneQubitKind::{Tdg, H, T};
+    let one = |kind, target| FtOp::OneQubit { kind, target };
+    let cnot = |control, target| FtOp::Cnot { control, target };
+    [
+        one(H, t),
+        cnot(b, t),
+        one(Tdg, t),
+        cnot(a, t),
+        one(T, t),
+        cnot(b, t),
+        one(Tdg, t),
+        cnot(a, t),
+        one(T, b),
+        one(T, t),
+        one(H, t),
+        cnot(a, b),
+        one(T, a),
+        one(Tdg, b),
+        cnot(a, b),
+    ]
+}
+
 fn emit_toffoli_ft(
     ft: &mut FtCircuit,
     a: QubitId,
     b: QubitId,
     t: QubitId,
 ) -> Result<(), CircuitError> {
-    use OneQubitKind::{Tdg, H, T};
-    ft.push_one_qubit(H, t)?;
-    ft.push_cnot(b, t)?;
-    ft.push_one_qubit(Tdg, t)?;
-    ft.push_cnot(a, t)?;
-    ft.push_one_qubit(T, t)?;
-    ft.push_cnot(b, t)?;
-    ft.push_one_qubit(Tdg, t)?;
-    ft.push_cnot(a, t)?;
-    ft.push_one_qubit(T, b)?;
-    ft.push_one_qubit(T, t)?;
-    ft.push_one_qubit(H, t)?;
-    ft.push_cnot(a, b)?;
-    ft.push_one_qubit(T, a)?;
-    ft.push_one_qubit(Tdg, b)?;
-    ft.push_cnot(a, b)?;
+    for op in toffoli_ft_ops(a, b, t) {
+        ft.push(op)?;
+    }
     Ok(())
+}
+
+/// A single-pass streaming lowering: yields exactly the [`FtOp`] sequence
+/// [`lower_to_ft`] would materialize (same op order, same ancilla
+/// numbering), holding only a bounded per-gate buffer in memory.
+///
+/// Ancillas are allocated in program order exactly as the two-pass
+/// materialized lowering does, so the two paths are bit-identical — a
+/// property pinned by this crate's differential tests. Gates are trusted
+/// to be well-formed (operands distinct and on-circuit), the invariant
+/// every gate admitted through [`Circuit::push`] already satisfies; only
+/// ancilla-index overflow is reported as an error.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_circuit::{Circuit, Gate, QubitId};
+/// use leqa_circuit::decompose::{lower_to_ft, LoweredGates};
+///
+/// # fn main() -> Result<(), leqa_circuit::CircuitError> {
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::toffoli(QubitId(0), QubitId(1), QubitId(2))?)?;
+/// let streamed: Vec<_> = LoweredGates::new(c.num_qubits(), c.gates().iter().cloned())
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(streamed, lower_to_ft(&c)?.ops());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LoweredGates<I> {
+    gates: I,
+    next_qubit: u32,
+    /// FT ops expanded from the current gate, drained before the next
+    /// gate is pulled. Bounded by the largest single-gate expansion.
+    buf: VecDeque<FtOp>,
+    /// Scratch for the first lowering pass, reused across gates.
+    simple: Vec<SimpleGate>,
+    failed: bool,
+}
+
+impl<I: Iterator<Item = Gate>> LoweredGates<I> {
+    /// Starts a streaming lowering of `gates` over `num_qubits` original
+    /// wires; ancillas are numbered from `num_qubits` upward.
+    pub fn new(num_qubits: u32, gates: impl IntoIterator<Item = Gate, IntoIter = I>) -> Self {
+        LoweredGates {
+            gates: gates.into_iter(),
+            next_qubit: num_qubits,
+            buf: VecDeque::new(),
+            simple: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// The wire count so far: original wires plus every ancilla allocated
+    /// by the gates consumed up to this point. After the iterator is
+    /// drained this equals the lowered circuit's qubit count.
+    pub fn qubits_so_far(&self) -> u32 {
+        self.next_qubit
+    }
+}
+
+impl<I: Iterator<Item = Gate>> Iterator for LoweredGates<I> {
+    type Item = Result<FtOp, CircuitError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return Some(Ok(op));
+            }
+            if self.failed {
+                return None;
+            }
+            let gate = self.gates.next()?;
+            self.simple.clear();
+            if let Err(e) = expand_gate(&gate, &mut self.next_qubit, &mut self.simple) {
+                self.failed = true;
+                return Some(Err(e));
+            }
+            for g in self.simple.drain(..) {
+                match g {
+                    SimpleGate::One(kind, target) => {
+                        self.buf.push_back(FtOp::OneQubit { kind, target })
+                    }
+                    SimpleGate::Cnot(control, target) => {
+                        self.buf.push_back(FtOp::Cnot { control, target })
+                    }
+                    SimpleGate::Toffoli(a, b, t) => self.buf.extend(toffoli_ft_ops(a, b, t)),
+                }
+            }
+        }
+    }
 }
 
 /// Counts the FT ops a reversible circuit will lower to, without building
@@ -358,6 +462,47 @@ mod tests {
                 },
             ]
         );
+    }
+
+    /// A circuit hitting every expansion arm (one-qubit, CNOT, Toffoli,
+    /// Fredkin, MCT ladder, MCF), so the streaming/materialized
+    /// differential covers all ancilla-allocation paths.
+    fn every_arm() -> Circuit {
+        let mut c = Circuit::new(8);
+        c.push(Gate::not(q(0))).unwrap();
+        c.push(Gate::cnot(q(0), q(1)).unwrap()).unwrap();
+        c.push(Gate::toffoli(q(0), q(1), q(2)).unwrap()).unwrap();
+        c.push(Gate::fredkin(q(3), q(4), q(5)).unwrap()).unwrap();
+        c.push(Gate::mct((0..5).map(q).collect(), q(5)).unwrap())
+            .unwrap();
+        c.push(Gate::mcf((0..3).map(q).collect(), q(6), q(7)).unwrap())
+            .unwrap();
+        c.push(Gate::mct((0..4).map(q).collect(), q(4)).unwrap())
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn streaming_lowering_is_bit_identical_to_materialized() {
+        let c = every_arm();
+        let ft = lower_to_ft(&c).unwrap();
+        let mut stream = LoweredGates::new(c.num_qubits(), c.gates().iter().cloned());
+        let ops: Vec<FtOp> = (&mut stream).collect::<Result<_, _>>().unwrap();
+        assert_eq!(ops, ft.ops());
+        assert_eq!(stream.qubits_so_far(), ft.num_qubits());
+    }
+
+    #[test]
+    fn streaming_lowering_tracks_ancillas_incrementally() {
+        let mut c = Circuit::new(5);
+        c.push(Gate::mct((0..4).map(q).collect(), q(4)).unwrap())
+            .unwrap();
+        let mut stream = LoweredGates::new(c.num_qubits(), c.gates().iter().cloned());
+        assert_eq!(stream.qubits_so_far(), 5);
+        assert!(stream.next().is_some());
+        // Pulling the first op expanded the whole gate: both ladder
+        // ancillas are now allocated.
+        assert_eq!(stream.qubits_so_far(), 7);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::{FtCircuit, FtOp, Qodg, QubitId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Iig {
     num_qubits: u32,
     /// `offsets[i]..offsets[i+1]` is qubit `i`'s run in the arenas below.

@@ -62,7 +62,7 @@ pub enum QodgNode {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Qodg {
     nodes: Vec<QodgNode>,
     /// CSR offsets into `pred_edges`; node `i`'s predecessors are
@@ -77,7 +77,17 @@ pub struct Qodg {
 impl Qodg {
     /// Builds the QODG of a lowered circuit (Algorithm 1's input).
     pub fn from_ft_circuit(circuit: &FtCircuit) -> Self {
-        let n_ops = circuit.ops().len();
+        Qodg::from_gates(circuit.num_qubits(), circuit.ops().iter().copied())
+    }
+
+    /// Builds the QODG from a raw op stream over `num_qubits` wires —
+    /// the same graph [`from_ft_circuit`](Self::from_ft_circuit) builds,
+    /// without requiring the ops to be materialized in an [`FtCircuit`]
+    /// first (generator-backed workloads hand their lowered stream
+    /// straight in).
+    pub fn from_gates(num_qubits: u32, ops: impl IntoIterator<Item = FtOp>) -> Self {
+        let ops = ops.into_iter();
+        let n_ops = ops.size_hint().0;
         let mut nodes = Vec::with_capacity(n_ops + 2);
         let mut pred_offsets: Vec<u32> = Vec::with_capacity(n_ops + 3);
         // Each op contributes at most two merged predecessor edges.
@@ -88,9 +98,9 @@ impl Qodg {
         pred_offsets.push(0); // start has no predecessors
         let start = NodeId(0);
 
-        let mut last: Vec<Option<NodeId>> = vec![None; circuit.num_qubits() as usize];
+        let mut last: Vec<Option<NodeId>> = vec![None; num_qubits as usize];
 
-        for &op in circuit.ops() {
+        for op in ops {
             let id = NodeId(nodes.len());
             nodes.push(QodgNode::Op(op));
             let first = pred_edges.len();
@@ -126,7 +136,7 @@ impl Qodg {
             nodes,
             pred_offsets,
             pred_edges,
-            num_qubits: circuit.num_qubits(),
+            num_qubits,
         }
     }
 
@@ -440,6 +450,20 @@ mod tests {
             for p in qodg.preds(NodeId(i)) {
                 assert!(p.0 < i, "edges must point forward");
             }
+        }
+    }
+
+    #[test]
+    fn from_gates_matches_from_ft_circuit() {
+        for ft in [chain(), FtCircuit::new(2), {
+            let mut ft = FtCircuit::new(2);
+            ft.push_cnot(q(0), q(1)).unwrap();
+            ft.push_cnot(q(0), q(1)).unwrap();
+            ft
+        }] {
+            let materialized = Qodg::from_ft_circuit(&ft);
+            let streamed = Qodg::from_gates(ft.num_qubits(), ft.ops().iter().copied());
+            assert_eq!(materialized, streamed);
         }
     }
 

@@ -87,6 +87,10 @@ pub struct Options {
     pub density: Option<f64>,
     /// Seed for random defect draws (`--seed N`).
     pub seed: u64,
+    /// Op-count threshold above which generator-backed workloads are
+    /// estimated through the memory-bounded streaming pipeline
+    /// (`--streaming-threshold N`; default 1,000,000 ops — see PERF.md).
+    pub streaming_threshold: Option<u64>,
 }
 
 impl Default for Options {
@@ -118,6 +122,7 @@ impl Default for Options {
             mask: None,
             density: None,
             seed: 0,
+            streaming_threshold: None,
         }
     }
 }
@@ -334,6 +339,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 opts.seed = value(&rest, &mut i, "--seed")?
                     .parse()
                     .map_err(|_| LeqaError::usage("--seed needs a non-negative integer"))?;
+            }
+            "--streaming-threshold" => {
+                opts.streaming_threshold = Some(
+                    value(&rest, &mut i, "--streaming-threshold")?
+                        .parse()
+                        .map_err(|_| {
+                            LeqaError::usage("--streaming-threshold needs a non-negative integer")
+                        })?,
+                );
             }
             "--sizes" => {
                 let list = value(&rest, &mut i, "--sizes")?;
@@ -693,6 +707,37 @@ mod tests {
         assert!(parse(&argv(&["fabric", "--density", "1.5"])).is_err());
         assert!(parse(&argv(&["fabric", "--density", "nan"])).is_err());
         assert!(parse(&argv(&["fabric", "--seed", "-3"])).is_err());
+    }
+
+    #[test]
+    fn streaming_threshold_parses_and_validates() {
+        let cmd = parse(&argv(&[
+            "estimate",
+            "--bench",
+            "shor_1024",
+            "--streaming-threshold",
+            "500000",
+        ]))
+        .unwrap();
+        let Command::Estimate(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.streaming_threshold, Some(500_000));
+
+        let cmd = parse(&argv(&["estimate", "--bench", "shor_64"])).unwrap();
+        let Command::Estimate(opts) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(opts.streaming_threshold, None, "default is the session's");
+
+        assert!(parse(&argv(&[
+            "estimate",
+            "--bench",
+            "shor_64",
+            "--streaming-threshold",
+            "many"
+        ]))
+        .is_err());
     }
 
     #[test]

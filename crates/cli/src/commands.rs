@@ -47,6 +47,9 @@ pub(crate) fn session(opts: &Options) -> Result<Session, CliError> {
     if let Some(dir) = &opts.cache_dir {
         builder = builder.cache_dir(dir);
     }
+    if let Some(ops) = opts.streaming_threshold {
+        builder = builder.streaming_threshold(ops);
+    }
     builder.build()
 }
 

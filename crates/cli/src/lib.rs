@@ -39,7 +39,7 @@ pub const USAGE: &str = "\
 leqa — latency estimation for quantum algorithms (DAC'13 reproduction)
 
 USAGE:
-  leqa estimate <circuit.qc> [--fabric AxB] [--terms N] [--rounding ceil|floor|round]
+  leqa estimate <circuit.qc> [--fabric AxB] [--terms N] [--rounding ceil|floor|round] [--streaming-threshold N]
   leqa map      <circuit.qc> [--fabric AxB] [--placement cluster|rowmajor|random] [--router xy|yx|adaptive] [--trace N]
   leqa compare  (<circuit.qc> | --bench NAME) [--fabric AxB]
   leqa suite    [--filter SUBSTR] [--fabric AxB]
@@ -91,6 +91,11 @@ daemon replicas (spawned in-process with `--replicas N`, and/or
 already-running daemons via `--attach`). Work routes by a content hash
 of the program for cache affinity; `stats` merges across replicas;
 replicas that drop out are failed over automatically.
+
+`estimate --bench shor_N` at cryptographic scale streams: above
+`--streaming-threshold` ops (default 1,000,000) the profile and critical
+path are computed from the gate stream in bounded memory, bit-identical
+to the materialized pipeline (see the streaming section of PERF.md).
 
 Circuits use the line-based text format shared by LEQA and QSPR
 (`.qubits N`, then one gate per line: h/t/tdg/s/sdg/x/y/z/cnot/toffoli/

@@ -28,6 +28,15 @@ pub enum EstimateError {
         /// Fabric width × height the map describes.
         map_dims: (u32, u32),
     },
+    /// A [`GateSource`](crate::stream::GateSource) yielded an op touching a
+    /// qubit outside its declared register (or a degenerate self-loop),
+    /// so the stream does not describe a well-formed program.
+    InvalidStream {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The qubit count the source declared.
+        num_qubits: u32,
+    },
 }
 
 impl fmt::Display for EstimateError {
@@ -44,6 +53,11 @@ impl fmt::Display for EstimateError {
                 f,
                 "fabric map describes a {}x{} fabric but the estimator is {}x{}",
                 map_dims.0, map_dims.1, dims.0, dims.1
+            ),
+            EstimateError::InvalidStream { qubit, num_qubits } => write!(
+                f,
+                "gate stream op on qubit {qubit} is invalid for the declared \
+                 {num_qubits}-qubit register"
             ),
         }
     }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use leqa_circuit::FtOp;
 use leqa_circuit::{CriticalPath, CriticalPathScratch, Qodg, QodgNode};
-use leqa_fabric::{FabricDims, FabricMap, Micros, OneQubitKind, PhysicalParams};
+use leqa_fabric::{FabricDims, FabricMap, GateDelays, Micros, OneQubitKind, PhysicalParams};
 
 pub use crate::coverage::ZoneRounding;
 use crate::coverage::{CoverageHistogram, DEFAULT_MAX_TERMS};
@@ -146,7 +146,11 @@ impl Estimator {
         profile: &ProgramProfile<'_>,
     ) -> Result<Estimate, EstimateError> {
         let correction = self.map_correction()?;
-        let quantities = self.routing_quantities_corrected(profile, correction.as_ref())?;
+        let quantities = self.routing_quantities_corrected(
+            profile.qubit_count(),
+            profile.data(),
+            correction.as_ref(),
+        )?;
         let params = correction.as_ref().map_or(&self.params, |c| &c.params);
         let mut scratch = CriticalPathScratch::new();
         let critical = routing_aware_critical_path(
@@ -156,6 +160,69 @@ impl Estimator {
             quantities.l_cnot_avg,
             &mut scratch,
         );
+        Ok(assemble_estimate(params, quantities, critical))
+    }
+
+    /// Runs Algorithm 1 directly from a gate stream, never materializing
+    /// the circuit, the QODG or the op list: the profile pass accumulates
+    /// the CSR IIG and the Eq. 7 / Eq. 12 aggregates in bounded memory
+    /// ([`crate::stream`]), then a second pass over a fresh iterator runs
+    /// the routing-aware critical path with per-wire state only.
+    ///
+    /// Bit-identical to [`estimate`](Self::estimate) on the materialized
+    /// equivalent of the same stream, except that the returned
+    /// [`CriticalPath::path`] is empty (per-wire state cannot name QODG
+    /// nodes); every census field and every latency quantity matches.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`estimate`](Self::estimate) returns, plus
+    /// [`EstimateError::InvalidStream`] if the source yields an op
+    /// inconsistent with its declared qubit count.
+    #[must_use = "the estimate (or its error) is the entire point of the call"]
+    pub fn estimate_stream<S: crate::stream::GateSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<Estimate, EstimateError> {
+        let num_qubits = source.num_qubits();
+        let mut builder = crate::stream::StreamingProfileBuilder::new(num_qubits);
+        for op in source.gates() {
+            builder.push(op);
+        }
+        let data = builder.finish()?;
+        let correction = self.map_correction()?;
+        let quantities =
+            self.routing_quantities_corrected(num_qubits as u64, &data, correction.as_ref())?;
+        // The IIG (the largest live structure at scale) is no longer
+        // needed; free it before the critical-path pass allocates its
+        // per-wire frontier, so their peaks don't stack.
+        drop(data);
+        let params = correction.as_ref().map_or(&self.params, |c| &c.params);
+        let delays = OpDelays::new(params, &self.options, quantities.l_cnot_avg);
+        let critical = crate::stream::streaming_critical_path(num_qubits, source.gates(), &delays)?;
+        Ok(assemble_estimate(params, quantities, critical))
+    }
+
+    /// The second half of [`estimate_stream`](Self::estimate_stream) for
+    /// callers that already hold the stream's [`ProfileData`](crate::ProfileData) (e.g. a
+    /// session cache): only the critical-path pass consumes `ops`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`estimate_stream`](Self::estimate_stream).
+    #[must_use = "the estimate (or its error) is the entire point of the call"]
+    pub fn estimate_stream_with_data(
+        &self,
+        num_qubits: u32,
+        data: &crate::ProfileData,
+        ops: impl Iterator<Item = FtOp>,
+    ) -> Result<Estimate, EstimateError> {
+        let correction = self.map_correction()?;
+        let quantities =
+            self.routing_quantities_corrected(num_qubits as u64, data, correction.as_ref())?;
+        let params = correction.as_ref().map_or(&self.params, |c| &c.params);
+        let delays = OpDelays::new(params, &self.options, quantities.l_cnot_avg);
+        let critical = crate::stream::streaming_critical_path(num_qubits, ops, &delays)?;
         Ok(assemble_estimate(params, quantities, critical))
     }
 
@@ -203,12 +270,20 @@ impl Estimator {
         profile: &ProgramProfile<'_>,
     ) -> Result<RoutingQuantities, EstimateError> {
         let correction = self.map_correction()?;
-        self.routing_quantities_corrected(profile, correction.as_ref())
+        self.routing_quantities_corrected(
+            profile.qubit_count(),
+            profile.data(),
+            correction.as_ref(),
+        )
     }
 
+    /// Lines 1–18 from the owned [`ProfileData`] plus a qubit count — the
+    /// shape both the materialized path ([`ProgramProfile`] wraps exactly
+    /// these two things) and the streaming path (no QODG exists) share.
     fn routing_quantities_corrected(
         &self,
-        profile: &ProgramProfile<'_>,
+        qubit_count: u64,
+        data: &crate::ProfileData,
         correction: Option<&MapCorrection>,
     ) -> Result<RoutingQuantities, EstimateError> {
         if self.options.max_esq_terms == 0 {
@@ -216,7 +291,6 @@ impl Estimator {
                 name: "max_esq_terms",
             });
         }
-        let qubit_count = profile.qubit_count();
         let usable = correction.map_or(self.dims.area(), |c| c.usable);
         if qubit_count > usable {
             return Err(EstimateError::FabricTooSmall {
@@ -226,7 +300,7 @@ impl Estimator {
         }
         let params = correction.map_or(&self.params, |c| &c.params);
 
-        let avg_zone_area = profile.avg_zone_area();
+        let avg_zone_area = data.avg_zone_area();
         let (l_cnot_avg, d_uncong, esq, zone_side, b_eff) = match avg_zone_area {
             // No two-qubit ops at all: no CNOT routing exists.
             None => (Micros::ZERO, Micros::ZERO, Vec::new(), 0, 0.0),
@@ -235,7 +309,7 @@ impl Estimator {
                 // `A_live` of the `A` cells, so zones dilate by `A/A_live`.
                 let b = b * correction.map_or(1.0, |c| c.area_scale);
                 // Lines 4–8: d_uncong (traversal prepaid by the profile).
-                let d_uncong = profile
+                let d_uncong = data
                     .uncongested_delay(params.qubit_speed())
                     .expect("interactions exist, so the average is defined");
                 // Lines 9–13: the P_{x,y} statistics, run-length compressed.
@@ -306,31 +380,58 @@ pub(crate) fn routing_aware_critical_path(
     l_cnot_avg: Micros,
     scratch: &mut CriticalPathScratch,
 ) -> CriticalPath {
-    let l_one_qubit_avg = params.one_qubit_routing_latency();
-    let delays = *params.gate_delays();
-    let include_routing = options.update_critical_path;
+    let delays = OpDelays::new(params, options, l_cnot_avg);
     qodg.critical_path_reuse(
         |node| match node {
-            QodgNode::Op(FtOp::Cnot { .. }) => {
-                delays.cnot()
-                    + if include_routing {
-                        l_cnot_avg
-                    } else {
-                        Micros::ZERO
-                    }
-            }
-            QodgNode::Op(FtOp::OneQubit { kind, .. }) => {
-                delays.one_qubit(*kind)
-                    + if include_routing {
-                        l_one_qubit_avg
-                    } else {
-                        Micros::ZERO
-                    }
-            }
+            QodgNode::Op(op) => delays.of(op),
             _ => Micros::ZERO,
         },
         scratch,
     )
+}
+
+/// The per-op delay model of Algorithm 1 line 19 — gate time plus (per the
+/// options) the average routing latency — shared bit-for-bit by the QODG
+/// walk ([`routing_aware_critical_path`]) and the streaming pass
+/// ([`crate::stream::streaming_critical_path`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpDelays {
+    delays: GateDelays,
+    l_cnot: Micros,
+    l_one: Micros,
+    include_routing: bool,
+}
+
+impl OpDelays {
+    pub(crate) fn new(
+        params: &PhysicalParams,
+        options: &EstimatorOptions,
+        l_cnot_avg: Micros,
+    ) -> Self {
+        OpDelays {
+            delays: *params.gate_delays(),
+            l_cnot: l_cnot_avg,
+            l_one: params.one_qubit_routing_latency(),
+            include_routing: options.update_critical_path,
+        }
+    }
+
+    /// The node delay for `op`.
+    pub(crate) fn of(&self, op: &FtOp) -> Micros {
+        let routing = match op {
+            FtOp::Cnot { .. } => self.l_cnot,
+            FtOp::OneQubit { .. } => self.l_one,
+        };
+        let gate = match op {
+            FtOp::Cnot { .. } => self.delays.cnot(),
+            FtOp::OneQubit { kind, .. } => self.delays.one_qubit(*kind),
+        };
+        gate + if self.include_routing {
+            routing
+        } else {
+            Micros::ZERO
+        }
+    }
 }
 
 /// Line 20: Eq. 1 from the critical-path census. When the critical

@@ -81,14 +81,17 @@ pub mod coverage;
 mod error;
 mod estimator;
 pub mod exec;
+pub mod meter;
 pub mod pool;
 pub mod presence;
 mod profile;
 pub mod queue;
 pub mod report;
+pub mod stream;
 pub mod sweep;
 pub mod tsp;
 
 pub use error::EstimateError;
 pub use estimator::{Estimate, Estimator, EstimatorOptions, ZoneRounding};
 pub use profile::{ProfileData, ProgramProfile};
+pub use stream::{FnSource, GateSource, IigAccumulator, StreamingProfileBuilder};

@@ -27,7 +27,7 @@ use crate::{presence, tsp};
 /// Unlike [`ProgramProfile`] this holds no borrow of the QODG, so it can
 /// be cached and moved freely; pair it back up with the program it was
 /// computed from via [`ProgramProfile::from_data`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileData {
     iig: Iig,
     /// `B` (Eq. 7), `None` when the program has no two-qubit ops.
@@ -79,6 +79,20 @@ impl ProfileData {
     #[inline]
     pub fn iig(&self) -> &Iig {
         &self.iig
+    }
+
+    /// `B` (Eq. 7): the strength-weighted average presence-zone area, or
+    /// `None` when the program has no two-qubit operations.
+    #[inline]
+    pub fn avg_zone_area(&self) -> Option<f64> {
+        self.avg_zone_area
+    }
+
+    /// `d_uncong` (Eq. 12) for a fabric with the given qubit speed `v`,
+    /// or `None` when no two-qubit operations exist.
+    pub fn uncongested_delay(&self, qubit_speed: f64) -> Option<Micros> {
+        (self.strength_total > 0.0)
+            .then(|| Micros::new(self.uncong_numerator / self.strength_total / qubit_speed))
     }
 }
 
@@ -154,6 +168,12 @@ impl<'a> ProgramProfile<'a> {
         self.qodg
     }
 
+    /// The owned program-dependent precomputation behind this profile.
+    #[inline]
+    pub fn data(&self) -> &ProfileData {
+        &self.data
+    }
+
     /// The interaction intensity graph.
     #[inline]
     pub fn iig(&self) -> &Iig {
@@ -170,7 +190,7 @@ impl<'a> ProgramProfile<'a> {
     /// `None` when the program has no two-qubit operations.
     #[inline]
     pub fn avg_zone_area(&self) -> Option<f64> {
-        self.data.avg_zone_area
+        self.data.avg_zone_area()
     }
 
     /// Total interaction weight (two-qubit op count) of the program.
@@ -183,9 +203,7 @@ impl<'a> ProgramProfile<'a> {
     /// `None` when no two-qubit operations exist. O(1): the traversal was
     /// paid at construction.
     pub fn uncongested_delay(&self, qubit_speed: f64) -> Option<Micros> {
-        let data = &*self.data;
-        (data.strength_total > 0.0)
-            .then(|| Micros::new(data.uncong_numerator / data.strength_total / qubit_speed))
+        self.data.uncongested_delay(qubit_speed)
     }
 }
 

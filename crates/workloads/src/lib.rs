@@ -55,10 +55,20 @@ use leqa_circuit::Circuit;
 /// * `qft_N_K` — the same with an explicit cutoff `K ≥ 2`,
 /// * `random_Q_G` — a seeded random circuit on `Q ≥ 3` qubits with `G`
 ///   gates (default mix: 25% Toffoli, 35% CNOT, seed 42),
-/// * `random_Q_G_S` — the same with an explicit RNG seed `S`.
+/// * `random_Q_G_S` — the same with an explicit RNG seed `S`,
+/// * `shor_N` — the Shor modular-exponentiation skeleton on an `N`-bit
+///   register with the default `max(1, N/8)` exponent rounds
+///   ([`shor::default_rounds`]),
+/// * `shor_N_R` — the same with an explicit round count `R ≥ 1`.
 ///
 /// Returns `None` for unknown names or out-of-range parameters, so
-/// callers can produce their own "unknown benchmark" diagnostics.
+/// callers can produce their own "unknown benchmark" diagnostics; use
+/// [`check_workload_name`] to distinguish an unknown name from a
+/// recognized family with invalid parameters (e.g. `shor_0`).
+///
+/// Beware that materializing a cryptographic-scale `shor_N` (N ≥ 1024,
+/// tens of millions of lowered ops) is expensive; the streaming path
+/// ([`stream_by_name`]) exists so callers never have to.
 ///
 /// # Examples
 ///
@@ -72,7 +82,7 @@ use leqa_circuit::Circuit;
 /// ```
 #[must_use]
 pub fn circuit_by_name(name: &str) -> Option<Circuit> {
-    Some(match parse_workload_name(name)? {
+    Some(match parse_workload_name(name).ok()? {
         ParsedWorkload::Suite(bench) => bench.circuit(),
         ParsedWorkload::Qft { n, max_k } => qft::qft(n, max_k),
         ParsedWorkload::Random {
@@ -85,7 +95,62 @@ pub fn circuit_by_name(name: &str) -> Option<Circuit> {
             seed,
             ..RandomCircuitConfig::default()
         }),
+        ParsedWorkload::Shor { n, rounds } => shor::shor_skeleton(n, rounds),
     })
+}
+
+/// Resolves a workload name to its lazily generated, already-lowered gate
+/// stream, for workloads that support streaming (currently the `shor_N` /
+/// `shor_N_R` family). Returns `None` for every other name — including
+/// valid materialized-only workloads — so callers fall back to
+/// [`circuit_by_name`].
+#[must_use]
+pub fn stream_by_name(name: &str) -> Option<shor::ShorStream> {
+    match parse_workload_name(name).ok()? {
+        ParsedWorkload::Shor { n, rounds } => shor::ShorStream::new(n, rounds),
+        _ => None,
+    }
+}
+
+/// Why a workload name failed to resolve — the typed diagnosis behind
+/// [`check_workload_name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadNameError {
+    /// The name matches no suite benchmark and no generator family.
+    Unknown,
+    /// The name is in a recognized generator family, but its parameters
+    /// are out of range (e.g. `shor_0`, or a `shor_N_R` whose lowered
+    /// width overflows the qubit index space).
+    Invalid {
+        /// Human-readable reason, suitable for an error message.
+        reason: String,
+    },
+}
+
+/// Validates a workload name without generating the circuit,
+/// distinguishing unknown names from recognized-but-invalid parameters.
+///
+/// # Errors
+///
+/// [`WorkloadNameError::Unknown`] for names outside the grammar,
+/// [`WorkloadNameError::Invalid`] for in-family names with out-of-range
+/// parameters.
+///
+/// # Examples
+///
+/// ```
+/// use leqa_workloads::{check_workload_name, WorkloadNameError};
+///
+/// assert!(check_workload_name("shor_1024").is_ok());
+/// assert_eq!(check_workload_name("nope"), Err(WorkloadNameError::Unknown));
+/// assert!(matches!(
+///     check_workload_name("shor_0"),
+///     Err(WorkloadNameError::Invalid { .. })
+/// ));
+/// ```
+pub fn check_workload_name(name: &str) -> Result<(), WorkloadNameError> {
+    parse_workload_name(name).map(|_| ())
 }
 
 /// Whether a name is in the [`circuit_by_name`] grammar, **without**
@@ -103,7 +168,7 @@ pub fn circuit_by_name(name: &str) -> Option<Circuit> {
 /// ```
 #[must_use]
 pub fn workload_name_is_known(name: &str) -> bool {
-    parse_workload_name(name).is_some()
+    parse_workload_name(name).is_ok()
 }
 
 /// A workload name resolved to its generator and parameters, before any
@@ -112,42 +177,79 @@ enum ParsedWorkload {
     Suite(&'static Benchmark),
     Qft { n: u32, max_k: u32 },
     Random { qubits: u32, gates: u64, seed: u64 },
+    Shor { n: u32, rounds: u32 },
 }
 
-fn parse_workload_name(name: &str) -> Option<ParsedWorkload> {
+fn parse_workload_name(name: &str) -> Result<ParsedWorkload, WorkloadNameError> {
+    fn unknown<T>(v: Option<T>) -> Result<T, WorkloadNameError> {
+        v.ok_or(WorkloadNameError::Unknown)
+    }
+
     if let Some(bench) = Benchmark::by_name(name) {
-        return Some(ParsedWorkload::Suite(bench));
+        return Ok(ParsedWorkload::Suite(bench));
     }
     if let Some(rest) = name.strip_prefix("qft_") {
         let mut parts = rest.split('_');
-        let n: u32 = parts.next()?.parse().ok()?;
+        let n: u32 = unknown(unknown(parts.next())?.parse().ok())?;
         let max_k: u32 = match parts.next() {
-            Some(k) => k.parse().ok()?,
+            Some(k) => unknown(k.parse().ok())?,
             None => n.min(16),
         };
         if parts.next().is_some() || n == 0 || max_k < 2 {
-            return None;
+            return Err(WorkloadNameError::Unknown);
         }
-        return Some(ParsedWorkload::Qft { n, max_k });
+        return Ok(ParsedWorkload::Qft { n, max_k });
     }
     if let Some(rest) = name.strip_prefix("random_") {
         let mut parts = rest.split('_');
-        let qubits: u32 = parts.next()?.parse().ok()?;
-        let gates: u64 = parts.next()?.parse().ok()?;
+        let qubits: u32 = unknown(unknown(parts.next())?.parse().ok())?;
+        let gates: u64 = unknown(unknown(parts.next())?.parse().ok())?;
         let seed: u64 = match parts.next() {
-            Some(s) => s.parse().ok()?,
+            Some(s) => unknown(s.parse().ok())?,
             None => 42,
         };
         if parts.next().is_some() || qubits < 3 {
-            return None;
+            return Err(WorkloadNameError::Unknown);
         }
-        return Some(ParsedWorkload::Random {
+        return Ok(ParsedWorkload::Random {
             qubits,
             gates,
             seed,
         });
     }
-    None
+    if let Some(rest) = name.strip_prefix("shor_") {
+        let mut parts = rest.split('_');
+        let n: u32 = unknown(unknown(parts.next())?.parse().ok())?;
+        let rounds: u32 = match parts.next() {
+            Some(r) => unknown(r.parse().ok())?,
+            None => shor::default_rounds(n),
+        };
+        if parts.next().is_some() {
+            return Err(WorkloadNameError::Unknown);
+        }
+        if n == 0 {
+            return Err(WorkloadNameError::Invalid {
+                reason: format!("workload `{name}`: register width must be positive"),
+            });
+        }
+        if rounds == 0 {
+            return Err(WorkloadNameError::Invalid {
+                reason: format!("workload `{name}`: needs at least one exponent round"),
+            });
+        }
+        if shor::shor_lowered_qubits(n, rounds).is_none()
+            || shor::shor_lowered_op_count(n, rounds).is_none()
+        {
+            return Err(WorkloadNameError::Invalid {
+                reason: format!(
+                    "workload `{name}`: lowered width 2*{n}+2+{rounds}+2*{n}*{rounds} \
+                     overflows the qubit index space"
+                ),
+            });
+        }
+        return Ok(ParsedWorkload::Shor { n, rounds });
+    }
+    Err(WorkloadNameError::Unknown)
 }
 
 #[cfg(test)]
@@ -188,6 +290,69 @@ mod name_tests {
     }
 
     #[test]
+    fn shor_names_resolve_with_and_without_rounds() {
+        let default = circuit_by_name("shor_8").unwrap();
+        let explicit = circuit_by_name("shor_8_1").unwrap();
+        assert_eq!(default, explicit); // max(1, 8/8) == 1
+        assert_eq!(default.num_qubits(), 2 * 8 + 2 + 1);
+        let more = circuit_by_name("shor_8_3").unwrap();
+        assert_eq!(more.num_qubits(), 2 * 8 + 2 + 3);
+        assert_ne!(more, default);
+    }
+
+    #[test]
+    fn shor_invalid_parameters_get_a_typed_diagnosis() {
+        // Degenerate edge: zero register width (the old panic path).
+        assert!(circuit_by_name("shor_0").is_none());
+        let err = check_workload_name("shor_0").unwrap_err();
+        assert!(
+            matches!(&err, WorkloadNameError::Invalid { reason }
+                if reason.contains("shor_0") && reason.contains("positive")),
+            "{err:?}"
+        );
+        // Zero rounds.
+        assert!(matches!(
+            check_workload_name("shor_8_0"),
+            Err(WorkloadNameError::Invalid { .. })
+        ));
+        // Overflow edge: 2·n·rounds wraps u32 — must be Invalid, not a
+        // panic or a silent wrap.
+        let huge = format!("shor_{}_{}", u32::MAX, u32::MAX);
+        let err = check_workload_name(&huge).unwrap_err();
+        assert!(
+            matches!(&err, WorkloadNameError::Invalid { reason }
+                if reason.contains("shor_") && reason.contains("overflows")),
+            "{err:?}"
+        );
+        // Out-of-grammar spellings stay Unknown.
+        for bad in ["shor_", "shor_x", "shor_8_1_9", "shor_8_"] {
+            assert_eq!(
+                check_workload_name(bad),
+                Err(WorkloadNameError::Unknown),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_resolution_covers_exactly_the_shor_family() {
+        let stream = stream_by_name("shor_16_2").unwrap();
+        assert_eq!(stream.name(), "shor16x2");
+        assert_eq!(stream.register_width(), 16);
+        assert_eq!(stream.rounds(), 2);
+        // Defaults match the materialized grammar.
+        assert_eq!(
+            stream_by_name("shor_16").unwrap().rounds(),
+            shor::default_rounds(16)
+        );
+        // Cryptographic scale resolves in O(1), no circuit built.
+        assert!(stream_by_name("shor_2048").unwrap().ft_op_count() > 10_000_000);
+        for not_streamable in ["qft_8", "random_12_200", "8bitadder", "nope", "shor_0"] {
+            assert!(stream_by_name(not_streamable).is_none(), "{not_streamable}");
+        }
+    }
+
+    #[test]
     fn name_validator_agrees_with_the_generator() {
         for name in [
             "qft_8",
@@ -198,6 +363,11 @@ mod name_tests {
             "nope",
             "qft_0",
             "random_2_10",
+            "shor_8",
+            "shor_8_2",
+            "shor_0",
+            "shor_8_0",
+            "shor_x",
         ] {
             assert_eq!(
                 workload_name_is_known(name),
@@ -208,6 +378,8 @@ mod name_tests {
         // The validator's point: huge parametric names check in O(1).
         assert!(workload_name_is_known("qft_1000000"));
         assert!(workload_name_is_known("random_1000000_1000000000"));
+        assert!(workload_name_is_known("shor_2048"));
+        assert!(workload_name_is_known("shor_4096_512"));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! locality plus a global control fan-out — useful for stress-testing
 //! both tools beyond the Maslov suite.
 
-use leqa_circuit::{Circuit, Gate, QubitId};
+use leqa_circuit::decompose::{LoweredGates, FT_OPS_PER_TOFFOLI};
+use leqa_circuit::{Circuit, FtOp, Gate, QubitId};
 
 /// Generates a Shor-skeleton circuit: `rounds` controlled modular-adder
 /// rounds over an `n`-bit register.
@@ -81,6 +82,155 @@ pub fn shor_skeleton(n: u32, rounds: u32) -> Circuit {
     c
 }
 
+/// The `(x, y, z)` operand triple of adder cell `i` in an `n`-bit round
+/// (cell 0 consumes the carry ancilla; cell `i` chains off `a(i-1)`).
+fn cell(n: u32, i: u32) -> (QubitId, QubitId, QubitId) {
+    let a = |i: u32| QubitId(1 + i);
+    let b = |i: u32| QubitId(1 + n + i);
+    if i == 0 {
+        (QubitId(0), b(0), a(0))
+    } else {
+        (a(i - 1), b(i), a(i))
+    }
+}
+
+/// Lazily yields exactly the gate sequence [`shor_skeleton`] materializes,
+/// in the same order, without building the `Circuit`. This is what lets
+/// cryptographic-scale rounds (`shor_1024`, `shor_2048` — tens of
+/// millions of lowered ops) feed the streaming profile pipeline with
+/// `O(1)` gates in memory.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rounds == 0`, matching [`shor_skeleton`].
+pub fn shor_gates(n: u32, rounds: u32) -> impl Iterator<Item = Gate> {
+    assert!(n > 0, "register width must be positive");
+    assert!(rounds > 0, "need at least one exponent round");
+    let carry_out = QubitId(2 * n + 1);
+    let a = move |i: u32| QubitId(1 + i);
+    (0..rounds).flat_map(move |r| {
+        let ctl = QubitId(2 * n + 2 + r);
+        let cmaj = move |(x, y, z): (QubitId, QubitId, QubitId)| {
+            [
+                Gate::toffoli(ctl, z, y).expect("distinct"),
+                Gate::toffoli(ctl, z, x).expect("distinct"),
+                Gate::mct(vec![ctl, x, y], z).expect("distinct"),
+            ]
+        };
+        let cuma = move |(x, y, z): (QubitId, QubitId, QubitId)| {
+            [
+                Gate::mct(vec![ctl, x, y], z).expect("distinct"),
+                Gate::toffoli(ctl, z, x).expect("distinct"),
+                Gate::toffoli(ctl, x, y).expect("distinct"),
+            ]
+        };
+        (0..n)
+            .flat_map(move |i| cmaj(cell(n, i)))
+            .chain(std::iter::once(
+                Gate::toffoli(ctl, a(n - 1), carry_out).expect("distinct"),
+            ))
+            .chain((0..n).rev().flat_map(move |i| cuma(cell(n, i))))
+    })
+}
+
+/// The default round count of the `shor_N` workload grammar:
+/// `max(1, N / 8)` exponent rounds, the window the paper's §4.2
+/// extrapolation argument analyses per exponent-bit group.
+pub fn default_rounds(n: u32) -> u32 {
+    (n / 8).max(1)
+}
+
+/// Closed-form lowered qubit count of `shor_skeleton(n, rounds)` after
+/// [`lower_to_ft`](leqa_circuit::decompose::lower_to_ft): the `2n + 2 +
+/// rounds` skeleton wires plus one ancilla per 3-control MCT (there are
+/// `2n` per round). `None` if the parameters are out of range (`n == 0`,
+/// `rounds == 0`) or the width overflows the `u32` qubit index space.
+pub fn shor_lowered_qubits(n: u32, rounds: u32) -> Option<u32> {
+    if n == 0 || rounds == 0 {
+        return None;
+    }
+    // u128 so even u32::MAX × u32::MAX cannot wrap before the range check.
+    let n = n as u128;
+    let rounds = rounds as u128;
+    let width = 2 * n + 2 + rounds + 2 * n * rounds;
+    u32::try_from(width).ok()
+}
+
+/// Closed-form lowered op count of `shor_skeleton(n, rounds)`: per round,
+/// `2n` controlled-MAJ/UMA cells of two Toffolis plus one 3-control MCT
+/// (`(2·3−3)` Toffolis) each, plus the carry-out Toffoli — all at
+/// [`FT_OPS_PER_TOFFOLI`] ops per Toffoli. `None` on out-of-range
+/// parameters or `u64` overflow.
+pub fn shor_lowered_op_count(n: u32, rounds: u32) -> Option<u64> {
+    if n == 0 || rounds == 0 {
+        return None;
+    }
+    let per_tof = FT_OPS_PER_TOFFOLI as u64;
+    // Each cell: 2 Toffolis + 1 MCT3 (2k−3 = 3 Toffolis) = 5 Toffolis.
+    let per_round = (2 * n as u64)
+        .checked_mul(5 * per_tof)?
+        .checked_add(per_tof)?;
+    per_round.checked_mul(rounds as u64)
+}
+
+/// A lazily generated, already-lowered Shor-skeleton workload: the
+/// generator-backed gate source behind `shor_N` streaming estimates.
+///
+/// [`ops`](Self::ops) yields the exact [`FtOp`] stream
+/// `lower_to_ft(&shor_skeleton(n, rounds))` would materialize (pinned by
+/// differential tests), while holding only a bounded per-gate buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShorStream {
+    n: u32,
+    rounds: u32,
+}
+
+impl ShorStream {
+    /// Creates the stream, validating the parameters: `None` if `n == 0`,
+    /// `rounds == 0`, or the lowered width/op count overflows.
+    pub fn new(n: u32, rounds: u32) -> Option<Self> {
+        shor_lowered_qubits(n, rounds)?;
+        shor_lowered_op_count(n, rounds)?;
+        Some(ShorStream { n, rounds })
+    }
+
+    /// Register width `n`.
+    pub fn register_width(&self) -> u32 {
+        self.n
+    }
+
+    /// Exponent round count.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The workload's display name, identical to the materialized
+    /// circuit's: `shor{n}x{rounds}`.
+    pub fn name(&self) -> String {
+        format!("shor{}x{}", self.n, self.rounds)
+    }
+
+    /// Lowered qubit count (skeleton wires plus lowering ancillas).
+    pub fn num_qubits(&self) -> u32 {
+        shor_lowered_qubits(self.n, self.rounds).expect("validated in new")
+    }
+
+    /// Lowered FT op count, without generating the stream.
+    pub fn ft_op_count(&self) -> u64 {
+        shor_lowered_op_count(self.n, self.rounds).expect("validated in new")
+    }
+
+    /// A fresh pass over the lowered op stream. The profile and
+    /// critical-path passes of a streaming estimate each take one.
+    pub fn ops(&self) -> impl Iterator<Item = FtOp> {
+        LoweredGates::new(
+            2 * self.n + 2 + self.rounds,
+            shor_gates(self.n, self.rounds),
+        )
+        .map(|op| op.expect("width validated in ShorStream::new"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +270,67 @@ mod tests {
         let ft = lower_to_ft(&c).unwrap();
         // 2n MCT3 gates, each adds exactly one ancilla.
         assert_eq!(ft.num_qubits(), c.num_qubits() + 2 * 4);
+    }
+
+    #[test]
+    fn lazy_gates_match_the_materialized_skeleton() {
+        for (n, rounds) in [(1, 1), (4, 3), (8, 2), (6, 1)] {
+            let lazy: Vec<_> = shor_gates(n, rounds).collect();
+            assert_eq!(lazy, shor_skeleton(n, rounds).gates(), "shor({n},{rounds})");
+        }
+    }
+
+    #[test]
+    fn stream_ops_match_the_materialized_lowering() {
+        for (n, rounds) in [(1, 1), (4, 3), (6, 2)] {
+            let stream = ShorStream::new(n, rounds).unwrap();
+            let ft = lower_to_ft(&shor_skeleton(n, rounds)).unwrap();
+            let ops: Vec<FtOp> = stream.ops().collect();
+            assert_eq!(ops, ft.ops(), "shor({n},{rounds})");
+            assert_eq!(stream.num_qubits(), ft.num_qubits());
+            assert_eq!(stream.ft_op_count(), ft.ops().len() as u64);
+            assert_eq!(Some(stream.name().as_str()), ft.name());
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_the_generic_counters() {
+        for (n, rounds) in [(1, 1), (4, 3), (8, 2)] {
+            let c = shor_skeleton(n, rounds);
+            assert_eq!(
+                shor_lowered_op_count(n, rounds),
+                Some(lowered_op_count(&c)),
+                "shor({n},{rounds}) ops"
+            );
+            assert_eq!(
+                shor_lowered_qubits(n, rounds).map(u64::from),
+                Some(c.num_qubits() as u64 + leqa_circuit::decompose::lowered_ancilla_count(&c)),
+                "shor({n},{rounds}) qubits"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_forms_reject_degenerate_and_overflowing_parameters() {
+        assert_eq!(shor_lowered_qubits(0, 1), None);
+        assert_eq!(shor_lowered_qubits(4, 0), None);
+        assert!(ShorStream::new(0, 1).is_none());
+        assert!(ShorStream::new(4, 0).is_none());
+        // 2·n·rounds alone exceeds u32::MAX: the width check must catch it
+        // instead of wrapping.
+        assert_eq!(shor_lowered_qubits(u32::MAX, u32::MAX), None);
+        assert!(ShorStream::new(u32::MAX, u32::MAX).is_none());
+    }
+
+    #[test]
+    fn cryptographic_scale_counts() {
+        // shor_1024 (128 default rounds): tens of millions of lowered ops,
+        // generated without materializing anything.
+        let stream = ShorStream::new(1024, default_rounds(1024)).unwrap();
+        assert_eq!(default_rounds(1024), 128);
+        assert_eq!(stream.ft_op_count(), 128 * (150 * 1024 + 15));
+        assert!(stream.ft_op_count() > 10_000_000);
+        assert_eq!(stream.num_qubits(), 2 * 1024 + 2 + 128 + 2 * 1024 * 128);
     }
 
     #[test]
