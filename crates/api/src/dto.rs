@@ -7,7 +7,7 @@
 //! structs are `#[non_exhaustive]` — fields can be added without breaking
 //! callers.
 
-use qspr::{MovementModel, PlacementStrategy, RouterStrategy};
+use qspr::{MovementModel, PlacementStrategy, RouterStrategy, SchedulerStrategy};
 
 use crate::error::{ErrorKind, LeqaError};
 use crate::json::Json;
@@ -488,6 +488,11 @@ pub struct MapRequest {
     pub router: RouterStrategy,
     /// Movement model (wire names: `home|drift`).
     pub movement: MovementModel,
+    /// Scheduling engine (wire names: `greedy|mobility`).
+    pub scheduler: SchedulerStrategy,
+    /// Pass-pipeline spec (`dce|dce:LO-HI|partition:K`, comma-separated);
+    /// `None` runs no pipeline.
+    pub passes: Option<String>,
 }
 
 pub(crate) fn placement_name(p: PlacementStrategy) -> &'static str {
@@ -539,6 +544,21 @@ pub(crate) fn movement_from_name(name: &str) -> Option<MovementModel> {
     })
 }
 
+pub(crate) fn scheduler_name(s: SchedulerStrategy) -> &'static str {
+    match s {
+        SchedulerStrategy::Greedy => "greedy",
+        SchedulerStrategy::Mobility => "mobility",
+    }
+}
+
+pub(crate) fn scheduler_from_name(name: &str) -> Option<SchedulerStrategy> {
+    Some(match name {
+        "greedy" => SchedulerStrategy::Greedy,
+        "mobility" => SchedulerStrategy::Mobility,
+        _ => return None,
+    })
+}
+
 impl MapRequest {
     /// Creates a request for the session's configured fabric, default
     /// mapper strategies, no trace.
@@ -551,6 +571,8 @@ impl MapRequest {
             placement: PlacementStrategy::default(),
             router: RouterStrategy::default(),
             movement: MovementModel::default(),
+            scheduler: SchedulerStrategy::default(),
+            passes: None,
         }
     }
 
@@ -589,6 +611,21 @@ impl MapRequest {
         self
     }
 
+    /// Sets the scheduling engine.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerStrategy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Runs a pass pipeline before mapping (spec syntax:
+    /// `dce|dce:LO-HI|partition:K`, comma-separated).
+    #[must_use]
+    pub fn with_passes(mut self, spec: impl Into<String>) -> Self {
+        self.passes = Some(spec.into());
+        self
+    }
+
     /// Serializes the request envelope.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -604,6 +641,11 @@ impl MapRequest {
             ("placement", Json::str(placement_name(self.placement))),
             ("router", Json::str(router_name(self.router))),
             ("movement", Json::str(movement_name(self.movement))),
+            ("scheduler", Json::str(scheduler_name(self.scheduler))),
+            (
+                "passes",
+                self.passes.as_deref().map(Json::str).unwrap_or(Json::Null),
+            ),
         ])
     }
 
@@ -644,6 +686,11 @@ impl MapRequest {
             placement: strategy(value, "placement", placement_from_name, Default::default())?,
             router: strategy(value, "router", router_from_name, Default::default())?,
             movement: strategy(value, "movement", movement_from_name, Default::default())?,
+            scheduler: strategy(value, "scheduler", scheduler_from_name, Default::default())?,
+            passes: value
+                .get("passes")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         })
     }
 }

@@ -1,0 +1,135 @@
+//! Pass-pipeline bench: the mobility engine (alone and behind a 4-way
+//! `Partition` pipeline) against the greedy baseline, on the
+//! scheduler-comparison grid (qft_64 and a 256-gate random workload
+//! across three fabric sizes).
+//!
+//! Two things are recorded:
+//!
+//! * **Runtime** — criterion timings of one full `map` per engine, so
+//!   the mobility engine's extra ALAP sweep and wave bookkeeping stay
+//!   visibly bounded against the greedy baseline.
+//! * **Quality** — the scheduled program latency. The headline
+//!   `mapper_passes/quality` record carries the geometric-mean
+//!   greedy/mobility latency ratio as its `speedup` (≥ 1 means mobility
+//!   beats-or-matches greedy) plus the per-grid win count, appended to
+//!   `BENCH_JSON` and gated by `scripts/perf_gate.sh` once a baseline
+//!   is committed.
+//!
+//! `BENCH_JSON=$PWD/BENCH_throughput.json cargo bench -p leqa-bench
+//! --bench mapper_passes` appends the records.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use leqa_circuit::{decompose::lower_to_ft, Qodg};
+use leqa_fabric::{FabricDims, PhysicalParams};
+use qspr::{Mapper, Partition, PassManager, SchedulerStrategy};
+
+const WORKLOADS: [&str; 2] = ["qft_64", "random_24_256_7"];
+const SIDES: [u32; 3] = [12, 20, 30];
+
+fn qodg(name: &str) -> Qodg {
+    let circuit = leqa_workloads::circuit_by_name(name).expect("known workload");
+    let ft = lower_to_ft(&circuit).expect("lowers cleanly");
+    Qodg::from_ft_circuit(&ft)
+}
+
+fn mapper(side: u32, scheduler: SchedulerStrategy, partition: Option<u32>) -> Mapper {
+    let mut mapper = Mapper::new(
+        FabricDims::new(side, side).expect("valid side"),
+        PhysicalParams::dac13(),
+    )
+    .with_scheduler(scheduler);
+    if let Some(k) = partition {
+        mapper = mapper.with_passes(Arc::new(PassManager::new().add(Partition::new(k))));
+    }
+    mapper
+}
+
+fn bench_mapper_passes(c: &mut Criterion) {
+    let programs: Vec<(&str, Qodg)> = WORKLOADS.iter().map(|&w| (w, qodg(w))).collect();
+
+    let mut group = c.benchmark_group("mapper_passes");
+    group.sample_size(10);
+    for (name, graph) in &programs {
+        for engine in ["greedy", "mobility", "partition4_mobility"] {
+            let m = match engine {
+                "greedy" => mapper(20, SchedulerStrategy::Greedy, None),
+                "mobility" => mapper(20, SchedulerStrategy::Mobility, None),
+                _ => mapper(20, SchedulerStrategy::Mobility, Some(4)),
+            };
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{engine}_{name}")),
+                graph,
+                |b, graph| b.iter(|| m.map(graph).expect("fits")),
+            );
+        }
+    }
+    group.finish();
+
+    // Quality sweep: scheduled latency per grid cell, mobility vs greedy.
+    let mut wins = 0u32;
+    let mut cells = 0u32;
+    let mut log_ratio_sum = 0.0f64;
+    let mut lines = Vec::new();
+    for (name, graph) in &programs {
+        for &side in &SIDES {
+            let greedy = mapper(side, SchedulerStrategy::Greedy, None)
+                .map(graph)
+                .expect("fits")
+                .latency
+                .as_f64();
+            let mobility = mapper(side, SchedulerStrategy::Mobility, None)
+                .map(graph)
+                .expect("fits")
+                .latency
+                .as_f64();
+            let partitioned = mapper(side, SchedulerStrategy::Mobility, Some(4))
+                .map(graph)
+                .expect("fits")
+                .latency
+                .as_f64();
+            cells += 1;
+            if mobility <= greedy {
+                wins += 1;
+            }
+            log_ratio_sum += (greedy / mobility).ln();
+            println!(
+                "mapper_passes {name} {side}x{side}: greedy {greedy:.0} µs, \
+                 mobility {mobility:.0} µs, partition:4+mobility {partitioned:.0} µs"
+            );
+            lines.push(format!(
+                "{{\"name\":\"mapper_passes/{name}_s{side}\",\"greedy_us\":{greedy:.1},\
+                 \"mobility_us\":{mobility:.1},\"partitioned_us\":{partitioned:.1}}}"
+            ));
+        }
+    }
+    let geomean = (log_ratio_sum / f64::from(cells)).exp();
+    let verdict = if 2 * wins >= cells { "MET" } else { "NOT MET" };
+    println!(
+        "mapper_passes quality: mobility beats-or-matches greedy on {wins}/{cells} cells \
+         (geomean greedy/mobility latency ratio {geomean:.4}) — target >= half: {verdict}"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            for line in &lines {
+                let _ = writeln!(file, "{line}");
+            }
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"mapper_passes/quality\",\"speedup\":{geomean:.4},\
+                 \"wins\":{wins},\"cells\":{cells}}}"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_mapper_passes);
+criterion_main!(benches);

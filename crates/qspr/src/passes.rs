@@ -1,0 +1,994 @@
+//! The pass pipeline over the lowered QODG.
+//!
+//! A [`PassManager`] runs a sequence of typed [`Pass`]es between lowering
+//! and the scheduling engine. Each pass may rewrite the graph (dead-gate
+//! elimination), compute a placement the engine must honour (fabric
+//! partitioning), or merely analyse; each declares the analyses it
+//! [preserves](PreservedAnalyses) so cached derived data (IIG, profile,
+//! critical path) is reused when valid and rebuilt when not.
+//!
+//! The manager optionally re-validates structural invariants after every
+//! pass (on by default in debug builds): graph well-formedness via
+//! [`Qodg::validate`], preservation claims against the actual op stream
+//! and recomputed IIG, and placement legality (one live ULB per qubit).
+//! A misbehaving pass surfaces as [`MapError::InvariantViolation`] naming
+//! the pass — the difference between a wrong latency estimate and a
+//! one-line bug report.
+//!
+//! The empty pipeline is bit-identical to no pipeline, and the built-in
+//! passes are bit-identical no-ops in their neutral configurations
+//! (`Partition` with k ≤ 1, `DeadGateElim` with every wire observable) —
+//! pinned by `tests/passes_differential.rs`.
+
+use std::fmt;
+
+use leqa_circuit::{FtOp, Iig, Qodg, QubitId};
+use leqa_fabric::{FabricDims, FabricMap, Ulb};
+
+use crate::placement::{bfs_order, PlacementStrategy};
+use crate::MapError;
+
+/// The set of derived analyses a pass leaves valid, as a bitset.
+///
+/// A pass that only reads the graph preserves [`ALL`](Self::ALL); a pass
+/// that rewrites the op stream preserves [`NONE`](Self::NONE) (every
+/// cached analysis must be rebuilt). The pipeline's overall preservation
+/// is the intersection across its passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreservedAnalyses(u8);
+
+impl PreservedAnalyses {
+    /// Nothing survives: rebuild every cached analysis.
+    pub const NONE: Self = PreservedAnalyses(0);
+    /// The interaction-intensity graph is still valid.
+    pub const IIG: Self = PreservedAnalyses(1);
+    /// Cached `ProfileData` (op counts, depth, parallelism) is still valid.
+    pub const PROFILE: Self = PreservedAnalyses(1 << 1);
+    /// The cached critical path is still valid.
+    pub const CRITICAL_PATH: Self = PreservedAnalyses(1 << 2);
+    /// Every analysis survives (the pass did not touch the graph).
+    pub const ALL: Self = PreservedAnalyses(0b111);
+
+    /// Whether every analysis in `other` is preserved by `self`.
+    #[must_use]
+    pub fn preserves(self, other: PreservedAnalyses) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Analyses preserved by both (the running intersection the manager
+    /// folds over the pipeline).
+    #[must_use]
+    pub fn intersect(self, other: PreservedAnalyses) -> PreservedAnalyses {
+        PreservedAnalyses(self.0 & other.0)
+    }
+
+    /// The union of two preservation sets.
+    #[must_use]
+    pub fn union(self, other: PreservedAnalyses) -> PreservedAnalyses {
+        PreservedAnalyses(self.0 | other.0)
+    }
+}
+
+/// The read-only environment a pass runs in: the fabric the program is
+/// headed for and the placement configuration, so placement-computing
+/// passes (partitioning) see exactly what the engine would.
+#[derive(Debug, Clone, Copy)]
+pub struct PassEnv<'a> {
+    /// Target fabric dimensions.
+    pub dims: FabricDims,
+    /// The placement strategy the engine would use unpartitioned.
+    pub placement: PlacementStrategy,
+    /// Seed for randomized strategies.
+    pub seed: u64,
+    /// Defect overlay (already filtered: `None` when pristine).
+    pub fabric_map: Option<&'a FabricMap>,
+}
+
+/// What one pass produced: an optional graph rewrite, an optional
+/// placement, and the analyses it preserved (defaults to
+/// [`PreservedAnalyses::ALL`], the read-only claim).
+#[derive(Debug, Clone)]
+pub struct PassOutput {
+    /// A replacement graph, if the pass rewrote the op stream.
+    pub qodg: Option<Qodg>,
+    /// A placement the engine must honour, if the pass computed one.
+    pub placement: Option<Vec<Ulb>>,
+    /// The analyses still valid after this pass.
+    pub preserved: PreservedAnalyses,
+}
+
+impl PassOutput {
+    fn unchanged() -> Self {
+        PassOutput {
+            qodg: None,
+            placement: None,
+            preserved: PreservedAnalyses::ALL,
+        }
+    }
+}
+
+/// A typed transformation or analysis over the lowered QODG.
+pub trait Pass: Send + Sync {
+    /// Stable name, used in `--passes` specs and invariant diagnostics.
+    fn name(&self) -> &str;
+
+    /// Runs the pass over the current graph, recording any rewrite,
+    /// placement, and preservation claim in `out`.
+    ///
+    /// # Errors
+    ///
+    /// Pass-specific failures (e.g. a partitioning pass finding the
+    /// fabric too small) surface as [`MapError`]s.
+    fn run(&self, qodg: &Qodg, env: &PassEnv<'_>, out: &mut PassOutput) -> Result<(), MapError>;
+}
+
+/// The cumulative result of a pipeline run, consumed by the engine (and
+/// by profile caches deciding whether cached `ProfileData` is reusable).
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The transformed graph, or `None` if no pass rewrote it (map with
+    /// the original).
+    pub qodg: Option<Qodg>,
+    /// A pipeline-computed placement, or `None` to let the engine place.
+    pub placement: Option<Vec<Ulb>>,
+    /// Intersection of every pass's preservation claim.
+    pub preserved: PreservedAnalyses,
+}
+
+impl PipelineOutcome {
+    /// The identity outcome: untouched graph, engine placement, every
+    /// analysis preserved. What an empty pipeline (or no pipeline)
+    /// produces.
+    #[must_use]
+    pub fn unchanged() -> Self {
+        PipelineOutcome {
+            qodg: None,
+            placement: None,
+            preserved: PreservedAnalyses::ALL,
+        }
+    }
+}
+
+/// An ordered sequence of passes with an optional per-pass invariant
+/// checker (defaults to on in debug builds, off in release).
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    check_invariants: bool,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.names())
+            .field("check_invariants", &self.check_invariants)
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+impl PassManager {
+    /// An empty pipeline (bit-identical to no pipeline).
+    #[must_use]
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            check_invariants: cfg!(debug_assertions),
+        }
+    }
+
+    /// Appends a pass.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder step, not arithmetic
+    pub fn add(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Turns the per-pass invariant checker on or off (debug-assert
+    /// pipeline mode: on by default in debug builds).
+    #[must_use]
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// Number of passes in the pipeline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the pipeline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The pass names, in run order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Parses a `--passes` spec: comma-separated pass names with optional
+    /// arguments — `dce` (all wires observable), `dce:LO-HI` (only wires
+    /// `LO..=HI` observed), `partition:K` (K-way fabric partitioning).
+    /// An empty spec is the empty pipeline.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown names or malformed arguments.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut pm = PassManager::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, arg) = match part.split_once(':') {
+                Some((n, a)) => (n, Some(a)),
+                None => (part, None),
+            };
+            match (name, arg) {
+                ("dce", None) => pm = pm.add(DeadGateElim::new()),
+                ("dce", Some(range)) => {
+                    let (lo, hi) = range
+                        .split_once('-')
+                        .ok_or_else(|| format!("bad dce range `{range}` (want LO-HI)"))?;
+                    let lo: u32 = lo
+                        .parse()
+                        .map_err(|_| format!("bad dce range bound `{lo}`"))?;
+                    let hi: u32 = hi
+                        .parse()
+                        .map_err(|_| format!("bad dce range bound `{hi}`"))?;
+                    if lo > hi {
+                        return Err(format!("empty dce range `{range}`"));
+                    }
+                    pm = pm.add(DeadGateElim::with_live_range(lo, hi));
+                }
+                ("partition", Some(k)) => {
+                    let k: u32 = k
+                        .parse()
+                        .map_err(|_| format!("bad partition count `{k}`"))?;
+                    pm = pm.add(Partition::new(k));
+                }
+                ("partition", None) => {
+                    return Err("partition needs a region count (partition:K)".into())
+                }
+                (other, _) => {
+                    return Err(format!(
+                        "unknown pass `{other}` (dce|dce:LO-HI|partition:K)"
+                    ))
+                }
+            }
+        }
+        Ok(pm)
+    }
+
+    /// Runs the pipeline over `qodg`, folding each pass's output into the
+    /// cumulative [`PipelineOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Pass errors pass through; with the invariant checker on, a pass
+    /// that breaks a structural invariant (invalid graph, false
+    /// preservation claim, illegal placement) fails with
+    /// [`MapError::InvariantViolation`] naming the pass.
+    pub fn run(&self, qodg: &Qodg, env: &PassEnv<'_>) -> Result<PipelineOutcome, MapError> {
+        let mut outcome = PipelineOutcome::unchanged();
+        for pass in &self.passes {
+            let graph = outcome.qodg.as_ref().unwrap_or(qodg);
+            // Snapshot what the checker needs *before* the pass runs.
+            let before = self
+                .check_invariants
+                .then(|| (graph.num_qubits(), ops_of(graph)));
+            let mut out = PassOutput::unchanged();
+            pass.run(graph, env, &mut out)?;
+            if let Some((qubits_before, ops_before)) = before {
+                check_pass(
+                    pass.name(),
+                    qubits_before,
+                    &ops_before,
+                    out.qodg.as_ref().unwrap_or(graph),
+                    out.placement.as_deref(),
+                    out.preserved,
+                    env,
+                )?;
+            }
+            if let Some(g) = out.qodg {
+                outcome.qodg = Some(g);
+            }
+            if let Some(p) = out.placement {
+                outcome.placement = Some(p);
+            }
+            outcome.preserved = outcome.preserved.intersect(out.preserved);
+        }
+        Ok(outcome)
+    }
+}
+
+fn ops_of(qodg: &Qodg) -> Vec<FtOp> {
+    qodg.op_nodes().map(|(_, op)| op).collect()
+}
+
+/// The per-pass invariant check: structural graph validity, preservation
+/// claims against the actual op stream (including an IIG recompute when
+/// the stream changed under a preserved-IIG claim), and placement
+/// legality.
+fn check_pass(
+    pass: &str,
+    qubits_before: u32,
+    ops_before: &[FtOp],
+    after: &Qodg,
+    placement: Option<&[Ulb]>,
+    preserved: PreservedAnalyses,
+    env: &PassEnv<'_>,
+) -> Result<(), MapError> {
+    let violation = |reason: String| MapError::InvariantViolation {
+        pass: pass.to_string(),
+        reason,
+    };
+    after.validate().map_err(violation)?;
+    if after.num_qubits() != qubits_before {
+        return Err(violation(format!(
+            "wire count changed from {} to {}",
+            qubits_before,
+            after.num_qubits()
+        )));
+    }
+    let ops_after = ops_of(after);
+    if ops_after != *ops_before {
+        // The op stream changed: every claim over stream-derived
+        // analyses must be re-earned.
+        if preserved.preserves(PreservedAnalyses::PROFILE) {
+            return Err(violation(
+                "changed the op stream but claimed the profile is preserved".into(),
+            ));
+        }
+        if preserved.preserves(PreservedAnalyses::CRITICAL_PATH) {
+            return Err(violation(
+                "changed the op stream but claimed the critical path is preserved".into(),
+            ));
+        }
+        if preserved.preserves(PreservedAnalyses::IIG) {
+            // A reorder can leave interaction counts intact; only an
+            // actual IIG recompute can confirm the claim.
+            let before =
+                Iig::from_qodg(&Qodg::from_gates(qubits_before, ops_before.iter().copied()));
+            let now = Iig::from_qodg(after);
+            if before != now {
+                return Err(violation(
+                    "changed the op stream but claimed the IIG is preserved".into(),
+                ));
+            }
+        }
+    }
+    if let Some(p) = placement {
+        if p.len() != after.num_qubits() as usize {
+            return Err(violation(format!(
+                "placement covers {} qubits but the graph has {}",
+                p.len(),
+                after.num_qubits()
+            )));
+        }
+        let mut seen = vec![false; env.dims.area() as usize];
+        for &u in p {
+            if !env.dims.contains(u) {
+                return Err(violation(format!("placement site {u} is off-fabric")));
+            }
+            if env.fabric_map.is_some_and(|m| !m.cell_enabled(u)) {
+                return Err(violation(format!("placement site {u} is a dead cell")));
+            }
+            let i = env.dims.index_of(u);
+            if seen[i] {
+                return Err(violation(format!("placement site {u} is used twice")));
+            }
+            seen[i] = true;
+        }
+    }
+    Ok(())
+}
+
+/// Dead-gate elimination: drops gates whose effect never reaches an
+/// observed wire, by a backward liveness sweep. By default every wire is
+/// observed (measurement of the full register), which makes the pass a
+/// guaranteed — and pinned — byte-identical no-op; restricting the
+/// observed set to a range (`dce:LO-HI`) lets the sweep prune gates that
+/// only touch unobserved wires.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadGateElim {
+    /// Observed (output) wires as an inclusive range; `None` = all.
+    live: Option<(u32, u32)>,
+}
+
+impl DeadGateElim {
+    /// DCE with every wire observed (the safe default: nothing is dead).
+    #[must_use]
+    pub fn new() -> Self {
+        DeadGateElim::default()
+    }
+
+    /// DCE observing only wires `lo..=hi`.
+    #[must_use]
+    pub fn with_live_range(lo: u32, hi: u32) -> Self {
+        DeadGateElim {
+            live: Some((lo, hi)),
+        }
+    }
+}
+
+impl Pass for DeadGateElim {
+    fn name(&self) -> &str {
+        "dce"
+    }
+
+    fn run(&self, qodg: &Qodg, _env: &PassEnv<'_>, out: &mut PassOutput) -> Result<(), MapError> {
+        let Some((lo, hi)) = self.live else {
+            // Every wire observed: every gate feeds an output, nothing to
+            // drop. Leaving the graph untouched keeps this byte-identical
+            // to not running the pass at all.
+            return Ok(());
+        };
+        let n = qodg.num_qubits();
+        let mut live = vec![false; n as usize];
+        for w in lo..=hi.min(n.saturating_sub(1)) {
+            live[w as usize] = true;
+        }
+        let ops = ops_of(qodg);
+        // Backward sweep: a gate is live iff it writes a live wire; a
+        // live CNOT makes both operands live upstream (the control's
+        // value reaches the target).
+        let mut keep = vec![false; ops.len()];
+        for (i, op) in ops.iter().enumerate().rev() {
+            match *op {
+                FtOp::OneQubit { target, .. } => {
+                    if live[target.index()] {
+                        keep[i] = true;
+                    }
+                }
+                FtOp::Cnot { control, target } => {
+                    if live[target.index()] {
+                        keep[i] = true;
+                        live[control.index()] = true;
+                    }
+                }
+            }
+        }
+        if keep.iter().all(|&k| k) {
+            // No dead gates: byte-identical no-op.
+            return Ok(());
+        }
+        let kept = ops
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&op, _)| op);
+        out.qodg = Some(Qodg::from_gates(n, kept));
+        out.preserved = PreservedAnalyses::NONE;
+        Ok(())
+    }
+}
+
+/// K-way fabric partitioning: cuts the interaction graph into `k` regions
+/// by greedy heaviest-edge agglomeration (union-find, region size capped
+/// at ⌈Q/k⌉), tiles the fabric by recursive bisection, assigns regions to
+/// tiles largest-first, and lays each region out along a center-out
+/// spiral of its tile — strongly-coupled qubits land in the same quadrant
+/// and inter-region transfers are stitched through the channels crossing
+/// tile boundaries by the ordinary routers.
+///
+/// With `k <= 1` the pass is a pinned no-op (the engine's own placement
+/// runs instead), so `partition:1` is byte-identical to no partitioning.
+#[derive(Debug, Clone, Copy)]
+pub struct Partition {
+    k: u32,
+}
+
+impl Partition {
+    /// A `k`-way partitioning pass.
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        Partition { k }
+    }
+
+    /// The configured region count.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Pass for Partition {
+    fn name(&self) -> &str {
+        "partition"
+    }
+
+    fn run(&self, qodg: &Qodg, env: &PassEnv<'_>, out: &mut PassOutput) -> Result<(), MapError> {
+        if self.k <= 1 {
+            return Ok(()); // unpartitioned: engine placement, byte-identical
+        }
+        let q = qodg.num_qubits();
+        if q == 0 {
+            return Ok(());
+        }
+        let usable = env
+            .fabric_map
+            .map_or(env.dims.area(), FabricMap::live_cells);
+        if u64::from(q) > usable {
+            return Err(MapError::FabricTooSmall {
+                qubits: u64::from(q),
+                area: usable,
+            });
+        }
+        let iig = Iig::from_qodg(qodg);
+        let regions = agglomerate(&iig, self.k);
+        out.placement = Some(place_regions(&iig, &regions, env));
+        // The graph itself is untouched; only placement changed.
+        out.preserved = PreservedAnalyses::ALL;
+        Ok(())
+    }
+}
+
+/// Greedy heaviest-edge agglomeration into at most `k` regions with a
+/// ⌈Q/k⌉ size cap, then forced merges of the smallest regions down to
+/// exactly `k` (the cap is waived for forced merges; it only guides the
+/// greedy phase). Returns region membership lists, each sorted by qubit
+/// index.
+fn agglomerate(iig: &Iig, k: u32) -> Vec<Vec<QubitId>> {
+    let n = iig.num_qubits() as usize;
+    let k = (k as usize).min(n.max(1));
+    let cap = n.div_ceil(k);
+
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+
+    // Heaviest edges first; ties in (lo, hi) order for determinism.
+    let mut edges: Vec<(u32, u32, u64)> = iig.edges().collect();
+    edges.sort_by_key(|&(lo, hi, w)| (std::cmp::Reverse(w), lo, hi));
+    let mut components = n;
+    for (lo, hi, _) in edges {
+        if components <= k {
+            break;
+        }
+        let (a, b) = (
+            find(&mut parent, lo as usize),
+            find(&mut parent, hi as usize),
+        );
+        if a != b && size[a] + size[b] <= cap {
+            let (big, small) = if size[a] >= size[b] { (a, b) } else { (b, a) };
+            parent[small] = big;
+            size[big] += size[small];
+            components -= 1;
+        }
+    }
+
+    // Collect regions keyed by root, members in index order.
+    let mut by_root: Vec<Vec<QubitId>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        by_root[r].push(QubitId(i as u32));
+    }
+    let mut regions: Vec<Vec<QubitId>> = by_root.into_iter().filter(|r| !r.is_empty()).collect();
+
+    // Forced merges: smallest two regions fuse until at most k remain.
+    // Ties break on the smallest member index, so the result is
+    // deterministic.
+    while regions.len() > k {
+        regions.sort_by_key(|r| (r.len(), r[0]));
+        let small = regions.remove(0);
+        regions[0].extend(small);
+        regions[0].sort_unstable();
+    }
+    regions
+}
+
+/// An axis-aligned fabric tile.
+#[derive(Debug, Clone, Copy)]
+struct Tile {
+    x0: u32,
+    y0: u32,
+    w: u32,
+    h: u32,
+}
+
+impl Tile {
+    fn contains(&self, u: Ulb) -> bool {
+        u.x >= self.x0 && u.x < self.x0 + self.w && u.y >= self.y0 && u.y < self.y0 + self.h
+    }
+
+    fn center(&self) -> Ulb {
+        Ulb::new(self.x0 + self.w / 2, self.y0 + self.h / 2)
+    }
+
+    fn live_capacity(&self, dims: FabricDims, map: Option<&FabricMap>) -> u64 {
+        match map {
+            None => u64::from(self.w) * u64::from(self.h),
+            Some(m) => dims
+                .ulbs()
+                .filter(|u| self.contains(*u) && m.cell_enabled(*u))
+                .count() as u64,
+        }
+    }
+}
+
+/// Recursive bisection of the fabric into `n` tiles: repeatedly split the
+/// tile with the most live cells along its longer axis.
+fn bisect(dims: FabricDims, map: Option<&FabricMap>, n: usize) -> Vec<Tile> {
+    let mut tiles = vec![Tile {
+        x0: 0,
+        y0: 0,
+        w: dims.width(),
+        h: dims.height(),
+    }];
+    while tiles.len() < n {
+        // Split the roomiest splittable tile.
+        let Some((idx, _)) = tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.w > 1 || t.h > 1)
+            .max_by_key(|(i, t)| (t.live_capacity(dims, map), std::cmp::Reverse(*i)))
+        else {
+            break; // every tile is 1×1
+        };
+        let t = tiles.swap_remove(idx);
+        let (a, b) = if t.w >= t.h {
+            let half = t.w / 2;
+            (
+                Tile { w: half, ..t },
+                Tile {
+                    x0: t.x0 + half,
+                    w: t.w - half,
+                    ..t
+                },
+            )
+        } else {
+            let half = t.h / 2;
+            (
+                Tile { h: half, ..t },
+                Tile {
+                    y0: t.y0 + half,
+                    h: t.h - half,
+                    ..t
+                },
+            )
+        };
+        tiles.push(a);
+        tiles.push(b);
+    }
+    tiles
+}
+
+/// Maps regions onto tiles and lays each region out along a center-out
+/// spiral of its tile. Regions are assigned largest-first to the tiles
+/// with the most live cells; qubits that do not fit their tile overflow
+/// into a spill pool of the remaining live sites (global spiral order).
+fn place_regions(iig: &Iig, regions: &[Vec<QubitId>], env: &PassEnv<'_>) -> Vec<Ulb> {
+    let dims = env.dims;
+    let map = env.fabric_map;
+    let live = |u: &Ulb| map.is_none_or(|m| m.cell_enabled(*u));
+
+    let mut tiles = bisect(dims, map, regions.len());
+    // Largest regions get the roomiest tiles.
+    let mut region_order: Vec<usize> = (0..regions.len()).collect();
+    region_order.sort_by_key(|&i| (std::cmp::Reverse(regions[i].len()), regions[i][0]));
+    tiles.sort_by_key(|t| (std::cmp::Reverse(t.live_capacity(dims, map)), t.x0, t.y0));
+
+    // Global interaction-aware order, filtered per region: within a
+    // region, qubits keep the heaviest-edge-first layout order the
+    // unpartitioned placer would give them.
+    let global_order = bfs_order(iig);
+
+    let mut used = vec![false; dims.area() as usize];
+    let mut placement = vec![Ulb::new(0, 0); iig.num_qubits() as usize];
+    let mut spilled: Vec<QubitId> = Vec::new();
+
+    for (rank, &ri) in region_order.iter().enumerate() {
+        let region = &regions[ri];
+        let in_region = |q: &QubitId| region.binary_search(q).is_ok();
+        let mut order: Vec<QubitId> = global_order.iter().copied().filter(in_region).collect();
+        debug_assert_eq!(order.len(), region.len());
+        if let Some(tile) = tiles.get(rank) {
+            let sites: Vec<Ulb> = dims
+                .rings(tile.center())
+                .filter(|u| tile.contains(*u) && live(u) && !used[dims.index_of(*u)])
+                .take(order.len())
+                .collect();
+            let mut sites = sites.into_iter();
+            order.retain(|&qubit| match sites.next() {
+                Some(site) => {
+                    used[dims.index_of(site)] = true;
+                    placement[qubit.index()] = site;
+                    false
+                }
+                None => true, // tile full: spill
+            });
+        }
+        spilled.extend(order);
+    }
+
+    // Spill pool: leftover live sites in global spiral order, so
+    // overflow stays as central as possible.
+    if !spilled.is_empty() {
+        let center = Ulb::new(dims.width() / 2, dims.height() / 2);
+        let sites: Vec<Ulb> = dims
+            .rings(center)
+            .filter(|u| live(u) && !used[dims.index_of(*u)])
+            .take(spilled.len())
+            .collect();
+        assert_eq!(
+            sites.len(),
+            spilled.len(),
+            "fit check guarantees a live site per qubit"
+        );
+        for (qubit, site) in spilled.into_iter().zip(sites) {
+            used[dims.index_of(site)] = true;
+            placement[qubit.index()] = site;
+        }
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leqa_circuit::FtCircuit;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn chain(n: u32) -> Qodg {
+        let mut ft = FtCircuit::new(n);
+        for i in 0..n - 1 {
+            ft.push_cnot(q(i), q(i + 1)).unwrap();
+        }
+        Qodg::from_ft_circuit(&ft)
+    }
+
+    fn env(dims: FabricDims) -> PassEnv<'static> {
+        PassEnv {
+            dims,
+            placement: PlacementStrategy::default(),
+            seed: 0,
+            fabric_map: None,
+        }
+    }
+
+    #[test]
+    fn preserved_analyses_algebra() {
+        assert!(PreservedAnalyses::ALL.preserves(PreservedAnalyses::IIG));
+        assert!(!PreservedAnalyses::NONE.preserves(PreservedAnalyses::IIG));
+        assert_eq!(
+            PreservedAnalyses::IIG.union(PreservedAnalyses::PROFILE),
+            PreservedAnalyses::IIG
+                .union(PreservedAnalyses::PROFILE)
+                .intersect(PreservedAnalyses::ALL)
+        );
+        assert!(!PreservedAnalyses::IIG
+            .intersect(PreservedAnalyses::PROFILE)
+            .preserves(PreservedAnalyses::IIG));
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let qodg = chain(4);
+        let pm = PassManager::new();
+        let outcome = pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())).unwrap();
+        assert!(outcome.qodg.is_none());
+        assert!(outcome.placement.is_none());
+        assert_eq!(outcome.preserved, PreservedAnalyses::ALL);
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert!(PassManager::parse("").unwrap().is_empty());
+        assert_eq!(PassManager::parse("dce").unwrap().names(), ["dce"]);
+        assert_eq!(
+            PassManager::parse("dce:0-3,partition:4").unwrap().names(),
+            ["dce", "partition"]
+        );
+        assert!(PassManager::parse("partition").is_err());
+        assert!(PassManager::parse("partition:x").is_err());
+        assert!(PassManager::parse("dce:9-2").is_err());
+        assert!(PassManager::parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn dce_all_live_is_a_noop() {
+        let qodg = chain(5);
+        let pm = PassManager::new().add(DeadGateElim::new());
+        let outcome = pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())).unwrap();
+        assert!(outcome.qodg.is_none(), "no rewrite when every wire is live");
+        assert_eq!(outcome.preserved, PreservedAnalyses::ALL);
+    }
+
+    #[test]
+    fn dce_drops_gates_feeding_no_output() {
+        // q0-q1 interact; a gate on q3 never reaches wires 0-1.
+        let mut ft = FtCircuit::new(4);
+        ft.push_cnot(q(0), q(1)).unwrap();
+        ft.push_cnot(q(2), q(3)).unwrap();
+        ft.push_cnot(q(0), q(1)).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let pm = PassManager::new().add(DeadGateElim::with_live_range(0, 1));
+        let outcome = pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())).unwrap();
+        let rewritten = outcome.qodg.expect("dead gate must force a rewrite");
+        assert_eq!(rewritten.op_count(), 2);
+        assert_eq!(outcome.preserved, PreservedAnalyses::NONE);
+        rewritten.validate().unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_upstream_controls_of_live_targets() {
+        // q2 feeds q1 which feeds q0: observing only q0 keeps the chain.
+        let mut ft = FtCircuit::new(3);
+        ft.push_cnot(q(2), q(1)).unwrap();
+        ft.push_cnot(q(1), q(0)).unwrap();
+        let qodg = Qodg::from_ft_circuit(&ft);
+        let pm = PassManager::new().add(DeadGateElim::with_live_range(0, 0));
+        let outcome = pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())).unwrap();
+        assert!(
+            outcome.qodg.is_none(),
+            "every gate reaches wire 0; nothing to drop"
+        );
+    }
+
+    #[test]
+    fn partition_k1_is_a_noop() {
+        let qodg = chain(6);
+        let pm = PassManager::new().add(Partition::new(1));
+        let outcome = pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())).unwrap();
+        assert!(outcome.placement.is_none());
+        assert_eq!(outcome.preserved, PreservedAnalyses::ALL);
+    }
+
+    #[test]
+    fn partition_places_every_qubit_distinctly() {
+        let qodg = chain(12);
+        let dims = FabricDims::new(6, 6).unwrap();
+        for k in [2, 3, 4, 7] {
+            let pm = PassManager::new().add(Partition::new(k));
+            let outcome = pm.run(&qodg, &env(dims)).unwrap();
+            let p = outcome.placement.expect("k>1 must place");
+            assert_eq!(p.len(), 12);
+            let mut seen = vec![false; dims.area() as usize];
+            for &u in &p {
+                assert!(dims.contains(u));
+                assert!(!seen[dims.index_of(u)], "site {u} reused");
+                seen[dims.index_of(u)] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn partition_too_small_fabric_is_typed() {
+        let qodg = chain(20);
+        let pm = PassManager::new().add(Partition::new(4));
+        assert!(matches!(
+            pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())),
+            Err(MapError::FabricTooSmall {
+                qubits: 20,
+                area: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn agglomerate_respects_k_and_covers_all() {
+        let qodg = chain(10);
+        let iig = Iig::from_qodg(&qodg);
+        for k in [1, 2, 3, 5, 10, 99] {
+            let regions = agglomerate(&iig, k);
+            assert!(regions.len() <= (k as usize).max(1));
+            let mut all: Vec<QubitId> = regions.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..10).map(QubitId).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bisect_covers_the_fabric_disjointly() {
+        let dims = FabricDims::new(7, 5).unwrap();
+        for n in [1, 2, 3, 4, 6] {
+            let tiles = bisect(dims, None, n);
+            assert_eq!(tiles.len(), n);
+            let mut covered = vec![false; dims.area() as usize];
+            for t in &tiles {
+                for u in dims.ulbs().filter(|u| t.contains(*u)) {
+                    assert!(!covered[dims.index_of(u)], "tiles overlap at {u}");
+                    covered[dims.index_of(u)] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "tiles must cover the fabric");
+        }
+    }
+
+    /// A pass that rewrites the graph while claiming everything is
+    /// preserved — the invariant checker must name it.
+    struct LyingPass;
+    impl Pass for LyingPass {
+        fn name(&self) -> &str {
+            "lying-pass"
+        }
+        fn run(
+            &self,
+            qodg: &Qodg,
+            _env: &PassEnv<'_>,
+            out: &mut PassOutput,
+        ) -> Result<(), MapError> {
+            // Drop the last gate but keep the ALL claim.
+            let ops = ops_of(qodg);
+            out.qodg = Some(Qodg::from_gates(
+                qodg.num_qubits(),
+                ops[..ops.len() - 1].iter().copied(),
+            ));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn invariant_checker_names_the_lying_pass() {
+        let qodg = chain(4);
+        let pm = PassManager::new().add(LyingPass).check_invariants(true);
+        let err = pm
+            .run(&qodg, &env(FabricDims::new(4, 4).unwrap()))
+            .unwrap_err();
+        match err {
+            MapError::InvariantViolation { pass, reason } => {
+                assert_eq!(pass, "lying-pass");
+                assert!(reason.contains("claimed"), "got: {reason}");
+            }
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
+    }
+
+    /// A pass that hands back an illegal placement (duplicate site).
+    struct DoubleBooker;
+    impl Pass for DoubleBooker {
+        fn name(&self) -> &str {
+            "double-booker"
+        }
+        fn run(
+            &self,
+            qodg: &Qodg,
+            _env: &PassEnv<'_>,
+            out: &mut PassOutput,
+        ) -> Result<(), MapError> {
+            out.placement = Some(vec![Ulb::new(0, 0); qodg.num_qubits() as usize]);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn invariant_checker_rejects_double_booked_placement() {
+        let qodg = chain(3);
+        let pm = PassManager::new().add(DoubleBooker).check_invariants(true);
+        let err = pm
+            .run(&qodg, &env(FabricDims::new(4, 4).unwrap()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::InvariantViolation { ref pass, .. } if pass == "double-booker"
+        ));
+    }
+
+    #[test]
+    fn checker_off_lets_claims_through() {
+        let qodg = chain(4);
+        let pm = PassManager::new().add(LyingPass).check_invariants(false);
+        let outcome = pm.run(&qodg, &env(FabricDims::new(4, 4).unwrap())).unwrap();
+        assert_eq!(outcome.qodg.unwrap().op_count(), 2);
+    }
+}

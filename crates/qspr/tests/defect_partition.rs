@@ -1,0 +1,117 @@
+//! Defective fabrics × partitioned placement must compose: the
+//! Partition pass places regions only on live cells, routing detours
+//! around dead cells/channels, and a fabric the defects disconnect
+//! fails with the *typed* [`MapError::Unroutable`] (exit 10 at the API
+//! layer) — never a panic or a silent bad schedule.
+
+use std::sync::Arc;
+
+use leqa_circuit::decompose::lower_to_ft;
+use leqa_circuit::Qodg;
+use leqa_fabric::{FabricDims, FabricMap, PhysicalParams, Ulb};
+use qspr::{
+    MapError, Mapper, MapperConfig, MovementModel, Partition, PassManager, PlacementStrategy,
+    RouterStrategy, SchedulerStrategy,
+};
+
+fn qodg(name: &str) -> Qodg {
+    let circuit = leqa_workloads::circuit_by_name(name).expect("known workload");
+    let ft = lower_to_ft(&circuit).expect("lowerable");
+    Qodg::from_ft_circuit(&ft)
+}
+
+fn partitioned_mapper(dims: FabricDims, map: Arc<FabricMap>, k: u32) -> Mapper {
+    Mapper::with_config(MapperConfig {
+        dims,
+        params: PhysicalParams::dac13(),
+        placement: PlacementStrategy::IigCluster,
+        router: RouterStrategy::Xy,
+        movement: MovementModel::HomeBased,
+        seed: 0,
+    })
+    .with_fabric_map(map)
+    .with_passes(Arc::new(
+        PassManager::new()
+            .check_invariants(true)
+            .add(Partition::new(k)),
+    ))
+}
+
+#[test]
+fn partitioned_placement_avoids_dead_cells_across_a_density_sweep() {
+    let graph = qodg("qft_16");
+    let dims = FabricDims::new(14, 14).unwrap();
+    let mut mapped = 0;
+    for (i, &density) in [0.0, 0.05, 0.1, 0.15, 0.2, 0.3].iter().enumerate() {
+        let map = Arc::new(
+            FabricMap::with_random_defects(dims, density, density, 90 + i as u64).unwrap(),
+        );
+        let mapper = partitioned_mapper(dims, Arc::clone(&map), 4);
+        match mapper.map(&graph) {
+            Ok(result) => {
+                mapped += 1;
+                // Every home ULB lands on a live cell, homes stay distinct.
+                let mut seen = vec![false; dims.area() as usize];
+                for &home in &result.placement {
+                    assert!(map.cell_enabled(home), "qubit placed on dead cell {home:?}");
+                    let idx = dims.index_of(home);
+                    assert!(!seen[idx], "two qubits share home {home:?}");
+                    seen[idx] = true;
+                }
+                // The heatmap never records traffic through a dead channel:
+                // channel_load is indexed in dense ChannelId order, the same
+                // order `FabricMap::channels` iterates.
+                for (channel, &load) in map.channels().zip(&result.channel_load) {
+                    if !map.channel_enabled(channel) {
+                        assert_eq!(load, 0, "traffic through dead channel {channel:?}");
+                    }
+                }
+            }
+            // High densities may legitimately shrink or disconnect the live
+            // fabric; both outcomes must stay typed.
+            Err(MapError::Unroutable { .. } | MapError::FabricTooSmall { .. }) => {}
+            Err(other) => panic!("untyped failure at density {density}: {other}"),
+        }
+    }
+    assert!(mapped >= 2, "low densities must map ({mapped} of 6 did)");
+}
+
+#[test]
+fn partition_with_mobility_composes_on_defective_fabrics() {
+    let graph = qodg("random_12_60_7");
+    let dims = FabricDims::new(12, 12).unwrap();
+    let map = Arc::new(FabricMap::with_random_defects(dims, 0.08, 0.08, 7).unwrap());
+    let mapper =
+        partitioned_mapper(dims, Arc::clone(&map), 3).with_scheduler(SchedulerStrategy::Mobility);
+    let result = mapper.map(&graph).expect("moderate defects stay mappable");
+    for &home in &result.placement {
+        assert!(map.cell_enabled(home));
+    }
+    for (channel, &load) in map.channels().zip(&result.channel_load) {
+        if !map.channel_enabled(channel) {
+            assert_eq!(load, 0);
+        }
+    }
+    assert!(result.latency.as_f64() > 0.0);
+}
+
+#[test]
+fn disconnected_fabric_fails_with_typed_unroutable() {
+    // A wall of dead cells splits the fabric; qubits partitioned onto
+    // both sides cannot interact. The failure must be the typed
+    // `Unroutable`, not a panic.
+    let dims = FabricDims::new(9, 9).unwrap();
+    let mut map = FabricMap::pristine(dims);
+    for y in 0..9 {
+        map.disable_cell(Ulb::new(4, y)).unwrap();
+    }
+    let graph = qodg("qft_16");
+    let mapper = partitioned_mapper(dims, Arc::new(map), 4);
+    match mapper.map(&graph) {
+        Err(MapError::Unroutable { .. }) => {}
+        Err(MapError::FabricTooSmall { .. }) => {
+            panic!("72 live cells hold 16 qubits; failure must be routing, not fit")
+        }
+        other => panic!("expected Unroutable, got {other:?}"),
+    }
+}

@@ -1,0 +1,158 @@
+//! Byte-identity contracts of the pass pipeline.
+//!
+//! The `Mapper` became a thin driver over a pass pipeline plus a
+//! selectable scheduling engine; these tests pin the refactor's
+//! acceptance bar: with no pipeline attached (or an *empty* one, or one
+//! whose passes are provable no-ops) and the default greedy engine, the
+//! mapper must produce **bit-identical** results to the pre-pipeline
+//! code — same latency, same placement, same channel heatmap, same
+//! stats, same trace records — across programs × fabrics × routers ×
+//! movement models.
+
+use std::sync::Arc;
+
+use leqa_circuit::decompose::lower_to_ft;
+use leqa_circuit::Qodg;
+use leqa_fabric::{FabricDims, PhysicalParams};
+use qspr::{
+    DeadGateElim, Mapper, MapperConfig, MovementModel, Partition, PassManager, PlacementStrategy,
+    RouterStrategy, SchedulerStrategy,
+};
+
+/// Lowers a named suite workload to its QODG.
+fn qodg(name: &str) -> Qodg {
+    let circuit = leqa_workloads::circuit_by_name(name).expect("known workload");
+    let ft = lower_to_ft(&circuit).expect("lowerable");
+    Qodg::from_ft_circuit(&ft)
+}
+
+/// The differential grid: small-but-real programs across fabrics,
+/// routers and movement models.
+fn grid() -> (Vec<(&'static str, Qodg)>, Vec<MapperConfig>) {
+    let programs: Vec<(&'static str, Qodg)> = ["qft_16", "8bitadder", "random_12_60_7"]
+        .into_iter()
+        .map(|name| (name, qodg(name)))
+        .collect();
+    let mut configs = Vec::new();
+    for side in [12u32, 20] {
+        for router in [
+            RouterStrategy::Xy,
+            RouterStrategy::Yx,
+            RouterStrategy::Adaptive,
+        ] {
+            for movement in [MovementModel::HomeBased, MovementModel::Drift] {
+                configs.push(MapperConfig {
+                    dims: FabricDims::new(side, side).unwrap(),
+                    params: PhysicalParams::dac13(),
+                    placement: PlacementStrategy::IigCluster,
+                    router,
+                    movement,
+                    seed: 0,
+                });
+            }
+        }
+    }
+    (programs, configs)
+}
+
+/// Asserts two mapper variants agree on every observable output,
+/// including the trace record stream.
+fn assert_identical(reference: &Mapper, candidate: &Mapper, graph: &Qodg, label: &str) {
+    let (want, want_trace) = reference.map_with_trace(graph).expect(label);
+    let (got, got_trace) = candidate.map_with_trace(graph).expect(label);
+    assert_eq!(want.latency, got.latency, "{label}: latency");
+    assert_eq!(want.placement, got.placement, "{label}: placement");
+    assert_eq!(want.channel_load, got.channel_load, "{label}: heatmap");
+    assert_eq!(want.stats, got.stats, "{label}: stats");
+    assert_eq!(
+        want_trace.records(),
+        got_trace.records(),
+        "{label}: trace records"
+    );
+}
+
+#[test]
+fn empty_pipeline_is_byte_identical_to_no_pipeline() {
+    let (programs, configs) = grid();
+    for config in &configs {
+        for (name, graph) in &programs {
+            let reference = Mapper::with_config(config.clone());
+            let candidate = Mapper::with_config(config.clone())
+                .with_passes(Arc::new(PassManager::new().check_invariants(true)));
+            let label = format!(
+                "{name} on {}x{} {:?}/{:?}",
+                config.dims.width(),
+                config.dims.height(),
+                config.router,
+                config.movement
+            );
+            assert_identical(&reference, &candidate, graph, &label);
+        }
+    }
+}
+
+#[test]
+fn partition_k1_is_byte_identical_to_unpartitioned() {
+    let (programs, configs) = grid();
+    for config in &configs {
+        for (name, graph) in &programs {
+            let reference = Mapper::with_config(config.clone());
+            let pipeline = PassManager::new()
+                .check_invariants(true)
+                .add(Partition::new(1));
+            let candidate = Mapper::with_config(config.clone()).with_passes(Arc::new(pipeline));
+            let label = format!("partition:1 {name} {:?}", config.router);
+            assert_identical(&reference, &candidate, graph, &label);
+        }
+    }
+}
+
+#[test]
+fn dce_on_fully_live_circuits_is_byte_identical() {
+    // Every wire observed (the default liveness model): DCE is a
+    // guaranteed no-op, so the whole run must be bit-identical.
+    let (programs, configs) = grid();
+    for config in &configs {
+        for (name, graph) in &programs {
+            let reference = Mapper::with_config(config.clone());
+            let pipeline = PassManager::new()
+                .check_invariants(true)
+                .add(DeadGateElim::new());
+            let candidate = Mapper::with_config(config.clone()).with_passes(Arc::new(pipeline));
+            let label = format!("dce {name} {:?}", config.router);
+            assert_identical(&reference, &candidate, graph, &label);
+        }
+    }
+}
+
+#[test]
+fn parsed_empty_spec_matches_programmatic_empty_pipeline() {
+    let pm = PassManager::parse("").expect("empty spec is valid");
+    assert!(pm.is_empty());
+    let graph = qodg("qft_16");
+    let config = MapperConfig {
+        dims: FabricDims::new(12, 12).unwrap(),
+        params: PhysicalParams::dac13(),
+        placement: PlacementStrategy::IigCluster,
+        router: RouterStrategy::Xy,
+        movement: MovementModel::HomeBased,
+        seed: 0,
+    };
+    let reference = Mapper::with_config(config.clone());
+    let candidate = Mapper::with_config(config).with_passes(Arc::new(pm));
+    assert_identical(&reference, &candidate, &graph, "parsed empty spec");
+}
+
+#[test]
+fn greedy_scheduler_flag_is_byte_identical_to_default() {
+    // Explicitly selecting the default engine must not perturb anything.
+    let (programs, configs) = grid();
+    for config in configs.iter().take(4) {
+        for (name, graph) in &programs {
+            let reference = Mapper::with_config(config.clone());
+            let candidate =
+                Mapper::with_config(config.clone()).with_scheduler(SchedulerStrategy::Greedy);
+            assert_identical(&reference, &candidate, graph, name);
+        }
+    }
+}
